@@ -1,0 +1,80 @@
+// Ablation: paper-faithful vs strict eta pair counting (DESIGN.md §3.1).
+//
+// Algorithm 2 initializes a stored edge's pair counter with the triangles it
+// just closed — triangles whose *last* edge is the stored edge. Pairs formed
+// through such triangles are excluded by the definition of eta, so the
+// paper-faithful estimator eta_hat carries a positive bias of order eta'/m.
+// This bench quantifies (a) the bias of eta_hat in both modes and (b) its
+// (negligible) effect on the final combined estimate.
+#include <cinttypes>
+
+#include "bench_common.hpp"
+#include "core/rept_estimator.hpp"
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+
+namespace rept::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  CommonFlags common;
+  common.runs = 100;
+  uint64_t m = 8;
+  uint64_t c = 19;  // c1=2 full groups + remainder c2=3 -> pair tracking on
+  FlagSet flags("Ablation: eta pair-counting mode (paper vs strict)");
+  common.Register(flags);
+  flags.AddUint64("m", &m, "sampling denominator (p = 1/m)");
+  flags.AddUint64("c", &c, "processors (must have c > m, c % m != 0)");
+  ParseOrDie(flags, argc, argv);
+  BenchContext ctx = MakeContext(common);
+
+  std::printf("=== Ablation: eta_hat bias, m=%" PRIu64 " c=%" PRIu64
+              " runs=%" PRIu64 " ===\n\n",
+              m, c, ctx.runs);
+  TablePrinter table({"dataset", "eta", "paper eta_hat", "strict eta_hat",
+                      "paper bias", "strict bias", "NRMSE paper",
+                      "NRMSE strict"});
+  for (const std::string& name : ctx.dataset_names) {
+    const Dataset d = LoadDataset(ctx, name);
+    const double tau = static_cast<double>(d.exact.tau);
+    const double eta = static_cast<double>(d.exact.eta);
+
+    ReptConfig paper_cfg;
+    paper_cfg.m = static_cast<uint32_t>(m);
+    paper_cfg.c = static_cast<uint32_t>(c);
+    paper_cfg.track_local = false;
+    ReptConfig strict_cfg = paper_cfg;
+    strict_cfg.strict_eta_pairs = true;
+    const ReptEstimator paper(paper_cfg);
+    const ReptEstimator strict(strict_cfg);
+
+    RunningStats paper_eta, strict_eta;
+    ErrorStats paper_err(tau), strict_err(tau);
+    SeedSequence seeds(ctx.seed, 17);
+    for (uint64_t r = 0; r < ctx.runs; ++r) {
+      const auto dp = paper.RunDetailed(d.stream, seeds.SeedFor(r),
+                                        ctx.pool.get());
+      const auto ds = strict.RunDetailed(d.stream, seeds.SeedFor(r),
+                                         ctx.pool.get());
+      paper_eta.Add(dp.eta_hat);
+      strict_eta.Add(ds.eta_hat);
+      paper_err.AddEstimate(dp.estimates.global);
+      strict_err.AddEstimate(ds.estimates.global);
+    }
+    table.AddRow({name, Sci(eta), Sci(paper_eta.mean()),
+                  Sci(strict_eta.mean()),
+                  Fmt((paper_eta.mean() - eta) / eta, 3),
+                  Fmt((strict_eta.mean() - eta) / eta, 3),
+                  Fmt(paper_err.nrmse(), 4), Fmt(strict_err.nrmse(), 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: strict bias ~0; paper bias positive and O(1/m); final "
+      "NRMSE nearly identical (eta only steers combination weights)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rept::bench
+
+int main(int argc, char** argv) { return rept::bench::Main(argc, argv); }

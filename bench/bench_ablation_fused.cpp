@@ -1,0 +1,73 @@
+// Ablation: per-instance vs fused-group execution of REPT.
+//
+// Per-instance mode schedules each of the c logical processors as its own
+// parallel task (fine granularity, hashes each edge once per processor).
+// Fused mode runs a whole group of m processors in one pass (coarse
+// granularity, one hash per edge per group). Results are bit-identical; the
+// interesting output is the wall-clock trade-off at different c.
+#include <cinttypes>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/rept_estimator.hpp"
+#include "runner/runtime_measure.hpp"
+#include "util/check.hpp"
+
+namespace rept::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  CommonFlags common;
+  uint64_t m = 10;
+  uint64_t repeats = 3;
+  FlagSet flags("Ablation: REPT per-instance vs fused-group execution");
+  common.Register(flags);
+  flags.AddUint64("m", &m, "sampling denominator");
+  flags.AddUint64("repeats", &repeats, "timed repetitions (median)");
+  ParseOrDie(flags, argc, argv);
+  BenchContext ctx = MakeContext(common);
+
+  std::printf("=== Ablation: fused groups, m=%" PRIu64 " ===\n\n", m);
+  for (const std::string& name : ctx.dataset_names) {
+    const Dataset d = LoadDataset(ctx, name);
+    std::printf("--- %s ---\n", name.c_str());
+    TablePrinter table(
+        {"c", "t_instance", "t_fused", "fused/instance", "same_result"});
+    for (uint32_t c : {static_cast<uint32_t>(m) / 2, static_cast<uint32_t>(m),
+                       static_cast<uint32_t>(2 * m),
+                       static_cast<uint32_t>(3 * m + 3)}) {
+      if (c == 0) continue;
+      ReptConfig cfg;
+      cfg.m = static_cast<uint32_t>(m);
+      cfg.c = c;
+      cfg.track_local = false;
+      const ReptEstimator instance_mode(cfg);
+      cfg.fused_groups = true;
+      const ReptEstimator fused_mode(cfg);
+
+      const double ti = MeasureRuntime(instance_mode, d.stream, ctx.seed,
+                                       ctx.pool.get(),
+                                       static_cast<uint32_t>(repeats))
+                            .median_seconds;
+      const double tf = MeasureRuntime(fused_mode, d.stream, ctx.seed,
+                                       ctx.pool.get(),
+                                       static_cast<uint32_t>(repeats))
+                            .median_seconds;
+      const double gi =
+          instance_mode.Run(d.stream, ctx.seed, ctx.pool.get()).global;
+      const double gf =
+          fused_mode.Run(d.stream, ctx.seed, ctx.pool.get()).global;
+      table.AddRow({std::to_string(c), Fmt(ti, 3), Fmt(tf, 3),
+                    Fmt(tf / ti, 3), gi == gf ? "yes" : "NO"});
+      REPT_CHECK(gi == gf);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rept::bench
+
+int main(int argc, char** argv) { return rept::bench::Main(argc, argv); }

@@ -1,0 +1,103 @@
+// Ablation: hash family sensitivity. The default MixEdgeHasher is a strong
+// 64-bit mixer without formal independence guarantees; TabulationEdgeHasher
+// is provably 3-independent.
+//
+// Finding (see EXPERIMENTS.md): 3-independence is NOT enough for REPT.
+// The variance proof treats pairs of edge-disjoint triangles as
+// uncorrelated, an event over FOUR distinct edges, so it implicitly needs
+// 4-wise independence — and simple tabulation is famously only
+// 3-independent, with structured 4-key correlations. Empirically the
+// tabulation-backed group estimator lands 2-5x above the theoretical NRMSE
+// on every dataset, while the mixer matches theory. (Twisted/double
+// tabulation would fix this; the mixer behaves like a random function.)
+//
+// The group-of-m runner is assembled inline and templated on the hasher so
+// the comparison uses the exact same counting code path.
+#include <cinttypes>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/semi_triangle_counter.hpp"
+#include "hash/edge_hash.hpp"
+#include "hash/tabulation.hpp"
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+
+namespace rept::bench {
+namespace {
+
+// One REPT group of m processors sharing `hasher`; returns tau_hat = m *
+// sum_i tau^(i) (the c = m estimate).
+template <typename Hasher>
+double RunGroup(const EdgeStream& stream, uint32_t m, const Hasher& hasher) {
+  SemiTriangleCounter::Options opts;
+  opts.track_local = false;
+  std::vector<SemiTriangleCounter> counters(m, SemiTriangleCounter(opts));
+  for (const Edge& e : stream) {
+    const uint32_t bucket = hasher.Bucket(e.u, e.v, m);
+    for (uint32_t i = 0; i < m; ++i) {
+      counters[i].CountArrival(e.u, e.v);
+      if (i == bucket) counters[i].InsertSampled(e.u, e.v);
+    }
+  }
+  double sum = 0.0;
+  for (const auto& counter : counters) sum += counter.global();
+  return static_cast<double>(m) * sum;
+}
+
+template <typename Hasher>
+void Measure(const Dataset& d, uint32_t m, uint64_t runs, uint64_t seed,
+             ThreadPool& pool, double* nrmse, double* seconds) {
+  const double tau = static_cast<double>(d.exact.tau);
+  ErrorStats err(tau);
+  std::vector<double> estimates(runs, 0.0);
+  SeedSequence seeds(seed, 23);
+  WallTimer timer;
+  ParallelFor(pool, runs, [&](size_t r) {
+    estimates[r] = RunGroup(d.stream, m, Hasher(seeds.SeedFor(r)));
+  });
+  *seconds = timer.Seconds();
+  for (double e : estimates) err.AddEstimate(e);
+  *nrmse = err.nrmse();
+}
+
+int Main(int argc, char** argv) {
+  CommonFlags common;
+  common.runs = 40;
+  uint64_t m = 10;
+  FlagSet flags("Ablation: Mix vs tabulation edge hashing in REPT groups");
+  common.Register(flags);
+  flags.AddUint64("m", &m, "group size / sampling denominator");
+  ParseOrDie(flags, argc, argv);
+  BenchContext ctx = MakeContext(common);
+
+  std::printf("=== Ablation: hash family, m=%" PRIu64 " runs=%" PRIu64
+              " ===\n\n",
+              m, ctx.runs);
+  TablePrinter table({"dataset", "NRMSE mix", "NRMSE tabulation",
+                      "t_mix(s)", "t_tab(s)", "theory NRMSE"});
+  for (const std::string& name : ctx.dataset_names) {
+    const Dataset d = LoadDataset(ctx, name);
+    double mix_nrmse, mix_sec, tab_nrmse, tab_sec;
+    Measure<MixEdgeHasher>(d, static_cast<uint32_t>(m), ctx.runs, ctx.seed,
+                           *ctx.pool, &mix_nrmse, &mix_sec);
+    Measure<TabulationEdgeHasher>(d, static_cast<uint32_t>(m), ctx.runs,
+                                  ctx.seed, *ctx.pool, &tab_nrmse, &tab_sec);
+    // Theory at c = m: Var = tau(m-1) -> NRMSE = sqrt((m-1)/tau).
+    const double theory = std::sqrt(
+        (static_cast<double>(m) - 1.0) / static_cast<double>(d.exact.tau));
+    table.AddRow({name, Fmt(mix_nrmse, 4), Fmt(tab_nrmse, 4),
+                  Fmt(mix_sec, 3), Fmt(tab_sec, 3), Fmt(theory, 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: mix matches the theoretical NRMSE; 3-independent simple "
+      "tabulation sits measurably above it (REPT's variance bound needs "
+      "4-wise independence for disjoint triangle pairs)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rept::bench
+
+int main(int argc, char** argv) { return rept::bench::Main(argc, argv); }

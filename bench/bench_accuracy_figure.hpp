@@ -1,0 +1,113 @@
+// Shared driver for the accuracy figures (3, 4: global; 5, 6: local):
+// for each dataset, sweep c and print NRMSE per method.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/variance.hpp"
+#include "runner/accuracy_sweep.hpp"
+
+namespace rept::bench {
+
+struct AccuracyFigureSpec {
+  const char* title;
+  uint32_t m;
+  std::vector<uint32_t> c_values;
+  bool local;        // report local NRMSE columns (Figures 5/6)
+  bool include_gps;  // paper includes GPS only in the global figures
+  const char* paper_note;
+};
+
+inline int RunAccuracyFigure(const AccuracyFigureSpec& spec, int argc,
+                             char** argv) {
+  CommonFlags common;
+  std::string csv_path;
+  FlagSet flags(spec.title);
+  common.Register(flags);
+  flags.AddString("csv", &csv_path,
+                  "optional path to also write the series as CSV");
+  ParseOrDie(flags, argc, argv);
+  BenchContext ctx = MakeContext(common);
+
+  CsvWriter csv({"dataset", "c", "metric", "rept", "mascot", "triest", "gps"});
+
+  std::printf("=== %s ===\n", spec.title);
+  std::printf("p = 1/%u, runs per point = %" PRIu64 "\n\n", spec.m, ctx.runs);
+
+  for (const std::string& name : ctx.dataset_names) {
+    const Dataset d = LoadDataset(ctx, name);
+    AccuracySweepConfig cfg;
+    cfg.m = spec.m;
+    cfg.c_values = spec.c_values;
+    cfg.runs = static_cast<uint32_t>(ctx.runs);
+    cfg.seed = ctx.seed;
+    cfg.evaluate_local = spec.local;
+    cfg.include_gps = spec.include_gps;
+
+    WallTimer timer;
+    const auto rows = RunAccuracySweep(d.stream, d.exact, cfg, ctx.pool.get());
+
+    std::printf("--- %s (tau=%" PRIu64 ", eta=%" PRIu64 ") ---\n",
+                name.c_str(), d.exact.tau, d.exact.eta);
+    std::vector<std::string> header = {"c"};
+    if (spec.local) {
+      header.insert(header.end(),
+                    {"REPT", "MASCOT", "TRIEST", "MASCOT/REPT"});
+    } else {
+      header.insert(header.end(), {"REPT", "MASCOT", "TRIEST"});
+      if (spec.include_gps) header.push_back("GPS");
+      header.push_back("MASCOT/REPT");
+      header.push_back("theory(M/R)");
+    }
+    TablePrinter table(header);
+    for (const auto& row : rows) {
+      std::vector<std::string> cells = {std::to_string(row.c)};
+      if (spec.local) {
+        cells.push_back(Fmt(row.rept_local));
+        cells.push_back(Fmt(row.mascot_local));
+        cells.push_back(Fmt(row.triest_local));
+        cells.push_back(Fmt(row.mascot_local / row.rept_local, 3));
+      } else {
+        cells.push_back(Sci(row.rept));
+        cells.push_back(Sci(row.mascot));
+        cells.push_back(Sci(row.triest));
+        if (spec.include_gps) cells.push_back(Sci(row.gps));
+        cells.push_back(Fmt(row.mascot / row.rept, 3));
+        // Predicted NRMSE ratio from the closed forms (§III-C).
+        const double tau = static_cast<double>(d.exact.tau);
+        const double eta = static_cast<double>(d.exact.eta);
+        const double predicted = std::sqrt(
+            variance::ParallelMascot(tau, eta, spec.m, row.c) /
+            variance::Rept(tau, eta, spec.m, row.c));
+        cells.push_back(Fmt(predicted, 3));
+      }
+      table.AddRow(std::move(cells));
+      if (spec.local) {
+        csv.AddRow({name, std::to_string(row.c), "local_nrmse",
+                    Fmt(row.rept_local, 6), Fmt(row.mascot_local, 6),
+                    Fmt(row.triest_local, 6), ""});
+      } else {
+        csv.AddRow({name, std::to_string(row.c), "global_nrmse",
+                    Fmt(row.rept, 6), Fmt(row.mascot, 6),
+                    Fmt(row.triest, 6),
+                    spec.include_gps ? Fmt(row.gps, 6) : ""});
+      }
+    }
+    table.Print();
+    std::printf("sweep wall time: %.1fs\n\n", timer.Seconds());
+  }
+  std::printf("paper: %s\n", spec.paper_note);
+  if (!csv_path.empty()) {
+    const Status st = csv.WriteFile(csv_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("series written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace rept::bench

@@ -1,0 +1,128 @@
+// Shared plumbing for the figure/table reproduction binaries: common flags,
+// dataset selection, exact-count computation, and result emission.
+//
+// Every binary runs standalone with fast defaults (small datasets, few
+// runs) so `for b in build/bench/*; do $b; done` finishes in minutes;
+// --size=default --runs=N raise fidelity toward the paper's setup.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exact/exact_counts.hpp"
+#include "gen/dataset_suite.hpp"
+#include "graph/edge_stream.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace rept::bench {
+
+struct BenchContext {
+  gen::DatasetSize size = gen::DatasetSize::kSmall;
+  uint64_t seed = 42;
+  uint64_t runs = 3;
+  uint64_t threads = 0;  // 0 = hardware concurrency
+  std::vector<std::string> dataset_names;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+/// Registers the common flags on `flags`, binding them to the strings/ints
+/// the caller passes; call FinishContext after Parse.
+struct CommonFlags {
+  std::string size = "small";
+  std::string datasets = "all";
+  uint64_t seed = 42;
+  uint64_t runs = 10;
+  uint64_t threads = 0;
+
+  void Register(FlagSet& flags) {
+    flags.AddString("size", &size, "dataset scale: tiny | small | default");
+    flags.AddString("datasets", &datasets,
+                    "comma-separated stand-in names or 'all'");
+    flags.AddUint64("seed", &seed, "master seed");
+    flags.AddUint64("runs", &runs, "independent runs per NRMSE point");
+    flags.AddUint64("threads", &threads,
+                    "worker threads (0 = hardware concurrency)");
+  }
+};
+
+inline gen::DatasetSize ParseSize(const std::string& s) {
+  if (s == "tiny") return gen::DatasetSize::kTiny;
+  if (s == "small") return gen::DatasetSize::kSmall;
+  if (s == "default") return gen::DatasetSize::kDefault;
+  std::fprintf(stderr, "unknown --size '%s' (tiny|small|default)\n",
+               s.c_str());
+  std::exit(2);
+}
+
+inline std::vector<std::string> ParseDatasets(const std::string& csv) {
+  std::vector<std::string> names;
+  if (csv == "all") {
+    for (const auto& info : gen::DatasetCatalog()) names.push_back(info.name);
+    return names;
+  }
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!token.empty()) names.push_back(token);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return names;
+}
+
+inline BenchContext MakeContext(const CommonFlags& common) {
+  BenchContext ctx;
+  ctx.size = ParseSize(common.size);
+  ctx.seed = common.seed;
+  ctx.runs = common.runs;
+  ctx.threads = common.threads;
+  ctx.dataset_names = ParseDatasets(common.datasets);
+  ctx.pool = std::make_unique<ThreadPool>(
+      static_cast<size_t>(common.threads));
+  return ctx;
+}
+
+struct Dataset {
+  EdgeStream stream;
+  ExactCounts exact;
+};
+
+/// Generates a stand-in and computes its ground truth (with eta).
+inline Dataset LoadDataset(const BenchContext& ctx, const std::string& name) {
+  auto stream = gen::MakeDataset(name, ctx.size, ctx.seed);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", name.c_str(),
+                 stream.status().ToString().c_str());
+    std::exit(2);
+  }
+  Dataset d{std::move(stream).value(), {}};
+  d.exact = ComputeExactCounts(d.stream);
+  return d;
+}
+
+/// Parses flags or exits (0 for --help, 2 for bad usage).
+inline void ParseOrDie(FlagSet& flags, int argc, char** argv) {
+  const Status st = flags.Parse(argc, argv);
+  if (st.ok()) return;
+  if (st.code() == StatusCode::kNotFound) std::exit(0);  // --help
+  std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  std::exit(2);
+}
+
+inline std::string Fmt(double v, int precision = 4) {
+  return TablePrinter::FormatDouble(v, precision);
+}
+
+inline std::string Sci(double v) { return TablePrinter::FormatSci(v, 2); }
+
+}  // namespace rept::bench

@@ -1,0 +1,16 @@
+// Figure 6 reproduction: mean local triangle count NRMSE vs c at p = 0.1
+// (m = 10).
+#include "bench_accuracy_figure.hpp"
+
+int main(int argc, char** argv) {
+  rept::bench::AccuracyFigureSpec spec;
+  spec.title = "Figure 6: local NRMSE vs c, p = 0.1";
+  spec.m = 10;
+  spec.c_values = {2, 8, 16, 32};
+  spec.local = true;
+  spec.include_gps = false;
+  spec.paper_note =
+      "same ordering as Figure 5 at the higher sampling rate; smaller "
+      "absolute errors throughout";
+  return rept::bench::RunAccuracyFigure(spec, argc, argv);
+}

@@ -1,0 +1,81 @@
+// Figure 7 reproduction: runtime of the four parallel methods vs 1/p at a
+// fixed processor count c = 10.
+//
+// Expected shape (paper): REPT ~= parallel MASCOT; parallel TRIEST 2x-4x
+// slower (reservoir insert/evict churn); parallel GPS 4x-10x slower
+// (priority computation + heap). Absolute numbers depend on hardware; the
+// ratios are the reproduced claim.
+#include <cinttypes>
+
+#include "baselines/baseline_systems.hpp"
+#include "bench_common.hpp"
+#include "runner/runtime_measure.hpp"
+
+namespace rept::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  CommonFlags common;
+  uint64_t c = 10;
+  uint64_t repeats = 3;
+  FlagSet flags("Figure 7: runtime vs 1/p at c = 10");
+  common.Register(flags);
+  flags.AddUint64("c", &c, "number of logical processors");
+  flags.AddUint64("repeats", &repeats, "timed repetitions (median reported)");
+  ParseOrDie(flags, argc, argv);
+  BenchContext ctx = MakeContext(common);
+
+  const std::vector<uint32_t> inverse_p = {2, 8, 16, 32};
+
+  std::printf("=== Figure 7: runtime (seconds) vs 1/p, c = %" PRIu64
+              " ===\n\n",
+              c);
+  for (const std::string& name : ctx.dataset_names) {
+    const Dataset d = LoadDataset(ctx, name);
+    std::printf("--- %s (|E|=%" PRIu64 ") ---\n", name.c_str(),
+                d.stream.size());
+    TablePrinter table({"1/p", "REPT", "MASCOT", "TRIEST", "GPS",
+                        "TRIEST/REPT", "GPS/REPT"});
+    for (uint32_t m : inverse_p) {
+      // Runtime is the point here: skip local tracking like the paper's
+      // timing runs and measure a full pass per method.
+      const auto rept = MakeRept(m, static_cast<uint32_t>(c), false);
+      const auto mascot =
+          MakeParallelMascot(m, static_cast<uint32_t>(c), false);
+      const auto triest =
+          MakeParallelTriest(m, static_cast<uint32_t>(c), false);
+      const auto gps = MakeParallelGps(m, static_cast<uint32_t>(c), false);
+
+      const double t_rept =
+          MeasureRuntime(*rept, d.stream, ctx.seed, ctx.pool.get(),
+                         static_cast<uint32_t>(repeats))
+              .median_seconds;
+      const double t_mascot =
+          MeasureRuntime(*mascot, d.stream, ctx.seed, ctx.pool.get(),
+                         static_cast<uint32_t>(repeats))
+              .median_seconds;
+      const double t_triest =
+          MeasureRuntime(*triest, d.stream, ctx.seed, ctx.pool.get(),
+                         static_cast<uint32_t>(repeats))
+              .median_seconds;
+      const double t_gps =
+          MeasureRuntime(*gps, d.stream, ctx.seed, ctx.pool.get(),
+                         static_cast<uint32_t>(repeats))
+              .median_seconds;
+
+      table.AddRow({std::to_string(m), Fmt(t_rept, 3), Fmt(t_mascot, 3),
+                    Fmt(t_triest, 3), Fmt(t_gps, 3),
+                    Fmt(t_triest / t_rept, 3), Fmt(t_gps / t_rept, 3)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: REPT ~= MASCOT; TRIEST 2-4x slower; GPS 4-10x slower\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rept::bench
+
+int main(int argc, char** argv) { return rept::bench::Main(argc, argv); }

@@ -1,0 +1,104 @@
+// Figure 8 reproduction (Flickr): REPT vs budget-matched *single-threaded*
+// baselines MASCOT-S / TRIEST-S / GPS-S.
+//
+//   (a) runtime vs c at 1/p = 10      (b) runtime vs c at 1/p = 100
+//   (c) error   vs c at 1/p = 10      (d) error   vs c at 1/p = 100
+//
+// The single-threaded variants get the same total memory (sampling
+// probability c*p, budget c*p*|E|; GPS-S half) but run on one logical
+// processor, so REPT should be up to ~c times faster at comparable error.
+#include <cinttypes>
+
+#include "baselines/baseline_systems.hpp"
+#include "bench_common.hpp"
+#include "runner/evaluation.hpp"
+#include "runner/runtime_measure.hpp"
+
+namespace rept::bench {
+namespace {
+
+void RunPanel(const BenchContext& ctx, const Dataset& d, uint32_t m,
+              const std::vector<uint32_t>& c_values, uint64_t repeats) {
+  std::printf("--- 1/p = %u ---\n", m);
+  TablePrinter table({"c", "t_REPT", "t_MASCOT-S", "t_TRIEST-S", "t_GPS-S",
+                      "e_REPT", "e_MASCOT-S", "e_TRIEST-S", "e_GPS-S"});
+  for (uint32_t c : c_values) {
+    const auto rept = MakeRept(m, c, false);
+    const auto mascot_s = MakeMascotS(m, c, false);
+    const auto triest_s = MakeTriestS(m, c, false);
+    const auto gps_s = MakeGpsS(m, c, false);
+
+    // Runtime: REPT uses the pool (c logical processors in parallel), the
+    // single-threaded baselines by definition run on one thread.
+    const auto reps = static_cast<uint32_t>(repeats);
+    const double t_rept =
+        MeasureRuntime(*rept, d.stream, ctx.seed, ctx.pool.get(), reps)
+            .median_seconds;
+    const double t_mascot =
+        MeasureRuntime(*mascot_s, d.stream, ctx.seed, nullptr, reps)
+            .median_seconds;
+    const double t_triest =
+        MeasureRuntime(*triest_s, d.stream, ctx.seed, nullptr, reps)
+            .median_seconds;
+    const double t_gps =
+        MeasureRuntime(*gps_s, d.stream, ctx.seed, nullptr, reps)
+            .median_seconds;
+
+    EvaluationOptions opts;
+    opts.runs = static_cast<uint32_t>(ctx.runs);
+    opts.master_seed = ctx.seed;
+    opts.evaluate_local = false;
+    const double e_rept =
+        EvaluateSystem(*rept, d.stream, d.exact, opts, ctx.pool.get())
+            .global_nrmse;
+    const double e_mascot =
+        EvaluateSystem(*mascot_s, d.stream, d.exact, opts, ctx.pool.get())
+            .global_nrmse;
+    const double e_triest =
+        EvaluateSystem(*triest_s, d.stream, d.exact, opts, ctx.pool.get())
+            .global_nrmse;
+    const double e_gps =
+        EvaluateSystem(*gps_s, d.stream, d.exact, opts, ctx.pool.get())
+            .global_nrmse;
+
+    table.AddRow({std::to_string(c), Fmt(t_rept, 3), Fmt(t_mascot, 3),
+                  Fmt(t_triest, 3), Fmt(t_gps, 3), Fmt(e_rept, 3),
+                  Fmt(e_mascot, 3), Fmt(e_triest, 3), Fmt(e_gps, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+int Main(int argc, char** argv) {
+  CommonFlags common;
+  common.datasets = "flickr-sim";  // the figure is Flickr-only in the paper
+  common.size = "default";  // runtime shape needs intersection-dominated work
+  uint64_t repeats = 3;
+  FlagSet flags(
+      "Figure 8: REPT vs single-threaded MASCOT-S/TRIEST-S/GPS-S (Flickr)");
+  common.Register(flags);
+  flags.AddUint64("repeats", &repeats, "timed repetitions (median)");
+  ParseOrDie(flags, argc, argv);
+  BenchContext ctx = MakeContext(common);
+
+  std::printf("=== Figure 8: runtime and error vs c (single-threaded "
+              "baselines) ===\n\n");
+  for (const std::string& name : ctx.dataset_names) {
+    const Dataset d = LoadDataset(ctx, name);
+    std::printf("dataset %s: |E|=%" PRIu64 ", tau=%" PRIu64 "\n\n",
+                name.c_str(), d.stream.size(), d.exact.tau);
+    // (a)/(c): 1/p = 10; MASCOT-S needs c*p <= 1, so c <= 10.
+    RunPanel(ctx, d, 10, {2, 4, 8, 10}, repeats);
+    // (b)/(d): 1/p = 100.
+    RunPanel(ctx, d, 100, {8, 16, 32}, repeats);
+  }
+  std::printf(
+      "paper: at 1/p=100, c=32 REPT is 25x/50x/100x faster than MASCOT-S/"
+      "TRIEST-S/GPS-S with comparable (slightly higher) error\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rept::bench
+
+int main(int argc, char** argv) { return rept::bench::Main(argc, argv); }

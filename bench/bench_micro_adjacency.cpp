@@ -1,0 +1,62 @@
+// Micro-benchmark: SampledGraph operations — the estimator inner loop is
+// dominated by common-neighbor queries against the sampled subgraph.
+#include <benchmark/benchmark.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "graph/sampled_graph.hpp"
+#include "util/random.hpp"
+
+namespace rept {
+namespace {
+
+EdgeStream MakeSample(uint32_t n, uint32_t edges) {
+  return gen::ErdosRenyi({.num_vertices = n, .num_edges = edges}, 7);
+}
+
+void BM_SampledGraphInsert(benchmark::State& state) {
+  const EdgeStream s = MakeSample(10000, static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    SampledGraph g;
+    for (const Edge& e : s) g.Insert(e.u, e.v);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * s.size());
+}
+BENCHMARK(BM_SampledGraphInsert)->Arg(1000)->Arg(10000);
+
+void BM_SampledGraphCommonNeighbors(benchmark::State& state) {
+  const EdgeStream s = MakeSample(2000, static_cast<uint32_t>(state.range(0)));
+  SampledGraph g;
+  for (const Edge& e : s) g.Insert(e.u, e.v);
+  Rng rng(3);
+  for (auto _ : state) {
+    const VertexId u = static_cast<VertexId>(rng.Below(2000));
+    const VertexId v = static_cast<VertexId>(rng.Below(2000));
+    benchmark::DoNotOptimize(g.CountCommonNeighbors(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampledGraphCommonNeighbors)->Arg(5000)->Arg(20000);
+
+void BM_SampledGraphChurn(benchmark::State& state) {
+  // Reservoir-style insert+erase cycling (TRIEST's steady state).
+  const EdgeStream s = MakeSample(5000, 20000);
+  SampledGraph g;
+  const size_t window = 1000;
+  for (size_t i = 0; i < window; ++i) g.Insert(s[i].u, s[i].v);
+  size_t head = window;
+  size_t tail = 0;
+  for (auto _ : state) {
+    const Edge& in = s[head % s.size()];
+    const Edge& out = s[tail % s.size()];
+    g.Erase(out.u, out.v);
+    g.Insert(in.u, in.v);
+    ++head;
+    ++tail;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampledGraphChurn);
+
+}  // namespace
+}  // namespace rept

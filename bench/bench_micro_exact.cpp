@@ -1,0 +1,64 @@
+// Micro-benchmark: exact counting throughput (ground-truth computation cost
+// for the evaluation harness).
+#include <benchmark/benchmark.h>
+
+#include "exact/exact_counts.hpp"
+#include "exact/streaming_exact.hpp"
+#include "gen/dataset_suite.hpp"
+#include "gen/holme_kim.hpp"
+#include "graph/graph_builder.hpp"
+
+namespace rept {
+namespace {
+
+const EdgeStream& ClusteredStream() {
+  static const EdgeStream stream = gen::HolmeKim(
+      {.num_vertices = 5000, .edges_per_vertex = 8, .triad_probability = 0.6},
+      11);
+  return stream;
+}
+
+void BM_BuildGraph(benchmark::State& state) {
+  const EdgeStream& s = ClusteredStream();
+  for (auto _ : state) {
+    GraphBuilder builder;
+    builder.AddEdges(s.edges());
+    const Graph g = builder.Build(s.num_vertices());
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * s.size());
+}
+BENCHMARK(BM_BuildGraph);
+
+void BM_ExactCountsTauOnly(benchmark::State& state) {
+  const EdgeStream& s = ClusteredStream();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeExactCounts(s, /*with_eta=*/false).tau);
+  }
+  state.SetItemsProcessed(state.iterations() * s.size());
+}
+BENCHMARK(BM_ExactCountsTauOnly);
+
+void BM_ExactCountsWithEta(benchmark::State& state) {
+  const EdgeStream& s = ClusteredStream();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeExactCounts(s, /*with_eta=*/true).eta);
+  }
+  state.SetItemsProcessed(state.iterations() * s.size());
+}
+BENCHMARK(BM_ExactCountsWithEta);
+
+void BM_StreamingExact(benchmark::State& state) {
+  const EdgeStream& s = ClusteredStream();
+  for (auto _ : state) {
+    StreamingExactCounter counter(s.num_vertices());
+    counter.ProcessStream(s);
+    benchmark::DoNotOptimize(counter.tau());
+  }
+  state.SetItemsProcessed(state.iterations() * s.size());
+}
+BENCHMARK(BM_StreamingExact);
+
+}  // namespace
+}  // namespace rept

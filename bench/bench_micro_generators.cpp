@@ -1,0 +1,59 @@
+// Micro-benchmark: synthetic dataset generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "gen/barabasi_albert.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/holme_kim.hpp"
+#include "gen/rmat.hpp"
+
+namespace rept {
+namespace {
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  const uint64_t edges = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen::ErdosRenyi({.num_vertices = 100000,
+                         .num_edges = edges},
+                        42)
+            .size());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_ErdosRenyi)->Arg(100000);
+
+void BM_Rmat(benchmark::State& state) {
+  const uint64_t edges = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen::Rmat({.scale = 17, .num_edges = edges}, 42).size());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_Rmat)->Arg(100000);
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen::BarabasiAlbert({.num_vertices = 50000, .edges_per_vertex = 2},
+                            42)
+            .size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BarabasiAlbert);
+
+void BM_HolmeKim(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::HolmeKim({.num_vertices = 6000,
+                                            .edges_per_vertex = 16,
+                                            .triad_probability = 0.95},
+                                           42)
+                                 .size());
+  }
+  state.SetItemsProcessed(state.iterations() * 96000);
+}
+BENCHMARK(BM_HolmeKim);
+
+}  // namespace
+}  // namespace rept

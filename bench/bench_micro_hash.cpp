@@ -1,0 +1,46 @@
+// Micro-benchmark: edge hashing throughput (the per-edge fixed cost every
+// REPT processor pays on every stream edge).
+#include <benchmark/benchmark.h>
+
+#include "hash/edge_hash.hpp"
+#include "hash/tabulation.hpp"
+
+namespace rept {
+namespace {
+
+void BM_MixEdgeHasher(benchmark::State& state) {
+  const MixEdgeHasher hasher(42);
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  VertexId u = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Bucket(u, u + 7, m));
+    ++u;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MixEdgeHasher)->Arg(10)->Arg(100);
+
+void BM_TabulationEdgeHasher(benchmark::State& state) {
+  const TabulationEdgeHasher hasher(42);
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  VertexId u = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Bucket(u, u + 7, m));
+    ++u;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TabulationEdgeHasher)->Arg(10)->Arg(100);
+
+void BM_EdgeKey(benchmark::State& state) {
+  VertexId u = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdgeKey(u, u + 3));
+    ++u;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdgeKey);
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,122 @@
+// Interval monitor: the paper's motivating application (§II) — a router
+// collects a packet stream; for each time interval we estimate global and
+// local triangle counts to flag anomalous intervals (triangle spikes are a
+// classic signature of coordinated scanning / sybil rings).
+//
+// This example synthesizes a day of traffic as 24 hourly interval streams of
+// background R-MAT traffic, injects a dense "attack" clique into two
+// intervals, runs REPT per interval, and flags intervals whose estimated
+// triangle count deviates from the running median.
+//
+//   build/examples/interval_monitor [--intervals 24] [--m 8] [--c 8]
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/rept_estimator.hpp"
+#include "exact/exact_counts.hpp"
+#include "gen/planted.hpp"
+#include "gen/rmat.hpp"
+#include "graph/permutation.hpp"
+#include "util/flags.hpp"
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+// One interval's traffic: R-MAT background; attack intervals additionally
+// carry planted cliques (a burst of tightly interconnected hosts).
+rept::EdgeStream MakeInterval(uint64_t seed, bool attack) {
+  using namespace rept::gen;
+  rept::EdgeStream background = Rmat({.scale = 12, .num_edges = 12000}, seed);
+  if (attack) {
+    // Overlay 6 cliques of 40 hosts on the same id space and deduplicate:
+    // ~59k extra triangles against a ~24k-triangle background.
+    const rept::EdgeStream cliques = PlantedCliques(
+        {.num_vertices = 4096,
+         .background_edges = 0,
+         .num_cliques = 6,
+         .clique_size = 40},
+        seed + 1);
+    std::vector<rept::Edge> merged = background.edges();
+    merged.insert(merged.end(), cliques.begin(), cliques.end());
+    std::set<uint64_t> seen;
+    std::vector<rept::Edge> unique;
+    unique.reserve(merged.size());
+    for (const rept::Edge& e : merged) {
+      if (seen.insert(rept::EdgeKey(e)).second) unique.push_back(e);
+    }
+    background = rept::EdgeStream("attack-interval",
+                                  background.num_vertices(),
+                                  std::move(unique));
+  }
+  rept::ShuffleStream(background, seed + 2);
+  return background;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t intervals = 24;
+  uint64_t m = 8;
+  uint64_t c = 8;
+  uint64_t seed = 7;
+  double threshold = 2.0;
+  rept::FlagSet flags("per-interval triangle monitoring (paper §II use case)");
+  flags.AddUint64("intervals", &intervals, "number of time intervals");
+  flags.AddUint64("m", &m, "sampling denominator (memory = |E|/m per proc)");
+  flags.AddUint64("c", &c, "processors per interval");
+  flags.AddUint64("seed", &seed, "seed");
+  flags.AddDouble("threshold", &threshold,
+                  "flag intervals this many times above the running median");
+  if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
+    return st.code() == rept::StatusCode::kNotFound ? 0 : 2;
+  }
+
+  rept::ReptConfig config;
+  config.m = static_cast<uint32_t>(m);
+  config.c = static_cast<uint32_t>(c);
+  config.track_local = false;
+  const rept::ReptEstimator estimator(config);
+  rept::ThreadPool pool;
+  rept::SeedSequence seeds(seed);
+
+  std::printf("monitoring %" PRIu64
+              " intervals; attack cliques injected at intervals 9 and 17\n\n",
+              intervals);
+  std::printf("%-10s %12s %12s %8s  %s\n", "interval", "tau_hat", "exact",
+              "ratio", "verdict");
+
+  std::vector<double> history;
+  int flagged = 0;
+  for (uint64_t i = 0; i < intervals; ++i) {
+    const bool attack = (i == 9 || i == 17);
+    const rept::EdgeStream interval = MakeInterval(seeds.SeedFor(i), attack);
+    const double tau_hat =
+        estimator.Run(interval, seeds.SeedFor(1000 + i), &pool).global;
+    const rept::ExactCounts exact =
+        rept::ComputeExactCounts(interval, /*with_eta=*/false);
+
+    double baseline = 0.0;
+    if (!history.empty()) {
+      baseline = rept::Quantile(history, 0.5);
+    }
+    const double ratio = baseline > 0.0 ? tau_hat / baseline : 1.0;
+    const bool alert = baseline > 0.0 && ratio > threshold;
+    if (alert) ++flagged;
+    // Keep the baseline clean of flagged intervals.
+    if (!alert) history.push_back(tau_hat);
+
+    std::printf("%-10" PRIu64 " %12.0f %12" PRIu64 " %8.2f  %s%s\n", i,
+                tau_hat, exact.tau, ratio,
+                alert ? "ALERT" : "ok",
+                attack ? (alert ? " (true positive)" : " (MISSED attack)")
+                       : (alert ? " (false positive)" : ""));
+  }
+  std::printf("\nflagged %d interval(s); per-interval memory ~|E|/m = %d "
+              "edges per processor\n",
+              flagged, 12000 / static_cast<int>(m));
+  return 0;
+}

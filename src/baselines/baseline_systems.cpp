@@ -1,0 +1,84 @@
+#include "baselines/baseline_systems.hpp"
+
+#include <sstream>
+
+#include "baselines/gps.hpp"
+#include "baselines/mascot.hpp"
+#include "baselines/parallel_ensemble.hpp"
+#include "baselines/triest.hpp"
+#include "core/rept_estimator.hpp"
+#include "util/check.hpp"
+
+namespace rept {
+
+namespace {
+
+std::string Label(const char* method, uint32_t m, uint32_t c) {
+  std::ostringstream out;
+  out << method << "(m=" << m << ",c=" << c << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::unique_ptr<EstimatorSystem> MakeParallelMascot(uint32_t m, uint32_t c,
+                                                    bool track_local) {
+  REPT_CHECK(m >= 2);
+  auto factory = std::make_shared<MascotFactory>(1.0 / m, track_local);
+  return std::make_unique<ParallelEnsemble>(factory, c, Label("MASCOT", m, c));
+}
+
+std::unique_ptr<EstimatorSystem> MakeParallelTriest(uint32_t m, uint32_t c,
+                                                    bool track_local) {
+  REPT_CHECK(m >= 2);
+  auto factory = std::make_shared<TriestFactory>(
+      1.0 / m, TriestVariant::kImpr, track_local);
+  return std::make_unique<ParallelEnsemble>(factory, c, Label("TRIEST", m, c));
+}
+
+std::unique_ptr<EstimatorSystem> MakeParallelGps(uint32_t m, uint32_t c,
+                                                 bool track_local,
+                                                 double alpha) {
+  REPT_CHECK(m >= 2);
+  // Half budget: sampled edges carry weights/ranks, doubling per-edge cost.
+  auto factory =
+      std::make_shared<GpsFactory>(0.5 / m, alpha, track_local);
+  return std::make_unique<ParallelEnsemble>(factory, c, Label("GPS", m, c));
+}
+
+std::unique_ptr<EstimatorSystem> MakeMascotS(uint32_t m, uint32_t c,
+                                             bool track_local) {
+  REPT_CHECK(c <= m);  // total probability c/m must stay <= 1
+  auto factory = std::make_shared<MascotFactory>(
+      static_cast<double>(c) / m, track_local);
+  return std::make_unique<ParallelEnsemble>(factory, 1,
+                                            Label("MASCOT-S", m, c));
+}
+
+std::unique_ptr<EstimatorSystem> MakeTriestS(uint32_t m, uint32_t c,
+                                             bool track_local) {
+  auto factory = std::make_shared<TriestFactory>(
+      static_cast<double>(c) / m, TriestVariant::kImpr, track_local);
+  return std::make_unique<ParallelEnsemble>(factory, 1,
+                                            Label("TRIEST-S", m, c));
+}
+
+std::unique_ptr<EstimatorSystem> MakeGpsS(uint32_t m, uint32_t c,
+                                          bool track_local, double alpha) {
+  auto factory = std::make_shared<GpsFactory>(
+      0.5 * static_cast<double>(c) / m, alpha, track_local);
+  return std::make_unique<ParallelEnsemble>(factory, 1, Label("GPS-S", m, c));
+}
+
+std::unique_ptr<EstimatorSystem> MakeRept(uint32_t m, uint32_t c,
+                                          bool track_local,
+                                          bool strict_eta_pairs) {
+  ReptConfig config;
+  config.m = m;
+  config.c = c;
+  config.track_local = track_local;
+  config.strict_eta_pairs = strict_eta_pairs;
+  return std::make_unique<ReptEstimator>(config);
+}
+
+}  // namespace rept

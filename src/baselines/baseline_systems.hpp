@@ -1,0 +1,45 @@
+// Factory helpers assembling the exact estimator systems the paper's
+// evaluation compares (Section IV-B):
+//
+//   parallel MASCOT   — c independent MASCOT(p = 1/m) instances, averaged
+//   parallel TRIEST   — c independent TRIEST-IMPR reservoirs, M = |E|/m
+//   parallel GPS      — c independent GPS In-Stream samplers, M = |E|/(2m)
+//   MASCOT-S          — one MASCOT instance with p = c/m      (Figure 8)
+//   TRIEST-S          — one reservoir with M = c|E|/m         (Figure 8)
+//   GPS-S             — one GPS sampler with M = c|E|/(2m)    (Figure 8)
+//
+// plus MakeRept for symmetric construction in sweep code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/estimates.hpp"
+
+namespace rept {
+
+std::unique_ptr<EstimatorSystem> MakeParallelMascot(uint32_t m, uint32_t c,
+                                                    bool track_local = true);
+
+std::unique_ptr<EstimatorSystem> MakeParallelTriest(uint32_t m, uint32_t c,
+                                                    bool track_local = true);
+
+std::unique_ptr<EstimatorSystem> MakeParallelGps(uint32_t m, uint32_t c,
+                                                 bool track_local = true,
+                                                 double alpha = 9.0);
+
+std::unique_ptr<EstimatorSystem> MakeMascotS(uint32_t m, uint32_t c,
+                                             bool track_local = true);
+
+std::unique_ptr<EstimatorSystem> MakeTriestS(uint32_t m, uint32_t c,
+                                             bool track_local = true);
+
+std::unique_ptr<EstimatorSystem> MakeGpsS(uint32_t m, uint32_t c,
+                                          bool track_local = true,
+                                          double alpha = 9.0);
+
+std::unique_ptr<EstimatorSystem> MakeRept(uint32_t m, uint32_t c,
+                                          bool track_local = true,
+                                          bool strict_eta_pairs = false);
+
+}  // namespace rept

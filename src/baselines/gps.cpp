@@ -1,0 +1,62 @@
+#include "baselines/gps.hpp"
+
+#include "util/check.hpp"
+
+namespace rept {
+
+GpsCounter::GpsCounter(uint64_t budget, uint64_t seed, double alpha,
+                       bool track_local)
+    : budget_(budget), alpha_(alpha), track_local_(track_local), rng_(seed) {
+  REPT_CHECK(budget_ >= 2);
+  REPT_CHECK(alpha_ >= 0.0);
+}
+
+void GpsCounter::ProcessEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  if (sample_.Contains(u, v)) return;  // simple-stream model
+
+  // 1. In-stream HT estimation against the current sample and threshold.
+  scratch_.clear();
+  sample_.ForEachCommonNeighbor(u, v,
+                                [this](VertexId w) { scratch_.push_back(w); });
+  for (VertexId w : scratch_) {
+    const double wu = edge_weight_.at(EdgeKey(u, w));
+    const double wv = edge_weight_.at(EdgeKey(v, w));
+    const double inc =
+        1.0 / (InclusionProbability(wu) * InclusionProbability(wv));
+    global_ += inc;
+    if (track_local_) {
+      local_[u] += inc;
+      local_[v] += inc;
+      local_[w] += inc;
+    }
+  }
+
+  // 2. Weight from the number of sampled triangles the edge closes, rank
+  // from an independent uniform.
+  const double weight = alpha_ * static_cast<double>(scratch_.size()) + 1.0;
+  const double rank = weight / rng_.NextDoublePositive();
+
+  // 3. Insert, then evict the minimum-rank edge if over budget (possibly the
+  // new edge itself) and raise the threshold.
+  sample_.Insert(u, v);
+  edge_weight_[EdgeKey(u, v)] = weight;
+  heap_.push(HeapEntry{rank, u, v});
+  if (sample_.num_edges() > budget_) {
+    const HeapEntry evicted = heap_.top();
+    heap_.pop();
+    if (evicted.rank > z_star_) z_star_ = evicted.rank;
+    sample_.Erase(evicted.u, evicted.v);
+    edge_weight_.erase(EdgeKey(evicted.u, evicted.v));
+  }
+}
+
+void GpsCounter::AccumulateLocal(std::vector<double>& acc,
+                                 double weight) const {
+  for (const auto& [v, count] : local_) {
+    REPT_DCHECK(v < acc.size());
+    acc[v] += weight * count;
+  }
+}
+
+}  // namespace rept

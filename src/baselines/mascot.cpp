@@ -1,0 +1,20 @@
+#include "baselines/mascot.hpp"
+
+#include "util/check.hpp"
+
+namespace rept {
+
+MascotCounter::MascotCounter(double p, uint64_t seed, bool track_local)
+    : p_(p), inv_p2_(1.0 / (p * p)), rng_(seed) {
+  REPT_CHECK(p > 0.0 && p <= 1.0);
+  SemiTriangleCounter::Options options;
+  options.track_local = track_local;
+  counter_ = SemiTriangleCounter(options);
+}
+
+void MascotCounter::ProcessEdge(VertexId u, VertexId v) {
+  counter_.CountArrival(u, v);
+  if (rng_.Bernoulli(p_)) counter_.InsertSampled(u, v);
+}
+
+}  // namespace rept

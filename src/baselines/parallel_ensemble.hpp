@@ -1,0 +1,38 @@
+// Direct parallelization of a single-processor sampler: c independent
+// instances, estimates averaged. This is precisely the strawman the paper
+// argues against — its variance keeps the full 2*eta covariance term
+// ((tau(m^2-1) + 2 eta(m-1))/c for MASCOT, §I) — and the baseline REPT is
+// compared to in every accuracy figure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "baselines/stream_counter.hpp"
+#include "core/estimates.hpp"
+
+namespace rept {
+
+class ThreadPool;
+
+/// \brief c independent StreamCounter instances, averaged.
+class ParallelEnsemble : public EstimatorSystem {
+ public:
+  /// `label` customizes Name() (defaults to "<Method>(c=<c>)").
+  ParallelEnsemble(std::shared_ptr<const StreamCounterFactory> factory,
+                   uint32_t c, std::string label = "");
+
+  std::string Name() const override;
+  uint32_t NumProcessors() const override { return c_; }
+
+  TriangleEstimates Run(const EdgeStream& stream, uint64_t seed,
+                        ThreadPool* pool) const override;
+
+ private:
+  std::shared_ptr<const StreamCounterFactory> factory_;
+  uint32_t c_;
+  std::string label_;
+};
+
+}  // namespace rept

@@ -1,0 +1,52 @@
+// Interface of a single logical stream processor for the baseline methods.
+// A ParallelEnsemble owns c independent instances and averages their
+// (already unbiased) estimates, which is exactly how the paper parallelizes
+// MASCOT / TRIEST / GPS (§I, §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/edge_stream.hpp"
+#include "graph/types.hpp"
+
+namespace rept {
+
+/// \brief One logical processor producing unbiased global/local estimates.
+class StreamCounter {
+ public:
+  virtual ~StreamCounter() = default;
+
+  virtual void ProcessEdge(VertexId u, VertexId v) = 0;
+
+  void ProcessStream(const EdgeStream& stream) {
+    for (const Edge& e : stream) ProcessEdge(e.u, e.v);
+  }
+
+  /// Unbiased estimate of the global triangle count tau from this instance
+  /// alone (scaling included).
+  virtual double GlobalEstimate() const = 0;
+
+  /// acc[v] += weight * (this instance's unbiased estimate of tau_v), for
+  /// every v the instance tallied.
+  virtual void AccumulateLocal(std::vector<double>& acc,
+                               double weight) const = 0;
+
+  /// Number of edges currently stored (memory accounting).
+  virtual uint64_t StoredEdges() const = 0;
+};
+
+/// \brief Creates pre-seeded instances; seed differs per ensemble member.
+/// The stream is passed so budget-based methods (TRIEST, GPS) can size their
+/// reservoirs from |E| the way the paper configures them (budget = p|E|).
+class StreamCounterFactory {
+ public:
+  virtual ~StreamCounterFactory() = default;
+  virtual std::unique_ptr<StreamCounter> Create(
+      uint64_t seed, const EdgeStream& stream) const = 0;
+  /// Short method tag, e.g. "MASCOT".
+  virtual std::string MethodName() const = 0;
+};
+
+}  // namespace rept

@@ -1,0 +1,94 @@
+#include "baselines/triest.hpp"
+
+#include "util/check.hpp"
+
+namespace rept {
+
+TriestCounter::TriestCounter(uint64_t budget, uint64_t seed,
+                             TriestVariant variant, bool track_local)
+    : variant_(variant),
+      budget_(budget),
+      track_local_(track_local),
+      rng_(seed) {
+  REPT_CHECK(budget_ >= 6);  // keeps both xi denominators positive
+  reservoir_.reserve(budget_);
+}
+
+double TriestCounter::EstimateScale() const {
+  if (variant_ == TriestVariant::kImpr) return 1.0;
+  const double t = static_cast<double>(t_);
+  const double m = static_cast<double>(budget_);
+  const double xi =
+      (t * (t - 1.0) * (t - 2.0)) / (m * (m - 1.0) * (m - 2.0));
+  return xi > 1.0 ? xi : 1.0;
+}
+
+double TriestCounter::GlobalEstimate() const {
+  return global_ * EstimateScale();
+}
+
+void TriestCounter::AccumulateLocal(std::vector<double>& acc,
+                                    double weight) const {
+  const double scale = weight * EstimateScale();
+  for (const auto& [v, count] : local_) {
+    REPT_DCHECK(v < acc.size());
+    acc[v] += scale * count;
+  }
+}
+
+void TriestCounter::CountInSample(VertexId u, VertexId v, double delta) {
+  scratch_.clear();
+  sample_.ForEachCommonNeighbor(u, v,
+                                [this](VertexId w) { scratch_.push_back(w); });
+  if (scratch_.empty()) return;
+  global_ += delta * static_cast<double>(scratch_.size());
+  if (track_local_) {
+    local_[u] += delta * static_cast<double>(scratch_.size());
+    local_[v] += delta * static_cast<double>(scratch_.size());
+    for (VertexId w : scratch_) local_[w] += delta;
+  }
+}
+
+bool TriestCounter::ReservoirSample(VertexId u, VertexId v) {
+  if (t_ <= budget_) {
+    reservoir_.emplace_back(u, v);
+    sample_.Insert(u, v);
+    return true;
+  }
+  if (!rng_.Bernoulli(static_cast<double>(budget_) /
+                      static_cast<double>(t_))) {
+    return false;
+  }
+  const size_t slot = static_cast<size_t>(rng_.Below(budget_));
+  const Edge evicted = reservoir_[slot];
+  if (variant_ == TriestVariant::kBase) {
+    // BASE decrements the triangles the evicted edge participated in.
+    CountInSample(evicted.u, evicted.v, -1.0);
+  }
+  sample_.Erase(evicted.u, evicted.v);
+  reservoir_[slot] = Edge(u, v);
+  sample_.Insert(u, v);
+  return true;
+}
+
+void TriestCounter::ProcessEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  ++t_;
+  if (variant_ == TriestVariant::kImpr) {
+    // Weighted unconditional count before the reservoir decision.
+    const double t = static_cast<double>(t_);
+    const double m = static_cast<double>(budget_);
+    double xi = ((t - 1.0) * (t - 2.0)) / (m * (m - 1.0));
+    if (xi < 1.0) xi = 1.0;
+    CountInSample(u, v, xi);
+    ReservoirSample(u, v);
+  } else {
+    // BASE counts only after (and if) the edge enters the reservoir. The
+    // arriving edge itself is not yet in the sample when intersecting, and
+    // the intersection N(u) ∩ N(v) does not contain u or v, so counting
+    // after insertion is equivalent.
+    if (ReservoirSample(u, v)) CountInSample(u, v, 1.0);
+  }
+}
+
+}  // namespace rept

@@ -1,0 +1,54 @@
+#include "baselines/wedge_sampler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rept {
+
+WedgeSampler::WedgeSampler(const Graph& graph) : graph_(graph) {
+  cumulative_.reserve(graph.num_vertices());
+  double running = 0.0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const double d = graph.degree(v);
+    running += d * (d - 1.0) / 2.0;
+    cumulative_.push_back(running);
+  }
+  total_wedges_ = running;
+}
+
+bool WedgeSampler::SampleOneWedge(Rng& rng) const {
+  // Center v chosen with probability C(deg(v),2)/W via the cumulative table.
+  const double target = rng.NextDouble() * total_wedges_;
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  const VertexId v =
+      static_cast<VertexId>(std::distance(cumulative_.begin(), it));
+  const auto nbrs = graph_.neighbors(v);
+  REPT_DCHECK(nbrs.size() >= 2);
+  // Two distinct uniform neighbors.
+  const uint64_t i = rng.Below(nbrs.size());
+  uint64_t j = rng.Below(nbrs.size() - 1);
+  if (j >= i) ++j;
+  return graph_.HasEdge(nbrs[i], nbrs[j]);
+}
+
+double WedgeSampler::EstimateClosureRate(uint64_t num_wedges,
+                                         uint64_t seed) const {
+  REPT_CHECK(num_wedges >= 1);
+  if (total_wedges_ <= 0.0) return 0.0;
+  Rng rng(seed);
+  uint64_t closed = 0;
+  for (uint64_t i = 0; i < num_wedges; ++i) {
+    if (SampleOneWedge(rng)) ++closed;
+  }
+  return static_cast<double>(closed) / static_cast<double>(num_wedges);
+}
+
+double WedgeSampler::EstimateGlobal(uint64_t num_wedges,
+                                    uint64_t seed) const {
+  // Every triangle contains exactly three closed wedges.
+  return EstimateClosureRate(num_wedges, seed) * total_wedges_ / 3.0;
+}
+
+}  // namespace rept

@@ -1,0 +1,46 @@
+// Wedge sampling for *static* graphs (Seshadhri, Pinar, Kolda 2014), the
+// method the paper's §III-D concedes is preferable when the graph already
+// sits in memory: sample wedges (length-2 paths) proportionally to each
+// vertex's wedge count, check closure, and scale.
+//
+//   W = sum_v C(deg(v), 2);  tau_hat = (closed fraction) * W / 3.
+//
+// Included so the library covers the paper's scope discussion: the
+// REPT-vs-wedge-sampling trade (streaming one-pass vs random access) is
+// measurable with bench_ablation_static.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace rept {
+
+class WedgeSampler {
+ public:
+  /// Prepares the per-vertex cumulative wedge distribution; O(|V|).
+  explicit WedgeSampler(const Graph& graph);
+
+  /// Samples `num_wedges` wedges and returns the triangle count estimate.
+  /// Unbiased for any num_wedges >= 1. Deterministic per seed.
+  double EstimateGlobal(uint64_t num_wedges, uint64_t seed) const;
+
+  /// Estimate of the global clustering coefficient (closed wedge fraction).
+  double EstimateClosureRate(uint64_t num_wedges, uint64_t seed) const;
+
+  /// Total number of wedges in the graph.
+  double total_wedges() const { return total_wedges_; }
+
+ private:
+  /// Samples one wedge center + two distinct neighbors; returns closure.
+  bool SampleOneWedge(Rng& rng) const;
+
+  const Graph& graph_;
+  /// Cumulative wedge counts per vertex (for proportional center sampling).
+  std::vector<double> cumulative_;
+  double total_wedges_ = 0.0;
+};
+
+}  // namespace rept

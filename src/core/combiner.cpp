@@ -1,0 +1,23 @@
+#include "core/combiner.hpp"
+
+#include "util/check.hpp"
+
+namespace rept {
+
+CombinedEstimate GraybillDeal(double x1, double w1, double x2, double w2,
+                              double n1, double n2) {
+  REPT_DCHECK(w1 >= 0.0 && w2 >= 0.0);
+  CombinedEstimate result;
+  const double total = w1 + w2;
+  if (total > 0.0) {
+    result.value = (w2 * x1 + w1 * x2) / total;
+    result.weighted = true;
+  } else {
+    REPT_DCHECK(n1 + n2 > 0.0);
+    result.value = (n1 * x1 + n2 * x2) / (n1 + n2);
+    result.weighted = false;
+  }
+  return result;
+}
+
+}  // namespace rept

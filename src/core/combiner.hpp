@@ -1,0 +1,26 @@
+// Graybill-Deal combination of two independent unbiased estimators
+// (Graybill & Deal 1959, cited as [20] in the paper): given estimates x1, x2
+// with variances v1, v2, the minimum-variance unbiased combination is
+//   x = (v2*x1 + v1*x2) / (v1 + v2),   Var(x) = v1*v2/(v1+v2).
+// Algorithm 2 uses it with plug-in variance estimates w1, w2.
+#pragma once
+
+namespace rept {
+
+struct CombinedEstimate {
+  double value = 0.0;
+  /// Weight legitimacy flag: false when both plug-in variances were zero and
+  /// the fallback rule decided the value.
+  bool weighted = true;
+};
+
+/// \brief Combines x1 (plug-in variance w1) and x2 (plug-in variance w2).
+///
+/// Degenerate case w1 + w2 == 0 (both variance estimates vanish; happens
+/// when no semi-triangle was sampled anywhere): falls back to the
+/// processor-count-weighted mean with weights n1, n2 — still a convex
+/// combination of two unbiased estimates, hence unbiased.
+CombinedEstimate GraybillDeal(double x1, double w1, double x2, double w2,
+                              double n1, double n2);
+
+}  // namespace rept

@@ -1,0 +1,4 @@
+#include "core/estimates.hpp"
+
+// Interface-only translation unit.
+namespace rept {}  // namespace rept

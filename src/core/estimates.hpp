@@ -1,0 +1,49 @@
+// Result types and the estimator-system interface shared by REPT and the
+// parallel baselines.
+//
+// Notation (paper Table I): tau = |Δ| global triangle count, tau_v local
+// count at node v, eta / eta_v covariance-pair counts, p = 1/m sampling
+// probability, c = number of processors, τ^(i) per-processor semi-triangle
+// tallies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_stream.hpp"
+
+namespace rept {
+
+class ThreadPool;
+
+/// \brief Final output of one estimation run over a stream.
+struct TriangleEstimates {
+  /// Estimate of the global triangle count tau.
+  double global = 0.0;
+  /// Estimate of tau_v, indexed by vertex id (size = stream vertex count).
+  std::vector<double> local;
+};
+
+/// \brief A complete estimation system: given a stream and a seed it
+/// produces estimates, internally running however many logical processors
+/// its configuration demands.
+///
+/// Runs are deterministic functions of (stream, seed) regardless of the
+/// thread pool: all per-instance randomness is pre-seeded.
+class EstimatorSystem {
+ public:
+  virtual ~EstimatorSystem() = default;
+
+  /// Display name, e.g. "REPT(m=10,c=32)".
+  virtual std::string Name() const = 0;
+
+  /// Number of logical processors (the paper's c).
+  virtual uint32_t NumProcessors() const = 0;
+
+  /// One full pass over the stream. `pool` may be nullptr (serial execution).
+  virtual TriangleEstimates Run(const EdgeStream& stream, uint64_t seed,
+                                ThreadPool* pool) const = 0;
+};
+
+}  // namespace rept

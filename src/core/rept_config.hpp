@@ -1,0 +1,37 @@
+// REPT system configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace rept {
+
+/// \brief Configuration of a full REPT run (Algorithms 1 and 2).
+struct ReptConfig {
+  /// Sampling denominator: p = 1/m, m >= 2.
+  uint32_t m = 10;
+  /// Number of logical processors.
+  uint32_t c = 1;
+  /// Track per-node estimates (disable for global-only sweeps).
+  bool track_local = true;
+  /// Use the strict eta pair-counting rule instead of the paper-faithful
+  /// initialization (see SemiTriangleCounter::Options::strict_pairs).
+  bool strict_eta_pairs = false;
+  /// Execute each group of m processors as one fused pass (identical
+  /// results, different parallel granularity; ablation knob).
+  bool fused_groups = false;
+
+  void Validate() const {
+    REPT_CHECK(m >= 2);
+    REPT_CHECK(c >= 1);
+  }
+
+  double sampling_probability() const { return 1.0 / m; }
+
+  /// True when Algorithm 2's remainder-group machinery (eta estimation and
+  /// Graybill-Deal combination) is active.
+  bool NeedsPairTracking() const { return c > m && c % m != 0; }
+};
+
+}  // namespace rept

@@ -1,0 +1,73 @@
+// The full REPT system (the paper's contribution): random edge partition and
+// triangle counting across c logical processors.
+//
+//  * c <= m (Algorithm 1): one group; processor i keeps bucket i of a single
+//    shared hash h. Estimate: tau_hat = (m^2/c) * sum_i tau^(i).
+//  * c > m, c % m == 0: c1 = c/m independent groups of m processors, group k
+//    using its own hash h_k. Estimate: tau_hat = (m/c1) * sum_i tau^(i).
+//  * c > m, c % m != 0 (Algorithm 2): c1 full groups plus a remainder group
+//    of c2 processors. Two unbiased estimates tau_hat^(1) (full groups) and
+//    tau_hat^(2) (remainder) are combined Graybill-Deal style with plug-in
+//    variances built from tau_hat^(1) and the pair-count estimate
+//    eta_hat = (m^3/c) * sum_i eta^(i). Same machinery per node for local
+//    counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimates.hpp"
+#include "core/rept_config.hpp"
+#include "core/rept_instance.hpp"
+
+namespace rept {
+
+class ThreadPool;
+
+/// \brief REPT estimator system. Thread-compatible: Run() is const and
+/// re-entrant (all run state is local).
+class ReptEstimator : public EstimatorSystem {
+ public:
+  explicit ReptEstimator(ReptConfig config);
+
+  std::string Name() const override;
+  uint32_t NumProcessors() const override { return config_.c; }
+
+  TriangleEstimates Run(const EdgeStream& stream, uint64_t seed,
+                        ThreadPool* pool) const override;
+
+  /// \brief Diagnostic payload exposed for tests, ablations, and the
+  /// EXPERIMENTS.md tables.
+  struct RunDetail {
+    TriangleEstimates estimates;
+    /// Raw per-processor semi-triangle tallies tau^(i).
+    std::vector<double> instance_tallies;
+    /// Algorithm 2 intermediates (meaningful only when c > m, c % m != 0).
+    double tau_hat1 = 0.0;
+    double tau_hat2 = 0.0;
+    double eta_hat = 0.0;
+    double w1 = 0.0;
+    double w2 = 0.0;
+    bool used_combination = false;
+  };
+
+  RunDetail RunDetailed(const EdgeStream& stream, uint64_t seed,
+                        ThreadPool* pool) const;
+
+  const ReptConfig& config() const { return config_; }
+
+ private:
+  // Instances are individually heap-allocated: worker threads mutate their
+  // counters concurrently, and value-packing them in one vector caused
+  // measurable false sharing between neighbors.
+  std::vector<std::unique_ptr<ReptInstance>> BuildInstances(
+      uint64_t seed) const;
+  void ProcessAll(std::vector<std::unique_ptr<ReptInstance>>& instances,
+                  const EdgeStream& stream, ThreadPool* pool) const;
+
+  ReptConfig config_;
+};
+
+}  // namespace rept

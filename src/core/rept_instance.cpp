@@ -1,0 +1,4 @@
+#include "core/rept_instance.hpp"
+
+// Header-only; anchor translation unit.
+namespace rept {}  // namespace rept

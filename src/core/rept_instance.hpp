@@ -1,0 +1,51 @@
+// One REPT logical processor: stores the edges a shared hash function maps to
+// its bucket and tallies semi-triangles (plus pair counts when Algorithm 2 is
+// active).
+#pragma once
+
+#include <cstdint>
+
+#include "core/semi_triangle_counter.hpp"
+#include "graph/edge_stream.hpp"
+#include "graph/types.hpp"
+#include "hash/edge_hash.hpp"
+
+namespace rept {
+
+/// \brief Processor i of a REPT group: keeps edge (u,v) iff
+/// h_group(u, v) == bucket, where h_group is shared by the whole group.
+class ReptInstance {
+ public:
+  /// `hasher` seed must be identical across a group's instances — the
+  /// within-group dependence of the stored sets is REPT's whole point.
+  ReptInstance(MixEdgeHasher hasher, uint32_t m, uint32_t bucket,
+               SemiTriangleCounter::Options counter_options)
+      : hasher_(hasher), m_(m), bucket_(bucket), counter_(counter_options) {
+    REPT_CHECK(bucket < m);
+  }
+
+  void ProcessEdge(VertexId u, VertexId v) {
+    counter_.CountArrival(u, v);
+    if (hasher_.Bucket(u, v, m_) == bucket_) counter_.InsertSampled(u, v);
+  }
+
+  void ProcessStream(const EdgeStream& stream) {
+    for (const Edge& e : stream) ProcessEdge(e.u, e.v);
+  }
+
+  /// Raw (unscaled) tallies tau^(i), eta^(i) and accessors used by the
+  /// system-level combiner.
+  const SemiTriangleCounter& counter() const { return counter_; }
+  SemiTriangleCounter& counter() { return counter_; }
+
+  uint32_t bucket() const { return bucket_; }
+  uint32_t m() const { return m_; }
+
+ private:
+  MixEdgeHasher hasher_;
+  uint32_t m_;
+  uint32_t bucket_;
+  SemiTriangleCounter counter_;
+};
+
+}  // namespace rept

@@ -1,0 +1,98 @@
+#include "core/semi_triangle_counter.hpp"
+
+#include "util/check.hpp"
+
+namespace rept {
+
+void SemiTriangleCounter::Reset() {
+  sample_.Clear();
+  global_ = 0.0;
+  local_.clear();
+  eta_ = 0.0;
+  eta_local_.clear();
+  edge_triangles_.clear();
+  last_valid_ = false;
+}
+
+uint32_t SemiTriangleCounter::CountArrival(VertexId u, VertexId v) {
+  scratch_.clear();
+  sample_.ForEachCommonNeighbor(
+      u, v, [this](VertexId w) { scratch_.push_back(w); });
+  const uint32_t completions = static_cast<uint32_t>(scratch_.size());
+
+  if (completions > 0) {
+    global_ += completions;
+    if (options_.track_local) {
+      local_[u] += completions;
+      local_[v] += completions;
+      for (VertexId w : scratch_) local_[w] += 1.0;
+    }
+    if (options_.track_pairs) {
+      // Algorithm 2, UpdateTrianglePairCNT: the new semi-triangle {u,v,w}
+      // (early edges (u,w) and (v,w)) pairs with every semi-triangle already
+      // registered on those shared edges, then registers itself.
+      for (VertexId w : scratch_) {
+        uint32_t& kuw = edge_triangles_[EdgeKey(u, w)];
+        uint32_t& kvw = edge_triangles_[EdgeKey(v, w)];
+        eta_ += kuw + kvw;
+        if (options_.track_local) {
+          // Guarded so zero increments do not create map entries.
+          if (kuw + kvw > 0) eta_local_[w] += kuw + kvw;
+          if (kuw > 0) eta_local_[u] += kuw;
+          if (kvw > 0) eta_local_[v] += kvw;
+        }
+        ++kuw;
+        ++kvw;
+      }
+    }
+  }
+
+  last_u_ = u;
+  last_v_ = v;
+  last_completions_ = completions;
+  last_valid_ = true;
+  return completions;
+}
+
+void SemiTriangleCounter::InsertSampled(VertexId u, VertexId v) {
+  if (!sample_.Insert(u, v)) return;
+  if (options_.track_pairs && !options_.strict_pairs) {
+    // Paper-faithful initialization: τ^(i)_(u,v) ← |N^(i)_u,v| — the
+    // semi-triangles whose last edge is (u, v) itself.
+    uint32_t completions;
+    if (last_valid_ && last_u_ == u && last_v_ == v) {
+      completions = last_completions_;
+    } else {
+      // Insert() already added the edge; adjacency of u/v now contains each
+      // other, but a vertex is never its own neighbor, so the intersection
+      // is unaffected by the new edge.
+      completions = sample_.CountCommonNeighbors(u, v);
+    }
+    if (completions > 0) edge_triangles_[EdgeKey(u, v)] = completions;
+  }
+  last_valid_ = false;
+}
+
+void SemiTriangleCounter::EraseSampled(VertexId u, VertexId v) {
+  if (!sample_.Erase(u, v)) return;
+  if (options_.track_pairs) edge_triangles_.erase(EdgeKey(u, v));
+  last_valid_ = false;
+}
+
+void SemiTriangleCounter::AccumulateLocal(std::vector<double>& local_acc,
+                                          double weight) const {
+  for (const auto& [v, count] : local_) {
+    REPT_DCHECK(v < local_acc.size());
+    local_acc[v] += weight * count;
+  }
+}
+
+void SemiTriangleCounter::AccumulateEtaLocal(std::vector<double>& eta_acc,
+                                             double weight) const {
+  for (const auto& [v, count] : eta_local_) {
+    REPT_DCHECK(v < eta_acc.size());
+    eta_acc[v] += weight * count;
+  }
+}
+
+}  // namespace rept

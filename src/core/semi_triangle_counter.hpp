@@ -1,0 +1,103 @@
+// The per-processor semi-triangle counting engine (the body of the paper's
+// UpdateTriangleCNT / UpdateTrianglePairCNT functions).
+//
+// A semi-triangle of a processor is a triangle whose first two stream edges
+// are in the processor's stored edge set E^(i), regardless of its last edge.
+// For every arriving edge (u, v) the engine counts the stored common
+// neighborhood N^(i)_u ∩ N^(i)_v — exactly the semi-triangles whose last
+// edge is (u, v) — and maintains:
+//
+//   tau^(i)        global semi-triangle tally
+//   tau_v^(i)      per-node tallies (u, v, and every shared neighbor w)
+//   eta^(i)/eta_v^(i)   (optional) triangle-pair tallies via the per-edge
+//                  counters τ^(i)_(u,v) of Algorithm 2
+//
+// Whether the arriving edge is then *stored* is the caller's policy: REPT
+// stores on hash match, MASCOT on a coin flip. Counting always happens
+// first, mirroring the pseudocode.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/sampled_graph.hpp"
+#include "graph/types.hpp"
+
+namespace rept {
+
+/// \brief Per-processor counting state shared by REPT instances and MASCOT.
+class SemiTriangleCounter {
+ public:
+  struct Options {
+    /// Maintain per-node tallies (cheap to disable for global-only benches).
+    bool track_local = true;
+    /// Maintain eta^(i)/eta_v^(i) pair counters (Algorithm 2; only needed
+    /// when REPT runs with c > m and c % m != 0).
+    bool track_pairs = false;
+    /// Paper-faithful pair counting initializes the per-edge counter of a
+    /// newly *stored* edge to its current completion count (Algorithm 2,
+    /// "τ^(i)_(u,v) ← |N^(i)_u,v|"), which also registers triangles whose
+    /// shared edge would be their *last* edge — a small positive bias of
+    /// E[η̂] (DESIGN.md §3.1). Setting strict_pairs skips that
+    /// initialization so eta^(i) counts exactly the pairs in the paper's
+    /// definition of eta.
+    bool strict_pairs = false;
+  };
+
+  SemiTriangleCounter() : options_(Options{}) {}
+  explicit SemiTriangleCounter(const Options& options) : options_(options) {}
+
+  void Reset();
+
+  /// Processes arriving edge (u, v): tallies its semi-triangle completions
+  /// (and pair counts when enabled). Returns |N^(i)_u ∩ N^(i)_v|.
+  uint32_t CountArrival(VertexId u, VertexId v);
+
+  /// Stores (u, v) in E^(i). Must be called right after CountArrival(u, v)
+  /// when the caller's sampling policy accepts the edge.
+  void InsertSampled(VertexId u, VertexId v);
+
+  /// Removes a stored edge (reservoir evictions). Pair counters for the
+  /// edge, if any, are dropped.
+  void EraseSampled(VertexId u, VertexId v);
+
+  double global() const { return global_; }
+  double eta() const { return eta_; }
+
+  const std::unordered_map<VertexId, double>& local() const { return local_; }
+  const std::unordered_map<VertexId, double>& eta_local() const {
+    return eta_local_;
+  }
+
+  /// local_acc[v] += weight * tau_v^(i) for all tallied v.
+  void AccumulateLocal(std::vector<double>& local_acc, double weight) const;
+  /// eta_acc[v] += weight * eta_v^(i).
+  void AccumulateEtaLocal(std::vector<double>& eta_acc, double weight) const;
+
+  const SampledGraph& sample() const { return sample_; }
+  uint64_t stored_edges() const { return sample_.num_edges(); }
+
+ private:
+  Options options_;
+  SampledGraph sample_;
+
+  double global_ = 0.0;
+  std::unordered_map<VertexId, double> local_;
+
+  double eta_ = 0.0;
+  std::unordered_map<VertexId, double> eta_local_;
+  /// τ^(i)_(u,v): semi-triangles registered on stored edge (u,v).
+  std::unordered_map<uint64_t, uint32_t> edge_triangles_;
+
+  /// Completion cache so InsertSampled can reuse the intersection that
+  /// CountArrival just computed (same state, same result).
+  VertexId last_u_ = 0;
+  VertexId last_v_ = 0;
+  uint32_t last_completions_ = 0;
+  bool last_valid_ = false;
+
+  std::vector<VertexId> scratch_;
+};
+
+}  // namespace rept

@@ -1,0 +1,57 @@
+#include "core/variance.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rept::variance {
+
+double MascotSingle(double tau, double eta, double m) {
+  REPT_DCHECK(m >= 1.0);
+  return tau * (m * m - 1.0) + 2.0 * eta * (m - 1.0);
+}
+
+double ParallelMascot(double tau, double eta, double m, double c) {
+  REPT_DCHECK(c >= 1.0);
+  return MascotSingle(tau, eta, m) / c;
+}
+
+double ReptSmallC(double tau, double eta, double m, double c) {
+  REPT_DCHECK(c >= 1.0 && c <= m);
+  return (tau * (m * m - c) + 2.0 * eta * (m - c)) / c;
+}
+
+double ReptFullGroups(double tau, double m, double c1) {
+  REPT_DCHECK(c1 >= 1.0);
+  return tau * (m - 1.0) / c1;
+}
+
+double ReptRemainderGroup(double tau, double eta, double m, double c2) {
+  REPT_DCHECK(c2 >= 1.0 && c2 < m);
+  return (tau * (m * m - c2) + 2.0 * eta * (m - c2)) / c2;
+}
+
+double Combined(double v1, double v2) {
+  if (v1 + v2 <= 0.0) return 0.0;
+  return v1 * v2 / (v1 + v2);
+}
+
+double Rept(double tau, double eta, double m, double c) {
+  if (c <= m) return ReptSmallC(tau, eta, m, c);
+  const double c1 = std::floor(c / m);
+  const double c2 = c - c1 * m;
+  const double v1 = ReptFullGroups(tau, m, c1);
+  if (c2 == 0.0) return v1;
+  const double v2 = ReptRemainderGroup(tau, eta, m, c2);
+  return Combined(v1, v2);
+}
+
+VarianceTerms MascotTerms(double tau, double eta, double p) {
+  REPT_DCHECK(p > 0.0 && p <= 1.0);
+  VarianceTerms terms;
+  terms.tau_term = tau * (1.0 / (p * p) - 1.0);
+  terms.eta_term = 2.0 * eta * (1.0 / p - 1.0);
+  return terms;
+}
+
+}  // namespace rept::variance

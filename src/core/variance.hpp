@@ -1,0 +1,50 @@
+// Closed-form variance expressions from the paper, used to (a) validate the
+// implementation empirically (property tests compare Monte-Carlo variance to
+// these formulas), (b) reproduce Figure 1's term decomposition, and
+// (c) predict the error-reduction ratios quoted in §III-C.
+//
+// All formulas are for estimates of tau (substitute tau_v / eta_v for local
+// counts).
+#pragma once
+
+#include <cstdint>
+
+namespace rept::variance {
+
+/// Variance of a single MASCOT instance with sampling probability p = 1/m
+/// (Lemma 6 of [16] as quoted in the paper):
+///   tau(p^-2 - 1) + 2 eta(p^-1 - 1) = tau(m^2 - 1) + 2 eta(m - 1).
+double MascotSingle(double tau, double eta, double m);
+
+/// Variance of averaging c independent MASCOT/TRIEST instances:
+///   (tau(m^2 - 1) + 2 eta(m - 1)) / c.
+double ParallelMascot(double tau, double eta, double m, double c);
+
+/// REPT with c <= m (Theorem 3):
+///   (tau(m^2 - c) + 2 eta(m - c)) / c.
+double ReptSmallC(double tau, double eta, double m, double c);
+
+/// REPT with c = c1 * m full groups (Section III-B case c2 = 0):
+///   tau(m - 1) / c1.
+double ReptFullGroups(double tau, double m, double c1);
+
+/// The remainder group of Algorithm 2 (equation (2)):
+///   (tau(m^2 - c2) + 2 eta(m - c2)) / c2.
+double ReptRemainderGroup(double tau, double eta, double m, double c2);
+
+/// Variance of the Graybill-Deal combination: v1*v2 / (v1 + v2).
+double Combined(double v1, double v2);
+
+/// Variance of the full REPT(m, c) system with true tau/eta plugged in
+/// (dispatches on c <= m / c % m == 0 / otherwise).
+double Rept(double tau, double eta, double m, double c);
+
+/// Figure 1's two terms for a single MASCOT instance: tau(p^-2 - 1) and
+/// 2 eta(p^-1 - 1).
+struct VarianceTerms {
+  double tau_term = 0.0;
+  double eta_term = 0.0;
+};
+VarianceTerms MascotTerms(double tau, double eta, double p);
+
+}  // namespace rept::variance

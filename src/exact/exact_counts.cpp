@@ -1,0 +1,64 @@
+#include "exact/exact_counts.hpp"
+
+#include <algorithm>
+
+#include "exact/triangle_enumerator.hpp"
+#include "graph/graph_builder.hpp"
+
+namespace rept {
+
+uint64_t ExactCounts::NumTriangleVertices() const {
+  uint64_t count = 0;
+  for (uint64_t t : tau_v) {
+    if (t > 0) ++count;
+  }
+  return count;
+}
+
+ExactCounts ComputeExactCounts(const Graph& graph, bool with_eta) {
+  ExactCounts counts;
+  counts.tau_v.assign(graph.num_vertices(), 0);
+
+  // k_g per edge arrival index: triangles in which edge g is early
+  // (not the stream-last edge of the triangle).
+  std::vector<uint32_t> early_count;
+  if (with_eta) early_count.assign(graph.num_edges(), 0);
+
+  EnumerateTriangles(graph, [&](const TriangleHit& t) {
+    ++counts.tau;
+    ++counts.tau_v[t.a];
+    ++counts.tau_v[t.b];
+    ++counts.tau_v[t.c];
+    if (with_eta) {
+      // The two non-max arrivals are the early edges of this triangle.
+      const uint32_t last =
+          std::max({t.arrival_ab, t.arrival_ac, t.arrival_bc});
+      if (t.arrival_ab != last) ++early_count[t.arrival_ab];
+      if (t.arrival_ac != last) ++early_count[t.arrival_ac];
+      if (t.arrival_bc != last) ++early_count[t.arrival_bc];
+    }
+  });
+
+  if (with_eta) {
+    counts.eta_v.assign(graph.num_vertices(), 0);
+    const auto& edges = graph.edges();
+    for (uint32_t i = 0; i < edges.size(); ++i) {
+      const uint64_t k = early_count[i];
+      if (k < 2) continue;
+      const uint64_t pairs = k * (k - 1) / 2;
+      counts.eta += pairs;
+      counts.eta_v[edges[i].u] += pairs;
+      counts.eta_v[edges[i].v] += pairs;
+    }
+  }
+  return counts;
+}
+
+ExactCounts ComputeExactCounts(const EdgeStream& stream, bool with_eta) {
+  GraphBuilder builder;
+  builder.AddEdges(stream.edges());
+  const Graph graph = builder.Build(stream.num_vertices());
+  return ComputeExactCounts(graph, with_eta);
+}
+
+}  // namespace rept

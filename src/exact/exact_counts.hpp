@@ -1,0 +1,46 @@
+// Exact ground truth for the paper's four graph/stream quantities:
+//   tau    — global triangle count (Table I)
+//   tau_v  — per-node triangle counts
+//   eta    — unordered pairs of distinct triangles sharing an edge g where g
+//            is the last stream edge of neither triangle
+//   eta_v  — same restricted to triangle pairs incident to v (the shared
+//            edge of such a pair is necessarily incident to v)
+//
+// eta drives every variance expression in the paper; the NRMSE harness needs
+// tau/tau_v; Figure 1 and the Algorithm 2 weights need eta/eta_v.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_stream.hpp"
+#include "graph/graph.hpp"
+
+namespace rept {
+
+struct ExactCounts {
+  uint64_t tau = 0;
+  std::vector<uint64_t> tau_v;  // indexed by vertex id
+  uint64_t eta = 0;
+  std::vector<uint64_t> eta_v;  // indexed by vertex id
+
+  /// Number of vertices with tau_v > 0 (denominator of mean local NRMSE).
+  uint64_t NumTriangleVertices() const;
+};
+
+/// Computes tau/tau_v (and eta/eta_v when `with_eta`). Stream order is
+/// Graph::edges() order.
+///
+/// eta derivation: for each edge g let k_g be the number of triangles in
+/// which g is NOT the last edge ("early" edge). A triangle pair sharing g
+/// qualifies iff g is early in both members, so eta = sum_g C(k_g, 2). For a
+/// pair of distinct triangles that both contain v, the shared edge must be
+/// incident to v (otherwise the two triangles coincide), and every triangle
+/// containing an edge incident to v contains v; hence
+/// eta_v = sum_{g incident to v} C(k_g, 2).
+ExactCounts ComputeExactCounts(const Graph& graph, bool with_eta = true);
+
+/// Convenience overload: builds the Graph from a stream first.
+ExactCounts ComputeExactCounts(const EdgeStream& stream, bool with_eta = true);
+
+}  // namespace rept

@@ -1,0 +1,39 @@
+#include "exact/streaming_exact.hpp"
+
+namespace rept {
+
+StreamingExactCounter::StreamingExactCounter(VertexId num_vertices,
+                                             bool track_eta)
+    : track_eta_(track_eta), tau_v_(num_vertices, 0) {
+  if (track_eta_) eta_v_.assign(num_vertices, 0);
+}
+
+void StreamingExactCounter::ProcessEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  scratch_.clear();
+  graph_.ForEachCommonNeighbor(u, v,
+                               [this](VertexId w) { scratch_.push_back(w); });
+  tau_ += scratch_.size();
+  if (!scratch_.empty()) {
+    tau_v_[u] += scratch_.size();
+    tau_v_[v] += scratch_.size();
+    for (VertexId w : scratch_) ++tau_v_[w];
+  }
+  if (track_eta_) {
+    // New triangle {u, v, w} has early edges (u,w) and (v,w): pair it with
+    // every prior triangle in which those edges are early, then register it.
+    for (VertexId w : scratch_) {
+      uint32_t& kuw = early_count_[EdgeKey(u, w)];
+      uint32_t& kvw = early_count_[EdgeKey(v, w)];
+      eta_ += kuw + kvw;
+      eta_v_[w] += kuw + kvw;  // shared edge incident to w either way
+      eta_v_[u] += kuw;        // pairs through (u,w) are incident to u
+      eta_v_[v] += kvw;        // pairs through (v,w) are incident to v
+      ++kuw;
+      ++kvw;
+    }
+  }
+  graph_.Insert(u, v);
+}
+
+}  // namespace rept

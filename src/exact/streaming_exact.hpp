@@ -1,0 +1,49 @@
+// Full-storage streaming exact counter: processes the stream one edge at a
+// time, storing everything, so its "sample" is the entire prefix graph.
+// At end of stream it yields exact tau, tau_v and (optionally) exact eta,
+// eta_v computed online with the strict pair-counting rule.
+//
+// Serves three purposes: an independent cross-check of the batch enumerator
+// (the two are tested to agree), the "exact" reference line in examples, and
+// the m = 1 degenerate case of the semi-triangle machinery.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/edge_stream.hpp"
+#include "graph/sampled_graph.hpp"
+#include "graph/types.hpp"
+
+namespace rept {
+
+class StreamingExactCounter {
+ public:
+  explicit StreamingExactCounter(VertexId num_vertices, bool track_eta = true);
+
+  void ProcessEdge(VertexId u, VertexId v);
+
+  void ProcessStream(const EdgeStream& stream) {
+    for (const Edge& e : stream) ProcessEdge(e.u, e.v);
+  }
+
+  uint64_t tau() const { return tau_; }
+  uint64_t tau_v(VertexId v) const { return tau_v_[v]; }
+  const std::vector<uint64_t>& tau_v_all() const { return tau_v_; }
+  uint64_t eta() const { return eta_; }
+  uint64_t eta_v(VertexId v) const { return eta_v_[v]; }
+
+ private:
+  bool track_eta_;
+  SampledGraph graph_;
+  uint64_t tau_ = 0;
+  std::vector<uint64_t> tau_v_;
+  uint64_t eta_ = 0;
+  std::vector<uint64_t> eta_v_;
+  /// Early-edge triangle tally per stored edge (k_g in exact_counts.hpp).
+  std::unordered_map<uint64_t, uint32_t> early_count_;
+  std::vector<VertexId> scratch_;
+};
+
+}  // namespace rept

@@ -1,0 +1,97 @@
+#include "exact/triangle_enumerator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace rept {
+
+namespace {
+
+struct DirectedEntry {
+  uint32_t rank;      // rank of the target vertex
+  VertexId id;        // target vertex id
+  uint32_t arrival;   // arrival index of the edge
+};
+
+}  // namespace
+
+void EnumerateTriangles(
+    const Graph& graph,
+    const std::function<void(const TriangleHit&)>& visitor) {
+  const VertexId n = graph.num_vertices();
+  if (n < 3) return;
+
+  // Rank by (degree, id): ties broken deterministically.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&graph](VertexId a, VertexId b) {
+    const uint32_t da = graph.degree(a);
+    const uint32_t db = graph.degree(b);
+    return da != db ? da < db : a < b;
+  });
+  std::vector<uint32_t> rank(n);
+  for (uint32_t i = 0; i < n; ++i) rank[order[i]] = i;
+
+  // Directed adjacency: u -> v iff rank(u) < rank(v); lists sorted by target
+  // rank so intersections are linear merges.
+  std::vector<uint32_t> out_degree(n, 0);
+  for (const Edge& e : graph.edges()) {
+    ++out_degree[rank[e.u] < rank[e.v] ? e.u : e.v];
+  }
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + out_degree[v];
+  std::vector<DirectedEntry> directed(offsets[n]);
+  {
+    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    const auto& edges = graph.edges();
+    for (uint32_t i = 0; i < edges.size(); ++i) {
+      VertexId lo = edges[i].u;
+      VertexId hi = edges[i].v;
+      if (rank[lo] > rank[hi]) std::swap(lo, hi);
+      directed[cursor[lo]++] = DirectedEntry{rank[hi], hi, i};
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(directed.begin() + static_cast<int64_t>(offsets[v]),
+              directed.begin() + static_cast<int64_t>(offsets[v + 1]),
+              [](const DirectedEntry& a, const DirectedEntry& b) {
+                return a.rank < b.rank;
+              });
+  }
+
+  // For each directed edge (u -> v), triangles are A+(u) ∩ A+(v).
+  for (VertexId u = 0; u < n; ++u) {
+    const uint64_t u_begin = offsets[u];
+    const uint64_t u_end = offsets[u + 1];
+    for (uint64_t ei = u_begin; ei < u_end; ++ei) {
+      const DirectedEntry& uv = directed[ei];
+      const VertexId v = uv.id;
+      uint64_t i = u_begin;
+      uint64_t j = offsets[v];
+      const uint64_t j_end = offsets[v + 1];
+      while (i < u_end && j < j_end) {
+        if (directed[i].rank < directed[j].rank) {
+          ++i;
+        } else if (directed[i].rank > directed[j].rank) {
+          ++j;
+        } else {
+          const DirectedEntry& uw = directed[i];
+          const DirectedEntry& vw = directed[j];
+          visitor(TriangleHit{u, v, uw.id, uv.arrival, uw.arrival,
+                              vw.arrival});
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+uint64_t CountTriangles(const Graph& graph) {
+  uint64_t count = 0;
+  EnumerateTriangles(graph, [&count](const TriangleHit&) { ++count; });
+  return count;
+}
+
+}  // namespace rept

@@ -1,0 +1,32 @@
+// Exact triangle enumeration via the "forward" (compact-forward) algorithm:
+// vertices are ranked by degree, edges directed low-rank -> high-rank, and
+// each triangle is discovered exactly once as the intersection of two
+// directed adjacency lists. O(m^{3/2}) time, O(m) space.
+//
+// The visitor receives, for every triangle {u, v, w}, the arrival indices of
+// its three edges in the canonical stream (Graph::edges() order), which is
+// what the stream-order quantities eta / eta_v are defined over.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace rept {
+
+/// One enumerated triangle: vertices plus the 0-based arrival indices of
+/// edges {a,b}, {a,c}, {b,c} in Graph::edges().
+struct TriangleHit {
+  VertexId a, b, c;
+  uint32_t arrival_ab, arrival_ac, arrival_bc;
+};
+
+/// Calls `visitor` once per triangle of `graph`.
+void EnumerateTriangles(const Graph& graph,
+                        const std::function<void(const TriangleHit&)>& visitor);
+
+/// Convenience: just the global count.
+uint64_t CountTriangles(const Graph& graph);
+
+}  // namespace rept

@@ -1,0 +1,51 @@
+#include "gen/barabasi_albert.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace rept::gen {
+
+EdgeStream BarabasiAlbert(const BarabasiAlbertParams& params, uint64_t seed) {
+  const VertexId n = params.num_vertices;
+  const uint32_t m = params.edges_per_vertex;
+  REPT_CHECK(m >= 1);
+  const VertexId seed_size = m + 1;
+  REPT_CHECK(n > seed_size);
+
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(seed_size) * (seed_size - 1) / 2 +
+                static_cast<size_t>(n - seed_size) * m);
+
+  // Repeated-endpoint array: each vertex appears once per unit of degree, so
+  // a uniform draw implements preferential attachment.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(edges.capacity() * 2);
+
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::unordered_set<VertexId> picked;
+  for (VertexId v = seed_size; v < n; ++v) {
+    picked.clear();
+    while (picked.size() < m) {
+      const VertexId target = endpoints[rng.Below(endpoints.size())];
+      picked.insert(target);
+    }
+    for (VertexId target : picked) {
+      edges.emplace_back(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return EdgeStream("barabasi_albert", n, std::move(edges));
+}
+
+}  // namespace rept::gen

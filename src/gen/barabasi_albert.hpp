@@ -1,0 +1,22 @@
+// Barabási–Albert preferential attachment: heavy-tailed degrees, modest
+// triangle density. Stand-in base for social-network-like streams.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_stream.hpp"
+
+namespace rept::gen {
+
+struct BarabasiAlbertParams {
+  VertexId num_vertices = 0;
+  /// Edges added per new vertex (attachment count).
+  uint32_t edges_per_vertex = 1;
+};
+
+/// Classic BA model seeded with a complete graph on (edges_per_vertex + 1)
+/// vertices. Each arriving vertex attaches to `edges_per_vertex` distinct
+/// existing vertices chosen proportionally to degree.
+EdgeStream BarabasiAlbert(const BarabasiAlbertParams& params, uint64_t seed);
+
+}  // namespace rept::gen

@@ -1,0 +1,160 @@
+#include "gen/dataset_suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/barabasi_albert.hpp"
+#include "gen/holme_kim.hpp"
+#include "gen/rmat.hpp"
+#include "graph/permutation.hpp"
+#include "util/random.hpp"
+
+namespace rept::gen {
+
+namespace {
+
+double SizeFactor(DatasetSize size) {
+  switch (size) {
+    case DatasetSize::kTiny:
+      return 0.1;
+    case DatasetSize::kSmall:
+      return 0.3;
+    case DatasetSize::kDefault:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+uint32_t ScaledLog2(uint32_t base_scale, double factor) {
+  // Scaling vertex count n = 2^s by `factor` shifts s by log2(factor).
+  const double s = base_scale + std::log2(factor);
+  return static_cast<uint32_t>(std::max(8.0, std::round(s)));
+}
+
+VertexId ScaledCount(VertexId base, double factor, VertexId minimum) {
+  const double scaled = static_cast<double>(base) * factor;
+  return std::max<VertexId>(minimum, static_cast<VertexId>(scaled));
+}
+
+uint64_t ScaledEdges(uint64_t base, double factor) {
+  return std::max<uint64_t>(1024, static_cast<uint64_t>(
+                                      static_cast<double>(base) * factor));
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& DatasetCatalog() {
+  static const std::vector<DatasetInfo> kCatalog = {
+      {"twitter-sim", "Twitter", "R-MAT s=12 |E|=131k skew=0.65 (eta-heavy)"},
+      {"orkut-sim", "com-Orkut", "R-MAT s=13 |E|=131k skew=0.57 (dense)"},
+      {"livejournal-sim", "LiveJournal", "R-MAT s=14 |E|=98k skew=0.52"},
+      {"pokec-sim", "Pokec", "R-MAT s=14 |E|=82k skew=0.48"},
+      {"flickr-sim", "Flickr", "Holme-Kim n=6k m=16 pt=0.95 (triangle-dense)"},
+      {"wikitalk-sim", "Wiki-Talk", "R-MAT s=15 |E|=49k skew=0.65 (star-heavy)"},
+      {"webgoogle-sim", "Web-Google", "Holme-Kim n=24k m=4 pt=0.5"},
+      {"youtube-sim", "YouTube", "Holme-Kim n=40k m=2 pt=0.25 (triangle-poor)"},
+  };
+  return kCatalog;
+}
+
+Result<EdgeStream> MakeDataset(const std::string& name, DatasetSize size,
+                               uint64_t seed) {
+  const double f = SizeFactor(size);
+  SeedSequence seeds(seed, /*salt=*/0xda7a5e7);
+  // Stable per-dataset seeds so one dataset's stream does not change when
+  // others are regenerated at a different time.
+  uint64_t index = 0;
+  for (const DatasetInfo& info : DatasetCatalog()) {
+    if (info.name == name) break;
+    ++index;
+  }
+  const uint64_t gen_seed = seeds.SeedFor(index * 2);
+  const uint64_t shuffle_seed = seeds.SeedFor(index * 2 + 1);
+
+  EdgeStream stream;
+  if (name == "twitter-sim") {
+    // Dense, highly skewed: the eta/tau >> 1 regime where the covariance
+    // term dominates (the paper's Twitter has the most extreme ratio).
+    RmatParams p;
+    p.scale = ScaledLog2(12, f);
+    p.num_edges = ScaledEdges(131072, f);
+    p.a = 0.65;
+    p.b = 0.15;
+    p.c = 0.15;
+    p.d = 0.05;
+    stream = Rmat(p, gen_seed);
+  } else if (name == "orkut-sim") {
+    RmatParams p;
+    p.scale = ScaledLog2(13, f);
+    p.num_edges = ScaledEdges(131072, f);
+    p.a = 0.57;
+    p.b = 0.19;
+    p.c = 0.19;
+    p.d = 0.05;
+    stream = Rmat(p, gen_seed);
+  } else if (name == "livejournal-sim") {
+    RmatParams p;
+    p.scale = ScaledLog2(14, f);
+    p.num_edges = ScaledEdges(98304, f);
+    p.a = 0.52;
+    p.b = 0.20;
+    p.c = 0.20;
+    p.d = 0.08;
+    stream = Rmat(p, gen_seed);
+  } else if (name == "pokec-sim") {
+    RmatParams p;
+    p.scale = ScaledLog2(14, f);
+    p.num_edges = ScaledEdges(81920, f);
+    p.a = 0.48;
+    p.b = 0.22;
+    p.c = 0.22;
+    p.d = 0.08;
+    stream = Rmat(p, gen_seed);
+  } else if (name == "flickr-sim") {
+    HolmeKimParams p;
+    p.num_vertices = ScaledCount(6000, f, 64);
+    p.edges_per_vertex = 16;
+    p.triad_probability = 0.95;
+    stream = HolmeKim(p, gen_seed);
+  } else if (name == "wikitalk-sim") {
+    RmatParams p;
+    p.scale = ScaledLog2(15, f);
+    p.num_edges = ScaledEdges(49152, f);
+    p.a = 0.65;
+    p.b = 0.15;
+    p.c = 0.15;
+    p.d = 0.05;
+    stream = Rmat(p, gen_seed);
+  } else if (name == "webgoogle-sim") {
+    HolmeKimParams p;
+    p.num_vertices = ScaledCount(24000, f, 64);
+    p.edges_per_vertex = 4;
+    p.triad_probability = 0.5;
+    stream = HolmeKim(p, gen_seed);
+  } else if (name == "youtube-sim") {
+    // Light triad closure: triangle-poor but not triangle-free, matching
+    // YouTube's tau ~ |E| regime.
+    HolmeKimParams p;
+    p.num_vertices = ScaledCount(40000, f, 64);
+    p.edges_per_vertex = 2;
+    p.triad_probability = 0.25;
+    stream = HolmeKim(p, gen_seed);
+  } else {
+    return Status::NotFound("unknown dataset: " + name);
+  }
+
+  ShuffleStream(stream, shuffle_seed);
+  stream.set_name(name);
+  return stream;
+}
+
+std::vector<EdgeStream> MakeSuite(DatasetSize size, uint64_t seed) {
+  std::vector<EdgeStream> suite;
+  suite.reserve(DatasetCatalog().size());
+  for (const DatasetInfo& info : DatasetCatalog()) {
+    suite.push_back(std::move(MakeDataset(info.name, size, seed).value()));
+  }
+  return suite;
+}
+
+}  // namespace rept::gen

@@ -1,0 +1,32 @@
+#include "gen/erdos_renyi.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace rept::gen {
+
+EdgeStream ErdosRenyi(const ErdosRenyiParams& params, uint64_t seed) {
+  const VertexId n = params.num_vertices;
+  const uint64_t m = params.num_edges;
+  REPT_CHECK(n >= 2);
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  REPT_CHECK(m <= max_edges);
+
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  while (edges.size() < m) {
+    const VertexId u = static_cast<VertexId>(rng.Below(n));
+    const VertexId v = static_cast<VertexId>(rng.Below(n));
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.emplace_back(u, v);
+  }
+  return EdgeStream("erdos_renyi", n, std::move(edges));
+}
+
+}  // namespace rept::gen

@@ -1,0 +1,21 @@
+// Erdős–Rényi G(n, M): M distinct uniform edges. Low clustering baseline and
+// the background noise layer for planted-structure fixtures.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_stream.hpp"
+
+namespace rept::gen {
+
+struct ErdosRenyiParams {
+  VertexId num_vertices = 0;
+  uint64_t num_edges = 0;
+};
+
+/// Generates exactly `num_edges` distinct non-loop edges chosen uniformly
+/// from all C(n,2) pairs; stream order is the (random) generation order.
+/// Requires num_edges <= C(n,2).
+EdgeStream ErdosRenyi(const ErdosRenyiParams& params, uint64_t seed);
+
+}  // namespace rept::gen

@@ -1,0 +1,74 @@
+#include "gen/holme_kim.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace rept::gen {
+
+EdgeStream HolmeKim(const HolmeKimParams& params, uint64_t seed) {
+  const VertexId n = params.num_vertices;
+  const uint32_t m = params.edges_per_vertex;
+  const double pt = params.triad_probability;
+  REPT_CHECK(m >= 1);
+  REPT_CHECK(pt >= 0.0 && pt <= 1.0);
+  const VertexId seed_size = m + 1;
+  REPT_CHECK(n > seed_size);
+
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  std::vector<VertexId> endpoints;          // preferential-attachment urn
+  std::vector<std::vector<VertexId>> adj(n);  // needed for triad steps
+
+  auto add_edge = [&](VertexId a, VertexId b) {
+    edges.emplace_back(a, b);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) add_edge(u, v);
+  }
+
+  std::unordered_set<VertexId> picked;
+  for (VertexId v = seed_size; v < n; ++v) {
+    picked.clear();
+    VertexId last_target = 0;
+    bool have_last = false;
+    uint32_t added = 0;
+    while (added < m) {
+      VertexId target = 0;
+      bool found = false;
+      if (have_last && rng.Bernoulli(pt)) {
+        // Triad formation: link to a not-yet-picked neighbor of last_target.
+        const auto& nbrs = adj[last_target];
+        // Rejection-sample a few times; dense nodes almost always succeed.
+        for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+          const VertexId w = nbrs[rng.Below(nbrs.size())];
+          if (w != v && picked.find(w) == picked.end()) {
+            target = w;
+            found = true;
+          }
+        }
+      }
+      while (!found) {
+        const VertexId w = endpoints[rng.Below(endpoints.size())];
+        if (w != v && picked.find(w) == picked.end()) {
+          target = w;
+          found = true;
+        }
+      }
+      picked.insert(target);
+      add_edge(v, target);
+      last_target = target;
+      have_last = true;
+      ++added;
+    }
+  }
+  return EdgeStream("holme_kim", n, std::move(edges));
+}
+
+}  // namespace rept::gen

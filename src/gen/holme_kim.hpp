@@ -1,0 +1,25 @@
+// Holme–Kim model: Barabási–Albert preferential attachment plus a triad-
+// formation step, producing power-law degrees *and* tunable (potentially very
+// high) clustering. With triad probability near 1 this is our stand-in for
+// extremely triangle-dense graphs such as Flickr (Table II: 108 M triangles
+// on only 2.3 M edges).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_stream.hpp"
+
+namespace rept::gen {
+
+struct HolmeKimParams {
+  VertexId num_vertices = 0;
+  /// Edges added per new vertex.
+  uint32_t edges_per_vertex = 1;
+  /// Probability that each attachment after the first closes a triangle with
+  /// the previous target instead of following preferential attachment.
+  double triad_probability = 0.5;
+};
+
+EdgeStream HolmeKim(const HolmeKimParams& params, uint64_t seed);
+
+}  // namespace rept::gen

@@ -1,0 +1,60 @@
+#include "gen/planted.hpp"
+
+#include <numeric>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace rept::gen {
+
+EdgeStream PlantedCliques(const PlantedCliqueParams& params, uint64_t seed) {
+  const VertexId n = params.num_vertices;
+  REPT_CHECK(n >= 2);
+  REPT_CHECK(static_cast<uint64_t>(params.num_cliques) * params.clique_size <=
+             n);
+
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+
+  // Disjoint clique membership from a seeded permutation prefix.
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Below(i)]);
+  }
+  size_t cursor = 0;
+  for (uint32_t k = 0; k < params.num_cliques; ++k) {
+    for (uint32_t i = 0; i < params.clique_size; ++i) {
+      for (uint32_t j = i + 1; j < params.clique_size; ++j) {
+        const VertexId u = perm[cursor + i];
+        const VertexId v = perm[cursor + j];
+        if (seen.insert(EdgeKey(u, v)).second) edges.emplace_back(u, v);
+      }
+    }
+    cursor += params.clique_size;
+  }
+
+  uint64_t added_background = 0;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = params.background_edges * 32 + 1024;
+  while (added_background < params.background_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = static_cast<VertexId>(rng.Below(n));
+    const VertexId v = static_cast<VertexId>(rng.Below(n));
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.emplace_back(u, v);
+    ++added_background;
+  }
+
+  // Interleave plant and background in the stream.
+  for (size_t i = edges.size(); i > 1; --i) {
+    std::swap(edges[i - 1], edges[rng.Below(i)]);
+  }
+  return EdgeStream("planted_cliques", n, std::move(edges));
+}
+
+}  // namespace rept::gen

@@ -1,0 +1,26 @@
+// Planted-structure generator: disjoint cliques over an Erdős–Rényi
+// background. Because the cliques occupy disjoint vertex sets, the graph is
+// guaranteed at least num_cliques * C(clique_size, 3) triangles — a useful
+// lower-bound fixture — while the exact counter supplies ground truth for
+// the full mixture.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_stream.hpp"
+
+namespace rept::gen {
+
+struct PlantedCliqueParams {
+  VertexId num_vertices = 0;
+  uint64_t background_edges = 0;
+  uint32_t num_cliques = 0;
+  uint32_t clique_size = 0;
+};
+
+/// Clique vertex sets are disjoint, drawn from a seeded permutation of the
+/// vertex ids; clique edges and background edges are interleaved into a
+/// shuffled stream. Duplicate background/clique edges are removed.
+EdgeStream PlantedCliques(const PlantedCliqueParams& params, uint64_t seed);
+
+}  // namespace rept::gen

@@ -1,0 +1,75 @@
+#include "gen/regular.hpp"
+
+#include "util/check.hpp"
+
+namespace rept::gen {
+
+EdgeStream Complete(VertexId n) {
+  REPT_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return EdgeStream("complete", n, std::move(edges));
+}
+
+EdgeStream Star(VertexId leaves) {
+  REPT_CHECK(leaves >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(leaves);
+  for (VertexId v = 1; v <= leaves; ++v) edges.emplace_back(0, v);
+  return EdgeStream("star", leaves + 1, std::move(edges));
+}
+
+EdgeStream Path(VertexId n) {
+  REPT_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return EdgeStream("path", n, std::move(edges));
+}
+
+EdgeStream Cycle(VertexId n) {
+  REPT_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  edges.emplace_back(n - 1, 0);
+  return EdgeStream("cycle", n, std::move(edges));
+}
+
+EdgeStream Wheel(VertexId rim) {
+  REPT_CHECK(rim >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(2 * static_cast<size_t>(rim));
+  for (VertexId v = 1; v <= rim; ++v) edges.emplace_back(0, v);
+  for (VertexId v = 1; v < rim; ++v) edges.emplace_back(v, v + 1);
+  edges.emplace_back(rim, 1);
+  return EdgeStream("wheel", rim + 1, std::move(edges));
+}
+
+EdgeStream CompleteBipartite(VertexId a, VertexId b) {
+  REPT_CHECK(a >= 1 && b >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(a) * b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  }
+  return EdgeStream("complete_bipartite", a + b, std::move(edges));
+}
+
+EdgeStream Grid(VertexId rows, VertexId cols) {
+  REPT_CHECK(rows >= 1 && cols >= 1);
+  std::vector<Edge> edges;
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return EdgeStream("grid", rows * cols, std::move(edges));
+}
+
+}  // namespace rept::gen

@@ -1,0 +1,34 @@
+// Deterministic graph families with closed-form triangle structure. These
+// are the primary fixtures of the exactness tests:
+//   complete K_n:        tau = C(n,3), tau_v = C(n-1,2)
+//   wheel W_n (rim >=4): tau = rim, tau_center = rim, tau_rim_vertex = 2
+//   star / path / cycle(>3) / complete bipartite / grid: tau = 0
+#pragma once
+
+#include "graph/edge_stream.hpp"
+
+namespace rept::gen {
+
+/// K_n; edges in lexicographic (u < v) order.
+EdgeStream Complete(VertexId n);
+
+/// Star with center 0 and `leaves` leaves.
+EdgeStream Star(VertexId leaves);
+
+/// Simple path 0-1-...-(n-1).
+EdgeStream Path(VertexId n);
+
+/// Cycle 0-1-...-(n-1)-0; n >= 3 (n == 3 is a triangle).
+EdgeStream Cycle(VertexId n);
+
+/// Wheel: cycle of `rim` vertices (ids 1..rim) plus center 0 joined to all.
+/// Spokes stream first, then rim edges.
+EdgeStream Wheel(VertexId rim);
+
+/// K_{a,b}: triangle-free.
+EdgeStream CompleteBipartite(VertexId a, VertexId b);
+
+/// rows x cols 4-neighbor grid: triangle-free.
+EdgeStream Grid(VertexId rows, VertexId cols);
+
+}  // namespace rept::gen

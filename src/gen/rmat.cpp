@@ -1,0 +1,54 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace rept::gen {
+
+EdgeStream Rmat(const RmatParams& params, uint64_t seed) {
+  REPT_CHECK(params.scale >= 1 && params.scale <= 30);
+  const double sum = params.a + params.b + params.c + params.d;
+  REPT_CHECK(std::abs(sum - 1.0) < 1e-9);
+  const VertexId n = VertexId{1} << params.scale;
+
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(params.num_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(params.num_edges * 2);
+
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts =
+      params.num_edges * static_cast<uint64_t>(params.max_attempt_factor);
+  while (edges.size() < params.num_edges && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0;
+    VertexId v = 0;
+    for (uint32_t level = 0; level < params.scale; ++level) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant: no bits set
+      } else if (r < ab) {
+        v |= 1;
+      } else if (r < abc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.emplace_back(u, v);
+  }
+  return EdgeStream("rmat", n, std::move(edges));
+}
+
+}  // namespace rept::gen

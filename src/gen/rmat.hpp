@@ -1,0 +1,31 @@
+// R-MAT recursive matrix generator (Chakrabarti, Zhan, Faloutsos 2004):
+// heavy-tailed, community-structured graphs. Our primary stand-in family for
+// the paper's large social / web graphs, with the (a,b,c,d) quadrant
+// probabilities steering degree skew and triangle-pair overlap (the eta/tau
+// ratio Figure 1 studies).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_stream.hpp"
+
+namespace rept::gen {
+
+struct RmatParams {
+  /// num_vertices = 2^scale.
+  uint32_t scale = 10;
+  /// Target number of distinct edges.
+  uint64_t num_edges = 0;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Give up after max_attempt_factor * num_edges samples (deduplication can
+  /// starve extremely skewed configurations); the stream then simply has
+  /// fewer edges.
+  uint32_t max_attempt_factor = 32;
+};
+
+EdgeStream Rmat(const RmatParams& params, uint64_t seed);
+
+}  // namespace rept::gen

@@ -1,0 +1,44 @@
+#include "gen/watts_strogatz.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace rept::gen {
+
+EdgeStream WattsStrogatz(const WattsStrogatzParams& params, uint64_t seed) {
+  const VertexId n = params.num_vertices;
+  const uint32_t k = params.k;
+  REPT_CHECK(k >= 2 && k % 2 == 0);
+  REPT_CHECK(n > k);
+  REPT_CHECK(params.beta >= 0.0 && params.beta <= 1.0);
+
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (k / 2));
+
+  // Lattice edges (u, u+offset mod n), rewired with probability beta.
+  for (uint32_t offset = 1; offset <= k / 2; ++offset) {
+    for (VertexId u = 0; u < n; ++u) {
+      VertexId v = (u + offset) % n;
+      if (rng.Bernoulli(params.beta)) {
+        // Rewire: keep u, redraw v avoiding loops and duplicates.
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const VertexId w = static_cast<VertexId>(rng.Below(n));
+          if (w != u && seen.find(EdgeKey(u, w)) == seen.end()) {
+            v = w;
+            break;
+          }
+        }
+      }
+      if (u == v) continue;
+      if (!seen.insert(EdgeKey(u, v)).second) continue;
+      edges.emplace_back(u, v);
+    }
+  }
+  return EdgeStream("watts_strogatz", n, std::move(edges));
+}
+
+}  // namespace rept::gen

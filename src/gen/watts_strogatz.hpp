@@ -1,0 +1,23 @@
+// Watts–Strogatz small-world model: a ring lattice with rewiring. High,
+// uniform clustering with narrow degree spread — the opposite regime from
+// R-MAT, rounding out the eta/tau spectrum the dataset suite covers.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_stream.hpp"
+
+namespace rept::gen {
+
+struct WattsStrogatzParams {
+  VertexId num_vertices = 0;
+  /// Each vertex connects to `k` nearest ring neighbors (k even, k/2 each
+  /// side).
+  uint32_t k = 4;
+  /// Probability of rewiring each lattice edge's far endpoint.
+  double beta = 0.1;
+};
+
+EdgeStream WattsStrogatz(const WattsStrogatzParams& params, uint64_t seed);
+
+}  // namespace rept::gen

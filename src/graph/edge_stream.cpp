@@ -1,0 +1,4 @@
+#include "graph/edge_stream.hpp"
+
+// EdgeStream is header-only; translation unit anchors the module.
+namespace rept {}  // namespace rept

@@ -1,0 +1,50 @@
+// The edge stream abstraction: a named, ordered sequence of undirected
+// edges. Estimators consume streams through a single forward pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rept {
+
+/// \brief An in-memory graph stream Π = e(1), ..., e(tmax).
+///
+/// The order of `edges` *is* the stream order; eta and therefore every
+/// estimator variance depends on it, so shuffling (permutation.hpp) is an
+/// explicit, seeded operation.
+class EdgeStream {
+ public:
+  EdgeStream() = default;
+  EdgeStream(std::string name, VertexId num_vertices, std::vector<Edge> edges)
+      : name_(std::move(name)),
+        num_vertices_(num_vertices),
+        edges_(std::move(edges)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Number of vertices in the id space [0, num_vertices).
+  VertexId num_vertices() const { return num_vertices_; }
+
+  uint64_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& mutable_edges() { return edges_; }
+
+  const Edge& operator[](size_t i) const { return edges_[i]; }
+
+  auto begin() const { return edges_.begin(); }
+  auto end() const { return edges_.end(); }
+
+ private:
+  std::string name_;
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rept

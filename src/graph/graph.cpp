@@ -1,0 +1,54 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rept {
+
+Graph::Graph(VertexId num_vertices, std::vector<Edge> unique_edges)
+    : num_vertices_(num_vertices), edges_(std::move(unique_edges)) {
+  offsets_.assign(static_cast<size_t>(num_vertices_) + 1, 0);
+  for (const Edge& e : edges_) {
+    REPT_CHECK(e.u < num_vertices_ && e.v < num_vertices_);
+    REPT_CHECK(!e.IsSelfLoop());
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  adjacency_.resize(offsets_.back());
+  arrival_.resize(offsets_.back());
+
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint32_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    adjacency_[cursor[e.u]] = e.v;
+    arrival_[cursor[e.u]++] = i;
+    adjacency_[cursor[e.v]] = e.u;
+    arrival_[cursor[e.v]++] = i;
+  }
+
+  // Sort each neighbor list by vertex id, keeping arrival_ parallel.
+  std::vector<std::pair<VertexId, uint32_t>> scratch;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    const uint32_t begin = offsets_[v];
+    const uint32_t end = offsets_[v + 1];
+    scratch.clear();
+    for (uint32_t i = begin; i < end; ++i) {
+      scratch.emplace_back(adjacency_[i], arrival_[i]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    for (uint32_t i = begin; i < end; ++i) {
+      adjacency_[i] = scratch[i - begin].first;
+      arrival_[i] = scratch[i - begin].second;
+    }
+  }
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices_ || v >= num_vertices_) return false;
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace rept

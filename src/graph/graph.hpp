@@ -1,0 +1,66 @@
+// Immutable CSR representation of the graph formed by all stream edges.
+// Used by the exact counters and the statistics module; the streaming
+// estimators never materialize it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace rept {
+
+/// \brief Compressed sparse row undirected graph.
+///
+/// Neighbor lists are sorted by vertex id. Each undirected edge appears in
+/// both endpoints' lists. `edges()` preserves first-arrival stream order of
+/// the deduplicated edges, which the stream-order-sensitive quantities
+/// (eta, eta_v) depend on.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from `num_vertices` and unique undirected edges in stream order.
+  /// Callers normally go through GraphBuilder, which deduplicates first.
+  Graph(VertexId num_vertices, std::vector<Edge> unique_edges);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return edges_.size(); }
+
+  /// Unique edges in first-arrival order (the canonical stream).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  uint32_t degree(VertexId v) const {
+    REPT_DCHECK(v < num_vertices_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbor list of v.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    REPT_DCHECK(v < num_vertices_);
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// True if {u, v} is an edge (binary search in the shorter list).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Arrival index (0-based position in edges()) of edge {u,v}; the i-th
+  /// parallel array entry corresponds to neighbors(v)[i]. Enables
+  /// stream-order reasoning during CSR traversal.
+  std::span<const uint32_t> neighbor_arrival(VertexId v) const {
+    REPT_DCHECK(v < num_vertices_);
+    return {arrival_.data() + offsets_[v], arrival_.data() + offsets_[v + 1]};
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<uint32_t> offsets_;
+  std::vector<VertexId> adjacency_;
+  std::vector<uint32_t> arrival_;  // parallel to adjacency_
+};
+
+}  // namespace rept

@@ -1,0 +1,49 @@
+#include "graph/graph_builder.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rept {
+
+void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  edges_.insert(edges_.end(), edges.begin(), edges.end());
+}
+
+Graph GraphBuilder::Build(VertexId num_vertices) {
+  stats_ = GraphBuildStats{};
+  stats_.input_edges = edges_.size();
+
+  std::vector<Edge> unique;
+  unique.reserve(edges_.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(edges_.size() * 2);
+
+  VertexId max_vertex = 0;
+  for (const Edge& e : edges_) {
+    if (e.IsSelfLoop()) {
+      ++stats_.self_loops_dropped;
+      continue;
+    }
+    if (!seen.insert(EdgeKey(e)).second) {
+      ++stats_.duplicates_dropped;
+      continue;
+    }
+    max_vertex = std::max({max_vertex, e.u, e.v});
+    unique.push_back(e);
+  }
+  if (num_vertices == 0) {
+    num_vertices = unique.empty() ? 0 : max_vertex + 1;
+  }
+  return Graph(num_vertices, std::move(unique));
+}
+
+Graph BuildGraph(const std::vector<Edge>& edges, VertexId num_vertices) {
+  GraphBuilder builder;
+  builder.AddEdges(edges);
+  Graph graph = builder.Build(num_vertices);
+  REPT_DCHECK(builder.stats().duplicates_dropped == 0);
+  REPT_DCHECK(builder.stats().self_loops_dropped == 0);
+  return graph;
+}
+
+}  // namespace rept

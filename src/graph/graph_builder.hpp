@@ -1,0 +1,52 @@
+// Converts a raw edge sequence into the canonical stream + CSR graph.
+//
+// The streaming model of the paper assumes each undirected edge occurs once
+// in the stream (graphs with duplicates are handled by other work, e.g.
+// PartitionCT, cited in §V). The builder therefore deduplicates repeated
+// edges (keeping the first arrival), drops self loops, and can verify the
+// input was already clean.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+#include "util/status.hpp"
+
+namespace rept {
+
+struct GraphBuildStats {
+  uint64_t input_edges = 0;
+  uint64_t self_loops_dropped = 0;
+  uint64_t duplicates_dropped = 0;
+};
+
+/// \brief Cleans an edge sequence and assembles the Graph.
+class GraphBuilder {
+ public:
+  GraphBuilder& ReserveEdges(size_t n) {
+    edges_.reserve(n);
+    return *this;
+  }
+
+  /// Appends one raw stream edge.
+  void AddEdge(VertexId u, VertexId v) { edges_.emplace_back(u, v); }
+  void AddEdges(const std::vector<Edge>& edges);
+
+  /// Deduplicates / cleans and builds. `num_vertices` of 0 means
+  /// 1 + max vertex id observed.
+  Graph Build(VertexId num_vertices = 0);
+
+  const GraphBuildStats& stats() const { return stats_; }
+
+ private:
+  std::vector<Edge> edges_;
+  GraphBuildStats stats_;
+};
+
+/// \brief One-call convenience for already-clean edge vectors (asserts
+/// cleanliness in debug builds).
+Graph BuildGraph(const std::vector<Edge>& edges, VertexId num_vertices = 0);
+
+}  // namespace rept

@@ -1,0 +1,35 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rept {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const uint64_t d = graph.degree(v);
+    stats.max_degree = std::max<uint32_t>(stats.max_degree,
+                                          static_cast<uint32_t>(d));
+    stats.num_wedges += d * (d - 1) / 2;
+  }
+  stats.mean_degree =
+      stats.num_vertices == 0
+          ? 0.0
+          : 2.0 * static_cast<double>(stats.num_edges) /
+                static_cast<double>(stats.num_vertices);
+  return stats;
+}
+
+std::string FormatGraphStats(const std::string& name,
+                             const GraphStats& stats) {
+  std::ostringstream out;
+  out << name << ": |V|=" << stats.num_vertices << " |E|=" << stats.num_edges
+      << " avg_deg=" << stats.mean_degree << " max_deg=" << stats.max_degree
+      << " wedges=" << stats.num_wedges;
+  return out.str();
+}
+
+}  // namespace rept

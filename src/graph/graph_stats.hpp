@@ -1,0 +1,27 @@
+// Descriptive statistics of a graph / stream, used by the Table II bench and
+// the dataset documentation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rept {
+
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// Number of wedges (paths of length 2) = sum_v C(deg(v), 2); an upper
+  /// bound scale for triangle-heavy structure.
+  uint64_t num_wedges = 0;
+};
+
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// One-line human-readable summary.
+std::string FormatGraphStats(const std::string& name, const GraphStats& stats);
+
+}  // namespace rept

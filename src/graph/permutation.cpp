@@ -1,0 +1,24 @@
+#include "graph/permutation.hpp"
+
+#include <utility>
+
+#include "util/random.hpp"
+
+namespace rept {
+
+void ShuffleStream(EdgeStream& stream, uint64_t seed) {
+  Rng rng(seed);
+  auto& edges = stream.mutable_edges();
+  for (size_t i = edges.size(); i > 1; --i) {
+    const size_t j = rng.Below(i);
+    std::swap(edges[i - 1], edges[j]);
+  }
+}
+
+EdgeStream ShuffledCopy(const EdgeStream& stream, uint64_t seed) {
+  EdgeStream copy = stream;
+  ShuffleStream(copy, seed);
+  return copy;
+}
+
+}  // namespace rept

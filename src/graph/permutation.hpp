@@ -1,0 +1,18 @@
+// Seeded stream-order permutation. Because eta (and hence every variance in
+// the paper) depends on the order edges arrive, reordering is an explicit
+// operation with its own seed rather than something loaders do implicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_stream.hpp"
+
+namespace rept {
+
+/// Fisher-Yates shuffles the stream order in place (deterministic per seed).
+void ShuffleStream(EdgeStream& stream, uint64_t seed);
+
+/// Returns a shuffled copy, leaving the input untouched.
+EdgeStream ShuffledCopy(const EdgeStream& stream, uint64_t seed);
+
+}  // namespace rept

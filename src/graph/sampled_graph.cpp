@@ -1,0 +1,69 @@
+#include "graph/sampled_graph.hpp"
+
+#include <algorithm>
+
+namespace rept {
+
+namespace {
+
+// Inserts x into sorted vector; returns false if already present.
+bool SortedInsert(std::vector<VertexId>& vec, VertexId x) {
+  auto it = std::lower_bound(vec.begin(), vec.end(), x);
+  if (it != vec.end() && *it == x) return false;
+  vec.insert(it, x);
+  return true;
+}
+
+// Erases x from sorted vector; returns false if absent.
+bool SortedErase(std::vector<VertexId>& vec, VertexId x) {
+  auto it = std::lower_bound(vec.begin(), vec.end(), x);
+  if (it == vec.end() || *it != x) return false;
+  vec.erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool SampledGraph::Insert(VertexId u, VertexId v) {
+  if (u == v) return false;
+  std::vector<VertexId>& nu = adjacency_[u];
+  if (!SortedInsert(nu, v)) return false;
+  const bool inserted = SortedInsert(adjacency_[v], u);
+  REPT_DCHECK(inserted);
+  (void)inserted;
+  ++num_edges_;
+  return true;
+}
+
+bool SampledGraph::Erase(VertexId u, VertexId v) {
+  auto iu = adjacency_.find(u);
+  if (iu == adjacency_.end()) return false;
+  if (!SortedErase(iu->second, v)) return false;
+  if (iu->second.empty()) adjacency_.erase(iu);
+  auto iv = adjacency_.find(v);
+  REPT_DCHECK(iv != adjacency_.end());
+  const bool erased = SortedErase(iv->second, u);
+  REPT_DCHECK(erased);
+  (void)erased;
+  if (iv->second.empty()) adjacency_.erase(iv);
+  REPT_DCHECK(num_edges_ > 0);
+  --num_edges_;
+  return true;
+}
+
+bool SampledGraph::Contains(VertexId u, VertexId v) const {
+  auto iu = adjacency_.find(u);
+  if (iu == adjacency_.end()) return false;
+  const std::vector<VertexId>& nu = iu->second;
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+size_t SampledGraph::MemoryBytes() const {
+  size_t bytes = adjacency_.bucket_count() * sizeof(void*);
+  for (const auto& [v, nbrs] : adjacency_) {
+    bytes += sizeof(v) + sizeof(nbrs) + nbrs.capacity() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
+}  // namespace rept

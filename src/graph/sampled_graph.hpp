@@ -1,0 +1,98 @@
+// Dynamic adjacency structure over the edges a streaming sampler currently
+// stores. This is the inner-loop data structure of every estimator: the
+// per-edge cost of MASCOT/TRIEST/GPS/REPT is dominated by
+// CommonNeighbors(u, v) on this structure (paper §III-C).
+//
+// Representation: hash map vertex -> sorted neighbor vector. Sampled
+// subgraphs are sparse (≈ p|E| edges scattered over many vertices), so
+// sorted-vector neighbor lists beat per-vertex hash sets on both memory and
+// intersection speed (linear merge over two short sorted ranges).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace rept {
+
+/// \brief Mutable sampled subgraph with insert / erase / common-neighbor
+/// queries.
+class SampledGraph {
+ public:
+  /// Inserts undirected edge {u, v}. Returns false (no-op) if the edge is
+  /// already present or is a self loop.
+  bool Insert(VertexId u, VertexId v);
+
+  /// Removes undirected edge {u, v}. Returns false if absent.
+  bool Erase(VertexId u, VertexId v);
+
+  bool Contains(VertexId u, VertexId v) const;
+
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Number of vertices with at least one incident stored edge.
+  size_t num_active_vertices() const { return adjacency_.size(); }
+
+  uint32_t degree(VertexId v) const {
+    auto it = adjacency_.find(v);
+    return it == adjacency_.end() ? 0
+                                  : static_cast<uint32_t>(it->second.size());
+  }
+
+  void Clear() {
+    adjacency_.clear();
+    num_edges_ = 0;
+  }
+
+  /// Calls fn(w) for every w adjacent to both u and v (ascending order of w).
+  /// This is |N_u ∩ N_v| enumeration — the semi-triangle completion set of
+  /// an arriving edge (u, v).
+  template <typename Fn>
+  void ForEachCommonNeighbor(VertexId u, VertexId v, Fn&& fn) const {
+    auto iu = adjacency_.find(u);
+    if (iu == adjacency_.end()) return;
+    auto iv = adjacency_.find(v);
+    if (iv == adjacency_.end()) return;
+    const std::vector<VertexId>& a = iu->second;
+    const std::vector<VertexId>& b = iv->second;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        fn(a[i]);
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  /// |N_u ∩ N_v| without enumeration.
+  uint32_t CountCommonNeighbors(VertexId u, VertexId v) const {
+    uint32_t count = 0;
+    ForEachCommonNeighbor(u, v, [&count](VertexId) { ++count; });
+    return count;
+  }
+
+  /// Sorted neighbor list of v (empty if v has no stored edges).
+  const std::vector<VertexId>& neighbors(VertexId v) const {
+    static const std::vector<VertexId> kEmpty;
+    auto it = adjacency_.find(v);
+    return it == adjacency_.end() ? kEmpty : it->second;
+  }
+
+  /// Approximate heap bytes used (for memory accounting in benches).
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<VertexId, std::vector<VertexId>> adjacency_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace rept

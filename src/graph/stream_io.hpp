@@ -1,0 +1,29 @@
+// Loading and saving edge streams.
+//
+// Text format is SNAP-compatible: one "u v" pair per line, '#' comments
+// skipped, arbitrary (non-compact) vertex ids remapped to [0, n) in first-
+// appearance order. Binary format is a fixed header + raw little-endian
+// uint32 pairs for fast reloads of generated datasets.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_stream.hpp"
+#include "util/status.hpp"
+
+namespace rept {
+
+/// Loads a SNAP-style whitespace-separated edge list. Self loops are kept
+/// (GraphBuilder later drops them); duplicate edges are kept as stream
+/// repetitions unless `dedupe` is set.
+Result<EdgeStream> LoadEdgeListText(const std::string& path,
+                                    bool dedupe = true);
+
+/// Writes "u v" lines.
+Status SaveEdgeListText(const EdgeStream& stream, const std::string& path);
+
+/// Binary round-trip (magic + counts + u32 pairs).
+Result<EdgeStream> LoadEdgeListBinary(const std::string& path);
+Status SaveEdgeListBinary(const EdgeStream& stream, const std::string& path);
+
+}  // namespace rept

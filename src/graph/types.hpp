@@ -1,0 +1,46 @@
+// Fundamental graph-stream types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace rept {
+
+/// Vertex identifier. Streams/graphs use compact ids in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Arrival position of an edge in the stream (1-based when used as the
+/// discrete time t of the paper; 0-based as an index into the edge vector).
+using Timestamp = uint64_t;
+
+/// \brief An undirected edge. Orientation (u vs v) carries no meaning; use
+/// EdgeKey() / Canonical() for identity.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  Edge() = default;
+  Edge(VertexId a, VertexId b) : u(a), v(b) {}
+
+  /// Same edge with endpoints ordered (min, max).
+  Edge Canonical() const { return u <= v ? Edge(u, v) : Edge(v, u); }
+
+  bool IsSelfLoop() const { return u == v; }
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    const Edge ca = a.Canonical();
+    const Edge cb = b.Canonical();
+    return ca.u == cb.u && ca.v == cb.v;
+  }
+};
+
+/// Canonical 64-bit key of an undirected edge: (min << 32) | max.
+inline uint64_t EdgeKey(VertexId u, VertexId v) {
+  const VertexId lo = u <= v ? u : v;
+  const VertexId hi = u <= v ? v : u;
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+inline uint64_t EdgeKey(const Edge& e) { return EdgeKey(e.u, e.v); }
+
+}  // namespace rept

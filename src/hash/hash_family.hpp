@@ -1,0 +1,32 @@
+// Families of mutually independent edge hashers.
+//
+// REPT(1/m, c > m) divides processors into groups; each group k uses its own
+// hash function h_k, and the h_k must be independent of one another so the
+// per-group estimates are independent (Section III-B of the paper). A
+// HashFamily derives the k-th hasher's seed from a master seed through
+// SeedSequence, which decorrelates sequential indices.
+#pragma once
+
+#include <cstdint>
+
+#include "hash/edge_hash.hpp"
+#include "hash/tabulation.hpp"
+#include "util/random.hpp"
+
+namespace rept {
+
+/// \brief Produces the k-th member of a seeded family of edge hashers.
+template <typename Hasher = MixEdgeHasher>
+class HashFamily {
+ public:
+  explicit HashFamily(uint64_t master_seed)
+      : seeds_(master_seed, /*salt=*/0x4a5e1e4bULL) {}
+
+  /// Independent hasher number `k` (k = 0, 1, ...).
+  Hasher MakeHasher(uint64_t k) const { return Hasher(seeds_.SeedFor(k)); }
+
+ private:
+  SeedSequence seeds_;
+};
+
+}  // namespace rept

@@ -1,0 +1,7 @@
+// The hash module is header-only (hot-path inlining); this anchor keeps the
+// module visible to the build and hosts nothing else.
+#include "hash/edge_hash.hpp"
+#include "hash/hash_family.hpp"
+#include "hash/tabulation.hpp"
+
+namespace rept {}  // namespace rept

@@ -1,0 +1,46 @@
+// Simple tabulation hashing over the 8-byte canonical edge key.
+//
+// Tabulation hashing (Zobrist/Carter-Wegman) is 3-independent, which more
+// than satisfies the pairwise independence REPT's analysis assumes. It costs
+// 8 table lookups per edge and 16 KiB of tables per hasher.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/types.hpp"
+#include "hash/edge_hash.hpp"
+#include "util/random.hpp"
+
+namespace rept {
+
+/// \brief 3-independent tabulation hasher for undirected edges.
+class TabulationEdgeHasher {
+ public:
+  explicit TabulationEdgeHasher(uint64_t seed = 0) {
+    Rng rng(seed ^ 0x7ab07ab07ab07ab0ULL);
+    for (auto& table : tables_) {
+      for (auto& entry : table) entry = rng.Next();
+    }
+  }
+
+  uint64_t Hash(VertexId u, VertexId v) const {
+    uint64_t key = EdgeKey(u, v);
+    uint64_t h = 0;
+    for (size_t byte = 0; byte < 8; ++byte) {
+      h ^= tables_[byte][key & 0xff];
+      key >>= 8;
+    }
+    return h;
+  }
+
+  uint32_t Bucket(VertexId u, VertexId v, uint32_t m) const {
+    REPT_DCHECK(m > 0);
+    return FastRange(Hash(u, v), m);
+  }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace rept

@@ -1,0 +1,59 @@
+#include "runner/accuracy_sweep.hpp"
+
+#include "baselines/baseline_systems.hpp"
+#include "runner/evaluation.hpp"
+#include "util/check.hpp"
+
+namespace rept {
+
+std::vector<AccuracySweepRow> RunAccuracySweep(const EdgeStream& stream,
+                                               const ExactCounts& exact,
+                                               const AccuracySweepConfig& cfg,
+                                               ThreadPool* pool) {
+  REPT_CHECK(!cfg.c_values.empty());
+  std::vector<AccuracySweepRow> rows;
+  rows.reserve(cfg.c_values.size());
+
+  EvaluationOptions opts;
+  opts.runs = cfg.runs;
+  opts.master_seed = cfg.seed;
+  opts.evaluate_local = cfg.evaluate_local;
+
+  for (uint32_t c : cfg.c_values) {
+    AccuracySweepRow row;
+    row.c = c;
+
+    const auto rept_sys = MakeRept(cfg.m, c, cfg.evaluate_local);
+    const auto mascot_sys =
+        MakeParallelMascot(cfg.m, c, cfg.evaluate_local);
+    const auto triest_sys =
+        MakeParallelTriest(cfg.m, c, cfg.evaluate_local);
+
+    const EvaluationResult r_rept =
+        EvaluateSystem(*rept_sys, stream, exact, opts, pool);
+    const EvaluationResult r_mascot =
+        EvaluateSystem(*mascot_sys, stream, exact, opts, pool);
+    const EvaluationResult r_triest =
+        EvaluateSystem(*triest_sys, stream, exact, opts, pool);
+
+    row.rept = r_rept.global_nrmse;
+    row.mascot = r_mascot.global_nrmse;
+    row.triest = r_triest.global_nrmse;
+    if (cfg.evaluate_local) {
+      row.rept_local = r_rept.mean_local_nrmse;
+      row.mascot_local = r_mascot.mean_local_nrmse;
+      row.triest_local = r_triest.mean_local_nrmse;
+    }
+    if (cfg.include_gps) {
+      const auto gps_sys = MakeParallelGps(cfg.m, c, /*track_local=*/false);
+      EvaluationOptions gps_opts = opts;
+      gps_opts.evaluate_local = false;  // paper: GPS global-only figures
+      row.gps = EvaluateSystem(*gps_sys, stream, exact, gps_opts, pool)
+                    .global_nrmse;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace rept

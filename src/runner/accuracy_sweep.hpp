@@ -1,0 +1,48 @@
+// The shared shape of Figures 3-6: for one dataset, sweep the processor
+// count c over a grid, evaluating REPT against the parallel baselines at a
+// fixed sampling probability p = 1/m, reporting either global or local
+// NRMSE per method.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exact/exact_counts.hpp"
+#include "graph/edge_stream.hpp"
+
+namespace rept {
+
+class ThreadPool;
+
+struct AccuracySweepConfig {
+  uint32_t m = 10;
+  std::vector<uint32_t> c_values;
+  uint32_t runs = 5;
+  uint64_t seed = 1;
+  /// Evaluate local NRMSE (Figures 5/6) in addition to global (Figures 3/4).
+  bool evaluate_local = true;
+  /// Include the GPS baseline (the paper omits it from the local figures).
+  bool include_gps = true;
+};
+
+struct AccuracySweepRow {
+  uint32_t c = 0;
+  // Global NRMSE per method; NaN when not evaluated.
+  double rept = 0.0;
+  double mascot = 0.0;
+  double triest = 0.0;
+  double gps = 0.0;
+  // Mean local NRMSE per method (when evaluate_local).
+  double rept_local = 0.0;
+  double mascot_local = 0.0;
+  double triest_local = 0.0;
+};
+
+/// Runs the four systems over the c grid. Deterministic per config.seed.
+std::vector<AccuracySweepRow> RunAccuracySweep(const EdgeStream& stream,
+                                               const ExactCounts& exact,
+                                               const AccuracySweepConfig& cfg,
+                                               ThreadPool* pool);
+
+}  // namespace rept

@@ -1,0 +1,94 @@
+#include "runner/evaluation.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace rept {
+
+EvaluationResult EvaluateSystem(const EstimatorSystem& system,
+                                const EdgeStream& stream,
+                                const ExactCounts& exact,
+                                const EvaluationOptions& opts,
+                                ThreadPool* pool) {
+  REPT_CHECK(opts.runs >= 1);
+  REPT_CHECK(exact.tau > 0);  // NRMSE undefined otherwise
+
+  bool across_runs;
+  switch (opts.parallelism) {
+    case EvaluationOptions::RunParallelism::kAcrossRuns:
+      across_runs = true;
+      break;
+    case EvaluationOptions::RunParallelism::kWithinRun:
+      across_runs = false;
+      break;
+    case EvaluationOptions::RunParallelism::kAuto:
+    default:
+      // Few logical processors -> a single run cannot use the pool well.
+      across_runs = system.NumProcessors() < 4;
+      break;
+  }
+
+  SeedSequence seeds(opts.master_seed, /*salt=*/0xe7a1);
+  std::vector<TriangleEstimates> results(opts.runs);
+  std::vector<double> run_seconds(opts.runs, 0.0);
+
+  auto one_run = [&](size_t r, ThreadPool* run_pool) {
+    WallTimer timer;
+    results[r] = system.Run(stream, seeds.SeedFor(r), run_pool);
+    run_seconds[r] = timer.Seconds();
+  };
+
+  if (across_runs && pool != nullptr && opts.runs > 1) {
+    ParallelFor(*pool, opts.runs,
+                [&one_run](size_t r) { one_run(r, nullptr); });
+  } else {
+    for (uint32_t r = 0; r < opts.runs; ++r) one_run(r, pool);
+  }
+
+  EvaluationResult out;
+  out.system_name = system.Name();
+  out.runs = opts.runs;
+
+  ErrorStats global_stats(static_cast<double>(exact.tau));
+  for (const TriangleEstimates& est : results) {
+    global_stats.AddEstimate(est.global);
+  }
+  out.global_nrmse = global_stats.nrmse();
+  out.global_bias = global_stats.relative_bias();
+
+  double total_seconds = 0.0;
+  for (double s : run_seconds) total_seconds += s;
+  out.mean_run_seconds = total_seconds / opts.runs;
+
+  if (opts.evaluate_local) {
+    const size_t n = exact.tau_v.size();
+    std::vector<double> sq_err(n, 0.0);
+    for (const TriangleEstimates& est : results) {
+      REPT_CHECK(est.local.size() == n);
+      for (size_t v = 0; v < n; ++v) {
+        if (exact.tau_v[v] == 0) continue;
+        const double err =
+            est.local[v] - static_cast<double>(exact.tau_v[v]);
+        sq_err[v] += err * err;
+      }
+    }
+    double nrmse_sum = 0.0;
+    uint64_t counted = 0;
+    for (size_t v = 0; v < n; ++v) {
+      if (exact.tau_v[v] == 0) continue;
+      const double rmse = std::sqrt(sq_err[v] / opts.runs);
+      nrmse_sum += rmse / static_cast<double>(exact.tau_v[v]);
+      ++counted;
+    }
+    out.mean_local_nrmse = counted > 0 ? nrmse_sum / counted : 0.0;
+  }
+  return out;
+}
+
+}  // namespace rept

@@ -1,0 +1,55 @@
+// NRMSE evaluation harness (paper §IV-C):
+//   NRMSE(mu_hat) = sqrt(E[(mu_hat - mu)^2]) / mu
+// estimated over R independent runs of an estimator system. Local accuracy
+// is reported as the mean NRMSE over all nodes with tau_v > 0 (the paper
+// plots one local-error number per configuration; see DESIGN.md §3.5 for
+// the aggregation convention).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/estimates.hpp"
+#include "exact/exact_counts.hpp"
+#include "graph/edge_stream.hpp"
+
+namespace rept {
+
+class ThreadPool;
+
+struct EvaluationOptions {
+  /// Independent runs (distinct derived seeds).
+  uint32_t runs = 5;
+  uint64_t master_seed = 1;
+  /// Also evaluate local (per-node) NRMSE; costs a dense pass per run.
+  bool evaluate_local = true;
+  /// Run the R runs concurrently instead of parallelizing inside each run.
+  /// Auto-selected when unset: systems with few logical processors
+  /// parallelize better across runs.
+  enum class RunParallelism { kAuto, kAcrossRuns, kWithinRun };
+  RunParallelism parallelism = RunParallelism::kAuto;
+};
+
+struct EvaluationResult {
+  std::string system_name;
+  uint32_t runs = 0;
+  double global_nrmse = 0.0;
+  /// Relative bias of the mean estimate (sanity signal: should be ~0 for
+  /// unbiased estimators).
+  double global_bias = 0.0;
+  /// Mean over v (tau_v > 0) of NRMSE(tau_v_hat). NaN-free: nodes the
+  /// estimator never tallies contribute their full truth as error.
+  double mean_local_nrmse = 0.0;
+  /// Mean wall-clock seconds per run (excludes evaluation overhead).
+  double mean_run_seconds = 0.0;
+};
+
+/// Runs `system` opts.runs times over `stream` and scores it against the
+/// exact counts. Deterministic given opts.master_seed.
+EvaluationResult EvaluateSystem(const EstimatorSystem& system,
+                                const EdgeStream& stream,
+                                const ExactCounts& exact,
+                                const EvaluationOptions& opts,
+                                ThreadPool* pool);
+
+}  // namespace rept

@@ -1,0 +1,38 @@
+#include "runner/runtime_measure.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace rept {
+
+RuntimeMeasurement MeasureRuntime(const EstimatorSystem& system,
+                                  const EdgeStream& stream, uint64_t seed,
+                                  ThreadPool* pool, uint32_t repeats) {
+  REPT_CHECK(repeats >= 1);
+  SeedSequence seeds(seed, /*salt=*/0x71e3);
+  // Untimed warmup: first-touch page faults and allocator growth otherwise
+  // penalize whichever system is measured first.
+  (void)system.Run(stream, seeds.SeedFor(repeats), pool);
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (uint32_t r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    const TriangleEstimates est = system.Run(stream, seeds.SeedFor(r), pool);
+    times.push_back(timer.Seconds());
+    // Keep the optimizer from discarding the run.
+    REPT_CHECK(est.global >= 0.0);
+  }
+  std::sort(times.begin(), times.end());
+  RuntimeMeasurement out;
+  out.repeats = repeats;
+  out.min_seconds = times.front();
+  out.max_seconds = times.back();
+  out.median_seconds = times[times.size() / 2];
+  return out;
+}
+
+}  // namespace rept

@@ -1,0 +1,27 @@
+// Wall-clock measurement helper for the runtime figures (7 and 8a/8b).
+// Reports the median of `repeats` timed runs of EstimatorSystem::Run.
+#pragma once
+
+#include <cstdint>
+
+#include "core/estimates.hpp"
+#include "graph/edge_stream.hpp"
+
+namespace rept {
+
+class ThreadPool;
+
+struct RuntimeMeasurement {
+  double median_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  uint32_t repeats = 0;
+};
+
+/// Times complete runs (instance construction + one stream pass + estimate
+/// combination), the unit the paper's Figure 7 plots.
+RuntimeMeasurement MeasureRuntime(const EstimatorSystem& system,
+                                  const EdgeStream& stream, uint64_t seed,
+                                  ThreadPool* pool, uint32_t repeats = 3);
+
+}  // namespace rept

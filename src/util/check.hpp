@@ -1,0 +1,36 @@
+// Internal invariant checking. REPT_CHECK is always on (cheap conditions
+// only); REPT_DCHECK compiles out in release builds. Both abort with a
+// source-located message: invariant violations are programming errors, not
+// recoverable conditions, so no Status is returned (see status.hpp for the
+// recoverable-error model).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rept {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "REPT_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rept
+
+#define REPT_CHECK(expr)                                    \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::rept::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define REPT_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define REPT_DCHECK(expr) REPT_CHECK(expr)
+#endif

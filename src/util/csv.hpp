@@ -1,0 +1,31 @@
+// CSV output so reproduced figure series can be re-plotted externally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace rept {
+
+/// \brief Buffers rows and writes an RFC-4180-ish CSV file (quotes fields
+/// containing separators/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  std::string ToString() const;
+
+  /// Writes the buffered table to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  static std::string EscapeField(const std::string& field);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rept

@@ -1,0 +1,145 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace rept {
+
+namespace {
+
+std::string BoolToString(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+FlagSet& FlagSet::AddInt64(const std::string& name, int64_t* target,
+                           const std::string& help) {
+  flags_[name] = Flag{Type::kInt64, target, help, std::to_string(*target)};
+  return *this;
+}
+
+FlagSet& FlagSet::AddUint64(const std::string& name, uint64_t* target,
+                            const std::string& help) {
+  flags_[name] = Flag{Type::kUint64, target, help, std::to_string(*target)};
+  return *this;
+}
+
+FlagSet& FlagSet::AddDouble(const std::string& name, double* target,
+                            const std::string& help) {
+  flags_[name] = Flag{Type::kDouble, target, help, std::to_string(*target)};
+  return *this;
+}
+
+FlagSet& FlagSet::AddString(const std::string& name, std::string* target,
+                            const std::string& help) {
+  flags_[name] = Flag{Type::kString, target, help, *target};
+  return *this;
+}
+
+FlagSet& FlagSet::AddBool(const std::string& name, bool* target,
+                          const std::string& help) {
+  flags_[name] = Flag{Type::kBool, target, help, BoolToString(*target)};
+  return *this;
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  errno = 0;
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt64: {
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad int64 for --" + name + ": " + value);
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      break;
+    }
+    case Type::kUint64: {
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0' ||
+          value.find('-') != std::string::npos) {
+        return Status::InvalidArgument("bad uint64 for --" + name + ": " + value);
+      }
+      *static_cast<uint64_t*>(flag.target) = v;
+      break;
+    }
+    case Type::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double for --" + name + ": " + value);
+      }
+      *static_cast<double*>(flag.target) = v;
+      break;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      break;
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " + value);
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stdout);
+      return Status::NotFound("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // bare --flag enables a bool
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+    }
+    REPT_RETURN_NOT_OK(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream out;
+  if (!description_.empty()) out << description_ << "\n\n";
+  out << "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << "  (default: " << flag.default_value << ")\n"
+        << "      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rept

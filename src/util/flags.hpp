@@ -1,0 +1,58 @@
+// Minimal command-line flag parser for the example and benchmark binaries.
+// Supports --name=value and --name value forms plus --help synthesis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace rept {
+
+/// \brief Declarative flag set: register typed flags bound to variables, then
+/// Parse(argc, argv).
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = "");
+
+  FlagSet& AddInt64(const std::string& name, int64_t* target,
+                    const std::string& help);
+  FlagSet& AddUint64(const std::string& name, uint64_t* target,
+                     const std::string& help);
+  FlagSet& AddDouble(const std::string& name, double* target,
+                     const std::string& help);
+  FlagSet& AddString(const std::string& name, std::string* target,
+                     const std::string& help);
+  FlagSet& AddBool(const std::string& name, bool* target,
+                   const std::string& help);
+
+  /// Parses argv; unknown flags produce InvalidArgument. "--help" prints
+  /// usage and returns a NotFound status the caller should treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  /// Usage text assembled from registered flags and current defaults.
+  std::string Usage() const;
+
+  /// Positional (non-flag) arguments encountered during Parse.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  enum class Type { kInt64, kUint64, kDouble, kString, kBool };
+
+  struct Flag {
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rept

@@ -1,0 +1,38 @@
+// Leveled stderr logging for long-running harness binaries.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rept {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// RAII line logger; flushes on destruction with a timestamped prefix.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rept
+
+#define REPT_LOG(level) \
+  ::rept::internal::LogMessage(::rept::LogLevel::level, __FILE__, __LINE__)

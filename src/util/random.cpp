@@ -1,0 +1,6 @@
+#include "util/random.hpp"
+
+// random.hpp is header-only; this translation unit exists so the module shows
+// up in the library and to anchor the vtable-free inline definitions for
+// faster incremental builds if out-of-line versions are ever needed.
+namespace rept {}  // namespace rept

@@ -1,0 +1,117 @@
+// Deterministic, platform-independent random number generation.
+//
+// All randomized components of the library (samplers, generators, hash
+// seeding) draw from these generators rather than <random> engines so that a
+// fixed master seed reproduces bit-identical experiments on every platform
+// and standard library implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace rept {
+
+/// \brief SplitMix64 step: advances `state` and returns a mixed 64-bit value.
+///
+/// Used for seeding (Vigna's recommended seeder for xoshiro) and as a cheap
+/// stateless mixer.
+inline uint64_t SplitMix64Next(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief Stateless 64-bit finalizer (SplitMix64's mixing function).
+inline uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** generator (Blackman & Vigna). Fast, 256-bit state,
+/// passes BigCrush; our workhorse PRNG.
+class Rng {
+ public:
+  /// Seeds the four state words from SplitMix64(seed); a zero seed is valid.
+  explicit Rng(uint64_t seed = 0) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64Next(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t Below(uint64_t bound) {
+    REPT_DCHECK(bound > 0);
+    // 128-bit multiply rejection sampling.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; never returns 0 (safe as a divisor, used by
+  /// GPS priority ranks).
+  double NextDoublePositive() {
+    return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) trial.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// \brief Derives independent child seeds from a master seed.
+///
+/// Child i's seed is Mix64(master ^ Mix64(i + salt)); the double mixing keeps
+/// sequential instance ids from producing correlated generator states.
+class SeedSequence {
+ public:
+  explicit SeedSequence(uint64_t master_seed, uint64_t salt = 0)
+      : master_(master_seed), salt_(salt) {}
+
+  uint64_t SeedFor(uint64_t index) const {
+    return Mix64(master_ ^ Mix64(index + 0x51ed2701 + salt_ * 0x9e3779b9ULL));
+  }
+
+ private:
+  uint64_t master_;
+  uint64_t salt_;
+};
+
+}  // namespace rept

@@ -1,0 +1,50 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rept {
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Quantile(std::vector<double> samples, double q) {
+  REPT_CHECK(!samples.empty());
+  REPT_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double ChiSquareUniform(const std::vector<uint64_t>& observed) {
+  REPT_CHECK(!observed.empty());
+  const uint64_t total =
+      std::accumulate(observed.begin(), observed.end(), uint64_t{0});
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  REPT_CHECK(expected > 0.0);
+  double chi2 = 0.0;
+  for (uint64_t count : observed) {
+    const double diff = static_cast<double>(count) - expected;
+    chi2 += diff * diff / expected;
+  }
+  return chi2;
+}
+
+}  // namespace rept

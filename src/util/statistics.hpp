@@ -1,0 +1,95 @@
+// Online and batch statistics used by the evaluation harness and by the
+// statistical property tests (unbiasedness / variance validation).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rept {
+
+/// \brief Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  void Merge(const RunningStats& other);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (divides by n).
+  double variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Unbiased sample variance (divides by n-1).
+  double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sample_stddev() const { return std::sqrt(sample_variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Accumulates squared error of repeated estimates of a known truth,
+/// yielding MSE and NRMSE = sqrt(MSE)/truth (the paper's error metric, §IV-C).
+class ErrorStats {
+ public:
+  explicit ErrorStats(double truth) : truth_(truth) {}
+
+  void AddEstimate(double estimate) {
+    const double err = estimate - truth_;
+    sum_sq_err_ += err * err;
+    sum_est_ += estimate;
+    ++n_;
+  }
+
+  uint64_t count() const { return n_; }
+  double truth() const { return truth_; }
+  double mse() const { return n_ > 0 ? sum_sq_err_ / static_cast<double>(n_) : 0.0; }
+  double rmse() const { return std::sqrt(mse()); }
+  /// NRMSE(mu_hat) = sqrt(MSE)/mu. Requires truth != 0.
+  double nrmse() const {
+    REPT_DCHECK(truth_ != 0.0);
+    return rmse() / truth_;
+  }
+  double mean_estimate() const {
+    return n_ > 0 ? sum_est_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Relative bias (mean estimate - truth)/truth.
+  double relative_bias() const {
+    REPT_DCHECK(truth_ != 0.0);
+    return (mean_estimate() - truth_) / truth_;
+  }
+
+ private:
+  double truth_;
+  double sum_sq_err_ = 0.0;
+  double sum_est_ = 0.0;
+  uint64_t n_ = 0;
+};
+
+/// \brief Quantile helper over a batch of samples (copies & sorts).
+double Quantile(std::vector<double> samples, double q);
+
+/// \brief Pearson chi-square statistic of `observed` counts against a uniform
+/// expectation. Used by the hash-uniformity tests.
+double ChiSquareUniform(const std::vector<uint64_t>& observed);
+
+}  // namespace rept

@@ -1,0 +1,108 @@
+// Recoverable-error model in the RocksDB/Arrow style: operations that can
+// fail for environmental reasons (I/O, malformed input, invalid user
+// configuration) return Status or Result<T>; internal invariants use
+// REPT_CHECK (check.hpp). No exceptions are thrown on hot paths.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.hpp"
+
+namespace rept {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kUnsupported,
+};
+
+/// \brief Lightweight success/error carrier for recoverable failures.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string; "OK" on success.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value or an error Status. Value access on an error status
+/// aborts, mirroring the checked-access convention of Arrow's Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(implicit)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(implicit)
+    REPT_CHECK(!std::get<Status>(value_).ok() &&
+               "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    REPT_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    REPT_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    REPT_CHECK(ok());
+    return std::move(std::get<T>(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace rept
+
+/// Propagate a non-OK status to the caller.
+#define REPT_RETURN_NOT_OK(expr)         \
+  do {                                   \
+    ::rept::Status _st = (expr);         \
+    if (!_st.ok()) return _st;           \
+  } while (0)

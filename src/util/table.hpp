@@ -1,0 +1,33 @@
+// Aligned console tables: the benchmark harness prints each figure/table of
+// the paper as a plain-text table (plus optional CSV via csv.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rept {
+
+/// \brief Collects rows of string cells and renders them with aligned,
+/// right-justified columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.*g precision.
+  static std::string FormatDouble(double value, int precision = 6);
+  static std::string FormatSci(double value, int precision = 3);
+
+  /// Renders the table, header first, separated by a rule.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rept

@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace rept {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 4;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    REPT_CHECK(!stop_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1) {
+    body(0);
+    return;
+  }
+  // Dynamic scheduling: workers pull the next index from a shared counter,
+  // which balances heterogeneous task costs (e.g., REPT group instances store
+  // different numbers of edges).
+  std::atomic<size_t> next{0};
+  const size_t workers = std::min(pool.num_threads(), count);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.Submit([&next, count, &body] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        body(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+void ParallelFor(size_t threads, size_t count,
+                 const std::function<void(size_t)>& body) {
+  if (count <= 1 || threads == 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(threads);
+  ParallelFor(pool, count, body);
+}
+
+}  // namespace rept

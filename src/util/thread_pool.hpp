@@ -1,0 +1,62 @@
+// Fixed-size thread pool and a blocking parallel-for built on it.
+//
+// The evaluation harness runs up to several hundred logical stream
+// processors (the paper evaluates c up to 320) on however many hardware
+// threads exist; ParallelFor distributes those logical instances. Results
+// are deterministic regardless of the number of worker threads because every
+// task owns pre-seeded private state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rept {
+
+/// \brief Fixed-size worker pool executing enqueued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means std::thread::hardware_concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; it may begin executing immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief Runs body(i) for i in [0, count) across the pool; blocks until all
+/// iterations complete. Iterations must be independent.
+void ParallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& body);
+
+/// \brief Convenience: runs body(i) on a transient pool with `threads`
+/// workers (0 = hardware concurrency). Falls back to serial execution when
+/// count == 1.
+void ParallelFor(size_t threads, size_t count,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace rept

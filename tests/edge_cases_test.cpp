@@ -1,0 +1,93 @@
+// Extreme-configuration robustness: degenerate streams and boundary
+// parameter choices that a downstream user will eventually hit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baseline_systems.hpp"
+#include "core/rept_estimator.hpp"
+#include "exact/exact_counts.hpp"
+#include "gen/regular.hpp"
+#include "graph/permutation.hpp"
+#include "test_util.hpp"
+
+namespace rept {
+namespace {
+
+TEST(EdgeCasesTest, EmptyStream) {
+  const EdgeStream empty("empty", 10, {});
+  for (uint32_t c : {1u, 3u, 7u}) {
+    const TriangleEstimates est = MakeRept(3, c)->Run(empty, 1, nullptr);
+    EXPECT_DOUBLE_EQ(est.global, 0.0);
+    EXPECT_EQ(est.local.size(), 10u);
+  }
+}
+
+TEST(EdgeCasesTest, SingleEdgeStream) {
+  const EdgeStream s = testing::MakeStream(2, {{0, 1}});
+  EXPECT_DOUBLE_EQ(MakeRept(5, 5)->Run(s, 1, nullptr).global, 0.0);
+  EXPECT_DOUBLE_EQ(MakeParallelMascot(5, 2)->Run(s, 1, nullptr).global, 0.0);
+}
+
+TEST(EdgeCasesTest, SingleProcessor) {
+  // c = 1 must follow the Algorithm 1 path with scaling m^2.
+  const EdgeStream s = ShuffledCopy(gen::Complete(12), 3);
+  const ExactCounts exact = ComputeExactCounts(s);
+  double sum = 0.0;
+  const int runs = 60;
+  const auto system = MakeRept(3, 1);
+  for (int r = 0; r < runs; ++r) sum += system->Run(s, 100 + r, nullptr).global;
+  EXPECT_NEAR(sum / runs, static_cast<double>(exact.tau),
+              0.25 * static_cast<double>(exact.tau));
+}
+
+TEST(EdgeCasesTest, SamplingDenominatorLargerThanStream) {
+  // m >> |E|: most processors store nothing; estimates stay finite and
+  // unbiased (just extremely noisy). Guard against divide-by-zero paths.
+  const EdgeStream s = ShuffledCopy(gen::Complete(8), 5);  // 28 edges
+  const auto system = MakeRept(1000, 4);
+  const TriangleEstimates est = system->Run(s, 7, nullptr);
+  EXPECT_GE(est.global, 0.0);
+  EXPECT_TRUE(std::isfinite(est.global));
+}
+
+TEST(EdgeCasesTest, Algorithm2WithEmptyRemainderTallies) {
+  // Tiny stream + large m: the remainder group sees no semi-triangles, so
+  // the Graybill-Deal fallback must engage without NaNs.
+  const EdgeStream s = testing::MakeStream(4, {{0, 1}, {1, 2}, {0, 2}});
+  ReptConfig cfg;
+  cfg.m = 50;
+  cfg.c = 103;  // c1=2, c2=3
+  const ReptEstimator est(cfg);
+  const auto detail = est.RunDetailed(s, 11, nullptr);
+  EXPECT_TRUE(std::isfinite(detail.estimates.global));
+  EXPECT_GE(detail.estimates.global, 0.0);
+  for (double x : detail.estimates.local) {
+    EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(EdgeCasesTest, RepeatedRunsShareNoState) {
+  // A system object is reusable: back-to-back runs with the same seed are
+  // identical, interleaved seeds independent.
+  const EdgeStream s = ShuffledCopy(gen::Complete(10), 9);
+  const auto system = MakeParallelTriest(4, 3);
+  const double a1 = system->Run(s, 5, nullptr).global;
+  const double b = system->Run(s, 6, nullptr).global;
+  const double a2 = system->Run(s, 5, nullptr).global;
+  EXPECT_DOUBLE_EQ(a1, a2);
+  (void)b;
+}
+
+TEST(EdgeCasesTest, VertexIdSpaceLargerThanTouchedVertices) {
+  // Streams may declare a larger id space than the edges touch.
+  const EdgeStream s = testing::MakeStream(1000, {{0, 1}, {1, 2}, {0, 2}});
+  const TriangleEstimates est = MakeRept(2, 2)->Run(s, 3, nullptr);
+  EXPECT_EQ(est.local.size(), 1000u);
+  const ExactCounts exact = ComputeExactCounts(s);
+  EXPECT_EQ(exact.tau, 1u);
+  EXPECT_EQ(exact.tau_v.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace rept

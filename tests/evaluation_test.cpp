@@ -1,0 +1,116 @@
+#include "runner/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_systems.hpp"
+#include "baselines/mascot.hpp"
+#include "baselines/parallel_ensemble.hpp"
+#include "exact/exact_counts.hpp"
+#include "gen/holme_kim.hpp"
+#include "gen/regular.hpp"
+#include "graph/permutation.hpp"
+#include "runner/accuracy_sweep.hpp"
+#include "runner/runtime_measure.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+namespace {
+
+EdgeStream TriangleRichStream() {
+  return ShuffledCopy(
+      gen::HolmeKim({.num_vertices = 200,
+                     .edges_per_vertex = 5,
+                     .triad_probability = 0.7},
+                    1),
+      2);
+}
+
+TEST(EvaluationTest, PerfectEstimatorScoresZero) {
+  const EdgeStream s = TriangleRichStream();
+  const ExactCounts exact = ComputeExactCounts(s);
+  ParallelEnsemble exact_system(std::make_shared<MascotFactory>(1.0), 1);
+  EvaluationOptions opts;
+  opts.runs = 3;
+  const EvaluationResult r =
+      EvaluateSystem(exact_system, s, exact, opts, nullptr);
+  EXPECT_DOUBLE_EQ(r.global_nrmse, 0.0);
+  EXPECT_DOUBLE_EQ(r.global_bias, 0.0);
+  EXPECT_NEAR(r.mean_local_nrmse, 0.0, 1e-12);
+  EXPECT_EQ(r.runs, 3u);
+}
+
+TEST(EvaluationTest, NoisyEstimatorScoresPositive) {
+  const EdgeStream s = TriangleRichStream();
+  const ExactCounts exact = ComputeExactCounts(s);
+  const auto system = MakeParallelMascot(10, 2);
+  EvaluationOptions opts;
+  opts.runs = 4;
+  const EvaluationResult r = EvaluateSystem(*system, s, exact, opts, nullptr);
+  EXPECT_GT(r.global_nrmse, 0.0);
+  EXPECT_GT(r.mean_local_nrmse, 0.0);
+  EXPECT_GT(r.mean_run_seconds, 0.0);
+}
+
+TEST(EvaluationTest, ParallelismModesAgree) {
+  const EdgeStream s = TriangleRichStream();
+  const ExactCounts exact = ComputeExactCounts(s);
+  const auto system = MakeParallelMascot(5, 3);
+  ThreadPool pool(4);
+
+  EvaluationOptions across;
+  across.runs = 3;
+  across.parallelism = EvaluationOptions::RunParallelism::kAcrossRuns;
+  EvaluationOptions within;
+  within.runs = 3;
+  within.parallelism = EvaluationOptions::RunParallelism::kWithinRun;
+
+  const EvaluationResult a = EvaluateSystem(*system, s, exact, across, &pool);
+  const EvaluationResult b = EvaluateSystem(*system, s, exact, within, &pool);
+  EXPECT_DOUBLE_EQ(a.global_nrmse, b.global_nrmse);
+  EXPECT_DOUBLE_EQ(a.mean_local_nrmse, b.mean_local_nrmse);
+}
+
+TEST(EvaluationTest, SkippingLocalEvaluation) {
+  const EdgeStream s = TriangleRichStream();
+  const ExactCounts exact = ComputeExactCounts(s);
+  const auto system = MakeRept(5, 2, /*track_local=*/false);
+  EvaluationOptions opts;
+  opts.runs = 2;
+  opts.evaluate_local = false;
+  const EvaluationResult r = EvaluateSystem(*system, s, exact, opts, nullptr);
+  EXPECT_DOUBLE_EQ(r.mean_local_nrmse, 0.0);
+  EXPECT_GE(r.global_nrmse, 0.0);
+}
+
+TEST(AccuracySweepTest, ProducesRowPerC) {
+  const EdgeStream s = TriangleRichStream();
+  const ExactCounts exact = ComputeExactCounts(s);
+  AccuracySweepConfig cfg;
+  cfg.m = 5;
+  cfg.c_values = {2, 5, 7};
+  cfg.runs = 2;
+  cfg.include_gps = true;
+  ThreadPool pool(4);
+  const auto rows = RunAccuracySweep(s, exact, cfg, &pool);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.rept, 0.0);
+    EXPECT_GT(row.mascot, 0.0);
+    EXPECT_GT(row.triest, 0.0);
+    EXPECT_GT(row.gps, 0.0);
+    EXPECT_GT(row.rept_local, 0.0);
+  }
+}
+
+TEST(RuntimeMeasureTest, ReportsOrderedTimings) {
+  const EdgeStream s = TriangleRichStream();
+  const auto system = MakeRept(5, 3);
+  const RuntimeMeasurement m = MeasureRuntime(*system, s, 1, nullptr, 3);
+  EXPECT_EQ(m.repeats, 3u);
+  EXPECT_GT(m.median_seconds, 0.0);
+  EXPECT_LE(m.min_seconds, m.median_seconds);
+  EXPECT_LE(m.median_seconds, m.max_seconds);
+}
+
+}  // namespace
+}  // namespace rept

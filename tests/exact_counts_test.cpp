@@ -1,0 +1,168 @@
+#include "exact/exact_counts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/triangle_enumerator.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/holme_kim.hpp"
+#include "gen/regular.hpp"
+#include "graph/graph_builder.hpp"
+#include "graph/permutation.hpp"
+#include "test_util.hpp"
+
+namespace rept {
+namespace {
+
+uint64_t Choose3(uint64_t n) { return n * (n - 1) * (n - 2) / 6; }
+uint64_t Choose2(uint64_t n) { return n * (n - 1) / 2; }
+
+TEST(TriangleEnumeratorTest, CompleteGraphCount) {
+  for (VertexId n : {3u, 4u, 5u, 8u, 12u}) {
+    const Graph g = BuildGraph(gen::Complete(n).edges(), n);
+    EXPECT_EQ(CountTriangles(g), Choose3(n)) << "n=" << n;
+  }
+}
+
+TEST(TriangleEnumeratorTest, EachTriangleReportedOnceWithArrivals) {
+  // Triangle 0-1-2 with a pendant edge.
+  const Graph g = BuildGraph({{0, 1}, {1, 2}, {0, 2}, {2, 3}}, 4);
+  int hits = 0;
+  EnumerateTriangles(g, [&](const TriangleHit& t) {
+    ++hits;
+    std::set<VertexId> vertices = {t.a, t.b, t.c};
+    EXPECT_EQ(vertices, (std::set<VertexId>{0, 1, 2}));
+    std::set<uint32_t> arrivals = {t.arrival_ab, t.arrival_ac, t.arrival_bc};
+    EXPECT_EQ(arrivals, (std::set<uint32_t>{0, 1, 2}));
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ExactCountsTest, ZeroTriangleFamilies) {
+  for (const EdgeStream& s :
+       {gen::Star(10), gen::Path(10), gen::Cycle(10),
+        gen::CompleteBipartite(4, 5), gen::Grid(4, 5)}) {
+    const ExactCounts counts = ComputeExactCounts(s);
+    EXPECT_EQ(counts.tau, 0u) << s.name();
+    EXPECT_EQ(counts.eta, 0u) << s.name();
+    for (uint64_t t : counts.tau_v) EXPECT_EQ(t, 0u);
+  }
+}
+
+TEST(ExactCountsTest, TriangleIsACycleOfThree) {
+  const ExactCounts counts = ComputeExactCounts(gen::Cycle(3));
+  EXPECT_EQ(counts.tau, 1u);
+  EXPECT_EQ(counts.eta, 0u);
+  for (uint64_t t : counts.tau_v) EXPECT_EQ(t, 1u);
+}
+
+TEST(ExactCountsTest, CompleteGraphLocalCounts) {
+  const VertexId n = 7;
+  const ExactCounts counts = ComputeExactCounts(gen::Complete(n));
+  EXPECT_EQ(counts.tau, Choose3(n));
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_EQ(counts.tau_v[v], Choose2(n - 1));
+  }
+}
+
+TEST(ExactCountsTest, WheelCounts) {
+  // Wheel with rim r >= 4: each rim edge forms one triangle with the hub.
+  const VertexId rim = 8;
+  const ExactCounts counts = ComputeExactCounts(gen::Wheel(rim));
+  EXPECT_EQ(counts.tau, rim);
+  EXPECT_EQ(counts.tau_v[0], rim);  // hub is in every triangle
+  for (VertexId v = 1; v <= rim; ++v) {
+    EXPECT_EQ(counts.tau_v[v], 2u);  // two adjacent rim edges
+  }
+}
+
+TEST(ExactCountsTest, EtaHandComputedExample) {
+  // Two triangles sharing edge (0,1): {0,1,2} and {0,1,3}.
+  // Stream: (0,1) (0,2) (1,2) (0,3) (1,3).
+  // Triangle A edges arrive at 0,1,2 (last: (1,2)); early: (0,1),(0,2).
+  // Triangle B edges arrive at 0,3,4 (last: (1,3)); early: (0,1),(0,3).
+  // Shared edge (0,1) is early in both -> eta = 1.
+  const EdgeStream s =
+      testing::MakeStream(4, {{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}});
+  const ExactCounts counts = ComputeExactCounts(s);
+  EXPECT_EQ(counts.tau, 2u);
+  EXPECT_EQ(counts.eta, 1u);
+  // The pair contains nodes 0 and 1 (shared edge endpoints).
+  EXPECT_EQ(counts.eta_v[0], 1u);
+  EXPECT_EQ(counts.eta_v[1], 1u);
+  EXPECT_EQ(counts.eta_v[2], 0u);
+  EXPECT_EQ(counts.eta_v[3], 0u);
+}
+
+TEST(ExactCountsTest, EtaExcludesLastEdgePairs) {
+  // Same two triangles but ordered so the shared edge is LAST in one member:
+  // Stream: (0,2) (1,2) (0,3) (1,3) (0,1).
+  // (0,1) is the last edge of both triangles -> eta = 0.
+  const EdgeStream s =
+      testing::MakeStream(4, {{0, 2}, {1, 2}, {0, 3}, {1, 3}, {0, 1}});
+  const ExactCounts counts = ComputeExactCounts(s);
+  EXPECT_EQ(counts.tau, 2u);
+  EXPECT_EQ(counts.eta, 0u);
+}
+
+TEST(ExactCountsTest, StreamOrderChangesEta) {
+  // K4 has 4 triangles and 3 "diagonal" pair relations; eta depends on the
+  // arrival permutation. Verify both match brute force for several orders.
+  const EdgeStream base = gen::Complete(4);
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const EdgeStream shuffled = ShuffledCopy(base, seed);
+    const ExactCounts counts = ComputeExactCounts(shuffled);
+    const auto brute = testing::BruteForce(shuffled);
+    EXPECT_EQ(counts.tau, brute.tau);
+    EXPECT_EQ(counts.eta, brute.eta) << "seed=" << seed;
+  }
+}
+
+class ExactVsBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(ExactVsBruteForceTest, RandomGraphsAgreeWithBruteForce) {
+  const auto [edges, seed] = GetParam();
+  const EdgeStream s = gen::ErdosRenyi(
+      {.num_vertices = 25, .num_edges = edges}, seed);
+  const ExactCounts counts = ComputeExactCounts(s);
+  const auto brute = testing::BruteForce(s);
+  EXPECT_EQ(counts.tau, brute.tau);
+  EXPECT_EQ(counts.eta, brute.eta);
+  ASSERT_EQ(counts.tau_v.size(), brute.tau_v.size());
+  for (size_t v = 0; v < counts.tau_v.size(); ++v) {
+    EXPECT_EQ(counts.tau_v[v], brute.tau_v[v]) << "v=" << v;
+    EXPECT_EQ(counts.eta_v[v], brute.eta_v[v]) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, ExactVsBruteForceTest,
+    ::testing::Combine(::testing::Values(40, 80, 150, 250),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(ExactCountsTest, DenseClusteredGraphAgainstBruteForce) {
+  const EdgeStream s = gen::HolmeKim(
+      {.num_vertices = 40, .edges_per_vertex = 5, .triad_probability = 0.8},
+      11);
+  const ExactCounts counts = ComputeExactCounts(s);
+  const auto brute = testing::BruteForce(s);
+  EXPECT_EQ(counts.tau, brute.tau);
+  EXPECT_EQ(counts.eta, brute.eta);
+  EXPECT_GT(counts.tau, 50u);  // triad closure actually made triangles
+}
+
+TEST(ExactCountsTest, NumTriangleVertices) {
+  const EdgeStream s = testing::MakeStream(5, {{0, 1}, {1, 2}, {0, 2}, {3, 4}});
+  const ExactCounts counts = ComputeExactCounts(s);
+  EXPECT_EQ(counts.NumTriangleVertices(), 3u);
+}
+
+TEST(ExactCountsTest, WithEtaFalseSkipsEta) {
+  const ExactCounts counts =
+      ComputeExactCounts(gen::Complete(5), /*with_eta=*/false);
+  EXPECT_EQ(counts.tau, Choose3(5));
+  EXPECT_TRUE(counts.eta_v.empty());
+}
+
+}  // namespace
+}  // namespace rept

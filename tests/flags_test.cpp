@@ -1,0 +1,132 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rept {
+namespace {
+
+// argv helper: builds a mutable char* array from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "prog");
+    for (auto& s : strings_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, ParsesAllTypes) {
+  int64_t i = 0;
+  uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+  bool b = false;
+  FlagSet flags("test");
+  flags.AddInt64("int", &i, "an int")
+      .AddUint64("uint", &u, "a uint")
+      .AddDouble("double", &d, "a double")
+      .AddString("string", &s, "a string")
+      .AddBool("bool", &b, "a bool");
+  Argv args({"--int=-5", "--uint=7", "--double=2.5", "--string=hello",
+             "--bool=true"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(i, -5);
+  EXPECT_EQ(u, 7u);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagsTest, SpaceSeparatedValues) {
+  int64_t i = 0;
+  FlagSet flags;
+  flags.AddInt64("n", &i, "count");
+  Argv args({"--n", "42"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(i, 42);
+}
+
+TEST(FlagsTest, BareBoolEnables) {
+  bool b = false;
+  FlagSet flags;
+  flags.AddBool("verbose", &b, "verbosity");
+  Argv args({"--verbose"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagsTest, DefaultsSurviveWhenAbsent) {
+  int64_t i = 99;
+  FlagSet flags;
+  flags.AddInt64("n", &i, "count");
+  Argv args({});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(i, 99);
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagSet flags;
+  Argv args({"--mystery=1"});
+  const Status st = flags.Parse(args.argc(), args.argv());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, BadNumbersRejected) {
+  int64_t i = 0;
+  uint64_t u = 0;
+  FlagSet flags;
+  flags.AddInt64("i", &i, "").AddUint64("u", &u, "");
+  {
+    Argv args({"--i=abc"});
+    EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+  }
+  {
+    Argv args({"--u=-3"});
+    EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+  }
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  int64_t i = 0;
+  FlagSet flags;
+  flags.AddInt64("n", &i, "");
+  Argv args({"file1", "--n=3", "file2"});
+  ASSERT_TRUE(flags.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(FlagsTest, HelpReturnsNotFound) {
+  FlagSet flags("my tool");
+  Argv args({"--help"});
+  EXPECT_EQ(flags.Parse(args.argc(), args.argv()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults) {
+  int64_t i = 5;
+  FlagSet flags("descr");
+  flags.AddInt64("alpha", &i, "the alpha flag");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("default: 5"), std::string::npos);
+  EXPECT_NE(usage.find("the alpha flag"), std::string::npos);
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  int64_t i = 0;
+  FlagSet flags;
+  flags.AddInt64("n", &i, "");
+  Argv args({"--n"});
+  EXPECT_FALSE(flags.Parse(args.argc(), args.argv()).ok());
+}
+
+}  // namespace
+}  // namespace rept

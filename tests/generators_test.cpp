@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "gen/barabasi_albert.hpp"
+#include "gen/dataset_suite.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/holme_kim.hpp"
+#include "gen/planted.hpp"
+#include "gen/regular.hpp"
+#include "gen/rmat.hpp"
+#include "gen/watts_strogatz.hpp"
+#include "graph/types.hpp"
+
+namespace rept::gen {
+namespace {
+
+// Shared invariants every generator must satisfy.
+void CheckSimpleStream(const EdgeStream& stream) {
+  std::unordered_set<uint64_t> seen;
+  for (const Edge& e : stream) {
+    EXPECT_LT(e.u, stream.num_vertices());
+    EXPECT_LT(e.v, stream.num_vertices());
+    EXPECT_FALSE(e.IsSelfLoop());
+    EXPECT_TRUE(seen.insert(EdgeKey(e)).second)
+        << "duplicate edge " << e.u << "-" << e.v;
+  }
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCountAndSimplicity) {
+  const EdgeStream s = ErdosRenyi({.num_vertices = 50, .num_edges = 300}, 1);
+  EXPECT_EQ(s.size(), 300u);
+  EXPECT_EQ(s.num_vertices(), 50u);
+  CheckSimpleStream(s);
+}
+
+TEST(ErdosRenyiTest, FullDensityPossible) {
+  const EdgeStream s = ErdosRenyi({.num_vertices = 10, .num_edges = 45}, 2);
+  EXPECT_EQ(s.size(), 45u);  // complete graph reached by rejection sampling
+  CheckSimpleStream(s);
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  const EdgeStream a = ErdosRenyi({.num_vertices = 30, .num_edges = 100}, 9);
+  const EdgeStream b = ErdosRenyi({.num_vertices = 30, .num_edges = 100}, 9);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(EdgeKey(a[i]), EdgeKey(b[i]));
+  }
+}
+
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  // Seed K_{m+1} contributes C(m+1,2); each later vertex adds m edges.
+  const uint32_t m = 3;
+  const VertexId n = 100;
+  const EdgeStream s =
+      BarabasiAlbert({.num_vertices = n, .edges_per_vertex = m}, 3);
+  const uint64_t expected = (m + 1) * m / 2 + (n - (m + 1)) * m;
+  EXPECT_EQ(s.size(), expected);
+  CheckSimpleStream(s);
+}
+
+TEST(BarabasiAlbertTest, HeavyTailEmerges) {
+  const EdgeStream s =
+      BarabasiAlbert({.num_vertices = 2000, .edges_per_vertex = 2}, 4);
+  std::vector<uint32_t> degree(s.num_vertices(), 0);
+  for (const Edge& e : s) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  const uint32_t max_degree = *std::max_element(degree.begin(), degree.end());
+  // Preferential attachment should create hubs far above the mean (~4).
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(HolmeKimTest, TriadClosureRaisesTriangles) {
+  // Compare a rough wedge-closure proxy: count edges whose endpoints share a
+  // neighbor at generation end, via the exactness of the stream invariants
+  // here; full triangle comparisons live in exact_counts_test.
+  const EdgeStream low = HolmeKim(
+      {.num_vertices = 500, .edges_per_vertex = 4, .triad_probability = 0.0},
+      5);
+  const EdgeStream high = HolmeKim(
+      {.num_vertices = 500, .edges_per_vertex = 4, .triad_probability = 0.95},
+      5);
+  CheckSimpleStream(low);
+  CheckSimpleStream(high);
+  EXPECT_EQ(low.size(), high.size());  // same edge budget, different wiring
+}
+
+TEST(RmatTest, RespectsScaleAndTargets) {
+  const EdgeStream s = Rmat({.scale = 10, .num_edges = 4000}, 6);
+  EXPECT_EQ(s.num_vertices(), 1024u);
+  EXPECT_EQ(s.size(), 4000u);
+  CheckSimpleStream(s);
+}
+
+TEST(RmatTest, SkewProducesHubs) {
+  const EdgeStream s = Rmat(
+      {.scale = 12, .num_edges = 20000, .a = 0.7, .b = 0.1, .c = 0.1, .d = 0.1},
+      7);
+  std::vector<uint32_t> degree(s.num_vertices(), 0);
+  for (const Edge& e : s) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  const uint32_t max_degree = *std::max_element(degree.begin(), degree.end());
+  EXPECT_GT(max_degree, 200u);  // mean degree is ~10; hubs dominate
+}
+
+TEST(WattsStrogatzTest, LatticeEdgeCount) {
+  const EdgeStream s =
+      WattsStrogatz({.num_vertices = 200, .k = 4, .beta = 0.0}, 8);
+  // Unrewired ring lattice: exactly n*k/2 edges.
+  EXPECT_EQ(s.size(), 400u);
+  CheckSimpleStream(s);
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsSimplicity) {
+  const EdgeStream s =
+      WattsStrogatz({.num_vertices = 300, .k = 6, .beta = 0.3}, 9);
+  CheckSimpleStream(s);
+  EXPECT_GT(s.size(), 800u);  // rare rewires may collide and drop
+}
+
+TEST(RegularFamiliesTest, SizesAndSimplicity) {
+  EXPECT_EQ(Complete(6).size(), 15u);
+  EXPECT_EQ(Star(7).size(), 7u);
+  EXPECT_EQ(Path(9).size(), 8u);
+  EXPECT_EQ(Cycle(9).size(), 9u);
+  EXPECT_EQ(Wheel(5).size(), 10u);
+  EXPECT_EQ(CompleteBipartite(3, 4).size(), 12u);
+  EXPECT_EQ(Grid(3, 4).size(), 17u);
+  for (const EdgeStream& s :
+       {Complete(6), Star(7), Path(9), Cycle(9), Wheel(5),
+        CompleteBipartite(3, 4), Grid(3, 4)}) {
+    CheckSimpleStream(s);
+  }
+}
+
+TEST(PlantedCliquesTest, LowerBoundStructure) {
+  const EdgeStream s = PlantedCliques({.num_vertices = 200,
+                                       .background_edges = 100,
+                                       .num_cliques = 4,
+                                       .clique_size = 6},
+                                      10);
+  CheckSimpleStream(s);
+  // 4 disjoint K_6 = 4*15 clique edges; background may overlap cliques so
+  // total is at most 60 + 100.
+  EXPECT_GE(s.size(), 60u + 90u);
+  EXPECT_LE(s.size(), 160u);
+}
+
+class DatasetSuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetSuiteTest, GeneratesDeterministicSimpleStream) {
+  const std::string name = GetParam();
+  auto a = MakeDataset(name, DatasetSize::kTiny, 42);
+  auto b = MakeDataset(name, DatasetSize::kTiny, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->size(), 500u);
+  EXPECT_EQ(a->name(), name);
+  CheckSimpleStream(*a);
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(EdgeKey((*a)[i]), EdgeKey((*b)[i]));
+  }
+}
+
+TEST_P(DatasetSuiteTest, SeedChangesStream) {
+  const std::string name = GetParam();
+  auto a = MakeDataset(name, DatasetSize::kTiny, 1);
+  auto b = MakeDataset(name, DatasetSize::kTiny, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool differs = a->size() != b->size();
+  if (!differs) {
+    for (size_t i = 0; i < a->size(); ++i) {
+      if (EdgeKey((*a)[i]) != EdgeKey((*b)[i])) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetSuiteTest,
+    ::testing::Values("twitter-sim", "orkut-sim", "livejournal-sim",
+                      "pokec-sim", "flickr-sim", "wikitalk-sim",
+                      "webgoogle-sim", "youtube-sim"));
+
+TEST(DatasetSuiteTest, UnknownNameRejected) {
+  EXPECT_EQ(MakeDataset("no-such-graph").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatasetSuiteTest, CatalogHasEightEntries) {
+  EXPECT_EQ(DatasetCatalog().size(), 8u);
+}
+
+TEST(DatasetSuiteTest, MakeSuiteProducesAll) {
+  const auto suite = MakeSuite(DatasetSize::kTiny, 42);
+  ASSERT_EQ(suite.size(), 8u);
+  for (size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name(), DatasetCatalog()[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace rept::gen

@@ -1,0 +1,103 @@
+#include "baselines/gps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/exact_counts.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/regular.hpp"
+#include "graph/permutation.hpp"
+
+namespace rept {
+namespace {
+
+TEST(GpsTest, BudgetCoveringStreamIsExact) {
+  // No evictions -> threshold stays 0 -> every inclusion probability is 1 ->
+  // the HT estimate counts each triangle exactly once.
+  const EdgeStream s = ShuffledCopy(gen::Complete(10), 2);
+  const ExactCounts exact = ComputeExactCounts(s);
+  GpsCounter gps(s.size(), /*seed=*/1);
+  gps.ProcessStream(s);
+  EXPECT_DOUBLE_EQ(gps.GlobalEstimate(), static_cast<double>(exact.tau));
+  EXPECT_DOUBLE_EQ(gps.threshold(), 0.0);
+  std::vector<double> local(s.num_vertices(), 0.0);
+  gps.AccumulateLocal(local, 1.0);
+  for (VertexId v = 0; v < s.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(local[v], static_cast<double>(exact.tau_v[v]));
+  }
+}
+
+TEST(GpsTest, SampleRespectsBudget) {
+  const uint64_t budget = 40;
+  const EdgeStream s =
+      gen::ErdosRenyi({.num_vertices = 100, .num_edges = 2000}, 3);
+  GpsCounter gps(budget, 4);
+  gps.ProcessStream(s);
+  EXPECT_LE(gps.StoredEdges(), budget);
+  EXPECT_GT(gps.threshold(), 0.0);  // evictions happened
+}
+
+TEST(GpsTest, DeterministicPerSeed) {
+  const EdgeStream s =
+      gen::ErdosRenyi({.num_vertices = 60, .num_edges = 800}, 5);
+  GpsCounter a(100, 9);
+  GpsCounter b(100, 9);
+  a.ProcessStream(s);
+  b.ProcessStream(s);
+  EXPECT_DOUBLE_EQ(a.GlobalEstimate(), b.GlobalEstimate());
+}
+
+TEST(GpsTest, ThresholdMonotone) {
+  const EdgeStream s =
+      gen::ErdosRenyi({.num_vertices = 50, .num_edges = 600}, 6);
+  GpsCounter gps(20, 7);
+  double last = 0.0;
+  for (const Edge& e : s) {
+    gps.ProcessEdge(e.u, e.v);
+    EXPECT_GE(gps.threshold(), last);
+    last = gps.threshold();
+  }
+}
+
+TEST(GpsTest, TriangleFreeGivesZero) {
+  const EdgeStream s = gen::CompleteBipartite(12, 12);
+  GpsCounter gps(30, 8);
+  gps.ProcessStream(s);
+  EXPECT_DOUBLE_EQ(gps.GlobalEstimate(), 0.0);
+}
+
+TEST(GpsTest, RoughlyUnbiasedUnderEviction) {
+  // Average over seeds should land near truth even with a tight budget.
+  const EdgeStream s = ShuffledCopy(gen::Complete(24), 9);  // 2024 triangles
+  const ExactCounts exact = ComputeExactCounts(s);
+  double sum = 0.0;
+  const int runs = 40;
+  for (int r = 0; r < runs; ++r) {
+    GpsCounter gps(s.size() / 2, 1000 + r);
+    gps.ProcessStream(s);
+    sum += gps.GlobalEstimate();
+  }
+  const double mean = sum / runs;
+  EXPECT_NEAR(mean, static_cast<double>(exact.tau),
+              0.3 * static_cast<double>(exact.tau));
+}
+
+TEST(GpsTest, DuplicateEdgesIgnored) {
+  GpsCounter gps(10, 1);
+  gps.ProcessEdge(0, 1);
+  gps.ProcessEdge(1, 0);
+  gps.ProcessEdge(0, 1);
+  EXPECT_EQ(gps.StoredEdges(), 1u);
+}
+
+TEST(GpsTest, FactoryHalvesBudgetViaFraction) {
+  const EdgeStream s =
+      gen::ErdosRenyi({.num_vertices = 50, .num_edges = 1000}, 11);
+  GpsFactory factory(0.05);  // 0.5 * p with p = 0.1
+  auto counter = factory.Create(1, s);
+  counter->ProcessStream(s);
+  EXPECT_LE(counter->StoredEdges(), 50u);
+  EXPECT_EQ(factory.MethodName(), "GPS");
+}
+
+}  // namespace
+}  // namespace rept

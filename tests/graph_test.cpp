@@ -1,0 +1,126 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_builder.hpp"
+#include "graph/permutation.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace rept {
+namespace {
+
+TEST(EdgeTest, CanonicalAndKey) {
+  EXPECT_EQ(Edge(3, 1).Canonical().u, 1u);
+  EXPECT_EQ(Edge(3, 1).Canonical().v, 3u);
+  EXPECT_EQ(EdgeKey(3, 1), EdgeKey(1, 3));
+  EXPECT_NE(EdgeKey(1, 2), EdgeKey(1, 3));
+  EXPECT_TRUE(Edge(1, 3) == Edge(3, 1));
+  EXPECT_TRUE(Edge(2, 2).IsSelfLoop());
+}
+
+TEST(GraphTest, TriangleGraphBasics) {
+  const Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, NeighborsSortedWithParallelArrivals) {
+  // Stream order: (2,0) first, then (0,1), then (0,3).
+  const Graph g(4, {{2, 0}, {0, 1}, {0, 3}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+  const auto arrivals = g.neighbor_arrival(0);
+  EXPECT_EQ(arrivals[0], 1u);  // edge (0,1) arrived second
+  EXPECT_EQ(arrivals[1], 0u);  // edge (2,0) arrived first
+  EXPECT_EQ(arrivals[2], 2u);  // edge (0,3) arrived third
+}
+
+TEST(GraphTest, IsolatedVerticesAllowed) {
+  const Graph g(10, {{0, 1}});
+  EXPECT_EQ(g.degree(5), 0u);
+  EXPECT_TRUE(g.neighbors(5).empty());
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 1);  // self loop
+  builder.AddEdge(1, 0);  // duplicate (reversed)
+  builder.AddEdge(0, 1);  // duplicate
+  builder.AddEdge(1, 2);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(builder.stats().input_edges, 5u);
+  EXPECT_EQ(builder.stats().self_loops_dropped, 1u);
+  EXPECT_EQ(builder.stats().duplicates_dropped, 2u);
+  // First-arrival order preserved.
+  EXPECT_EQ(g.edges()[0].u, 0u);
+  EXPECT_EQ(g.edges()[1].v, 2u);
+}
+
+TEST(GraphBuilderTest, ExplicitVertexCount) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build(100);
+  EXPECT_EQ(g.num_vertices(), 100u);
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder;
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(PermutationTest, ShuffleIsSeededPermutation) {
+  EdgeStream stream("s", 10,
+                    {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  EdgeStream a = ShuffledCopy(stream, 7);
+  EdgeStream b = ShuffledCopy(stream, 7);
+  EdgeStream c = ShuffledCopy(stream, 8);
+  EXPECT_EQ(a.size(), stream.size());
+  // Same seed -> identical order; different seed -> (almost surely) not.
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(EdgeKey(a[i]), EdgeKey(b[i]));
+  }
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (EdgeKey(a[i]) != EdgeKey(c[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+  // Multiset of edges preserved.
+  auto keys = [](const EdgeStream& s) {
+    std::vector<uint64_t> k;
+    for (const Edge& e : s) k.push_back(EdgeKey(e));
+    std::sort(k.begin(), k.end());
+    return k;
+  };
+  EXPECT_EQ(keys(a), keys(stream));
+}
+
+TEST(GraphStatsTest, TriangleStats) {
+  const Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_vertices, 3u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 2.0);
+  EXPECT_EQ(stats.num_wedges, 3u);
+  EXPECT_FALSE(FormatGraphStats("tri", stats).empty());
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/edge_hash.hpp"
+#include "hash/hash_family.hpp"
+#include "hash/tabulation.hpp"
+#include "util/statistics.hpp"
+
+namespace rept {
+namespace {
+
+TEST(FastRangeTest, StaysInRange) {
+  for (uint32_t m : {1u, 2u, 3u, 7u, 100u, 1000000u}) {
+    for (uint64_t h :
+         {0ull, 1ull, 0xffffffffffffffffull, 0x8000000000000000ull}) {
+      EXPECT_LT(FastRange(h, m), m);
+    }
+  }
+}
+
+TEST(FastRangeTest, CoversAllBuckets) {
+  // With hashes spread over the 64-bit space every bucket must be reachable.
+  const uint32_t m = 7;
+  std::vector<bool> hit(m, false);
+  for (uint64_t i = 0; i < m; ++i) {
+    const uint64_t h = (static_cast<uint64_t>(-1) / m) * i + 42;
+    hit[FastRange(h, m)] = true;
+  }
+  for (uint32_t b = 0; b < m; ++b) EXPECT_TRUE(hit[b]) << b;
+}
+
+TEST(MixEdgeHasherTest, OrientationIndependent) {
+  MixEdgeHasher hasher(1);
+  EXPECT_EQ(hasher.Hash(3, 9), hasher.Hash(9, 3));
+  EXPECT_EQ(hasher.Bucket(3, 9, 10), hasher.Bucket(9, 3, 10));
+}
+
+TEST(MixEdgeHasherTest, DeterministicPerSeed) {
+  MixEdgeHasher a(7);
+  MixEdgeHasher b(7);
+  EXPECT_EQ(a.Hash(1, 2), b.Hash(1, 2));
+}
+
+TEST(MixEdgeHasherTest, SeedsChangeMapping) {
+  MixEdgeHasher a(1);
+  MixEdgeHasher b(2);
+  int same = 0;
+  for (VertexId v = 1; v < 100; ++v) {
+    if (a.Bucket(0, v, 100) == b.Bucket(0, v, 100)) ++same;
+  }
+  EXPECT_LT(same, 15);  // ~1% expected collisions for independent maps
+}
+
+// Chi-square uniformity sweep over bucket counts and hashers. 95th
+// percentile of chi2 with (m-1) dof is roughly m-1 + 2*sqrt(2(m-1)); we test
+// against a looser 4-sigma bound to keep the (seeded, deterministic) test
+// robust.
+class HashUniformityTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HashUniformityTest, MixHasherUniformOverEdges) {
+  const uint32_t m = GetParam();
+  MixEdgeHasher hasher(123);
+  std::vector<uint64_t> counts(m, 0);
+  const int kEdges = 200000;
+  for (int i = 0; i < kEdges; ++i) {
+    const VertexId u = static_cast<VertexId>(i % 4096);
+    const VertexId v = static_cast<VertexId>(4096 + i / 7);
+    ++counts[hasher.Bucket(u, v, m)];
+  }
+  const double dof = m - 1;
+  const double bound = dof + 4.0 * std::sqrt(2.0 * dof) + 4.0;
+  EXPECT_LT(ChiSquareUniform(counts), bound) << "m=" << m;
+}
+
+TEST_P(HashUniformityTest, TabulationHasherUniformOverEdges) {
+  const uint32_t m = GetParam();
+  TabulationEdgeHasher hasher(123);
+  std::vector<uint64_t> counts(m, 0);
+  const int kEdges = 200000;
+  for (int i = 0; i < kEdges; ++i) {
+    const VertexId u = static_cast<VertexId>(i % 4096);
+    const VertexId v = static_cast<VertexId>(4096 + i / 7);
+    ++counts[hasher.Bucket(u, v, m)];
+  }
+  const double dof = m - 1;
+  const double bound = dof + 4.0 * std::sqrt(2.0 * dof) + 4.0;
+  EXPECT_LT(ChiSquareUniform(counts), bound) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, HashUniformityTest,
+                         ::testing::Values(2, 3, 10, 32, 100, 257));
+
+TEST(PairwiseIndependenceTest, CollisionRateMatchesOneOverM) {
+  // P(h(e1) == h(e2)) should be ~1/m for distinct edges.
+  const uint32_t m = 10;
+  MixEdgeHasher hasher(55);
+  int collisions = 0;
+  const int kPairs = 100000;
+  for (int i = 0; i < kPairs; ++i) {
+    const uint32_t b1 =
+        hasher.Bucket(static_cast<VertexId>(2 * i), 1000000, m);
+    const uint32_t b2 =
+        hasher.Bucket(static_cast<VertexId>(2 * i + 1), 1000000, m);
+    if (b1 == b2) ++collisions;
+  }
+  const double rate = collisions / static_cast<double>(kPairs);
+  EXPECT_NEAR(rate, 1.0 / m, 0.01);
+}
+
+TEST(TabulationTest, DeterministicAndSeedSensitive) {
+  TabulationEdgeHasher a(9);
+  TabulationEdgeHasher b(9);
+  TabulationEdgeHasher c(10);
+  EXPECT_EQ(a.Hash(5, 6), b.Hash(5, 6));
+  EXPECT_NE(a.Hash(5, 6), c.Hash(5, 6));
+  EXPECT_EQ(a.Hash(5, 6), a.Hash(6, 5));
+}
+
+TEST(HashFamilyTest, MembersIndependent) {
+  HashFamily<MixEdgeHasher> family(77);
+  const MixEdgeHasher h0 = family.MakeHasher(0);
+  const MixEdgeHasher h1 = family.MakeHasher(1);
+  int same = 0;
+  const uint32_t m = 50;
+  for (VertexId v = 1; v <= 1000; ++v) {
+    if (h0.Bucket(0, v, m) == h1.Bucket(0, v, m)) ++same;
+  }
+  // Expect ~1000/m = 20 agreements for independent members.
+  EXPECT_GT(same, 2);
+  EXPECT_LT(same, 60);
+}
+
+TEST(HashFamilyTest, Reproducible) {
+  HashFamily<MixEdgeHasher> f1(3);
+  HashFamily<MixEdgeHasher> f2(3);
+  EXPECT_EQ(f1.MakeHasher(4).Hash(1, 2), f2.MakeHasher(4).Hash(1, 2));
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,107 @@
+// Monte-Carlo validation of the *local* halves of Theorem 3: for a fixed
+// node v, tau_v_hat must be unbiased with
+//   Var(tau_v_hat) = (tau_v(m^2 - c) + 2 eta_v(m - c)) / c     (REPT, c <= m)
+//   Var(tau_v_hat) = (tau_v(m^2 - 1) + 2 eta_v(m - 1)) / c     (par. MASCOT)
+// Evaluated on the highest-tau_v node, where both terms are material.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "baselines/baseline_systems.hpp"
+#include "exact/exact_counts.hpp"
+#include "gen/holme_kim.hpp"
+#include "graph/permutation.hpp"
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+namespace {
+
+struct LocalCase {
+  std::string method;  // "rept" | "mascot"
+  uint32_t m;
+  uint32_t c;
+};
+
+class LocalVarianceTest : public ::testing::TestWithParam<LocalCase> {};
+
+TEST_P(LocalVarianceTest, HubNodeMatchesClosedForm) {
+  const LocalCase tc = GetParam();
+  EdgeStream s = gen::HolmeKim(
+      {.num_vertices = 150, .edges_per_vertex = 6, .triad_probability = 0.7},
+      61);
+  ShuffleStream(s, 62);
+  const ExactCounts exact = ComputeExactCounts(s);
+
+  // Highest-tau_v node: large enough counts for a stable variance ratio.
+  VertexId hub = 0;
+  for (VertexId v = 1; v < s.num_vertices(); ++v) {
+    if (exact.tau_v[v] > exact.tau_v[hub]) hub = v;
+  }
+  const double tau_v = static_cast<double>(exact.tau_v[hub]);
+  const double eta_v = static_cast<double>(exact.eta_v[hub]);
+  ASSERT_GT(tau_v, 50.0);
+
+  const auto system = tc.method == "rept"
+                          ? MakeRept(tc.m, tc.c)
+                          : MakeParallelMascot(tc.m, tc.c);
+  const double m = tc.m;
+  const double c = tc.c;
+  const double theory =
+      tc.method == "rept"
+          ? (tau_v * (m * m - c) + 2.0 * eta_v * (m - c)) / c
+          : (tau_v * (m * m - 1.0) + 2.0 * eta_v * (m - 1.0)) / c;
+  ASSERT_GT(theory, 0.0);
+
+  ThreadPool pool(8);
+  RunningStats stats;
+  SeedSequence seeds(7100 + tc.m * 13 + tc.c, 3);
+  const uint32_t kRuns = 500;
+  for (uint32_t r = 0; r < kRuns; ++r) {
+    stats.Add(system->Run(s, seeds.SeedFor(r), &pool).local[hub]);
+  }
+
+  // Unbiasedness of the hub estimate.
+  const double sigma_of_mean = std::sqrt(theory / kRuns);
+  EXPECT_NEAR(stats.mean(), tau_v, 4.5 * sigma_of_mean)
+      << system->Name() << " hub=" << hub;
+  // Variance against the closed form.
+  const double ratio = stats.sample_variance() / theory;
+  EXPECT_GT(ratio, 0.6) << system->Name();
+  EXPECT_LT(ratio, 1.6) << system->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formulas, LocalVarianceTest,
+    ::testing::Values(LocalCase{"rept", 4, 2}, LocalCase{"rept", 4, 4},
+                      LocalCase{"rept", 6, 3}, LocalCase{"rept", 6, 6},
+                      LocalCase{"mascot", 4, 2}, LocalCase{"mascot", 6, 3}),
+    [](const ::testing::TestParamInfo<LocalCase>& info) {
+      return info.param.method + "_m" + std::to_string(info.param.m) + "_c" +
+             std::to_string(info.param.c);
+    });
+
+TEST(LocalSumTest, LocalEstimatesSumToThreeTimesGlobalAcrossMethods) {
+  // sum_v tau_v = 3 tau holds for the truth; the MASCOT/TRIEST estimators
+  // preserve it identically per run (every counted semi-triangle adds the
+  // same weight to exactly three nodes and once globally).
+  EdgeStream s = gen::HolmeKim(
+      {.num_vertices = 120, .edges_per_vertex = 5, .triad_probability = 0.5},
+      71);
+  ShuffleStream(s, 72);
+  std::vector<std::unique_ptr<EstimatorSystem>> systems;
+  systems.push_back(MakeParallelMascot(5, 3));
+  systems.push_back(MakeParallelTriest(5, 3));
+  for (const auto& system : systems) {
+    const TriangleEstimates est = system->Run(s, 9, nullptr);
+    double sum = 0.0;
+    for (double x : est.local) sum += x;
+    EXPECT_NEAR(sum, 3.0 * est.global, 1e-6 * std::max(1.0, sum))
+        << system->Name();
+  }
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,78 @@
+#include "baselines/mascot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/exact_counts.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/regular.hpp"
+#include "graph/permutation.hpp"
+
+namespace rept {
+namespace {
+
+TEST(MascotTest, ProbabilityOneIsExact) {
+  // p = 1 stores every edge: every triangle is counted exactly once as a
+  // semi-triangle, and the 1/p^2 scaling is 1 -> exact tau and tau_v.
+  const EdgeStream s = ShuffledCopy(gen::Complete(10), 3);
+  const ExactCounts exact = ComputeExactCounts(s);
+  MascotCounter mascot(1.0, /*seed=*/1);
+  mascot.ProcessStream(s);
+  EXPECT_DOUBLE_EQ(mascot.GlobalEstimate(), static_cast<double>(exact.tau));
+  std::vector<double> local(s.num_vertices(), 0.0);
+  mascot.AccumulateLocal(local, 1.0);
+  for (VertexId v = 0; v < s.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(local[v], static_cast<double>(exact.tau_v[v]));
+  }
+}
+
+TEST(MascotTest, DeterministicPerSeed) {
+  const EdgeStream s =
+      gen::ErdosRenyi({.num_vertices = 100, .num_edges = 1500}, 5);
+  MascotCounter a(0.3, 42);
+  MascotCounter b(0.3, 42);
+  a.ProcessStream(s);
+  b.ProcessStream(s);
+  EXPECT_DOUBLE_EQ(a.GlobalEstimate(), b.GlobalEstimate());
+  EXPECT_EQ(a.StoredEdges(), b.StoredEdges());
+}
+
+TEST(MascotTest, SampleSizeConcentratesAroundPE) {
+  const EdgeStream s =
+      gen::ErdosRenyi({.num_vertices = 200, .num_edges = 5000}, 6);
+  MascotCounter mascot(0.2, 7);
+  mascot.ProcessStream(s);
+  const double expected = 0.2 * 5000;
+  EXPECT_NEAR(static_cast<double>(mascot.StoredEdges()), expected,
+              4.0 * std::sqrt(expected));  // ~4 sigma of Binomial
+}
+
+TEST(MascotTest, ScalingAppliedToEstimates) {
+  // Force-stored wedge: with p=0.5 the raw count scales by 4.
+  MascotCounter mascot(0.5, 1);
+  // Feed until a configuration with a completion happens; use raw accessor
+  // to verify the relationship estimate = raw / p^2 regardless of sampling.
+  const EdgeStream s = ShuffledCopy(gen::Complete(12), 9);
+  mascot.ProcessStream(s);
+  EXPECT_DOUBLE_EQ(mascot.GlobalEstimate(), mascot.RawGlobal() * 4.0);
+}
+
+TEST(MascotTest, FactoryProducesWorkingInstances) {
+  const EdgeStream s = ShuffledCopy(gen::Complete(8), 1);
+  MascotFactory factory(1.0);
+  auto counter = factory.Create(123, s);
+  counter->ProcessStream(s);
+  EXPECT_DOUBLE_EQ(counter->GlobalEstimate(), 56.0);  // C(8,3)
+  EXPECT_EQ(factory.MethodName(), "MASCOT");
+}
+
+TEST(MascotTest, TriangleFreeGraphGivesZero) {
+  const EdgeStream s = gen::CompleteBipartite(10, 10);
+  MascotCounter mascot(0.7, 11);
+  mascot.ProcessStream(s);
+  EXPECT_DOUBLE_EQ(mascot.GlobalEstimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rept

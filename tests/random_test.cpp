@@ -1,0 +1,116 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace rept {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  // xoshiro must not get stuck at zero state thanks to SplitMix seeding.
+  std::set<uint64_t> values;
+  for (int i = 0; i < 16; ++i) values.insert(rng.Next());
+  EXPECT_GT(values.size(), 10u);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  const uint64_t bound = 10;
+  const int draws = 100000;
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < draws; ++i) ++counts[rng.Below(bound)];
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], draws / bound, draws / bound * 0.15);
+  }
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnit) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoublePositiveNeverZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDoublePositive();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  const int draws = 100000;
+  int heads = 0;
+  for (int i = 0; i < draws; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / static_cast<double>(draws), 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Mix64Test, InjectiveOnSmallRange) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(SeedSequenceTest, ChildSeedsDecorrelated) {
+  SeedSequence seq(42);
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 1000; ++i) seeds.insert(seq.SeedFor(i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(SeedSequenceTest, SaltSeparatesFamilies) {
+  SeedSequence a(42, 1);
+  SeedSequence b(42, 2);
+  EXPECT_NE(a.SeedFor(0), b.SeedFor(0));
+}
+
+TEST(SeedSequenceTest, Deterministic) {
+  SeedSequence a(42, 7);
+  SeedSequence b(42, 7);
+  for (uint64_t i = 0; i < 16; ++i) EXPECT_EQ(a.SeedFor(i), b.SeedFor(i));
+}
+
+}  // namespace
+}  // namespace rept

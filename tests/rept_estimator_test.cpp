@@ -1,0 +1,174 @@
+#include "core/rept_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/exact_counts.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/holme_kim.hpp"
+#include "gen/regular.hpp"
+#include "graph/permutation.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+namespace {
+
+ReptConfig Config(uint32_t m, uint32_t c) {
+  ReptConfig cfg;
+  cfg.m = m;
+  cfg.c = c;
+  return cfg;
+}
+
+EdgeStream TestStream(uint64_t seed = 3) {
+  return ShuffledCopy(
+      gen::HolmeKim(
+          {.num_vertices = 300, .edges_per_vertex = 6, .triad_probability = 0.6},
+          seed),
+      seed + 1);
+}
+
+TEST(ReptEstimatorTest, NameEncodesConfig) {
+  EXPECT_EQ(ReptEstimator(Config(10, 4)).Name(), "REPT(m=10,c=4)");
+  EXPECT_EQ(ReptEstimator(Config(10, 4)).NumProcessors(), 4u);
+}
+
+TEST(ReptEstimatorTest, DeterministicPerSeed) {
+  const EdgeStream s = TestStream();
+  const ReptEstimator est(Config(5, 3));
+  const TriangleEstimates a = est.Run(s, 42, nullptr);
+  const TriangleEstimates b = est.Run(s, 42, nullptr);
+  EXPECT_DOUBLE_EQ(a.global, b.global);
+  EXPECT_EQ(a.local, b.local);
+  const TriangleEstimates c = est.Run(s, 43, nullptr);
+  EXPECT_NE(a.global, c.global);
+}
+
+TEST(ReptEstimatorTest, ThreadCountDoesNotChangeResults) {
+  const EdgeStream s = TestStream();
+  for (uint32_t c : {3u, 10u, 23u}) {  // c<m, c=2m, c>m with remainder
+    const ReptEstimator est(Config(5, c));
+    const TriangleEstimates serial = est.Run(s, 7, nullptr);
+    ThreadPool pool2(2);
+    ThreadPool pool8(8);
+    const TriangleEstimates p2 = est.Run(s, 7, &pool2);
+    const TriangleEstimates p8 = est.Run(s, 7, &pool8);
+    EXPECT_DOUBLE_EQ(serial.global, p2.global) << "c=" << c;
+    EXPECT_DOUBLE_EQ(serial.global, p8.global) << "c=" << c;
+    EXPECT_EQ(serial.local, p2.local) << "c=" << c;
+    EXPECT_EQ(serial.local, p8.local) << "c=" << c;
+  }
+}
+
+TEST(ReptEstimatorTest, FusedExecutionIsIdentical) {
+  const EdgeStream s = TestStream();
+  for (uint32_t c : {4u, 10u, 17u}) {
+    ReptConfig cfg = Config(5, c);
+    const TriangleEstimates plain = ReptEstimator(cfg).Run(s, 9, nullptr);
+    cfg.fused_groups = true;
+    const TriangleEstimates fused = ReptEstimator(cfg).Run(s, 9, nullptr);
+    EXPECT_DOUBLE_EQ(plain.global, fused.global) << "c=" << c;
+    EXPECT_EQ(plain.local, fused.local) << "c=" << c;
+  }
+}
+
+TEST(ReptEstimatorTest, LocalSumsToThreeTimesGlobalForSmallC) {
+  // For c <= m every tallied semi-triangle contributes to exactly three
+  // nodes with the same scale, so sum_v tau_v_hat = 3 tau_hat.
+  const EdgeStream s = TestStream();
+  const ReptEstimator est(Config(4, 3));
+  const TriangleEstimates e = est.Run(s, 11, nullptr);
+  double local_sum = 0.0;
+  for (double x : e.local) local_sum += x;
+  EXPECT_NEAR(local_sum, 3.0 * e.global, 1e-6 * std::max(1.0, local_sum));
+}
+
+TEST(ReptEstimatorTest, LocalSumsToThreeTimesGlobalForFullGroups) {
+  const EdgeStream s = TestStream();
+  const ReptEstimator est(Config(4, 8));  // c = 2m
+  const TriangleEstimates e = est.Run(s, 11, nullptr);
+  double local_sum = 0.0;
+  for (double x : e.local) local_sum += x;
+  EXPECT_NEAR(local_sum, 3.0 * e.global, 1e-6 * std::max(1.0, local_sum));
+}
+
+TEST(ReptEstimatorTest, DetailExposesAlgorithm2Intermediates) {
+  const EdgeStream s = TestStream();
+  const ReptEstimator est(Config(4, 10));  // c1=2, c2=2
+  const auto detail = est.RunDetailed(s, 13, nullptr);
+  EXPECT_TRUE(detail.used_combination);
+  EXPECT_EQ(detail.instance_tallies.size(), 10u);
+  EXPECT_GE(detail.w1, 0.0);
+  EXPECT_GE(detail.w2, 0.0);
+  EXPECT_GE(detail.eta_hat, 0.0);
+  // The combination is a convex mix of the two estimates.
+  const double lo = std::min(detail.tau_hat1, detail.tau_hat2);
+  const double hi = std::max(detail.tau_hat1, detail.tau_hat2);
+  EXPECT_GE(detail.estimates.global, lo - 1e-9);
+  EXPECT_LE(detail.estimates.global, hi + 1e-9);
+}
+
+TEST(ReptEstimatorTest, SmallCPathHasNoCombination) {
+  const EdgeStream s = TestStream();
+  const auto detail =
+      ReptEstimator(Config(8, 8)).RunDetailed(s, 17, nullptr);
+  EXPECT_FALSE(detail.used_combination);
+}
+
+TEST(ReptEstimatorTest, TrackLocalOffLeavesLocalEmpty) {
+  ReptConfig cfg = Config(5, 3);
+  cfg.track_local = false;
+  const TriangleEstimates e =
+      ReptEstimator(cfg).Run(TestStream(), 19, nullptr);
+  EXPECT_TRUE(e.local.empty());
+  EXPECT_GE(e.global, 0.0);
+}
+
+TEST(ReptEstimatorTest, StrictEtaOnlyAffectsCombinedPath) {
+  const EdgeStream s = TestStream();
+  // c <= m: eta plays no role, strict flag must not change anything.
+  {
+    ReptConfig cfg = Config(6, 4);
+    const double plain = ReptEstimator(cfg).Run(s, 23, nullptr).global;
+    cfg.strict_eta_pairs = true;
+    const double strict = ReptEstimator(cfg).Run(s, 23, nullptr).global;
+    EXPECT_DOUBLE_EQ(plain, strict);
+  }
+  // Combined path: eta_hat differs between the modes (estimates may differ).
+  {
+    ReptConfig cfg = Config(4, 10);
+    const auto plain = ReptEstimator(cfg).RunDetailed(s, 23, nullptr);
+    cfg.strict_eta_pairs = true;
+    const auto strict = ReptEstimator(cfg).RunDetailed(s, 23, nullptr);
+    // Paper-faithful counting registers extra (last-edge) pairs.
+    EXPECT_GE(plain.eta_hat, strict.eta_hat);
+  }
+}
+
+TEST(ReptEstimatorTest, ZeroTriangleStreamGivesZero) {
+  const EdgeStream s = gen::CompleteBipartite(30, 30);
+  for (uint32_t c : {2u, 5u, 12u}) {
+    const TriangleEstimates e =
+        ReptEstimator(Config(5, c)).Run(s, 29, nullptr);
+    EXPECT_DOUBLE_EQ(e.global, 0.0) << "c=" << c;
+    for (double x : e.local) EXPECT_DOUBLE_EQ(x, 0.0);
+  }
+}
+
+TEST(ReptEstimatorTest, CloseToTruthAtHighSamplingRate) {
+  // m=2 keeps half the edges per processor; with c=2 the estimate should be
+  // within a few relative sigma of the truth.
+  const EdgeStream s = TestStream(77);
+  const ExactCounts exact = ComputeExactCounts(s);
+  const ReptEstimator est(Config(2, 2));
+  double sum = 0.0;
+  const int runs = 20;
+  for (int r = 0; r < runs; ++r) sum += est.Run(s, 100 + r, nullptr).global;
+  const double mean = sum / runs;
+  EXPECT_NEAR(mean, static_cast<double>(exact.tau),
+              0.15 * static_cast<double>(exact.tau));
+}
+
+}  // namespace
+}  // namespace rept

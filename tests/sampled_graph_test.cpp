@@ -1,0 +1,114 @@
+#include "graph/sampled_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rept {
+namespace {
+
+TEST(SampledGraphTest, InsertContainsErase) {
+  SampledGraph g;
+  EXPECT_TRUE(g.Insert(1, 2));
+  EXPECT_TRUE(g.Contains(1, 2));
+  EXPECT_TRUE(g.Contains(2, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.Erase(2, 1));
+  EXPECT_FALSE(g.Contains(1, 2));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(SampledGraphTest, DuplicateInsertRejected) {
+  SampledGraph g;
+  EXPECT_TRUE(g.Insert(1, 2));
+  EXPECT_FALSE(g.Insert(2, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(SampledGraphTest, SelfLoopRejected) {
+  SampledGraph g;
+  EXPECT_FALSE(g.Insert(3, 3));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(SampledGraphTest, EraseMissingReturnsFalse) {
+  SampledGraph g;
+  g.Insert(1, 2);
+  EXPECT_FALSE(g.Erase(1, 3));
+  EXPECT_FALSE(g.Erase(4, 5));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(SampledGraphTest, DegreesAndActiveVertices) {
+  SampledGraph g;
+  g.Insert(0, 1);
+  g.Insert(0, 2);
+  g.Insert(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(9), 0u);
+  EXPECT_EQ(g.num_active_vertices(), 4u);
+  g.Erase(0, 1);
+  EXPECT_EQ(g.num_active_vertices(), 3u);  // vertex 1 drops out entirely
+}
+
+TEST(SampledGraphTest, CommonNeighborsOfTriangleClosingEdge) {
+  SampledGraph g;
+  // Wedge 1-0-2 plus 1-3, 2-3: common neighbors of (1,2) are {0, 3}.
+  g.Insert(0, 1);
+  g.Insert(0, 2);
+  g.Insert(1, 3);
+  g.Insert(2, 3);
+  std::vector<VertexId> common;
+  g.ForEachCommonNeighbor(1, 2, [&](VertexId w) { common.push_back(w); });
+  EXPECT_EQ(common, (std::vector<VertexId>{0, 3}));
+  EXPECT_EQ(g.CountCommonNeighbors(1, 2), 2u);
+  EXPECT_EQ(g.CountCommonNeighbors(2, 1), 2u);
+}
+
+TEST(SampledGraphTest, CommonNeighborsAbsentVertices) {
+  SampledGraph g;
+  g.Insert(0, 1);
+  EXPECT_EQ(g.CountCommonNeighbors(0, 7), 0u);
+  EXPECT_EQ(g.CountCommonNeighbors(7, 8), 0u);
+}
+
+TEST(SampledGraphTest, NeighborsSorted) {
+  SampledGraph g;
+  g.Insert(5, 9);
+  g.Insert(5, 1);
+  g.Insert(5, 4);
+  EXPECT_EQ(g.neighbors(5), (std::vector<VertexId>{1, 4, 9}));
+  EXPECT_TRUE(g.neighbors(99).empty());
+}
+
+TEST(SampledGraphTest, ClearResets) {
+  SampledGraph g;
+  g.Insert(0, 1);
+  g.Clear();
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_active_vertices(), 0u);
+  EXPECT_FALSE(g.Contains(0, 1));
+}
+
+TEST(SampledGraphTest, MemoryBytesGrowsWithEdges) {
+  SampledGraph g;
+  const size_t empty = g.MemoryBytes();
+  for (VertexId v = 1; v <= 100; ++v) g.Insert(0, v);
+  EXPECT_GT(g.MemoryBytes(), empty);
+}
+
+TEST(SampledGraphTest, TriangleCompletionScenario) {
+  // The core streaming pattern: count completions before insertion.
+  SampledGraph g;
+  g.Insert(0, 1);
+  g.Insert(0, 2);
+  // (1,2) arrives: completes triangle through 0.
+  EXPECT_EQ(g.CountCommonNeighbors(1, 2), 1u);
+  g.Insert(1, 2);
+  // (0,1) again would complete nothing new beyond w=2 already counted.
+  EXPECT_EQ(g.CountCommonNeighbors(0, 1), 1u);
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,179 @@
+#include "core/semi_triangle_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rept {
+namespace {
+
+SemiTriangleCounter::Options PairOptions(bool strict) {
+  SemiTriangleCounter::Options opts;
+  opts.track_pairs = true;
+  opts.strict_pairs = strict;
+  return opts;
+}
+
+TEST(SemiTriangleCounterTest, CountsCompletionsAgainstStoredEdges) {
+  SemiTriangleCounter counter;
+  // Store wedge 0-1, 0-2; arriving (1,2) completes one semi-triangle.
+  counter.CountArrival(0, 1);
+  counter.InsertSampled(0, 1);
+  counter.CountArrival(0, 2);
+  counter.InsertSampled(0, 2);
+  EXPECT_EQ(counter.CountArrival(1, 2), 1u);
+  EXPECT_DOUBLE_EQ(counter.global(), 1.0);
+  // Per-node tallies: u, v, and shared neighbor all get +1.
+  EXPECT_DOUBLE_EQ(counter.local().at(0), 1.0);
+  EXPECT_DOUBLE_EQ(counter.local().at(1), 1.0);
+  EXPECT_DOUBLE_EQ(counter.local().at(2), 1.0);
+}
+
+TEST(SemiTriangleCounterTest, LastEdgeNeedNotBeStored) {
+  // The defining property of semi-triangles: only the first two edges must
+  // be sampled.
+  SemiTriangleCounter counter;
+  counter.CountArrival(0, 1);
+  counter.InsertSampled(0, 1);
+  counter.CountArrival(0, 2);
+  counter.InsertSampled(0, 2);
+  counter.CountArrival(1, 2);  // NOT inserted
+  EXPECT_DOUBLE_EQ(counter.global(), 1.0);
+  EXPECT_EQ(counter.stored_edges(), 2u);
+}
+
+TEST(SemiTriangleCounterTest, UnsampledEarlyEdgesDoNotCount) {
+  SemiTriangleCounter counter;
+  counter.CountArrival(0, 1);  // not inserted
+  counter.CountArrival(0, 2);
+  counter.InsertSampled(0, 2);
+  EXPECT_EQ(counter.CountArrival(1, 2), 0u);
+  EXPECT_DOUBLE_EQ(counter.global(), 0.0);
+}
+
+TEST(SemiTriangleCounterTest, MultipleCompletionsAtOnce) {
+  SemiTriangleCounter counter;
+  for (const auto& [u, v] : std::vector<std::pair<VertexId, VertexId>>{
+           {0, 1}, {0, 2}, {3, 1}, {3, 2}}) {
+    counter.CountArrival(u, v);
+    counter.InsertSampled(u, v);
+  }
+  // (1,2) closes triangles through 0 and through 3.
+  EXPECT_EQ(counter.CountArrival(1, 2), 2u);
+  EXPECT_DOUBLE_EQ(counter.global(), 2.0);
+  EXPECT_DOUBLE_EQ(counter.local().at(1), 2.0);
+  EXPECT_DOUBLE_EQ(counter.local().at(2), 2.0);
+  EXPECT_DOUBLE_EQ(counter.local().at(0), 1.0);
+  EXPECT_DOUBLE_EQ(counter.local().at(3), 1.0);
+}
+
+TEST(SemiTriangleCounterTest, ResetClearsEverything) {
+  SemiTriangleCounter counter(PairOptions(false));
+  counter.CountArrival(0, 1);
+  counter.InsertSampled(0, 1);
+  counter.CountArrival(0, 2);
+  counter.InsertSampled(0, 2);
+  counter.CountArrival(1, 2);
+  counter.Reset();
+  EXPECT_DOUBLE_EQ(counter.global(), 0.0);
+  EXPECT_DOUBLE_EQ(counter.eta(), 0.0);
+  EXPECT_TRUE(counter.local().empty());
+  EXPECT_EQ(counter.stored_edges(), 0u);
+}
+
+TEST(SemiTriangleCounterTest, PairCountingAcrossSharedEarlyEdge) {
+  // All edges stored; stream (0,1) (0,2) (1,2) (0,3) (1,3):
+  // triangles {0,1,2} then {0,1,3} share early edge (0,1) -> eta = 1.
+  SemiTriangleCounter counter(PairOptions(/*strict=*/true));
+  for (const auto& [u, v] : std::vector<std::pair<VertexId, VertexId>>{
+           {0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}}) {
+    counter.CountArrival(u, v);
+    counter.InsertSampled(u, v);
+  }
+  EXPECT_DOUBLE_EQ(counter.global(), 2.0);
+  EXPECT_DOUBLE_EQ(counter.eta(), 1.0);
+  // Pair is incident to 0 and 1 only.
+  EXPECT_DOUBLE_EQ(counter.eta_local().at(0), 1.0);
+  EXPECT_DOUBLE_EQ(counter.eta_local().at(1), 1.0);
+  EXPECT_EQ(counter.eta_local().count(2), 0u);
+  EXPECT_EQ(counter.eta_local().count(3), 0u);
+}
+
+TEST(SemiTriangleCounterTest, StrictModeExcludesLastEdgePairs) {
+  // Shared edge (0,1) arrives LAST: with strict pair counting no pair forms.
+  SemiTriangleCounter strict(PairOptions(/*strict=*/true));
+  for (const auto& [u, v] : std::vector<std::pair<VertexId, VertexId>>{
+           {0, 2}, {1, 2}, {0, 3}, {1, 3}, {0, 1}}) {
+    strict.CountArrival(u, v);
+    strict.InsertSampled(u, v);
+  }
+  EXPECT_DOUBLE_EQ(strict.global(), 2.0);
+  EXPECT_DOUBLE_EQ(strict.eta(), 0.0);
+}
+
+TEST(SemiTriangleCounterTest, PaperModeCountsInitializedPairs) {
+  // Same stream as above. Paper-faithful initialization registers both
+  // triangles on edge (0,1) when it is inserted (tau_(0,1) <- 2); a later
+  // triangle through (0,1) would pair with them. Extend the stream so a new
+  // triangle {0,1,4} forms with (0,1) early:
+  //   (0,2)(1,2)(0,3)(1,3)(0,1)(0,4)(1,4)
+  // Paper mode: {0,1,4} pairs with {0,1,2} and {0,1,3} through (0,1) even
+  // though (0,1) was the last edge of those two -> eta = 2.
+  // Strict mode: those pairs are excluded -> eta = 0.
+  const std::vector<std::pair<VertexId, VertexId>> stream = {
+      {0, 2}, {1, 2}, {0, 3}, {1, 3}, {0, 1}, {0, 4}, {1, 4}};
+  SemiTriangleCounter paper(PairOptions(/*strict=*/false));
+  SemiTriangleCounter strict(PairOptions(/*strict=*/true));
+  for (const auto& [u, v] : stream) {
+    paper.CountArrival(u, v);
+    paper.InsertSampled(u, v);
+    strict.CountArrival(u, v);
+    strict.InsertSampled(u, v);
+  }
+  EXPECT_DOUBLE_EQ(paper.global(), 3.0);
+  EXPECT_DOUBLE_EQ(strict.global(), 3.0);
+  EXPECT_DOUBLE_EQ(paper.eta(), 2.0);
+  EXPECT_DOUBLE_EQ(strict.eta(), 0.0);
+}
+
+TEST(SemiTriangleCounterTest, EraseSampledRemovesEdgeAndPairCounter) {
+  SemiTriangleCounter counter(PairOptions(false));
+  counter.CountArrival(0, 1);
+  counter.InsertSampled(0, 1);
+  counter.EraseSampled(0, 1);
+  EXPECT_EQ(counter.stored_edges(), 0u);
+  counter.CountArrival(0, 2);
+  counter.InsertSampled(0, 2);
+  // (1,2) completes nothing: (0,1) was erased.
+  EXPECT_EQ(counter.CountArrival(1, 2), 0u);
+}
+
+TEST(SemiTriangleCounterTest, AccumulateLocalAppliesWeight) {
+  SemiTriangleCounter counter;
+  counter.CountArrival(0, 1);
+  counter.InsertSampled(0, 1);
+  counter.CountArrival(0, 2);
+  counter.InsertSampled(0, 2);
+  counter.CountArrival(1, 2);
+  std::vector<double> acc(3, 0.0);
+  counter.AccumulateLocal(acc, 10.0);
+  EXPECT_DOUBLE_EQ(acc[0], 10.0);
+  EXPECT_DOUBLE_EQ(acc[1], 10.0);
+  EXPECT_DOUBLE_EQ(acc[2], 10.0);
+}
+
+TEST(SemiTriangleCounterTest, LocalTrackingOptional) {
+  SemiTriangleCounter::Options opts;
+  opts.track_local = false;
+  SemiTriangleCounter counter(opts);
+  counter.CountArrival(0, 1);
+  counter.InsertSampled(0, 1);
+  counter.CountArrival(0, 2);
+  counter.InsertSampled(0, 2);
+  counter.CountArrival(1, 2);
+  EXPECT_DOUBLE_EQ(counter.global(), 1.0);
+  EXPECT_TRUE(counter.local().empty());
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,113 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rept {
+namespace {
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.sample_variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i * 0.1;
+    all.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(ErrorStatsTest, PerfectEstimatorHasZeroError) {
+  ErrorStats stats(100.0);
+  for (int i = 0; i < 5; ++i) stats.AddEstimate(100.0);
+  EXPECT_DOUBLE_EQ(stats.mse(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.nrmse(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.relative_bias(), 0.0);
+}
+
+TEST(ErrorStatsTest, KnownNrmse) {
+  // Estimates 90 and 110 around truth 100: MSE = 100, RMSE = 10, NRMSE 0.1.
+  ErrorStats stats(100.0);
+  stats.AddEstimate(90.0);
+  stats.AddEstimate(110.0);
+  EXPECT_DOUBLE_EQ(stats.mse(), 100.0);
+  EXPECT_DOUBLE_EQ(stats.rmse(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.nrmse(), 0.1);
+  EXPECT_DOUBLE_EQ(stats.relative_bias(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_estimate(), 100.0);
+}
+
+TEST(ErrorStatsTest, BiasDetected) {
+  ErrorStats stats(100.0);
+  stats.AddEstimate(120.0);
+  stats.AddEstimate(120.0);
+  EXPECT_DOUBLE_EQ(stats.relative_bias(), 0.2);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 5.0);
+}
+
+TEST(ChiSquareTest, UniformCountsGiveSmallStatistic) {
+  std::vector<uint64_t> counts(10, 1000);
+  EXPECT_DOUBLE_EQ(ChiSquareUniform(counts), 0.0);
+}
+
+TEST(ChiSquareTest, SkewedCountsGiveLargeStatistic) {
+  std::vector<uint64_t> counts = {10000, 0, 0, 0};
+  // Expected 2500 each: chi2 = (7500^2 + 3*2500^2)/2500 = 30000.
+  EXPECT_DOUBLE_EQ(ChiSquareUniform(counts), 30000.0);
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,129 @@
+#include "graph/stream_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rept {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(StreamIoTest, TextRoundTrip) {
+  const std::string path = TempPath("rt.txt");
+  EdgeStream stream("rt", 4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(SaveEdgeListText(stream, path).ok());
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->num_vertices(), 4u);
+  EXPECT_EQ(EdgeKey((*loaded)[0]), EdgeKey(0, 1));
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, TextRemapsSparseIds) {
+  const std::string path = TempPath("sparse.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "1000 2000\n";
+    out << "2000 3000\n";
+  }
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  // Ids remapped to 0,1,2 in first-appearance order.
+  EXPECT_EQ(loaded->num_vertices(), 3u);
+  EXPECT_EQ((*loaded)[0].u, 0u);
+  EXPECT_EQ((*loaded)[0].v, 1u);
+  EXPECT_EQ((*loaded)[1].u, 1u);
+  EXPECT_EQ((*loaded)[1].v, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, TextDedupes) {
+  const std::string path = TempPath("dupes.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n1 0\n0 1\n1 2\n";
+  }
+  auto deduped = LoadEdgeListText(path, /*dedupe=*/true);
+  ASSERT_TRUE(deduped.ok());
+  EXPECT_EQ(deduped->size(), 2u);
+  auto raw = LoadEdgeListText(path, /*dedupe=*/false);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, MissingFileIsIOError) {
+  auto result = LoadEdgeListText("/definitely/not/here.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(StreamIoTest, MalformedLineIsCorruption) {
+  const std::string path = TempPath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot numbers\n";
+  }
+  auto result = LoadEdgeListText(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, BinaryRoundTrip) {
+  const std::string path = TempPath("rt.bin");
+  EdgeStream stream("rt", 1000, {{0, 999}, {5, 7}, {7, 5}});
+  ASSERT_TRUE(SaveEdgeListBinary(stream, path).ok());
+  auto loaded = LoadEdgeListBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), 1000u);
+  ASSERT_EQ(loaded->size(), 3u);
+  // Binary round trip preserves exact endpoints and order.
+  EXPECT_EQ((*loaded)[0].u, 0u);
+  EXPECT_EQ((*loaded)[0].v, 999u);
+  EXPECT_EQ((*loaded)[2].u, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, BinaryBadMagicIsCorruption) {
+  const std::string path = TempPath("badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GARBAGEGARBAGEGARBAGE";
+  }
+  auto result = LoadEdgeListBinary(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIoTest, BinaryTruncationDetected) {
+  const std::string good = TempPath("trunc_src.bin");
+  EdgeStream stream("t", 10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  ASSERT_TRUE(SaveEdgeListBinary(stream, good).ok());
+  // Truncate the file mid-edges.
+  std::string content;
+  {
+    std::ifstream in(good, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::string bad = TempPath("trunc.bin");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() - 5));
+  }
+  auto result = LoadEdgeListBinary(bad);
+  EXPECT_FALSE(result.ok());
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+}  // namespace
+}  // namespace rept

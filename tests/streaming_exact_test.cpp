@@ -1,0 +1,84 @@
+#include "exact/streaming_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/exact_counts.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/holme_kim.hpp"
+#include "gen/regular.hpp"
+#include "graph/permutation.hpp"
+#include "test_util.hpp"
+
+namespace rept {
+namespace {
+
+void ExpectMatchesBatch(const EdgeStream& stream) {
+  StreamingExactCounter streaming(stream.num_vertices());
+  streaming.ProcessStream(stream);
+  const ExactCounts batch = ComputeExactCounts(stream);
+  EXPECT_EQ(streaming.tau(), batch.tau);
+  EXPECT_EQ(streaming.eta(), batch.eta);
+  for (VertexId v = 0; v < stream.num_vertices(); ++v) {
+    EXPECT_EQ(streaming.tau_v(v), batch.tau_v[v]) << "v=" << v;
+    EXPECT_EQ(streaming.eta_v(v), batch.eta_v[v]) << "v=" << v;
+  }
+}
+
+TEST(StreamingExactTest, CompleteGraph) { ExpectMatchesBatch(gen::Complete(8)); }
+
+TEST(StreamingExactTest, Wheel) { ExpectMatchesBatch(gen::Wheel(9)); }
+
+TEST(StreamingExactTest, TriangleFree) {
+  ExpectMatchesBatch(gen::CompleteBipartite(5, 5));
+  StreamingExactCounter counter(10);
+  counter.ProcessStream(gen::CompleteBipartite(5, 5));
+  EXPECT_EQ(counter.tau(), 0u);
+}
+
+class StreamingExactRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingExactRandomTest, MatchesBatchOnShuffledRandomGraphs) {
+  const uint64_t seed = GetParam();
+  EdgeStream s =
+      gen::ErdosRenyi({.num_vertices = 40, .num_edges = 250}, seed);
+  ShuffleStream(s, seed + 100);
+  ExpectMatchesBatch(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingExactRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(StreamingExactTest, ClusteredGraph) {
+  ExpectMatchesBatch(gen::HolmeKim(
+      {.num_vertices = 60, .edges_per_vertex = 4, .triad_probability = 0.9},
+      3));
+}
+
+TEST(StreamingExactTest, SelfLoopsIgnored) {
+  StreamingExactCounter counter(3);
+  counter.ProcessEdge(0, 0);
+  counter.ProcessEdge(0, 1);
+  counter.ProcessEdge(1, 2);
+  counter.ProcessEdge(0, 2);
+  EXPECT_EQ(counter.tau(), 1u);
+}
+
+TEST(StreamingExactTest, EtaTrackingOptional) {
+  StreamingExactCounter counter(5, /*track_eta=*/false);
+  counter.ProcessStream(gen::Complete(5));
+  EXPECT_EQ(counter.tau(), 10u);
+  EXPECT_EQ(counter.eta(), 0u);  // untracked stays zero
+}
+
+TEST(StreamingExactTest, MatchesBruteForceDirectly) {
+  const EdgeStream s = gen::ErdosRenyi(
+      {.num_vertices = 20, .num_edges = 120}, 77);
+  StreamingExactCounter counter(s.num_vertices());
+  counter.ProcessStream(s);
+  const auto brute = testing::BruteForce(s);
+  EXPECT_EQ(counter.tau(), brute.tau);
+  EXPECT_EQ(counter.eta(), brute.eta);
+}
+
+}  // namespace
+}  // namespace rept

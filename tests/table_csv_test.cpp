@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace rept {
+namespace {
+
+TEST(TablePrinterTest, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::FormatDouble(0.125), "0.125");
+  EXPECT_EQ(TablePrinter::FormatDouble(1234567.0, 3), "1.23e+06");
+  EXPECT_EQ(TablePrinter::FormatSci(0.000123, 2), "1.23e-04");
+}
+
+TEST(CsvWriterTest, PlainRows) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"1", "2"});
+  EXPECT_EQ(csv.ToString(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecials) {
+  CsvWriter csv({"text"});
+  csv.AddRow({"has,comma"});
+  csv.AddRow({"has\"quote"});
+  const std::string out = csv.ToString();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/rept_csv_test.csv";
+  CsvWriter csv({"x"});
+  csv.AddRow({"42"});
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, BadPathFails) {
+  CsvWriter csv({"x"});
+  EXPECT_FALSE(csv.WriteFile("/nonexistent-dir/foo.csv").ok());
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,125 @@
+// Shared test helpers: independent brute-force reference implementations of
+// tau / tau_v / eta / eta_v. Deliberately naive (O(n^3) / O(T^2)) so they
+// share no code or algorithmic ideas with the library implementations they
+// validate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/edge_stream.hpp"
+#include "graph/types.hpp"
+
+namespace rept::testing {
+
+struct BruteForceCounts {
+  uint64_t tau = 0;
+  std::vector<uint64_t> tau_v;
+  uint64_t eta = 0;
+  std::vector<uint64_t> eta_v;
+};
+
+struct BruteTriangle {
+  VertexId a, b, c;             // sorted vertex ids
+  uint64_t arrivals[3];         // arrival indices of edges ab, ac, bc
+  uint64_t last_arrival;        // max of arrivals
+};
+
+/// O(n^3)-ish triangle enumeration from an adjacency matrix built off the
+/// stream, plus O(T^2) eta pair counting straight from the definition.
+inline BruteForceCounts BruteForce(const EdgeStream& stream) {
+  const size_t n = stream.num_vertices();
+  BruteForceCounts out;
+  out.tau_v.assign(n, 0);
+  out.eta_v.assign(n, 0);
+
+  // Edge -> first arrival index (ignores duplicates like GraphBuilder does).
+  std::map<std::pair<VertexId, VertexId>, uint64_t> arrival;
+  uint64_t index = 0;
+  for (const Edge& e : stream) {
+    if (e.u != e.v) {
+      const auto key = std::minmax(e.u, e.v);
+      arrival.emplace(key, index);
+    }
+    ++index;
+  }
+  std::vector<std::set<VertexId>> adj(n);
+  for (const auto& [key, idx] : arrival) {
+    adj[key.first].insert(key.second);
+    adj[key.second].insert(key.first);
+  }
+
+  std::vector<BruteTriangle> triangles;
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b : adj[a]) {
+      if (b <= a) continue;
+      for (VertexId c : adj[b]) {
+        if (c <= b) continue;
+        if (adj[a].count(c) == 0) continue;
+        BruteTriangle t;
+        t.a = a;
+        t.b = b;
+        t.c = c;
+        t.arrivals[0] = arrival.at({a, b});
+        t.arrivals[1] = arrival.at({a, c});
+        t.arrivals[2] = arrival.at({b, c});
+        t.last_arrival =
+            std::max({t.arrivals[0], t.arrivals[1], t.arrivals[2]});
+        triangles.push_back(t);
+        ++out.tau;
+        ++out.tau_v[a];
+        ++out.tau_v[b];
+        ++out.tau_v[c];
+      }
+    }
+  }
+
+  // eta straight from the definition: pairs of distinct triangles sharing an
+  // edge g with g the last stream edge of neither.
+  auto edges_of = [](const BruteTriangle& t) {
+    return std::vector<std::pair<std::pair<VertexId, VertexId>, uint64_t>>{
+        {{t.a, t.b}, t.arrivals[0]},
+        {{t.a, t.c}, t.arrivals[1]},
+        {{t.b, t.c}, t.arrivals[2]}};
+  };
+  for (size_t i = 0; i < triangles.size(); ++i) {
+    for (size_t j = i + 1; j < triangles.size(); ++j) {
+      for (const auto& [ge, ga] : edges_of(triangles[i])) {
+        for (const auto& [he, ha] : edges_of(triangles[j])) {
+          if (ge != he) continue;
+          // Shared edge found (triangle pairs share at most one edge).
+          if (ga != triangles[i].last_arrival &&
+              ha != triangles[j].last_arrival) {
+            ++out.eta;
+            // eta_v: pairs of triangles both containing v. The shared edge
+            // is incident to v for distinct triangles.
+            const VertexId shared_u = ge.first;
+            const VertexId shared_v = ge.second;
+            // v must be in both triangles: v in {a,b,c} of both.
+            for (VertexId v : {shared_u, shared_v}) {
+              auto contains = [v](const BruteTriangle& t) {
+                return t.a == v || t.b == v || t.c == v;
+              };
+              if (contains(triangles[i]) && contains(triangles[j])) {
+                ++out.eta_v[v];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Builds a small stream by hand.
+inline EdgeStream MakeStream(VertexId num_vertices,
+                             std::vector<Edge> edges,
+                             std::string name = "manual") {
+  return EdgeStream(std::move(name), num_vertices, std::move(edges));
+}
+
+}  // namespace rept::testing

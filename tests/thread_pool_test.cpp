@@ -1,0 +1,82 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rept {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const size_t count = 1000;
+  std::vector<std::atomic<int>> hits(count);
+  ParallelFor(pool, count, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, CountSmallerThanThreads) {
+  ThreadPool pool(16);
+  std::atomic<int> sum{0};
+  ParallelFor(pool, 3, [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ParallelForTest, ZeroAndOneCounts) {
+  ThreadPool pool(4);
+  int calls = 0;
+  ParallelFor(pool, 0, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(pool, 1, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, TransientPoolOverload) {
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(/*threads=*/4, 64, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, SerialFallbackSingleThread) {
+  // threads == 1 must not spawn a pool; order is then sequential.
+  std::vector<size_t> order;
+  ParallelFor(/*threads=*/1, 5, [&order](size_t i) { order.push_back(i); });
+  const std::vector<size_t> expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,105 @@
+// Statistical property tests: every estimator system must be (nearly)
+// unbiased. For each configuration we average R independent runs on a fixed
+// stream and require |mean - tau| within a CLT band derived from the
+// empirical spread (and, where available, the paper's closed-form variance).
+// Seeds are fixed, so these tests are deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "baselines/baseline_systems.hpp"
+#include "core/variance.hpp"
+#include "exact/exact_counts.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "graph/permutation.hpp"
+#include "util/random.hpp"
+#include "util/statistics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+namespace {
+
+struct UnbiasednessCase {
+  std::string method;  // "rept", "mascot", "triest", "gps"
+  uint32_t m;
+  uint32_t c;
+  uint32_t runs;
+  // Bias tolerance in sigma-of-the-mean units (looser for data-dependent
+  // weighting / weighted sampling schemes).
+  double sigmas;
+};
+
+std::unique_ptr<EstimatorSystem> MakeSystem(const UnbiasednessCase& tc) {
+  if (tc.method == "rept") return MakeRept(tc.m, tc.c, /*track_local=*/false);
+  if (tc.method == "mascot") {
+    return MakeParallelMascot(tc.m, tc.c, /*track_local=*/false);
+  }
+  if (tc.method == "triest") {
+    return MakeParallelTriest(tc.m, tc.c, /*track_local=*/false);
+  }
+  return MakeParallelGps(tc.m, tc.c, /*track_local=*/false);
+}
+
+class UnbiasednessTest : public ::testing::TestWithParam<UnbiasednessCase> {};
+
+TEST_P(UnbiasednessTest, MeanEstimateMatchesTruth) {
+  const UnbiasednessCase tc = GetParam();
+  EdgeStream s = gen::ErdosRenyi({.num_vertices = 60, .num_edges = 500}, 21);
+  ShuffleStream(s, 22);
+  const ExactCounts exact = ComputeExactCounts(s);
+  ASSERT_GT(exact.tau, 100u);
+
+  const auto system = MakeSystem(tc);
+  ThreadPool pool(8);
+  RunningStats stats;
+  SeedSequence seeds(9000 + tc.m * 131 + tc.c, 77);
+  for (uint32_t r = 0; r < tc.runs; ++r) {
+    stats.Add(system->Run(s, seeds.SeedFor(r), &pool).global);
+  }
+
+  const double tau = static_cast<double>(exact.tau);
+  // Prefer the closed-form sigma where the paper provides one; fall back to
+  // the empirical spread otherwise.
+  double run_variance = stats.sample_variance();
+  if (tc.method == "rept") {
+    run_variance = variance::Rept(tau, static_cast<double>(exact.eta), tc.m,
+                                  tc.c);
+  } else if (tc.method == "mascot") {
+    run_variance = variance::ParallelMascot(
+        tau, static_cast<double>(exact.eta), tc.m, tc.c);
+  }
+  const double sigma_of_mean = std::sqrt(run_variance / tc.runs);
+  EXPECT_NEAR(stats.mean(), tau, tc.sigmas * sigma_of_mean + 1e-9)
+      << system->Name() << " mean=" << stats.mean() << " tau=" << tau
+      << " sigma_of_mean=" << sigma_of_mean;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, UnbiasednessTest,
+    ::testing::Values(
+        // REPT Algorithm 1 (c < m, c = m).
+        UnbiasednessCase{"rept", 5, 3, 300, 4.0},
+        UnbiasednessCase{"rept", 5, 5, 300, 4.0},
+        UnbiasednessCase{"rept", 10, 4, 300, 4.0},
+        // REPT full groups (c = c1 * m).
+        UnbiasednessCase{"rept", 5, 10, 300, 4.0},
+        UnbiasednessCase{"rept", 4, 12, 300, 4.0},
+        // REPT Algorithm 2 (remainder group; plug-in weights add a small
+        // data-dependent bias, hence the looser band).
+        UnbiasednessCase{"rept", 5, 13, 300, 6.0},
+        UnbiasednessCase{"rept", 4, 7, 300, 6.0},
+        UnbiasednessCase{"rept", 3, 8, 300, 6.0},
+        // Baselines.
+        UnbiasednessCase{"mascot", 5, 4, 300, 4.0},
+        UnbiasednessCase{"mascot", 10, 2, 300, 4.0},
+        UnbiasednessCase{"triest", 5, 4, 300, 5.0},
+        UnbiasednessCase{"gps", 5, 4, 300, 6.0}),
+    [](const ::testing::TestParamInfo<UnbiasednessCase>& info) {
+      return info.param.method + "_m" + std::to_string(info.param.m) + "_c" +
+             std::to_string(info.param.c);
+    });
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,98 @@
+#include "core/variance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/combiner.hpp"
+
+namespace rept {
+namespace {
+
+TEST(VarianceTest, MascotSingleMatchesLemma) {
+  // tau(m^2-1) + 2 eta(m-1) at m=10, tau=100, eta=1000:
+  // 100*99 + 2000*9 = 9900 + 18000 = 27900.
+  EXPECT_DOUBLE_EQ(variance::MascotSingle(100, 1000, 10), 27900.0);
+}
+
+TEST(VarianceTest, ParallelMascotDividesByC) {
+  EXPECT_DOUBLE_EQ(variance::ParallelMascot(100, 1000, 10, 4),
+                   27900.0 / 4.0);
+}
+
+TEST(VarianceTest, ReptSmallCFormula) {
+  // (tau(m^2-c) + 2 eta(m-c))/c at m=10, c=4: (100*96 + 2000*6)/4 = 5400.
+  EXPECT_DOUBLE_EQ(variance::ReptSmallC(100, 1000, 10, 4), 5400.0);
+}
+
+TEST(VarianceTest, ReptAtCEqualsMEliminatesCovariance) {
+  // c = m: variance collapses to tau(m-1), independent of eta.
+  EXPECT_DOUBLE_EQ(variance::ReptSmallC(100, 1000, 10, 10), 900.0);
+  EXPECT_DOUBLE_EQ(variance::ReptSmallC(100, 999999, 10, 10), 900.0);
+  EXPECT_DOUBLE_EQ(variance::ReptFullGroups(100, 10, 1), 900.0);
+}
+
+TEST(VarianceTest, DispatchContinuityAtGroupBoundaries) {
+  // Rept(c=m) must agree through both formulas.
+  EXPECT_DOUBLE_EQ(variance::Rept(100, 1000, 10, 10),
+                   variance::ReptFullGroups(100, 10, 1));
+  // c = 2m: two groups.
+  EXPECT_DOUBLE_EQ(variance::Rept(100, 1000, 10, 20),
+                   variance::ReptFullGroups(100, 10, 2));
+}
+
+TEST(VarianceTest, ReptCombinedCaseIsBelowBothComponents) {
+  const double tau = 100, eta = 1000, m = 10, c = 25;  // c1=2, c2=5
+  const double v1 = variance::ReptFullGroups(tau, m, 2);
+  const double v2 = variance::ReptRemainderGroup(tau, eta, m, 5);
+  const double v = variance::Rept(tau, eta, m, c);
+  EXPECT_LT(v, v1);
+  EXPECT_LT(v, v2);
+  EXPECT_DOUBLE_EQ(v, v1 * v2 / (v1 + v2));
+}
+
+TEST(VarianceTest, ReptAlwaysBeatsParallelMascot) {
+  // The paper's headline claim, checked across a grid.
+  for (double m : {2.0, 5.0, 10.0, 100.0}) {
+    for (double c = 1; c <= 3 * m; ++c) {
+      const double rept = variance::Rept(500, 50000, m, c);
+      const double mascot = variance::ParallelMascot(500, 50000, m, c);
+      EXPECT_LE(rept, mascot) << "m=" << m << " c=" << c;
+    }
+  }
+}
+
+TEST(VarianceTest, MascotTermsMatchFigure1Definition) {
+  const auto terms = variance::MascotTerms(100, 1000, 0.1);
+  EXPECT_DOUBLE_EQ(terms.tau_term, 100 * 99.0);
+  EXPECT_DOUBLE_EQ(terms.eta_term, 2 * 1000 * 9.0);
+  // Sum equals single-instance MASCOT variance with m = 1/p.
+  EXPECT_DOUBLE_EQ(terms.tau_term + terms.eta_term,
+                   variance::MascotSingle(100, 1000, 10));
+}
+
+TEST(VarianceTest, CombinedDegenerate) {
+  EXPECT_DOUBLE_EQ(variance::Combined(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(variance::Combined(4.0, 4.0), 2.0);
+}
+
+TEST(GraybillDealTest, WeightsInvertCorrectly) {
+  // Smaller variance estimate dominates: x1 has variance 1, x2 variance 9;
+  // combination = (9*x1 + 1*x2)/10.
+  const CombinedEstimate r = GraybillDeal(10.0, 1.0, 20.0, 9.0, 1, 1);
+  EXPECT_TRUE(r.weighted);
+  EXPECT_DOUBLE_EQ(r.value, (9.0 * 10.0 + 1.0 * 20.0) / 10.0);
+}
+
+TEST(GraybillDealTest, FallbackWhenWeightsVanish) {
+  const CombinedEstimate r = GraybillDeal(2.0, 0.0, 6.0, 0.0, 30, 10);
+  EXPECT_FALSE(r.weighted);
+  EXPECT_DOUBLE_EQ(r.value, (30 * 2.0 + 10 * 6.0) / 40.0);
+}
+
+TEST(GraybillDealTest, ZeroVarianceMeansExact) {
+  // If x1 is exact (w1=0) the combination returns x1 regardless of x2.
+  const CombinedEstimate r = GraybillDeal(5.0, 0.0, 100.0, 50.0, 1, 1);
+  EXPECT_DOUBLE_EQ(r.value, 5.0);
+}
+
+}  // namespace
+}  // namespace rept

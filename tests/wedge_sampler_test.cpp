@@ -1,0 +1,91 @@
+#include "baselines/wedge_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exact/exact_counts.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/holme_kim.hpp"
+#include "gen/regular.hpp"
+#include "graph/graph_builder.hpp"
+
+namespace rept {
+namespace {
+
+Graph FromStream(const EdgeStream& s) {
+  GraphBuilder builder;
+  builder.AddEdges(s.edges());
+  return builder.Build(s.num_vertices());
+}
+
+TEST(WedgeSamplerTest, CompleteGraphAllWedgesClosed) {
+  const Graph g = FromStream(gen::Complete(10));
+  const WedgeSampler sampler(g);
+  // W = n * C(n-1, 2) = 10 * 36 = 360; every wedge closed.
+  EXPECT_DOUBLE_EQ(sampler.total_wedges(), 360.0);
+  EXPECT_DOUBLE_EQ(sampler.EstimateClosureRate(500, 1), 1.0);
+  // tau = W/3 = 120 = C(10,3).
+  EXPECT_DOUBLE_EQ(sampler.EstimateGlobal(500, 1), 120.0);
+}
+
+TEST(WedgeSamplerTest, TriangleFreeGraphEstimatesZero) {
+  const Graph g = FromStream(gen::CompleteBipartite(8, 8));
+  const WedgeSampler sampler(g);
+  EXPECT_GT(sampler.total_wedges(), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.EstimateGlobal(1000, 2), 0.0);
+}
+
+TEST(WedgeSamplerTest, StarHasWedgesNoTriangles) {
+  const Graph g = FromStream(gen::Star(20));
+  const WedgeSampler sampler(g);
+  EXPECT_DOUBLE_EQ(sampler.total_wedges(), 190.0);  // C(20,2)
+  EXPECT_DOUBLE_EQ(sampler.EstimateGlobal(300, 3), 0.0);
+}
+
+TEST(WedgeSamplerTest, DeterministicPerSeed) {
+  const Graph g = FromStream(gen::HolmeKim(
+      {.num_vertices = 200, .edges_per_vertex = 4, .triad_probability = 0.6},
+      4));
+  const WedgeSampler sampler(g);
+  EXPECT_DOUBLE_EQ(sampler.EstimateGlobal(100, 7),
+                   sampler.EstimateGlobal(100, 7));
+}
+
+TEST(WedgeSamplerTest, ConvergesToExactCount) {
+  const EdgeStream s = gen::HolmeKim(
+      {.num_vertices = 300, .edges_per_vertex = 6, .triad_probability = 0.7},
+      5);
+  const Graph g = FromStream(s);
+  const ExactCounts exact = ComputeExactCounts(s, /*with_eta=*/false);
+  const WedgeSampler sampler(g);
+  // Binomial sampling: sd of the estimate <= W/3 * 0.5/sqrt(k).
+  const uint64_t k = 40000;
+  const double est = sampler.EstimateGlobal(k, 6);
+  const double bound =
+      4.0 * (sampler.total_wedges() / 3.0) * 0.5 / std::sqrt(double(k));
+  EXPECT_NEAR(est, static_cast<double>(exact.tau), bound);
+}
+
+TEST(WedgeSamplerTest, MeanOverSeedsUnbiased) {
+  const EdgeStream s =
+      gen::ErdosRenyi({.num_vertices = 60, .num_edges = 500}, 8);
+  const Graph g = FromStream(s);
+  const ExactCounts exact = ComputeExactCounts(s, /*with_eta=*/false);
+  const WedgeSampler sampler(g);
+  double sum = 0.0;
+  const int runs = 200;
+  for (int r = 0; r < runs; ++r) sum += sampler.EstimateGlobal(200, 100 + r);
+  EXPECT_NEAR(sum / runs, static_cast<double>(exact.tau),
+              0.1 * static_cast<double>(exact.tau));
+}
+
+TEST(WedgeSamplerTest, EmptyGraphSafe) {
+  const Graph g(5, {});
+  const WedgeSampler sampler(g);
+  EXPECT_DOUBLE_EQ(sampler.total_wedges(), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.EstimateGlobal(10, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace rept
