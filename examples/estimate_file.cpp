@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
   flags.AddUint64("topk", &topk, "how many top-local nodes to print");
   flags.AddBool("exact", &exact, "also compute exact counts for comparison");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
-    return st.code() == rept::StatusCode::kNotFound ? 0 : 2;
+    if (st.code() == rept::StatusCode::kNotFound) return 0;  // --help
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
   }
 
   if (input.empty()) {

@@ -72,7 +72,9 @@ int main(int argc, char** argv) {
   flags.AddDouble("threshold", &threshold,
                   "flag intervals this many times above the running median");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
-    return st.code() == rept::StatusCode::kNotFound ? 0 : 2;
+    if (st.code() == rept::StatusCode::kNotFound) return 0;  // --help
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
   }
 
   rept::ReptConfig config;

@@ -52,7 +52,9 @@ int main(int argc, char** argv) {
   flags.AddUint64("c", &c, "processors");
   flags.AddUint64("seed", &seed, "seed");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
-    return st.code() == rept::StatusCode::kNotFound ? 0 : 2;
+    if (st.code() == rept::StatusCode::kNotFound) return 0;  // --help
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
   }
 
   const auto stream =

@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
   flags.AddUint64("seed", &seed, "hash/rng seed");
   flags.AddString("dataset", &dataset, "synthetic stand-in name");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
-    return st.code() == rept::StatusCode::kNotFound ? 0 : 2;
+    if (st.code() == rept::StatusCode::kNotFound) return 0;  // --help
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
   }
 
   // 1. A graph stream: sequence of undirected edges in arrival order.

@@ -60,6 +60,12 @@ class Status {
 
 /// \brief Either a value or an error Status. Value access on an error status
 /// aborts, mirroring the checked-access convention of Arrow's Result.
+// GCC 12 -O2 falsely reports the variant's string member as
+// maybe-uninitialized when ~Result is inlined (GCC PR 105562 family).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 template <typename T>
 class Result {
  public:
@@ -97,6 +103,9 @@ class Result {
  private:
   std::variant<T, Status> value_;
 };
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace rept
 

@@ -1,0 +1,65 @@
+#include "core/combiner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rept {
+namespace {
+
+TEST(CombinerTest, MatchesHandComputedCombination) {
+  // x = (w2*x1 + w1*x2)/(w1 + w2) = (6*10 + 2*20)/8 = 12.5.
+  const CombinedEstimate c = GraybillDeal(10.0, 2.0, 20.0, 6.0, 3.0, 1.0);
+  EXPECT_TRUE(c.weighted);
+  EXPECT_DOUBLE_EQ(c.value, 12.5);
+}
+
+TEST(CombinerTest, WeightsSumToOne) {
+  // The implied weights a1 = w2/(w1+w2), a2 = w1/(w1+w2) form a convex
+  // combination: recover them from two probe runs and check a1 + a2 == 1.
+  const double w1 = 3.0, w2 = 5.0;
+  const double a1 = GraybillDeal(1.0, w1, 0.0, w2, 1.0, 1.0).value;
+  const double a2 = GraybillDeal(0.0, w1, 1.0, w2, 1.0, 1.0).value;
+  EXPECT_DOUBLE_EQ(a1 + a2, 1.0);
+  EXPECT_GT(a1, 0.0);
+  EXPECT_GT(a2, 0.0);
+}
+
+TEST(CombinerTest, EqualVariancesGiveMidpoint) {
+  const CombinedEstimate c = GraybillDeal(4.0, 7.0, 10.0, 7.0, 1.0, 1.0);
+  EXPECT_TRUE(c.weighted);
+  EXPECT_DOUBLE_EQ(c.value, 7.0);
+}
+
+TEST(CombinerTest, ZeroVarianceArmTakesAllWeight) {
+  // A (plug-in) exact estimator dominates: all weight on the zero-variance
+  // arm regardless of the other arm's value.
+  const CombinedEstimate c1 = GraybillDeal(42.0, 0.0, 1000.0, 9.0, 1.0, 1.0);
+  EXPECT_TRUE(c1.weighted);
+  EXPECT_DOUBLE_EQ(c1.value, 42.0);
+
+  const CombinedEstimate c2 = GraybillDeal(1000.0, 9.0, 42.0, 0.0, 1.0, 1.0);
+  EXPECT_TRUE(c2.weighted);
+  EXPECT_DOUBLE_EQ(c2.value, 42.0);
+}
+
+TEST(CombinerTest, BothVariancesZeroFallsBackToProcessorWeightedMean) {
+  // w1 + w2 == 0: fall back to (n1*x1 + n2*x2)/(n1 + n2) and flag the
+  // result as unweighted. With n1 = 8 full-group processors and n2 = 2
+  // remainder processors: (8*10 + 2*20)/10 = 12.
+  const CombinedEstimate c = GraybillDeal(10.0, 0.0, 20.0, 0.0, 8.0, 2.0);
+  EXPECT_FALSE(c.weighted);
+  EXPECT_DOUBLE_EQ(c.value, 12.0);
+}
+
+TEST(CombinerTest, ConvexCombinationStaysWithinArmRange) {
+  const double lo = -3.0, hi = 17.0;
+  for (double w1 : {0.5, 1.0, 4.0}) {
+    for (double w2 : {0.25, 2.0, 8.0}) {
+      const CombinedEstimate c = GraybillDeal(lo, w1, hi, w2, 1.0, 1.0);
+      EXPECT_GE(c.value, lo);
+      EXPECT_LE(c.value, hi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rept
