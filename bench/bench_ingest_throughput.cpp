@@ -1,0 +1,150 @@
+// Ingest-throughput benchmark for the streaming-session API: edges/sec of
+// the legacy one-shot batch Run() versus a session fed in chunks of various
+// sizes, for REPT and the parallel baselines. Emits BENCH_ingest.json next
+// to the binary (override with --out) so CI and EXPERIMENTS.md can track
+// session overhead; prints the same numbers as a table.
+//
+//   build/bench/bench_ingest_throughput [--edges 2000000] [--chunk-list ...]
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_systems.hpp"
+#include "bench_common.hpp"
+#include "core/rept_estimator.hpp"
+#include "core/streaming_estimator.hpp"
+#include "graph/edge_source.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct Measurement {
+  std::string system;
+  std::string mode;       // "batch" or "session"
+  uint64_t chunk = 0;     // 0 for batch
+  double seconds = 0.0;
+  double edges_per_sec = 0.0;
+  double global_estimate = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t num_vertices = 100000;
+  uint64_t num_edges = 2000000;
+  uint64_t m = 20;
+  uint64_t c = 20;
+  uint64_t seed = 42;
+  uint64_t threads = 0;
+  std::string chunk_list = "1024,65536,1048576";
+  std::string out = "BENCH_ingest.json";
+  rept::FlagSet flags("batch vs session ingest throughput (BENCH_ingest.json)");
+  flags.AddUint64("vertices", &num_vertices, "vertex-id space of the stream");
+  flags.AddUint64("edges", &num_edges, "stream length");
+  flags.AddUint64("m", &m, "sampling denominator");
+  flags.AddUint64("c", &c, "logical processors");
+  flags.AddUint64("seed", &seed, "seed");
+  flags.AddUint64("threads", &threads, "workers (0 = hardware concurrency)");
+  flags.AddString("chunk-list", &chunk_list,
+                  "comma-separated session chunk sizes (edges)");
+  flags.AddString("out", &out, "output JSON path");
+  rept::bench::ParseOrDie(flags, argc, argv);
+
+  // The stream comes from the generator-backed source (fixed memory), then
+  // is materialized once so the batch and session paths consume the exact
+  // same edge sequence.
+  rept::UniformRandomEdgeSource generator(
+      static_cast<rept::VertexId>(num_vertices), num_edges, seed);
+  auto stream = rept::ReadAll(generator);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 2;
+  }
+  rept::ThreadPool pool(static_cast<size_t>(threads));
+
+  std::vector<uint64_t> chunks;
+  for (const std::string& token : rept::bench::ParseDatasets(chunk_list)) {
+    chunks.push_back(std::strtoull(token.c_str(), nullptr, 10));
+  }
+
+  std::vector<std::unique_ptr<rept::EstimatorSystem>> systems;
+  systems.push_back(rept::MakeRept(static_cast<uint32_t>(m),
+                                   static_cast<uint32_t>(c),
+                                   /*track_local=*/false));
+  systems.push_back(rept::MakeParallelMascot(static_cast<uint32_t>(m),
+                                             static_cast<uint32_t>(c),
+                                             /*track_local=*/false));
+
+  std::vector<Measurement> results;
+  for (const auto& system : systems) {
+    {
+      rept::WallTimer timer;
+      const rept::TriangleEstimates est = system->Run(*stream, seed, &pool);
+      const double secs = timer.Seconds();
+      results.push_back({system->Name(), "batch", 0, secs,
+                         static_cast<double>(num_edges) / secs, est.global});
+    }
+    for (const uint64_t chunk : chunks) {
+      if (chunk == 0) continue;
+      rept::SessionOptions options;
+      options.expected_edges = stream->size();
+      options.expected_vertices = stream->num_vertices();
+      // Source setup (incl. the stream copy it owns) stays outside the
+      // timed region so batch and session time the same work.
+      rept::InMemoryEdgeSource source{rept::EdgeStream(*stream)};
+      rept::WallTimer timer;
+      const auto session = system->CreateSession(seed, &pool, options);
+      const auto ingested =
+          rept::IngestAll(source, *session, static_cast<size_t>(chunk));
+      const rept::TriangleEstimates est = session->Snapshot();
+      const double secs = timer.Seconds();
+      if (!ingested.ok() || *ingested != num_edges) {
+        std::fprintf(stderr, "session ingest failed\n");
+        return 2;
+      }
+      results.push_back({system->Name(), "session", chunk, secs,
+                         static_cast<double>(num_edges) / secs, est.global});
+    }
+  }
+
+  rept::TablePrinter table({"system", "mode", "chunk", "seconds",
+                            "edges/sec", "tau_hat"});
+  for (const Measurement& r : results) {
+    table.AddRow({r.system, r.mode,
+                  r.chunk == 0 ? "-" : std::to_string(r.chunk),
+                  rept::bench::Fmt(r.seconds, 3),
+                  rept::bench::Sci(r.edges_per_sec),
+                  rept::bench::Sci(r.global_estimate)});
+  }
+  table.Print();
+
+  std::FILE* json = std::fopen(out.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"ingest_throughput\",\n"
+               "  \"vertices\": %" PRIu64 ",\n  \"edges\": %" PRIu64 ",\n"
+               "  \"m\": %" PRIu64 ",\n  \"c\": %" PRIu64 ",\n"
+               "  \"threads\": %zu,\n  \"results\": [\n",
+               num_vertices, num_edges, m, c, pool.num_threads());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& r = results[i];
+    std::fprintf(json,
+                 "    {\"system\": \"%s\", \"mode\": \"%s\", "
+                 "\"chunk_edges\": %" PRIu64 ", \"seconds\": %.6f, "
+                 "\"edges_per_sec\": %.1f, \"global_estimate\": %.1f}%s\n",
+                 r.system.c_str(), r.mode.c_str(), r.chunk, r.seconds,
+                 r.edges_per_sec, r.global_estimate,
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

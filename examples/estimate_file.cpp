@@ -1,7 +1,11 @@
-// File-based estimation CLI: the "downstream user" entry point. Reads a
-// SNAP-style edge list (whitespace-separated "u v" lines, # comments), runs
-// REPT, and prints global + top-k local estimates. With --exact it also
-// computes ground truth and reports the realized error.
+// File-based estimation CLI: the "downstream user" entry point. Streams a
+// SNAP-style edge list (whitespace-separated "u v" lines, # comments)
+// through a chunked TextFileEdgeSource into a REPT streaming session — the
+// edge vector is never materialized; resident state is the session sample,
+// the id remap, and (unless --keep-duplicates) the dedupe key set — and
+// prints global + top-k local estimates. With --exact it also computes
+// ground truth (which does load the stream wholesale) and reports the
+// realized error.
 //
 //   build/examples/estimate_file --input my_graph.txt --m 20 --c 40
 //
@@ -10,11 +14,14 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 
 #include "core/rept_estimator.hpp"
+#include "core/streaming_estimator.hpp"
 #include "exact/exact_counts.hpp"
 #include "gen/dataset_suite.hpp"
+#include "graph/edge_source.hpp"
 #include "graph/stream_io.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
@@ -26,7 +33,9 @@ int main(int argc, char** argv) {
   uint64_t c = 10;
   uint64_t seed = 42;
   uint64_t topk = 10;
+  uint64_t chunk = 65536;
   bool exact = false;
+  bool keep_duplicates = false;
   rept::FlagSet flags("estimate triangle counts of an edge-list file");
   flags.AddString("input", &input,
                   "edge list path (empty: generate a demo file)");
@@ -34,12 +43,16 @@ int main(int argc, char** argv) {
   flags.AddUint64("c", &c, "logical processors");
   flags.AddUint64("seed", &seed, "seed");
   flags.AddUint64("topk", &topk, "how many top-local nodes to print");
+  flags.AddUint64("chunk", &chunk, "edges ingested per batch");
   flags.AddBool("exact", &exact, "also compute exact counts for comparison");
+  flags.AddBool("keep-duplicates", &keep_duplicates,
+                "skip edge dedup (O(chunk) reader memory for huge files)");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
     if (st.code() == rept::StatusCode::kNotFound) return 0;  // --help
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 2;
   }
+  if (chunk == 0) chunk = 1;
 
   if (input.empty()) {
     input = "/tmp/rept_demo_edges.txt";
@@ -54,28 +67,39 @@ int main(int argc, char** argv) {
     exact = true;
   }
 
-  rept::WallTimer load_timer;
-  const auto stream = rept::LoadEdgeListText(input);
-  if (!stream.ok()) {
-    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+  auto source =
+      rept::TextFileEdgeSource::Open(input, /*dedupe=*/!keep_duplicates);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 2;
   }
-  std::printf("loaded %s: %u vertices, %" PRIu64 " edges (%.2fs)\n",
-              input.c_str(), stream->num_vertices(), stream->size(),
-              load_timer.Seconds());
 
   rept::ReptConfig config;
   config.m = static_cast<uint32_t>(m);
   config.c = static_cast<uint32_t>(c);
   const rept::ReptEstimator estimator(config);
   rept::ThreadPool pool;
+
+  // Chunked create-ingest-snapshot: the file's edge vector is never
+  // resident, only the chunk buffer, the sampled edges, and the reader's
+  // remap/dedupe state.
   rept::WallTimer run_timer;
-  const rept::TriangleEstimates est = estimator.Run(*stream, seed, &pool);
-  std::printf("%s finished one pass in %.3fs\n",
-              estimator.Name().c_str(), run_timer.Seconds());
+  const std::unique_ptr<rept::StreamingEstimator> session =
+      estimator.CreateSession(seed, &pool);
+  const auto ingested =
+      rept::IngestAll(**source, *session, static_cast<size_t>(chunk));
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "%s\n", ingested.status().ToString().c_str());
+    return 2;
+  }
+  const rept::TriangleEstimates est = session->Snapshot();
+  std::printf("%s ingested %s: %u vertices, %" PRIu64 " edges in %" PRIu64
+              "-edge chunks (%.3fs, stores %" PRIu64 " edges)\n",
+              session->Name().c_str(), input.c_str(), session->num_vertices(),
+              *ingested, chunk, run_timer.Seconds(), session->StoredEdges());
   std::printf("\nestimated global triangles: %.0f\n", est.global);
 
-  std::vector<rept::VertexId> ids(stream->num_vertices());
+  std::vector<rept::VertexId> ids(session->num_vertices());
   std::iota(ids.begin(), ids.end(), 0);
   const size_t k = std::min<size_t>(topk, ids.size());
   std::partial_sort(ids.begin(), ids.begin() + static_cast<int64_t>(k),
@@ -84,6 +108,14 @@ int main(int argc, char** argv) {
                     });
 
   if (exact) {
+    // Ground truth needs random access: load the stream wholesale (the only
+    // place this CLI does).
+    const auto stream =
+        rept::LoadEdgeListText(input, /*dedupe=*/!keep_duplicates);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+      return 2;
+    }
     rept::WallTimer exact_timer;
     const rept::ExactCounts truth = rept::ComputeExactCounts(*stream);
     std::printf("exact global triangles:     %" PRIu64 "  (%.3fs, error %+.2f%%)\n",

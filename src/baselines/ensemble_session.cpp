@@ -1,0 +1,58 @@
+#include "baselines/ensemble_session.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+
+EnsembleSession::EnsembleSession(
+    std::shared_ptr<const StreamCounterFactory> factory, uint32_t c,
+    std::string name, uint64_t seed, ThreadPool* pool,
+    const SessionOptions& options)
+    : name_(std::move(name)), pool_(pool), edge_budget_(0) {
+  REPT_CHECK(factory != nullptr);
+  REPT_CHECK(c >= 1);
+  edge_budget_ = factory->BudgetFor(options.expected_edges);
+  NoteVertices(options.expected_vertices);
+  SeedSequence seeds(seed);
+  instances_.reserve(c);
+  for (uint32_t i = 0; i < c; ++i) {
+    instances_.push_back(factory->Create(seeds.SeedFor(i), edge_budget_));
+  }
+}
+
+void EnsembleSession::Ingest(std::span<const Edge> edges) {
+  RecordBatch(edges);
+  if (edges.empty()) return;
+  auto body = [this, edges](size_t i) { instances_[i]->ProcessBatch(edges); };
+  if (pool_ != nullptr) {
+    ParallelFor(*pool_, instances_.size(), body);
+  } else {
+    for (size_t i = 0; i < instances_.size(); ++i) body(i);
+  }
+}
+
+TriangleEstimates EnsembleSession::Snapshot() const {
+  // Deterministic combination: fixed instance order, serial accumulation.
+  TriangleEstimates estimates;
+  const double inv_c = 1.0 / static_cast<double>(instances_.size());
+  double sum = 0.0;
+  for (const auto& instance : instances_) sum += instance->GlobalEstimate();
+  estimates.global = sum * inv_c;
+  estimates.local.assign(num_vertices(), 0.0);
+  for (const auto& instance : instances_) {
+    instance->AccumulateLocal(estimates.local, inv_c);
+  }
+  return estimates;
+}
+
+uint64_t EnsembleSession::StoredEdges() const {
+  uint64_t total = 0;
+  for (const auto& instance : instances_) total += instance->StoredEdges();
+  return total;
+}
+
+}  // namespace rept

@@ -1,0 +1,55 @@
+// Streaming session of a ParallelEnsemble: c independent StreamCounter
+// instances fed batch by batch, estimates averaged at every Snapshot().
+//
+// Determinism matches the pre-session batch runner: instance i is seeded
+// with SeedSequence(seed).SeedFor(i), consumes the ingested edge sequence in
+// arrival order, and the combination accumulates in fixed instance order —
+// so a full-ingest Snapshot() is bit-identical to the legacy Run()
+// regardless of batch boundaries or the thread pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/stream_counter.hpp"
+#include "core/estimates.hpp"
+#include "core/streaming_estimator.hpp"
+
+namespace rept {
+
+class ThreadPool;
+
+/// \brief Streaming session over c independent baseline instances.
+class EnsembleSession : public StreamingEstimator {
+ public:
+  /// Budget-based instances size their reservoirs from
+  /// `factory->BudgetFor(options.expected_edges)`; with no hint the
+  /// factory's default budget applies. `pool` may be nullptr and must
+  /// outlive the session.
+  EnsembleSession(std::shared_ptr<const StreamCounterFactory> factory,
+                  uint32_t c, std::string name, uint64_t seed,
+                  ThreadPool* pool, const SessionOptions& options = {});
+
+  std::string Name() const override { return name_; }
+
+  using StreamingEstimator::Ingest;
+  void Ingest(std::span<const Edge> edges) override;
+
+  TriangleEstimates Snapshot() const override;
+  uint64_t StoredEdges() const override;
+
+  /// The per-instance stored-edge budget the session was opened with (0 for
+  /// probability-based methods).
+  uint64_t edge_budget() const { return edge_budget_; }
+
+ private:
+  std::string name_;
+  ThreadPool* pool_;
+  uint64_t edge_budget_;
+  std::vector<std::unique_ptr<StreamCounter>> instances_;
+};
+
+}  // namespace rept

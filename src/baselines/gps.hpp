@@ -16,6 +16,7 @@
 // weights and ranks doubles per-edge memory (§IV-B).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <queue>
@@ -76,20 +77,26 @@ class GpsCounter : public StreamCounter {
 
 class GpsFactory : public StreamCounterFactory {
  public:
-  /// `budget_fraction` of |E| becomes the per-instance edge budget; the REPT
-  /// paper passes p/2.
+  /// `budget_fraction` of the expected |E| becomes the per-instance edge
+  /// budget (the REPT paper passes p/2); `default_budget` is used when the
+  /// expected length is unknown (open-ended streaming sessions).
   GpsFactory(double budget_fraction, double alpha = 9.0,
-             bool track_local = true)
+             bool track_local = true, uint64_t default_budget = 1 << 16)
       : budget_fraction_(budget_fraction),
         alpha_(alpha),
-        track_local_(track_local) {}
+        track_local_(track_local),
+        default_budget_(default_budget) {}
 
   std::unique_ptr<StreamCounter> Create(
-      uint64_t seed, const EdgeStream& stream) const override {
-    const uint64_t budget = std::max<uint64_t>(
+      uint64_t seed, uint64_t edge_budget) const override {
+    return std::make_unique<GpsCounter>(edge_budget, seed, alpha_,
+                                        track_local_);
+  }
+  uint64_t BudgetFor(uint64_t expected_edges) const override {
+    if (expected_edges == 0) return std::max<uint64_t>(2, default_budget_);
+    return std::max<uint64_t>(
         2, static_cast<uint64_t>(budget_fraction_ *
-                                 static_cast<double>(stream.size())));
-    return std::make_unique<GpsCounter>(budget, seed, alpha_, track_local_);
+                                 static_cast<double>(expected_edges)));
   }
   std::string MethodName() const override { return "GPS"; }
 
@@ -97,6 +104,7 @@ class GpsFactory : public StreamCounterFactory {
   double budget_fraction_;
   double alpha_;
   bool track_local_;
+  uint64_t default_budget_;
 };
 
 }  // namespace rept

@@ -52,8 +52,10 @@ class MascotFactory : public StreamCounterFactory {
   MascotFactory(double p, bool track_local = true)
       : p_(p), track_local_(track_local) {}
 
+  /// MASCOT samples by probability, not by budget: `edge_budget` is ignored
+  /// (and BudgetFor stays at the base-class 0).
   std::unique_ptr<StreamCounter> Create(
-      uint64_t seed, const EdgeStream& /*stream*/) const override {
+      uint64_t seed, uint64_t /*edge_budget*/) const override {
     return std::make_unique<MascotCounter>(p_, seed, track_local_);
   }
   std::string MethodName() const override { return "MASCOT"; }

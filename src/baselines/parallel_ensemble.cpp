@@ -1,10 +1,7 @@
 #include "baselines/parallel_ensemble.hpp"
 
-#include <vector>
-
+#include "baselines/ensemble_session.hpp"
 #include "util/check.hpp"
-#include "util/random.hpp"
-#include "util/thread_pool.hpp"
 
 namespace rept {
 
@@ -21,36 +18,10 @@ std::string ParallelEnsemble::Name() const {
   return factory_->MethodName() + "(c=" + std::to_string(c_) + ")";
 }
 
-TriangleEstimates ParallelEnsemble::Run(const EdgeStream& stream,
-                                        uint64_t seed,
-                                        ThreadPool* pool) const {
-  SeedSequence seeds(seed);
-  std::vector<std::unique_ptr<StreamCounter>> instances;
-  instances.reserve(c_);
-  for (uint32_t i = 0; i < c_; ++i) {
-    instances.push_back(factory_->Create(seeds.SeedFor(i), stream));
-  }
-
-  auto body = [&instances, &stream](size_t i) {
-    instances[i]->ProcessStream(stream);
-  };
-  if (pool != nullptr) {
-    ParallelFor(*pool, instances.size(), body);
-  } else {
-    for (size_t i = 0; i < instances.size(); ++i) body(i);
-  }
-
-  // Deterministic combination: fixed instance order, serial accumulation.
-  TriangleEstimates estimates;
-  const double inv_c = 1.0 / static_cast<double>(c_);
-  double sum = 0.0;
-  for (const auto& instance : instances) sum += instance->GlobalEstimate();
-  estimates.global = sum * inv_c;
-  estimates.local.assign(stream.num_vertices(), 0.0);
-  for (const auto& instance : instances) {
-    instance->AccumulateLocal(estimates.local, inv_c);
-  }
-  return estimates;
+std::unique_ptr<StreamingEstimator> ParallelEnsemble::CreateSession(
+    uint64_t seed, ThreadPool* pool, const SessionOptions& options) const {
+  return std::make_unique<EnsembleSession>(factory_, c_, Name(), seed, pool,
+                                           options);
 }
 
 }  // namespace rept

@@ -16,7 +16,8 @@ namespace rept {
 
 class ThreadPool;
 
-/// \brief c independent StreamCounter instances, averaged.
+/// \brief c independent StreamCounter instances, averaged. Sessions are
+/// EnsembleSession (baselines/ensemble_session.hpp).
 class ParallelEnsemble : public EstimatorSystem {
  public:
   /// `label` customizes Name() (defaults to "<Method>(c=<c>)").
@@ -26,8 +27,13 @@ class ParallelEnsemble : public EstimatorSystem {
   std::string Name() const override;
   uint32_t NumProcessors() const override { return c_; }
 
-  TriangleEstimates Run(const EdgeStream& stream, uint64_t seed,
-                        ThreadPool* pool) const override;
+  /// Opens an EnsembleSession. For budget-based methods (TRIEST, GPS) pass
+  /// `options.expected_edges` when the stream length is known — it
+  /// reproduces the paper's budget = fraction * |E| reservoir sizing;
+  /// without it the factory's default budget applies.
+  std::unique_ptr<StreamingEstimator> CreateSession(
+      uint64_t seed, ThreadPool* pool,
+      const SessionOptions& options = {}) const override;
 
  private:
   std::shared_ptr<const StreamCounterFactory> factory_;

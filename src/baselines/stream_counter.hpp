@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "graph/edge_stream.hpp"
@@ -19,6 +21,10 @@ class StreamCounter {
   virtual ~StreamCounter() = default;
 
   virtual void ProcessEdge(VertexId u, VertexId v) = 0;
+
+  void ProcessBatch(std::span<const Edge> edges) {
+    for (const Edge& e : edges) ProcessEdge(e.u, e.v);
+  }
 
   void ProcessStream(const EdgeStream& stream) {
     for (const Edge& e : stream) ProcessEdge(e.u, e.v);
@@ -38,13 +44,34 @@ class StreamCounter {
 };
 
 /// \brief Creates pre-seeded instances; seed differs per ensemble member.
-/// The stream is passed so budget-based methods (TRIEST, GPS) can size their
-/// reservoirs from |E| the way the paper configures them (budget = p|E|).
+///
+/// Budget-based methods (TRIEST, GPS) size their reservoirs from an explicit
+/// `edge_budget` (stored-edge capacity M). A streaming session cannot know
+/// |E| up front, so the old Create(seed, stream) signature — which read
+/// stream.size() — is gone: callers translate an *expected* stream length
+/// (possibly unknown) into an absolute budget via BudgetFor, then pass it to
+/// Create. The paper's configuration (budget = p|E|, §IV-B) is recovered by
+/// passing the true |E| as the expectation, which is what the legacy Run()
+/// path does.
 class StreamCounterFactory {
  public:
   virtual ~StreamCounterFactory() = default;
+
+  /// Creates a pre-seeded instance. `edge_budget` is the absolute stored-
+  /// edge capacity M for budget-based methods; probability-based methods
+  /// (MASCOT) ignore it.
   virtual std::unique_ptr<StreamCounter> Create(
-      uint64_t seed, const EdgeStream& stream) const = 0;
+      uint64_t seed, uint64_t edge_budget) const = 0;
+
+  /// Maps an expected stream length to this method's per-instance budget
+  /// (paper: fraction * |E|, floored at the method's minimum).
+  /// `expected_edges == 0` means unknown and yields the factory's default
+  /// budget. Methods without a budget return 0.
+  virtual uint64_t BudgetFor(uint64_t expected_edges) const {
+    (void)expected_edges;
+    return 0;
+  }
+
   /// Short method tag, e.g. "MASCOT".
   virtual std::string MethodName() const = 0;
 };

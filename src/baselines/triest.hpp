@@ -13,6 +13,7 @@
 // The REPT paper sets M = p|E| per processor (§IV-B).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -66,21 +67,27 @@ class TriestCounter : public StreamCounter {
 
 class TriestFactory : public StreamCounterFactory {
  public:
-  /// `budget_fraction` of the stream length becomes each instance's M.
+  /// `budget_fraction` of the expected stream length becomes each
+  /// instance's M (see BudgetFor); `default_budget` is used when the
+  /// expected length is unknown (open-ended streaming sessions).
   TriestFactory(double budget_fraction,
                 TriestVariant variant = TriestVariant::kImpr,
-                bool track_local = true)
+                bool track_local = true, uint64_t default_budget = 1 << 16)
       : budget_fraction_(budget_fraction),
         variant_(variant),
-        track_local_(track_local) {}
+        track_local_(track_local),
+        default_budget_(default_budget) {}
 
   std::unique_ptr<StreamCounter> Create(
-      uint64_t seed, const EdgeStream& stream) const override {
-    const uint64_t budget = std::max<uint64_t>(
-        6, static_cast<uint64_t>(budget_fraction_ *
-                                 static_cast<double>(stream.size())));
-    return std::make_unique<TriestCounter>(budget, seed, variant_,
+      uint64_t seed, uint64_t edge_budget) const override {
+    return std::make_unique<TriestCounter>(edge_budget, seed, variant_,
                                            track_local_);
+  }
+  uint64_t BudgetFor(uint64_t expected_edges) const override {
+    if (expected_edges == 0) return std::max<uint64_t>(6, default_budget_);
+    return std::max<uint64_t>(
+        6, static_cast<uint64_t>(budget_fraction_ *
+                                 static_cast<double>(expected_edges)));
   }
   std::string MethodName() const override {
     return variant_ == TriestVariant::kImpr ? "TRIEST" : "TRIEST-BASE";
@@ -90,6 +97,7 @@ class TriestFactory : public StreamCounterFactory {
   double budget_fraction_;
   TriestVariant variant_;
   bool track_local_;
+  uint64_t default_budget_;
 };
 
 }  // namespace rept

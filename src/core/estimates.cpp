@@ -1,4 +1,18 @@
 #include "core/estimates.hpp"
 
-// Interface-only translation unit.
-namespace rept {}  // namespace rept
+#include "core/streaming_estimator.hpp"
+
+namespace rept {
+
+TriangleEstimates EstimatorSystem::Run(const EdgeStream& stream, uint64_t seed,
+                                       ThreadPool* pool) const {
+  SessionOptions options;
+  options.expected_edges = stream.size();
+  options.expected_vertices = stream.num_vertices();
+  const std::unique_ptr<StreamingEstimator> session =
+      CreateSession(seed, pool, options);
+  session->Ingest(stream);
+  return session->Snapshot();
+}
+
+}  // namespace rept

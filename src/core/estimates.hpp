@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,8 +17,10 @@
 namespace rept {
 
 class ThreadPool;
+class StreamingEstimator;
 
-/// \brief Final output of one estimation run over a stream.
+/// \brief Final output of one estimation run over a stream (or, through
+/// StreamingEstimator::Snapshot, of a stream prefix).
 struct TriangleEstimates {
   /// Estimate of the global triangle count tau.
   double global = 0.0;
@@ -25,12 +28,27 @@ struct TriangleEstimates {
   std::vector<double> local;
 };
 
-/// \brief A complete estimation system: given a stream and a seed it
-/// produces estimates, internally running however many logical processors
+/// \brief Optional sizing hints for EstimatorSystem::CreateSession.
+///
+/// A session cannot know the final stream length up front; budget-based
+/// baselines (TRIEST, GPS) size their reservoirs from `expected_edges` when
+/// given, and fall back to a per-factory default budget otherwise. The
+/// legacy Run() wrapper always passes exact values, which is what makes a
+/// full-ingest Snapshot() bit-identical to Run().
+struct SessionOptions {
+  /// Expected number of stream edges; 0 = unknown.
+  uint64_t expected_edges = 0;
+  /// Expected vertex-id-space size; 0 = unknown. Pre-noted on the session.
+  VertexId expected_vertices = 0;
+};
+
+/// \brief A complete estimation system: a named configuration that spawns
+/// streaming sessions, internally running however many logical processors
 /// its configuration demands.
 ///
-/// Runs are deterministic functions of (stream, seed) regardless of the
-/// thread pool: all per-instance randomness is pre-seeded.
+/// Sessions (and therefore runs) are deterministic functions of
+/// (edge sequence, seed) regardless of the thread pool or ingest chunking:
+/// all per-instance randomness is pre-seeded.
 class EstimatorSystem {
  public:
   virtual ~EstimatorSystem() = default;
@@ -41,9 +59,17 @@ class EstimatorSystem {
   /// Number of logical processors (the paper's c).
   virtual uint32_t NumProcessors() const = 0;
 
-  /// One full pass over the stream. `pool` may be nullptr (serial execution).
-  virtual TriangleEstimates Run(const EdgeStream& stream, uint64_t seed,
-                                ThreadPool* pool) const = 0;
+  /// Opens a long-lived streaming session. `pool` may be nullptr (serial
+  /// execution) and must outlive the session. `options` carries sizing hints
+  /// for budget-based methods (see SessionOptions).
+  virtual std::unique_ptr<StreamingEstimator> CreateSession(
+      uint64_t seed, ThreadPool* pool,
+      const SessionOptions& options = {}) const = 0;
+
+  /// One full pass over an in-memory stream: a thin
+  /// create-ingest-snapshot wrapper over CreateSession.
+  TriangleEstimates Run(const EdgeStream& stream, uint64_t seed,
+                        ThreadPool* pool) const;
 };
 
 }  // namespace rept

@@ -2,9 +2,7 @@
 
 #include <sstream>
 
-#include "core/combiner.hpp"
-#include "hash/hash_family.hpp"
-#include "util/thread_pool.hpp"
+#include "core/rept_session.hpp"
 
 namespace rept {
 
@@ -18,205 +16,17 @@ std::string ReptEstimator::Name() const {
   return name.str();
 }
 
-std::vector<std::unique_ptr<ReptInstance>> ReptEstimator::BuildInstances(
-    uint64_t seed) const {
-  const uint32_t m = config_.m;
-  const uint32_t c = config_.c;
-
-  SemiTriangleCounter::Options counter_options;
-  counter_options.track_local = config_.track_local;
-  counter_options.track_pairs = config_.NeedsPairTracking();
-  counter_options.strict_pairs = config_.strict_eta_pairs;
-
-  HashFamily<MixEdgeHasher> family(seed);
-  std::vector<std::unique_ptr<ReptInstance>> instances;
-  instances.reserve(c);
-  if (c <= m) {
-    const MixEdgeHasher hasher = family.MakeHasher(0);
-    for (uint32_t i = 0; i < c; ++i) {
-      instances.push_back(std::make_unique<ReptInstance>(
-          hasher, m, /*bucket=*/i, counter_options));
-    }
-  } else {
-    const uint32_t c1 = c / m;
-    const uint32_t c2 = c % m;
-    for (uint32_t group = 0; group < c1; ++group) {
-      const MixEdgeHasher hasher = family.MakeHasher(group);
-      for (uint32_t bucket = 0; bucket < m; ++bucket) {
-        instances.push_back(std::make_unique<ReptInstance>(
-            hasher, m, bucket, counter_options));
-      }
-    }
-    if (c2 != 0) {
-      const MixEdgeHasher hasher = family.MakeHasher(c1);
-      for (uint32_t bucket = 0; bucket < c2; ++bucket) {
-        instances.push_back(std::make_unique<ReptInstance>(
-            hasher, m, bucket, counter_options));
-      }
-    }
-  }
-  return instances;
-}
-
-void ReptEstimator::ProcessAll(
-    std::vector<std::unique_ptr<ReptInstance>>& instances,
-    const EdgeStream& stream, ThreadPool* pool) const {
-  if (!config_.fused_groups) {
-    // One parallel task per logical processor.
-    auto body = [&instances, &stream](size_t i) {
-      instances[i]->ProcessStream(stream);
-    };
-    if (pool != nullptr) {
-      ParallelFor(*pool, instances.size(), body);
-    } else {
-      for (size_t i = 0; i < instances.size(); ++i) body(i);
-    }
-    return;
-  }
-
-  // Fused execution: instances sharing a hash function run in one pass that
-  // hashes each edge once. Identical results (counters are independent);
-  // coarser parallel granularity. Groups are contiguous ranges of size m
-  // except a trailing remainder.
-  std::vector<std::pair<size_t, size_t>> group_ranges;
-  const uint32_t group_size = config_.c <= config_.m ? config_.c : config_.m;
-  for (size_t begin = 0; begin < instances.size();) {
-    const size_t end = std::min(instances.size(),
-                                begin + static_cast<size_t>(group_size));
-    group_ranges.emplace_back(begin, end);
-    begin = end;
-  }
-  auto body = [&instances, &stream, &group_ranges](size_t g) {
-    const auto [begin, end] = group_ranges[g];
-    for (const Edge& e : stream) {
-      for (size_t i = begin; i < end; ++i) {
-        instances[i]->ProcessEdge(e.u, e.v);
-      }
-    }
-  };
-  if (pool != nullptr) {
-    ParallelFor(*pool, group_ranges.size(), body);
-  } else {
-    for (size_t g = 0; g < group_ranges.size(); ++g) body(g);
-  }
-}
-
-TriangleEstimates ReptEstimator::Run(const EdgeStream& stream, uint64_t seed,
-                                     ThreadPool* pool) const {
-  return RunDetailed(stream, seed, pool).estimates;
+std::unique_ptr<StreamingEstimator> ReptEstimator::CreateSession(
+    uint64_t seed, ThreadPool* pool, const SessionOptions& options) const {
+  return std::make_unique<ReptSession>(config_, seed, pool, options);
 }
 
 ReptEstimator::RunDetail ReptEstimator::RunDetailed(const EdgeStream& stream,
                                                     uint64_t seed,
                                                     ThreadPool* pool) const {
-  const double m = config_.m;
-  const uint32_t c = config_.c;
-
-  std::vector<std::unique_ptr<ReptInstance>> instances =
-      BuildInstances(seed);
-  ProcessAll(instances, stream, pool);
-
-  RunDetail detail;
-  detail.instance_tallies.reserve(instances.size());
-  for (const auto& inst : instances) {
-    detail.instance_tallies.push_back(inst->counter().global());
-  }
-
-  const size_t n = stream.num_vertices();
-  TriangleEstimates& est = detail.estimates;
-  if (config_.track_local) est.local.assign(n, 0.0);
-
-  if (c <= config_.m) {
-    // Algorithm 1: tau_hat = (m^2 / c) * sum_i tau^(i).
-    const double scale = m * m / c;
-    double sum = 0.0;
-    for (const auto& inst : instances) sum += inst->counter().global();
-    est.global = scale * sum;
-    if (config_.track_local) {
-      for (const auto& inst : instances) {
-        inst->counter().AccumulateLocal(est.local, scale);
-      }
-    }
-    return detail;
-  }
-
-  const uint32_t c1 = c / config_.m;
-  const uint32_t c2 = c % config_.m;
-  const size_t full_count = static_cast<size_t>(c1) * config_.m;
-
-  if (c2 == 0) {
-    // Full groups only: tau_hat = (m / c1) * sum_i tau^(i).
-    const double scale = m / c1;
-    double sum = 0.0;
-    for (const auto& inst : instances) sum += inst->counter().global();
-    est.global = scale * sum;
-    if (config_.track_local) {
-      for (const auto& inst : instances) {
-        inst->counter().AccumulateLocal(est.local, scale);
-      }
-    }
-    return detail;
-  }
-
-  // Algorithm 2 (c2 != 0): combine the full-group estimate with the
-  // remainder-group estimate using plug-in variances.
-  detail.used_combination = true;
-  const double scale1 = m / c1;
-  const double scale2 = m * m / c2;
-  const double scale_eta = m * m * m / c;
-
-  double sum1 = 0.0;
-  double sum2 = 0.0;
-  double sum_eta = 0.0;
-  for (size_t i = 0; i < instances.size(); ++i) {
-    const SemiTriangleCounter& counter = instances[i]->counter();
-    if (i < full_count) {
-      sum1 += counter.global();
-    } else {
-      sum2 += counter.global();
-    }
-    sum_eta += counter.eta();
-  }
-  detail.tau_hat1 = scale1 * sum1;
-  detail.tau_hat2 = scale2 * sum2;
-  detail.eta_hat = scale_eta * sum_eta;
-
-  // w^(1) = tau_hat^(1)(m-1)/c1;
-  // w^(2) = (tau_hat^(1)(m^2-c2) + 2 eta_hat(m-c2))/c2.
-  detail.w1 = detail.tau_hat1 * (m - 1.0) / c1;
-  detail.w2 = (detail.tau_hat1 * (m * m - c2) +
-               2.0 * detail.eta_hat * (m - c2)) /
-              c2;
-  est.global = GraybillDeal(detail.tau_hat1, detail.w1, detail.tau_hat2,
-                            detail.w2, static_cast<double>(full_count),
-                            static_cast<double>(c2))
-                   .value;
-
-  if (config_.track_local) {
-    std::vector<double> local1(n, 0.0);
-    std::vector<double> local2(n, 0.0);
-    std::vector<double> eta_local(n, 0.0);
-    for (size_t i = 0; i < instances.size(); ++i) {
-      const SemiTriangleCounter& counter = instances[i]->counter();
-      if (i < full_count) {
-        counter.AccumulateLocal(local1, scale1);
-      } else {
-        counter.AccumulateLocal(local2, scale2);
-      }
-      counter.AccumulateEtaLocal(eta_local, scale_eta);
-    }
-    for (size_t v = 0; v < n; ++v) {
-      const double w1v = local1[v] * (m - 1.0) / c1;
-      const double w2v = (local1[v] * (m * m - c2) +
-                          2.0 * eta_local[v] * (m - c2)) /
-                         c2;
-      est.local[v] = GraybillDeal(local1[v], w1v, local2[v], w2v,
-                                  static_cast<double>(full_count),
-                                  static_cast<double>(c2))
-                         .value;
-    }
-  }
-  return detail;
+  ReptSession session(config_, seed, pool);
+  session.Ingest(stream);
+  return session.SnapshotDetailed();
 }
 
 }  // namespace rept

@@ -11,6 +11,9 @@
 //    variances built from tau_hat^(1) and the pair-count estimate
 //    eta_hat = (m^3/c) * sum_i eta^(i). Same machinery per node for local
 //    counts.
+//
+// All execution lives in ReptSession (core/rept_session.hpp); this class is
+// the named configuration that spawns sessions.
 #pragma once
 
 #include <cstdint>
@@ -20,14 +23,13 @@
 
 #include "core/estimates.hpp"
 #include "core/rept_config.hpp"
-#include "core/rept_instance.hpp"
 
 namespace rept {
 
 class ThreadPool;
 
-/// \brief REPT estimator system. Thread-compatible: Run() is const and
-/// re-entrant (all run state is local).
+/// \brief REPT estimator system. Thread-compatible: CreateSession() and
+/// Run() are const and re-entrant (all run state lives in the session).
 class ReptEstimator : public EstimatorSystem {
  public:
   explicit ReptEstimator(ReptConfig config);
@@ -35,8 +37,12 @@ class ReptEstimator : public EstimatorSystem {
   std::string Name() const override;
   uint32_t NumProcessors() const override { return config_.c; }
 
-  TriangleEstimates Run(const EdgeStream& stream, uint64_t seed,
-                        ThreadPool* pool) const override;
+  /// Opens a ReptSession (see core/rept_session.hpp). The sizing hints in
+  /// `options` are optional: REPT's per-processor sampling rate is 1/m, so
+  /// no reservoir sizing depends on |E|.
+  std::unique_ptr<StreamingEstimator> CreateSession(
+      uint64_t seed, ThreadPool* pool,
+      const SessionOptions& options = {}) const override;
 
   /// \brief Diagnostic payload exposed for tests, ablations, and the
   /// EXPERIMENTS.md tables.
@@ -59,14 +65,6 @@ class ReptEstimator : public EstimatorSystem {
   const ReptConfig& config() const { return config_; }
 
  private:
-  // Instances are individually heap-allocated: worker threads mutate their
-  // counters concurrently, and value-packing them in one vector caused
-  // measurable false sharing between neighbors.
-  std::vector<std::unique_ptr<ReptInstance>> BuildInstances(
-      uint64_t seed) const;
-  void ProcessAll(std::vector<std::unique_ptr<ReptInstance>>& instances,
-                  const EdgeStream& stream, ThreadPool* pool) const;
-
   ReptConfig config_;
 };
 

@@ -1,0 +1,60 @@
+// The REPT streaming session: c logical processors (ReptInstance) fed batch
+// by batch, with anytime Algorithm 1 / Algorithm 2 estimates.
+//
+// Determinism: instance construction (grouping, per-group hash seeding) is a
+// pure function of (config, seed), and every instance consumes the ingested
+// edge sequence in arrival order, so session state after t edges is
+// independent of both batch boundaries and the thread pool. Snapshot() after
+// a full ingest is therefore bit-identical to the legacy one-shot Run().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rept_config.hpp"
+#include "core/rept_estimator.hpp"
+#include "core/rept_instance.hpp"
+#include "core/streaming_estimator.hpp"
+
+namespace rept {
+
+class ThreadPool;
+
+/// \brief Streaming session of a ReptEstimator.
+class ReptSession : public StreamingEstimator {
+ public:
+  /// `pool` may be nullptr (serial ingest) and must outlive the session.
+  ReptSession(const ReptConfig& config, uint64_t seed, ThreadPool* pool,
+              const SessionOptions& options = {});
+
+  std::string Name() const override;
+
+  using StreamingEstimator::Ingest;
+  void Ingest(std::span<const Edge> edges) override;
+
+  TriangleEstimates Snapshot() const override;
+  uint64_t StoredEdges() const override;
+
+  /// Anytime equivalent of ReptEstimator::RunDetailed: the estimates plus
+  /// raw tallies and Algorithm 2 intermediates for the current prefix.
+  ReptEstimator::RunDetail SnapshotDetailed() const;
+
+  const ReptConfig& config() const { return config_; }
+
+ private:
+  ReptConfig config_;
+  ThreadPool* pool_;
+  // Instances are individually heap-allocated: worker threads mutate their
+  // counters concurrently, and value-packing them in one vector caused
+  // measurable false sharing between neighbors.
+  std::vector<std::unique_ptr<ReptInstance>> instances_;
+  /// Fused-mode task ranges: instances sharing a hash function, as
+  /// contiguous [begin, end) runs.
+  std::vector<std::pair<size_t, size_t>> group_ranges_;
+};
+
+}  // namespace rept

@@ -1,0 +1,88 @@
+// The streaming-session interface: the push side of the incremental API.
+//
+// A StreamingEstimator is a long-lived estimation session created by
+// EstimatorSystem::CreateSession. Callers push edge batches of any size with
+// Ingest() and may call Snapshot() at any time to obtain anytime estimates of
+// the triangle counts of the stream prefix ingested so far. Ingesting the
+// same edge sequence always yields the same tallies regardless of how it was
+// chunked into batches, so a full-stream ingest followed by Snapshot()
+// reproduces the legacy one-shot EstimatorSystem::Run() bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/estimates.hpp"
+#include "graph/edge_stream.hpp"
+#include "graph/types.hpp"
+
+namespace rept {
+
+/// \brief A long-lived estimation session over an unbounded edge stream.
+///
+/// Sessions are single-writer: Ingest() calls must be externally serialized
+/// (each call may fan work out across the session's thread pool internally).
+/// Snapshot() is const and may be interleaved between Ingest() calls.
+class StreamingEstimator {
+ public:
+  virtual ~StreamingEstimator() = default;
+
+  /// Display name, e.g. "REPT(m=10,c=32)".
+  virtual std::string Name() const = 0;
+
+  /// Pushes one batch of arriving edges, in stream order. Batch boundaries
+  /// carry no meaning: ingesting a stream edge-by-edge, in chunks, or all at
+  /// once produces identical session state.
+  virtual void Ingest(std::span<const Edge> edges) = 0;
+
+  /// Convenience: notes the stream's declared vertex count, then ingests all
+  /// of its edges as one batch.
+  void Ingest(const EdgeStream& stream) {
+    NoteVertices(stream.num_vertices());
+    Ingest(std::span<const Edge>(stream.edges()));
+  }
+
+  /// Anytime estimate of the global and local triangle counts of the prefix
+  /// ingested so far. Unbiased at every prefix; after a full ingest it equals
+  /// the legacy Run() result for the same (stream, seed).
+  virtual TriangleEstimates Snapshot() const = 0;
+
+  /// Total edges currently stored across the session's logical processors
+  /// (memory accounting).
+  virtual uint64_t StoredEdges() const = 0;
+
+  /// Raises the session's vertex-id-space bound to at least `num_vertices`.
+  /// Ingest() already tracks the max vertex id seen; this only matters for
+  /// streams whose declared id space exceeds the ids observed (isolated
+  /// trailing vertices), so that Snapshot().local has the expected size.
+  void NoteVertices(VertexId num_vertices) {
+    if (num_vertices > num_vertices_) num_vertices_ = num_vertices;
+  }
+
+  /// Current vertex-id-space bound: max(noted bound, max ingested id + 1).
+  /// Snapshot().local is indexed by vertex id and has exactly this size.
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Number of edges ingested so far (the stream time t).
+  uint64_t edges_ingested() const { return edges_ingested_; }
+
+ protected:
+  /// Implementations call this at the top of Ingest() to maintain the
+  /// vertex-bound and stream-time accounting.
+  void RecordBatch(std::span<const Edge> edges) {
+    VertexId bound = num_vertices_;
+    for (const Edge& e : edges) {
+      if (e.u >= bound) bound = e.u + 1;
+      if (e.v >= bound) bound = e.v + 1;
+    }
+    num_vertices_ = bound;
+    edges_ingested_ += edges.size();
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  uint64_t edges_ingested_ = 0;
+};
+
+}  // namespace rept

@@ -1,0 +1,210 @@
+#include "graph/edge_source.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include <filesystem>
+
+#include "core/streaming_estimator.hpp"
+#include "graph/stream_format.hpp"
+#include "util/check.hpp"
+
+namespace rept {
+
+namespace {
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+size_t InMemoryEdgeSource::NextChunk(std::span<Edge> out) {
+  const uint64_t remaining = stream_.size() - cursor_;
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(out.size(), remaining));
+  std::copy_n(stream_.edges().begin() + static_cast<int64_t>(cursor_), n,
+              out.begin());
+  cursor_ += n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// TextFileEdgeSource
+
+TextFileEdgeSource::TextFileEdgeSource(std::ifstream file, std::string path,
+                                       std::string name, bool dedupe)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      name_(std::move(name)),
+      dedupe_(dedupe) {}
+
+Result<std::unique_ptr<TextFileEdgeSource>> TextFileEdgeSource::Open(
+    const std::string& path, bool dedupe) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open: " + path);
+  auto source = std::unique_ptr<TextFileEdgeSource>(new TextFileEdgeSource(
+      std::move(file), path, Basename(path), dedupe));
+  // Pre-size the id map (and the dedupe key set) from the file length; an
+  // edge line is >= 8 bytes in practice.
+  std::error_code ec;
+  const uintmax_t bytes = std::filesystem::file_size(path, ec);
+  if (!ec && bytes > 0) {
+    const size_t approx_edges = static_cast<size_t>(bytes / 8) + 1;
+    source->remap_.reserve(approx_edges / 2);
+    if (dedupe) source->seen_.reserve(approx_edges);
+  }
+  return source;
+}
+
+size_t TextFileEdgeSource::NextChunk(std::span<Edge> out) {
+  if (!status_.ok()) return 0;
+  auto map_id = [this](uint64_t raw) {
+    auto [it, inserted] = remap_.emplace(raw, next_id_);
+    if (inserted) ++next_id_;
+    return it->second;
+  };
+
+  size_t produced = 0;
+  std::string line;
+  while (produced < out.size() && std::getline(file_, line)) {
+    ++line_no_;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream in(line);
+    uint64_t raw_u = 0;
+    uint64_t raw_v = 0;
+    if (!(in >> raw_u >> raw_v)) {
+      status_ = Status::Corruption("bad edge at " + path_ + ":" +
+                                   std::to_string(line_no_));
+      return produced;
+    }
+    const VertexId u = map_id(raw_u);
+    const VertexId v = map_id(raw_v);
+    if (dedupe_ && u != v && !seen_.insert(EdgeKey(u, v)).second) continue;
+    out[produced++] = Edge(u, v);
+  }
+  if (file_.bad()) {
+    status_ = Status::IOError("read failed: " + path_);
+  }
+  return produced;
+}
+
+// ---------------------------------------------------------------------------
+// BinaryFileEdgeSource
+
+BinaryFileEdgeSource::BinaryFileEdgeSource(std::ifstream file,
+                                           std::string path, std::string name,
+                                           VertexId num_vertices,
+                                           uint64_t num_edges)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      name_(std::move(name)),
+      num_vertices_(num_vertices),
+      num_edges_(num_edges) {}
+
+Result<std::unique_ptr<BinaryFileEdgeSource>> BinaryFileEdgeSource::Open(
+    const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open: " + path);
+  char magic[8];
+  uint64_t counts[2];
+  if (!file.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, internal::kEdgeStreamBinaryMagic, sizeof(magic)) !=
+          0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!file.read(reinterpret_cast<char*>(counts), sizeof(counts))) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  return std::unique_ptr<BinaryFileEdgeSource>(new BinaryFileEdgeSource(
+      std::move(file), path, Basename(path),
+      static_cast<VertexId>(counts[0]), counts[1]));
+}
+
+size_t BinaryFileEdgeSource::NextChunk(std::span<Edge> out) {
+  if (!status_.ok()) return 0;
+  const uint64_t remaining = num_edges_ - produced_;
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(out.size(), remaining));
+  if (want == 0) return 0;
+  static_assert(sizeof(Edge) == 2 * sizeof(VertexId));
+  if (!file_.read(reinterpret_cast<char*>(out.data()),
+                  static_cast<std::streamsize>(want * sizeof(Edge)))) {
+    status_ = Status::Corruption("truncated edges in " + path_);
+    return 0;
+  }
+  produced_ += want;
+  return want;
+}
+
+// ---------------------------------------------------------------------------
+// UniformRandomEdgeSource
+
+UniformRandomEdgeSource::UniformRandomEdgeSource(VertexId num_vertices,
+                                                 uint64_t num_edges,
+                                                 uint64_t seed)
+    : num_vertices_(num_vertices), num_edges_(num_edges), rng_(seed) {
+  REPT_CHECK(num_vertices >= 2);
+}
+
+std::string UniformRandomEdgeSource::Name() const {
+  return "uniform-random(n=" + std::to_string(num_vertices_) +
+         ",e=" + std::to_string(num_edges_) + ")";
+}
+
+size_t UniformRandomEdgeSource::NextChunk(std::span<Edge> out) {
+  const uint64_t remaining = num_edges_ - produced_;
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(out.size(), remaining));
+  for (size_t i = 0; i < n; ++i) {
+    const VertexId u = static_cast<VertexId>(rng_.Below(num_vertices_));
+    // Draw v uniformly from the other num_vertices-1 ids (no self loops).
+    VertexId v = static_cast<VertexId>(rng_.Below(num_vertices_ - 1));
+    if (v >= u) ++v;
+    out[i] = Edge(u, v);
+  }
+  produced_ += n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Pumps
+
+Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
+                           size_t chunk_edges) {
+  REPT_CHECK(chunk_edges > 0);
+  std::vector<Edge> buffer(chunk_edges);
+  uint64_t total = 0;
+  for (;;) {
+    const size_t n = source.NextChunk(std::span<Edge>(buffer));
+    if (n == 0) break;
+    session.Ingest(std::span<const Edge>(buffer.data(), n));
+    total += n;
+  }
+  if (!source.status().ok()) return source.status();
+  session.NoteVertices(source.VertexCountHint());
+  return total;
+}
+
+Result<EdgeStream> ReadAll(EdgeSource& source, size_t chunk_edges,
+                           size_t reserve_edges) {
+  REPT_CHECK(chunk_edges > 0);
+  std::vector<Edge> buffer(chunk_edges);
+  std::vector<Edge> edges;
+  edges.reserve(reserve_edges);
+  for (;;) {
+    const size_t n = source.NextChunk(std::span<Edge>(buffer));
+    if (n == 0) break;
+    edges.insert(edges.end(), buffer.begin(),
+                 buffer.begin() + static_cast<int64_t>(n));
+  }
+  if (!source.status().ok()) return source.status();
+  return EdgeStream(source.Name(), source.VertexCountHint(),
+                    std::move(edges));
+}
+
+}  // namespace rept

@@ -1,0 +1,174 @@
+// The pull side of the incremental streaming API: chunked edge suppliers.
+//
+// An EdgeSource hands out a stream's edges a bounded chunk at a time, so an
+// estimation session can consume arbitrarily large streams without ever
+// materializing the edge vector. Resident state varies by source: the
+// binary reader and the generator are O(1), the text reader keeps its id
+// remap (Θ(V)) plus, when dedupe is on, the seen-edge key set (Θ(unique
+// edges)). IngestAll() is the pump that connects a source to a
+// StreamingEstimator.
+//
+// The wholesale loaders in stream_io are ReadAll() over these sources, so a
+// chunked ingest sees the exact edge sequence of a wholesale load by
+// construction (one parser, not two).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/edge_stream.hpp"
+#include "graph/types.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace rept {
+
+class StreamingEstimator;
+
+/// \brief A chunked, single-pass supplier of stream edges.
+///
+/// Usage: repeatedly call NextChunk with a scratch buffer until it returns
+/// 0, then check status() — I/O and parse failures latch a non-OK status and
+/// end the stream early.
+class EdgeSource {
+ public:
+  virtual ~EdgeSource() = default;
+
+  /// Display name (dataset/file name).
+  virtual std::string Name() const = 0;
+
+  /// Fills `out` with up to out.size() next edges, in stream order; returns
+  /// the number produced. 0 means exhausted (or failed — check status()).
+  virtual size_t NextChunk(std::span<Edge> out) = 0;
+
+  /// Vertex-id-space bound known so far: exact up front for sized sources
+  /// (binary files, generators), growing with discovery for text files.
+  /// Never shrinks.
+  virtual VertexId VertexCountHint() const = 0;
+
+  /// OK while the source is healthy; latches the first I/O or parse error.
+  virtual const Status& status() const { return ok_status_; }
+
+ private:
+  Status ok_status_ = Status::OK();
+};
+
+/// \brief Adapter over an in-memory EdgeStream (owns the stream).
+class InMemoryEdgeSource : public EdgeSource {
+ public:
+  explicit InMemoryEdgeSource(EdgeStream stream)
+      : stream_(std::move(stream)) {}
+
+  std::string Name() const override { return stream_.name(); }
+  size_t NextChunk(std::span<Edge> out) override;
+  VertexId VertexCountHint() const override {
+    return stream_.num_vertices();
+  }
+
+ private:
+  EdgeStream stream_;
+  uint64_t cursor_ = 0;
+};
+
+/// \brief Chunked reader of SNAP-style text edge lists ("u v" per line,
+/// '#'/'%' comments). Raw ids are remapped to [0, n) in first-appearance
+/// order and duplicate edges are optionally dropped. LoadEdgeListText is
+/// ReadAll() over this source, so the edge sequence is identical by
+/// construction. Resident memory is the chunk plus the id remap (Θ(V));
+/// dedupe additionally keeps the seen-edge key set (Θ(unique edges)) — pass
+/// dedupe=false for multigraph streams too large for that.
+class TextFileEdgeSource : public EdgeSource {
+ public:
+  static Result<std::unique_ptr<TextFileEdgeSource>> Open(
+      const std::string& path, bool dedupe = true);
+
+  std::string Name() const override { return name_; }
+  size_t NextChunk(std::span<Edge> out) override;
+  /// Ids discovered so far (final only once the source is exhausted).
+  VertexId VertexCountHint() const override { return next_id_; }
+  const Status& status() const override { return status_; }
+
+ private:
+  TextFileEdgeSource(std::ifstream file, std::string path, std::string name,
+                     bool dedupe);
+
+  std::ifstream file_;
+  std::string path_;
+  std::string name_;
+  bool dedupe_;
+  Status status_ = Status::OK();
+
+  std::unordered_map<uint64_t, VertexId> remap_;
+  std::unordered_set<uint64_t> seen_;
+  VertexId next_id_ = 0;
+  uint64_t line_no_ = 0;
+};
+
+/// \brief Chunked reader of the SaveEdgeListBinary format (fixed header +
+/// raw little-endian u32 pairs). The header declares the vertex count, so
+/// VertexCountHint is exact from the start.
+class BinaryFileEdgeSource : public EdgeSource {
+ public:
+  static Result<std::unique_ptr<BinaryFileEdgeSource>> Open(
+      const std::string& path);
+
+  std::string Name() const override { return name_; }
+  size_t NextChunk(std::span<Edge> out) override;
+  VertexId VertexCountHint() const override { return num_vertices_; }
+  const Status& status() const override { return status_; }
+
+  uint64_t num_edges() const { return num_edges_; }
+
+ private:
+  BinaryFileEdgeSource(std::ifstream file, std::string path,
+                       std::string name, VertexId num_vertices,
+                       uint64_t num_edges);
+
+  std::ifstream file_;
+  std::string path_;
+  std::string name_;
+  VertexId num_vertices_;
+  uint64_t num_edges_;
+  uint64_t produced_ = 0;
+  Status status_ = Status::OK();
+};
+
+/// \brief Generator-backed source: `num_edges` uniform random non-loop
+/// edges over [0, num_vertices), produced on the fly in O(1) memory.
+/// Deterministic per seed (multigraph: duplicates possible, like a packet
+/// stream).
+class UniformRandomEdgeSource : public EdgeSource {
+ public:
+  UniformRandomEdgeSource(VertexId num_vertices, uint64_t num_edges,
+                          uint64_t seed);
+
+  std::string Name() const override;
+  size_t NextChunk(std::span<Edge> out) override;
+  VertexId VertexCountHint() const override { return num_vertices_; }
+
+ private:
+  VertexId num_vertices_;
+  uint64_t num_edges_;
+  uint64_t produced_ = 0;
+  Rng rng_;
+};
+
+/// \brief Pumps a source dry into a session in chunks of `chunk_edges`,
+/// keeping the session's vertex bound in sync with the source's hint.
+/// Returns the number of edges ingested, or the source's error.
+Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
+                           size_t chunk_edges = 65536);
+
+/// \brief Drains a source into an in-memory EdgeStream (the wholesale
+/// loaders, testing, and the exact-count paths; defeats the purpose for
+/// truly large streams). `reserve_edges` pre-sizes the edge vector.
+Result<EdgeStream> ReadAll(EdgeSource& source, size_t chunk_edges = 65536,
+                           size_t reserve_edges = 0);
+
+}  // namespace rept

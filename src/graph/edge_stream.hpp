@@ -2,12 +2,14 @@
 // edges. Estimators consume streams through a single forward pass.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/check.hpp"
 
 namespace rept {
 
@@ -36,7 +38,10 @@ class EdgeStream {
   const std::vector<Edge>& edges() const { return edges_; }
   std::vector<Edge>& mutable_edges() { return edges_; }
 
-  const Edge& operator[](size_t i) const { return edges_[i]; }
+  const Edge& operator[](size_t i) const {
+    REPT_DCHECK(i < edges_.size());
+    return edges_[i];
+  }
 
   auto begin() const { return edges_.begin(); }
   auto end() const { return edges_.end(); }

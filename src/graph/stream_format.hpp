@@ -1,0 +1,12 @@
+// On-disk edge-stream format constants shared by the wholesale loaders
+// (stream_io) and the chunked readers (edge_source).
+#pragma once
+
+namespace rept::internal {
+
+/// Magic prefix of the binary edge-stream format (header: magic + u64
+/// vertex count + u64 edge count, then raw little-endian u32 pairs).
+inline constexpr char kEdgeStreamBinaryMagic[8] = {'R', 'E', 'P', 'T',
+                                                   'E', 'S', '0', '1'};
+
+}  // namespace rept::internal

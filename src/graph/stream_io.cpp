@@ -1,57 +1,34 @@
 #include "graph/stream_io.hpp"
 
 #include <cstdint>
-#include <cstdio>
-#include <cstring>
+#include <filesystem>
 #include <fstream>
-#include <sstream>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "graph/edge_source.hpp"
+#include "graph/stream_format.hpp"
 
 namespace rept {
 
 namespace {
 
-constexpr char kBinaryMagic[8] = {'R', 'E', 'P', 'T', 'E', 'S', '0', '1'};
+// Pre-size estimate from the file length (an edge line is >= 8 bytes in
+// practice) to avoid reallocation churn on large lists.
+size_t ApproxEdgesInFile(const std::string& path) {
+  std::error_code ec;
+  const uintmax_t bytes = std::filesystem::file_size(path, ec);
+  if (ec || bytes == 0) return 0;
+  return static_cast<size_t>(bytes / 8) + 1;
+}
 
 }  // namespace
 
 Result<EdgeStream> LoadEdgeListText(const std::string& path, bool dedupe) {
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open: " + path);
-
-  std::vector<Edge> edges;
-  std::unordered_map<uint64_t, VertexId> remap;
-  std::unordered_set<uint64_t> seen;
-  VertexId next_id = 0;
-  auto map_id = [&remap, &next_id](uint64_t raw) {
-    auto [it, inserted] = remap.emplace(raw, next_id);
-    if (inserted) ++next_id;
-    return it->second;
-  };
-
-  std::string line;
-  uint64_t line_no = 0;
-  while (std::getline(file, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream in(line);
-    uint64_t raw_u = 0;
-    uint64_t raw_v = 0;
-    if (!(in >> raw_u >> raw_v)) {
-      return Status::Corruption("bad edge at " + path + ":" +
-                                std::to_string(line_no));
-    }
-    const VertexId u = map_id(raw_u);
-    const VertexId v = map_id(raw_v);
-    if (dedupe && u != v && !seen.insert(EdgeKey(u, v)).second) continue;
-    edges.emplace_back(u, v);
-  }
-
-  std::string name = path;
-  const size_t slash = name.find_last_of('/');
-  if (slash != std::string::npos) name = name.substr(slash + 1);
-  return EdgeStream(name, next_id, std::move(edges));
+  // Wholesale load = chunked read drained into one vector; the parse /
+  // remap / dedupe semantics live in TextFileEdgeSource alone.
+  auto source = TextFileEdgeSource::Open(path, dedupe);
+  if (!source.ok()) return source.status();
+  return ReadAll(**source, /*chunk_edges=*/65536,
+                 /*reserve_edges=*/ApproxEdgesInFile(path));
 }
 
 Status SaveEdgeListText(const EdgeStream& stream, const std::string& path) {
@@ -67,37 +44,20 @@ Status SaveEdgeListText(const EdgeStream& stream, const std::string& path) {
 }
 
 Result<EdgeStream> LoadEdgeListBinary(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::IOError("cannot open: " + path);
-  char magic[8];
-  uint64_t counts[2];
-  if (!file.read(magic, sizeof(magic)) ||
-      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
-    return Status::Corruption("bad magic in " + path);
-  }
-  if (!file.read(reinterpret_cast<char*>(counts), sizeof(counts))) {
-    return Status::Corruption("truncated header in " + path);
-  }
-  const VertexId num_vertices = static_cast<VertexId>(counts[0]);
-  const uint64_t num_edges = counts[1];
-  std::vector<Edge> edges(num_edges);
-  static_assert(sizeof(Edge) == 2 * sizeof(VertexId));
-  if (!file.read(reinterpret_cast<char*>(edges.data()),
-                 static_cast<std::streamsize>(num_edges * sizeof(Edge)))) {
-    return Status::Corruption("truncated edges in " + path);
-  }
-  std::string name = path;
-  const size_t slash = name.find_last_of('/');
-  if (slash != std::string::npos) name = name.substr(slash + 1);
-  return EdgeStream(name, num_vertices, std::move(edges));
+  auto source = BinaryFileEdgeSource::Open(path);
+  if (!source.ok()) return source.status();
+  return ReadAll(**source, /*chunk_edges=*/65536,
+                 /*reserve_edges=*/(*source)->num_edges());
 }
 
 Status SaveEdgeListBinary(const EdgeStream& stream, const std::string& path) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return Status::IOError("cannot open for writing: " + path);
-  file.write(kBinaryMagic, sizeof(kBinaryMagic));
+  file.write(internal::kEdgeStreamBinaryMagic,
+             sizeof(internal::kEdgeStreamBinaryMagic));
   const uint64_t counts[2] = {stream.num_vertices(), stream.size()};
   file.write(reinterpret_cast<const char*>(counts), sizeof(counts));
+  static_assert(sizeof(Edge) == 2 * sizeof(VertexId));
   file.write(reinterpret_cast<const char*>(stream.edges().data()),
              static_cast<std::streamsize>(stream.size() * sizeof(Edge)));
   if (!file) return Status::IOError("write failed: " + path);

@@ -1,0 +1,198 @@
+// EdgeSource contract: chunked pull-side readers reproduce their batch
+// counterparts edge for edge, regardless of chunk size, and IngestAll wires
+// them to sessions without materializing the stream.
+#include "graph/edge_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+#include "baselines/baseline_systems.hpp"
+#include "core/streaming_estimator.hpp"
+#include "gen/holme_kim.hpp"
+#include "graph/stream_io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+EdgeStream SampleStream() {
+  gen::HolmeKimParams params;
+  params.num_vertices = 200;
+  params.edges_per_vertex = 3;
+  params.triad_probability = 0.5;
+  return gen::HolmeKim(params, /*seed=*/99);
+}
+
+void ExpectSameStream(const EdgeStream& a, const EdgeStream& b) {
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(EdgeKey(a[i]), EdgeKey(b[i])) << "edge " << i;
+  }
+}
+
+TEST(EdgeSourceTest, InMemoryRoundTrip) {
+  const EdgeStream stream = SampleStream();
+  InMemoryEdgeSource source{EdgeStream(stream)};
+  EXPECT_EQ(source.VertexCountHint(), stream.num_vertices());
+  auto drained = ReadAll(source, /*chunk_edges=*/13);
+  ASSERT_TRUE(drained.ok());
+  ExpectSameStream(*drained, stream);
+}
+
+TEST(EdgeSourceTest, TextSourceMatchesWholesaleLoad) {
+  const std::string path = TempPath("chunked.txt");
+  ASSERT_TRUE(SaveEdgeListText(SampleStream(), path).ok());
+
+  const auto wholesale = LoadEdgeListText(path);
+  ASSERT_TRUE(wholesale.ok());
+  auto source = TextFileEdgeSource::Open(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  auto chunked = ReadAll(**source, /*chunk_edges=*/17);
+  ASSERT_TRUE(chunked.ok()) << chunked.status().ToString();
+  ExpectSameStream(*chunked, *wholesale);
+  EXPECT_EQ((*source)->VertexCountHint(), wholesale->num_vertices());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSourceTest, TextSourceRemapsAndDedupesLikeLoader) {
+  const std::string path = TempPath("remap.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment\n% comment\n\n";
+    out << "1000 2000\n2000 3000\n3000 1000\n";
+    out << "2000 1000\n";  // duplicate of the first edge, reversed
+    out << "7 7\n7 7\n";   // self loops are kept, never deduped
+  }
+  for (const bool dedupe : {true, false}) {
+    const auto wholesale = LoadEdgeListText(path, dedupe);
+    ASSERT_TRUE(wholesale.ok());
+    auto source = TextFileEdgeSource::Open(path, dedupe);
+    ASSERT_TRUE(source.ok());
+    auto chunked = ReadAll(**source, /*chunk_edges=*/2);
+    ASSERT_TRUE(chunked.ok());
+    ExpectSameStream(*chunked, *wholesale);
+  }
+  const auto deduped = LoadEdgeListText(path, /*dedupe=*/true);
+  EXPECT_EQ(deduped->size(), 5u);  // 3 unique + 2 self loops
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSourceTest, TextSourceReportsCorruption) {
+  const std::string path = TempPath("corrupt.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nnot an edge\n2 3\n";
+  }
+  auto source = TextFileEdgeSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  auto drained = ReadAll(**source);
+  EXPECT_FALSE(drained.ok());
+  EXPECT_EQ(drained.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSourceTest, OpenMissingFileFails) {
+  EXPECT_FALSE(TextFileEdgeSource::Open(TempPath("missing.txt")).ok());
+  EXPECT_FALSE(BinaryFileEdgeSource::Open(TempPath("missing.bin")).ok());
+}
+
+TEST(EdgeSourceTest, BinarySourceMatchesWholesaleLoad) {
+  const std::string path = TempPath("chunked.bin");
+  const EdgeStream stream = SampleStream();
+  ASSERT_TRUE(SaveEdgeListBinary(stream, path).ok());
+
+  auto source = BinaryFileEdgeSource::Open(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  // Sized source: header metadata is exact before any chunk is read.
+  EXPECT_EQ((*source)->VertexCountHint(), stream.num_vertices());
+  EXPECT_EQ((*source)->num_edges(), stream.size());
+  auto chunked = ReadAll(**source, /*chunk_edges=*/19);
+  ASSERT_TRUE(chunked.ok());
+  ExpectSameStream(*chunked, stream);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSourceTest, BinarySourceReportsTruncation) {
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(SampleStream(), path).ok());
+  // Chop the edge payload in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto source = BinaryFileEdgeSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  auto drained = ReadAll(**source);
+  EXPECT_FALSE(drained.ok());
+  EXPECT_EQ(drained.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSourceTest, UniformRandomSourceIsDeterministicAndLoopFree) {
+  UniformRandomEdgeSource a(/*num_vertices=*/50, /*num_edges=*/1000,
+                            /*seed=*/5);
+  UniformRandomEdgeSource b(/*num_vertices=*/50, /*num_edges=*/1000,
+                            /*seed=*/5);
+  auto ea = ReadAll(a, /*chunk_edges=*/37);
+  auto eb = ReadAll(b, /*chunk_edges=*/128);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(ea->size(), 1000u);
+  ExpectSameStream(*ea, *eb);
+  for (const Edge& e : *ea) {
+    EXPECT_LT(e.u, 50u);
+    EXPECT_LT(e.v, 50u);
+    EXPECT_FALSE(e.IsSelfLoop());
+  }
+
+  UniformRandomEdgeSource c(/*num_vertices=*/50, /*num_edges=*/1000,
+                            /*seed=*/6);
+  auto ec = ReadAll(c);
+  ASSERT_TRUE(ec.ok());
+  bool any_difference = false;
+  for (size_t i = 0; i < ec->size(); ++i) {
+    if (EdgeKey((*ec)[i]) != EdgeKey((*ea)[i])) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(EdgeSourceTest, IngestAllDrivesSessionToRunEquivalence) {
+  const std::string path = TempPath("ingest_all.txt");
+  ASSERT_TRUE(SaveEdgeListText(SampleStream(), path).ok());
+  const auto wholesale = LoadEdgeListText(path);
+  ASSERT_TRUE(wholesale.ok());
+
+  ThreadPool pool(2);
+  const auto rept = MakeRept(5, 5);
+  const TriangleEstimates reference = rept->Run(*wholesale, 21, &pool);
+
+  auto source = TextFileEdgeSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  SessionOptions options;
+  options.expected_edges = wholesale->size();
+  auto session = rept->CreateSession(21, &pool, options);
+  auto ingested = IngestAll(**source, *session, /*chunk_edges=*/23);
+  ASSERT_TRUE(ingested.ok());
+  EXPECT_EQ(*ingested, wholesale->size());
+
+  const TriangleEstimates chunked = session->Snapshot();
+  EXPECT_EQ(chunked.global, reference.global);
+  EXPECT_EQ(chunked.local, reference.local);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rept

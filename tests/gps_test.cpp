@@ -93,7 +93,7 @@ TEST(GpsTest, FactoryHalvesBudgetViaFraction) {
   const EdgeStream s =
       gen::ErdosRenyi({.num_vertices = 50, .num_edges = 1000}, 11);
   GpsFactory factory(0.05);  // 0.5 * p with p = 0.1
-  auto counter = factory.Create(1, s);
+  auto counter = factory.Create(1, factory.BudgetFor(s.size()));
   counter->ProcessStream(s);
   EXPECT_LE(counter->StoredEdges(), 50u);
   EXPECT_EQ(factory.MethodName(), "GPS");

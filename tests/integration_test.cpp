@@ -10,6 +10,7 @@
 #include "exact/exact_counts.hpp"
 #include "gen/dataset_suite.hpp"
 #include "runner/evaluation.hpp"
+#include "util/random.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rept {

@@ -61,7 +61,7 @@ TEST(MascotTest, ScalingAppliedToEstimates) {
 TEST(MascotTest, FactoryProducesWorkingInstances) {
   const EdgeStream s = ShuffledCopy(gen::Complete(8), 1);
   MascotFactory factory(1.0);
-  auto counter = factory.Create(123, s);
+  auto counter = factory.Create(123, factory.BudgetFor(s.size()));
   counter->ProcessStream(s);
   EXPECT_DOUBLE_EQ(counter->GlobalEstimate(), 56.0);  // C(8,3)
   EXPECT_EQ(factory.MethodName(), "MASCOT");

@@ -105,7 +105,7 @@ TEST(TriestTest, FactoryComputesBudgetFromStream) {
   const EdgeStream s =
       gen::ErdosRenyi({.num_vertices = 50, .num_edges = 1000}, 11);
   TriestFactory factory(0.1);
-  auto counter = factory.Create(1, s);
+  auto counter = factory.Create(1, factory.BudgetFor(s.size()));
   counter->ProcessStream(s);
   EXPECT_EQ(counter->StoredEdges(), 100u);
   EXPECT_EQ(factory.MethodName(), "TRIEST");

@@ -13,6 +13,7 @@
 #include "exact/exact_counts.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "graph/permutation.hpp"
+#include "util/random.hpp"
 #include "util/statistics.hpp"
 #include "util/thread_pool.hpp"
 
