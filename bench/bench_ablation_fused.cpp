@@ -41,8 +41,9 @@ int Main(int argc, char** argv) {
       cfg.m = static_cast<uint32_t>(m);
       cfg.c = c;
       cfg.track_local = false;
+      cfg.dispatch = DispatchMode::kBroadcast;
       const ReptEstimator instance_mode(cfg);
-      cfg.fused_groups = true;
+      cfg.dispatch = DispatchMode::kFused;
       const ReptEstimator fused_mode(cfg);
 
       const double ti = MeasureRuntime(instance_mode, d.stream, ctx.seed,

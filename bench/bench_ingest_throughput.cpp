@@ -1,10 +1,18 @@
-// Ingest-throughput benchmark for the streaming-session API: edges/sec of
-// the legacy one-shot batch Run() versus a session fed in chunks of various
-// sizes, for REPT and the parallel baselines. Emits BENCH_ingest.json next
-// to the binary (override with --out) so CI and EXPERIMENTS.md can track
-// session overhead; prints the same numbers as a table.
+// Ingest-throughput benchmark for the streaming-session API.
 //
-//   build/bench/bench_ingest_throughput [--edges 2000000] [--chunk-list ...]
+// Two sections, both emitted to BENCH_ingest.json (override with --out) and
+// printed as tables so CI and EXPERIMENTS.md can track the perf trajectory:
+//  1. legacy batch Run() vs a session fed in chunks (REPT + a baseline),
+//     as in previous revisions of this bench;
+//  2. the dispatch-pipeline sweep: broadcast vs routed ingest across a
+//     batch-size x thread-count grid, with the routed pipeline's per-stage
+//     wall time (route = hash+scatter, estimate = replay) recorded per cell.
+// Routed dispatch evaluates each fused hash group's hash once per edge
+// (c/m per edge) where broadcast evaluates c per edge, so the gap widens
+// with c — the default c is 64 to make that visible.
+//
+//   build/bench/bench_ingest_throughput [--edges 2000000] [--c 64]
+//       [--chunk-list 1024,65536,1048576] [--thread-list 1,4,0]
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
@@ -14,6 +22,7 @@
 #include "baselines/baseline_systems.hpp"
 #include "bench_common.hpp"
 #include "core/rept_estimator.hpp"
+#include "core/rept_session.hpp"
 #include "core/streaming_estimator.hpp"
 #include "graph/edge_source.hpp"
 #include "util/flags.hpp"
@@ -24,12 +33,25 @@ namespace {
 
 struct Measurement {
   std::string system;
-  std::string mode;       // "batch" or "session"
-  uint64_t chunk = 0;     // 0 for batch
+  std::string mode;      // "batch", "session", or "dispatch-sweep"
+  std::string dispatch;  // "routed" or "broadcast" ("" for baselines)
+  uint64_t chunk = 0;    // 0 for batch
+  size_t threads = 0;
   double seconds = 0.0;
   double edges_per_sec = 0.0;
   double global_estimate = 0.0;
+  // Routed-pipeline stage split (0 unless dispatch == "routed").
+  double route_seconds = 0.0;
+  double estimate_seconds = 0.0;
 };
+
+std::vector<uint64_t> ParseList(const std::string& list) {
+  std::vector<uint64_t> values;
+  for (const std::string& token : rept::bench::ParseDatasets(list)) {
+    values.push_back(std::strtoull(token.c_str(), nullptr, 10));
+  }
+  return values;
+}
 
 }  // namespace
 
@@ -37,26 +59,33 @@ int main(int argc, char** argv) {
   uint64_t num_vertices = 100000;
   uint64_t num_edges = 2000000;
   uint64_t m = 20;
-  uint64_t c = 20;
+  uint64_t c = 64;
   uint64_t seed = 42;
   uint64_t threads = 0;
   std::string chunk_list = "1024,65536,1048576";
+  std::string thread_list = "1,4,0";
   std::string out = "BENCH_ingest.json";
-  rept::FlagSet flags("batch vs session ingest throughput (BENCH_ingest.json)");
+  rept::FlagSet flags(
+      "batch vs session ingest + broadcast vs routed dispatch sweep "
+      "(BENCH_ingest.json)");
   flags.AddUint64("vertices", &num_vertices, "vertex-id space of the stream");
   flags.AddUint64("edges", &num_edges, "stream length");
   flags.AddUint64("m", &m, "sampling denominator");
   flags.AddUint64("c", &c, "logical processors");
   flags.AddUint64("seed", &seed, "seed");
-  flags.AddUint64("threads", &threads, "workers (0 = hardware concurrency)");
+  flags.AddUint64("threads", &threads,
+                  "workers for section 1 (0 = hardware concurrency)");
   flags.AddString("chunk-list", &chunk_list,
                   "comma-separated session chunk sizes (edges)");
+  flags.AddString("thread-list", &thread_list,
+                  "comma-separated worker counts for the dispatch sweep "
+                  "(0 = hardware concurrency)");
   flags.AddString("out", &out, "output JSON path");
   rept::bench::ParseOrDie(flags, argc, argv);
 
   // The stream comes from the generator-backed source (fixed memory), then
-  // is materialized once so the batch and session paths consume the exact
-  // same edge sequence.
+  // is materialized once so every measured path consumes the exact same
+  // edge sequence.
   rept::UniformRandomEdgeSource generator(
       static_cast<rept::VertexId>(num_vertices), num_edges, seed);
   auto stream = rept::ReadAll(generator);
@@ -66,11 +95,13 @@ int main(int argc, char** argv) {
   }
   rept::ThreadPool pool(static_cast<size_t>(threads));
 
-  std::vector<uint64_t> chunks;
-  for (const std::string& token : rept::bench::ParseDatasets(chunk_list)) {
-    chunks.push_back(std::strtoull(token.c_str(), nullptr, 10));
-  }
+  const std::vector<uint64_t> chunks = ParseList(chunk_list);
+  rept::SessionOptions options;
+  options.expected_edges = stream->size();
+  options.expected_vertices = stream->num_vertices();
 
+  // --- Section 1: legacy batch Run() vs chunked session ingest. ---
+  std::vector<Measurement> results;
   std::vector<std::unique_ptr<rept::EstimatorSystem>> systems;
   systems.push_back(rept::MakeRept(static_cast<uint32_t>(m),
                                    static_cast<uint32_t>(c),
@@ -78,21 +109,22 @@ int main(int argc, char** argv) {
   systems.push_back(rept::MakeParallelMascot(static_cast<uint32_t>(m),
                                              static_cast<uint32_t>(c),
                                              /*track_local=*/false));
-
-  std::vector<Measurement> results;
   for (const auto& system : systems) {
     {
       rept::WallTimer timer;
       const rept::TriangleEstimates est = system->Run(*stream, seed, &pool);
       const double secs = timer.Seconds();
-      results.push_back({system->Name(), "batch", 0, secs,
-                         static_cast<double>(num_edges) / secs, est.global});
+      Measurement r;
+      r.system = system->Name();
+      r.mode = "batch";
+      r.threads = pool.num_threads();
+      r.seconds = secs;
+      r.edges_per_sec = static_cast<double>(num_edges) / secs;
+      r.global_estimate = est.global;
+      results.push_back(r);
     }
     for (const uint64_t chunk : chunks) {
       if (chunk == 0) continue;
-      rept::SessionOptions options;
-      options.expected_edges = stream->size();
-      options.expected_vertices = stream->num_vertices();
       // Source setup (incl. the stream copy it owns) stays outside the
       // timed region so batch and session time the same work.
       rept::InMemoryEdgeSource source{rept::EdgeStream(*stream)};
@@ -106,18 +138,68 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "session ingest failed\n");
         return 2;
       }
-      results.push_back({system->Name(), "session", chunk, secs,
-                         static_cast<double>(num_edges) / secs, est.global});
+      Measurement r;
+      r.system = system->Name();
+      r.mode = "session";
+      r.chunk = chunk;
+      r.threads = pool.num_threads();
+      r.seconds = secs;
+      r.edges_per_sec = static_cast<double>(num_edges) / secs;
+      r.global_estimate = est.global;
+      results.push_back(r);
     }
   }
 
-  rept::TablePrinter table({"system", "mode", "chunk", "seconds",
-                            "edges/sec", "tau_hat"});
+  // --- Section 2: broadcast vs routed dispatch, chunk x threads sweep. ---
+  for (const uint64_t workers : ParseList(thread_list)) {
+    rept::ThreadPool sweep_pool(static_cast<size_t>(workers));
+    for (const uint64_t chunk : chunks) {
+      if (chunk == 0) continue;
+      for (const rept::DispatchMode mode :
+           {rept::DispatchMode::kBroadcast, rept::DispatchMode::kRouted}) {
+        rept::ReptConfig config;
+        config.m = static_cast<uint32_t>(m);
+        config.c = static_cast<uint32_t>(c);
+        config.track_local = false;
+        config.dispatch = mode;
+        rept::InMemoryEdgeSource source{rept::EdgeStream(*stream)};
+        rept::WallTimer timer;
+        rept::ReptSession session(config, seed, &sweep_pool, options);
+        const auto ingested =
+            rept::IngestAll(source, session, static_cast<size_t>(chunk));
+        const rept::TriangleEstimates est = session.Snapshot();
+        const double secs = timer.Seconds();
+        if (!ingested.ok() || *ingested != num_edges) {
+          std::fprintf(stderr, "dispatch sweep ingest failed\n");
+          return 2;
+        }
+        Measurement r;
+        r.system = session.Name();
+        r.mode = "dispatch-sweep";
+        r.dispatch =
+            mode == rept::DispatchMode::kRouted ? "routed" : "broadcast";
+        r.chunk = chunk;
+        r.threads = sweep_pool.num_threads();
+        r.seconds = secs;
+        r.edges_per_sec = static_cast<double>(num_edges) / secs;
+        r.global_estimate = est.global;
+        r.route_seconds = session.ingest_stats().route_seconds;
+        r.estimate_seconds = session.ingest_stats().estimate_seconds;
+        results.push_back(r);
+      }
+    }
+  }
+
+  rept::TablePrinter table({"system", "mode", "dispatch", "chunk", "threads",
+                            "seconds", "edges/sec", "t_route", "t_estimate",
+                            "tau_hat"});
   for (const Measurement& r : results) {
-    table.AddRow({r.system, r.mode,
+    table.AddRow({r.system, r.mode, r.dispatch.empty() ? "-" : r.dispatch,
                   r.chunk == 0 ? "-" : std::to_string(r.chunk),
-                  rept::bench::Fmt(r.seconds, 3),
+                  std::to_string(r.threads), rept::bench::Fmt(r.seconds, 3),
                   rept::bench::Sci(r.edges_per_sec),
+                  rept::bench::Fmt(r.route_seconds, 3),
+                  rept::bench::Fmt(r.estimate_seconds, 3),
                   rept::bench::Sci(r.global_estimate)});
   }
   table.Print();
@@ -137,10 +219,13 @@ int main(int argc, char** argv) {
     const Measurement& r = results[i];
     std::fprintf(json,
                  "    {\"system\": \"%s\", \"mode\": \"%s\", "
-                 "\"chunk_edges\": %" PRIu64 ", \"seconds\": %.6f, "
-                 "\"edges_per_sec\": %.1f, \"global_estimate\": %.1f}%s\n",
-                 r.system.c_str(), r.mode.c_str(), r.chunk, r.seconds,
-                 r.edges_per_sec, r.global_estimate,
+                 "\"dispatch\": \"%s\", \"chunk_edges\": %" PRIu64 ", "
+                 "\"threads\": %zu, \"seconds\": %.6f, "
+                 "\"edges_per_sec\": %.1f, \"route_seconds\": %.6f, "
+                 "\"estimate_seconds\": %.6f, \"global_estimate\": %.1f}%s\n",
+                 r.system.c_str(), r.mode.c_str(), r.dispatch.c_str(),
+                 r.chunk, r.threads, r.seconds, r.edges_per_sec,
+                 r.route_seconds, r.estimate_seconds, r.global_estimate,
                  i + 1 == results.size() ? "" : ",");
   }
   std::fprintf(json, "  ]\n}\n");

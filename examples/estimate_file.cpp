@@ -34,8 +34,10 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   uint64_t topk = 10;
   uint64_t chunk = 65536;
+  uint64_t threads = 0;
   bool exact = false;
   bool keep_duplicates = false;
+  bool prefetch = false;
   rept::FlagSet flags("estimate triangle counts of an edge-list file");
   flags.AddString("input", &input,
                   "edge list path (empty: generate a demo file)");
@@ -44,9 +46,13 @@ int main(int argc, char** argv) {
   flags.AddUint64("seed", &seed, "seed");
   flags.AddUint64("topk", &topk, "how many top-local nodes to print");
   flags.AddUint64("chunk", &chunk, "edges ingested per batch");
+  flags.AddUint64("threads", &threads,
+                  "session pool workers (0 = hardware concurrency)");
   flags.AddBool("exact", &exact, "also compute exact counts for comparison");
   flags.AddBool("keep-duplicates", &keep_duplicates,
                 "skip edge dedup (O(chunk) reader memory for huge files)");
+  flags.AddBool("prefetch", &prefetch,
+                "decode the next chunk while the current one is estimated");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
     if (st.code() == rept::StatusCode::kNotFound) return 0;  // --help
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -78,16 +84,18 @@ int main(int argc, char** argv) {
   config.m = static_cast<uint32_t>(m);
   config.c = static_cast<uint32_t>(c);
   const rept::ReptEstimator estimator(config);
-  rept::ThreadPool pool;
+  rept::ThreadPool pool(static_cast<size_t>(threads));
 
   // Chunked create-ingest-snapshot: the file's edge vector is never
-  // resident, only the chunk buffer, the sampled edges, and the reader's
-  // remap/dedupe state.
+  // resident, only the chunk buffer(s), the sampled edges, and the reader's
+  // remap/dedupe state. With --prefetch, a pump thread decodes chunk t+1
+  // while the session estimates chunk t.
   rept::WallTimer run_timer;
   const std::unique_ptr<rept::StreamingEstimator> session =
       estimator.CreateSession(seed, &pool);
-  const auto ingested =
-      rept::IngestAll(**source, *session, static_cast<size_t>(chunk));
+  const auto ingested = rept::IngestAll(
+      **source, *session,
+      rept::IngestOptions{static_cast<size_t>(chunk), prefetch});
   if (!ingested.ok()) {
     std::fprintf(stderr, "%s\n", ingested.status().ToString().c_str());
     return 2;

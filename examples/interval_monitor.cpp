@@ -87,12 +87,15 @@ int main(int argc, char** argv) {
   uint64_t m = 8;
   uint64_t c = 8;
   uint64_t seed = 7;
+  uint64_t threads = 0;
   double threshold = 2.0;
   rept::FlagSet flags("per-interval triangle monitoring (paper §II use case)");
   flags.AddUint64("intervals", &intervals, "number of time intervals");
   flags.AddUint64("m", &m, "sampling denominator (memory = |E|/m per proc)");
   flags.AddUint64("c", &c, "processors in the monitoring session");
   flags.AddUint64("seed", &seed, "seed");
+  flags.AddUint64("threads", &threads,
+                  "session pool workers (0 = hardware concurrency)");
   flags.AddDouble("threshold", &threshold,
                   "flag intervals this many times above the running median");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
@@ -106,7 +109,7 @@ int main(int argc, char** argv) {
   config.c = static_cast<uint32_t>(c);
   config.track_local = false;
   const rept::ReptEstimator estimator(config);
-  rept::ThreadPool pool;
+  rept::ThreadPool pool(static_cast<size_t>(threads));
   rept::SeedSequence seeds(seed);
 
   // The whole day flows through this one session; it is never reset.

@@ -27,6 +27,7 @@ EnsembleSession::EnsembleSession(
 void EnsembleSession::Ingest(std::span<const Edge> edges) {
   RecordBatch(edges);
   if (edges.empty()) return;
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
   auto body = [this, edges](size_t i) { instances_[i]->ProcessBatch(edges); };
   if (pool_ != nullptr) {
     ParallelFor(*pool_, instances_.size(), body);
@@ -36,6 +37,7 @@ void EnsembleSession::Ingest(std::span<const Edge> edges) {
 }
 
 TriangleEstimates EnsembleSession::Snapshot() const {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
   // Deterministic combination: fixed instance order, serial accumulation.
   TriangleEstimates estimates;
   const double inv_c = 1.0 / static_cast<double>(instances_.size());
@@ -50,6 +52,7 @@ TriangleEstimates EnsembleSession::Snapshot() const {
 }
 
 uint64_t EnsembleSession::StoredEdges() const {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
   uint64_t total = 0;
   for (const auto& instance : instances_) total += instance->StoredEdges();
   return total;

@@ -6,10 +6,17 @@
 // arrival order, and the combination accumulates in fixed instance order —
 // so a full-ingest Snapshot() is bit-identical to the legacy Run()
 // regardless of batch boundaries or the thread pool.
+//
+// Concurrency: single-writer, concurrent snapshots OK (the
+// StreamingEstimator contract). Baseline counters have no published-tally
+// fast path, so Snapshot() and StoredEdges() serialize with the in-flight
+// batch on a mutex — a mid-ingest reader blocks for at most one batch and
+// always observes a batch boundary.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,6 +57,8 @@ class EnsembleSession : public StreamingEstimator {
   ThreadPool* pool_;
   uint64_t edge_budget_;
   std::vector<std::unique_ptr<StreamCounter>> instances_;
+  /// Serializes instance mutation (Ingest) against concurrent snapshots.
+  mutable std::mutex ingest_mutex_;
 };
 
 }  // namespace rept

@@ -1,0 +1,106 @@
+#include "core/batch_router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+
+namespace {
+
+/// Edges hashed per (group, edge-range) tile: large enough that the per-tile
+/// claim (one relaxed atomic op) is noise, small enough that a typical chunk
+/// still splits across workers.
+constexpr size_t kRouteTileEdges = 4096;
+
+}  // namespace
+
+BatchRouter::BatchRouter(std::vector<GroupSpec> groups) {
+  groups_.reserve(groups.size());
+  for (GroupSpec& spec : groups) {
+    REPT_CHECK(spec.live_buckets >= 1);
+    REPT_CHECK(spec.live_buckets <= spec.num_buckets);
+    GroupState state;
+    state.spec = spec;
+    state.offsets.assign(spec.live_buckets + 1, 0);
+    groups_.push_back(std::move(state));
+  }
+}
+
+void BatchRouter::Route(std::span<const Edge> edges, ThreadPool* pool) {
+  REPT_CHECK(edges.size() <=
+             static_cast<size_t>(std::numeric_limits<uint32_t>::max()));
+  const size_t n = edges.size();
+
+  // Pass A — hashing, the per-edge hot loop. The flattened work space is
+  // num_groups x n edge slots, claimed as (group, edge-range) tiles; each
+  // tile writes a disjoint slice of one group's bucket scratch.
+  for (GroupState& group : groups_) group.buckets.resize(n);
+  auto hash_range = [this, edges, n](size_t begin, size_t end) {
+    while (begin < end) {
+      const size_t g = begin / n;
+      const size_t first = begin % n;
+      const size_t last = std::min(n, first + (end - begin));
+      GroupState& group = groups_[g];
+      const MixEdgeHasher hasher = group.spec.hasher;
+      const uint32_t m = group.spec.num_buckets;
+      for (size_t t = first; t < last; ++t) {
+        group.buckets[t] = hasher.Bucket(edges[t].u, edges[t].v, m);
+      }
+      begin += last - first;
+    }
+  };
+  if (pool != nullptr && n > 0) {
+    ParallelForChunked(*pool, groups_.size() * n, kRouteTileEdges, hash_range);
+  } else {
+    hash_range(0, groups_.size() * n);
+  }
+
+  // Pass B — scatter: counting-sort each group's live-bucket hits into the
+  // per-instance sublists (ascending within a bucket because the scan is in
+  // stream order). Groups are independent.
+  auto scatter_group = [this, n](size_t g) {
+    GroupState& group = groups_[g];
+    const uint32_t live = group.spec.live_buckets;
+    std::fill(group.offsets.begin(), group.offsets.end(), 0u);
+    for (size_t t = 0; t < n; ++t) {
+      const uint32_t b = group.buckets[t];
+      if (b < live) ++group.offsets[b + 1];
+    }
+    for (uint32_t b = 0; b < live; ++b) {
+      group.offsets[b + 1] += group.offsets[b];
+    }
+    group.routed.resize(group.offsets[live]);
+    group.cursor.assign(group.offsets.begin(), group.offsets.end() - 1);
+    for (size_t t = 0; t < n; ++t) {
+      const uint32_t b = group.buckets[t];
+      if (b < live) {
+        group.routed[group.cursor[b]++] = static_cast<uint32_t>(t);
+      }
+    }
+  };
+  if (pool != nullptr && groups_.size() > 1) {
+    ParallelFor(*pool, groups_.size(), scatter_group);
+  } else {
+    for (size_t g = 0; g < groups_.size(); ++g) scatter_group(g);
+  }
+
+  routed_entries_ = 0;
+  for (const GroupState& group : groups_) {
+    routed_entries_ += group.routed.size();
+  }
+}
+
+std::span<const uint32_t> BatchRouter::Inserts(size_t group,
+                                               uint32_t bucket) const {
+  const GroupState& state = groups_[group];
+  REPT_DCHECK(bucket < state.spec.live_buckets);
+  const uint32_t begin = state.offsets[bucket];
+  const uint32_t end = state.offsets[bucket + 1];
+  return std::span<const uint32_t>(state.routed.data() + begin, end - begin);
+}
+
+}  // namespace rept

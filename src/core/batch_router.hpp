@@ -1,0 +1,79 @@
+// Stage 1 of the REPT dispatch pipeline: hash-route a batch once per fused
+// hash group instead of once per instance.
+//
+// Every group of m logical processors shares one edge hash; an arriving edge
+// is *stored* by at most one of them (the one whose bucket the hash hits),
+// while every processor still *counts* it. Broadcasting therefore wastes
+// c - c/m hash evaluations per edge. The router evaluates each group's hash
+// exactly once per edge — tiled across the pool as (group, edge-range) work
+// items — and emits per-instance routed sublists: the ascending in-batch
+// indices of the edges that instance will store. Edges whose bucket falls
+// outside the group's live range (the remainder group of Algorithm 2 has
+// c % m live buckets) cannot survive the group's sampling threshold and are
+// routed nowhere. Stage 2 (ReptInstance::ReplayRouted) then replays the
+// batch per instance with zero hash evaluations, bit-identical to the
+// broadcast replay by construction: the router ran the same hash the
+// instance would have.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "hash/edge_hash.hpp"
+
+namespace rept {
+
+class ThreadPool;
+
+/// \brief Per-batch hash router for a fixed set of fused hash groups.
+/// Single-writer: Route() overwrites the previous batch's sublists (buffers
+/// are reused, so steady-state routing allocates nothing).
+class BatchRouter {
+ public:
+  struct GroupSpec {
+    /// The hash shared by the group's instances.
+    MixEdgeHasher hasher;
+    /// Hash range (the sampling denominator m).
+    uint32_t num_buckets = 1;
+    /// Instances actually present: buckets [0, live_buckets) are routed,
+    /// higher buckets are dropped (remainder groups have live < m).
+    uint32_t live_buckets = 1;
+  };
+
+  explicit BatchRouter(std::vector<GroupSpec> groups);
+
+  /// Routes one batch: evaluates every group's hash once per edge (tiled
+  /// across `pool` when given) and rebuilds the per-instance sublists.
+  void Route(std::span<const Edge> edges, ThreadPool* pool);
+
+  /// Ascending indices into the last routed batch of the edges instance
+  /// (`group`, `bucket`) stores. Valid until the next Route().
+  std::span<const uint32_t> Inserts(size_t group, uint32_t bucket) const;
+
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Total routed entries of the last batch (= edges that hit a live bucket,
+  /// summed over groups); dispatch-stage statistic.
+  uint64_t routed_entries() const { return routed_entries_; }
+
+ private:
+  struct GroupState {
+    GroupSpec spec;
+    /// Scratch: hash bucket of each batch edge under this group's hash.
+    std::vector<uint32_t> buckets;
+    /// Prefix offsets into `routed` per live bucket (live_buckets + 1).
+    std::vector<uint32_t> offsets;
+    /// Scatter cursors (reused copy of offsets[0..live), advanced in place).
+    std::vector<uint32_t> cursor;
+    /// Edge indices grouped by bucket, ascending within each bucket.
+    std::vector<uint32_t> routed;
+  };
+
+  std::vector<GroupState> groups_;
+  uint64_t routed_entries_ = 0;
+};
+
+}  // namespace rept

@@ -7,6 +7,23 @@
 
 namespace rept {
 
+/// \brief Ingest execution strategy of a ReptSession. Every mode produces
+/// bit-identical tallies for the same (stream, seed) — this is a performance
+/// and scheduling knob only (ablation + bench comparison).
+enum class DispatchMode : uint8_t {
+  /// Two-stage dispatch pipeline (default): stage 1 hashes each edge once
+  /// per fused hash group and routes it to the one instance whose bucket it
+  /// hits; stage 2 replays the batch per instance from the routed sublists,
+  /// never re-hashing. c/m hash evaluations per edge instead of c.
+  kRouted,
+  /// Legacy: every instance replays the whole batch and re-evaluates the
+  /// group hash itself — c hash evaluations per edge.
+  kBroadcast,
+  /// Legacy fused ablation: one pass per group of m processors, hashing each
+  /// edge once per instance but scheduling at group granularity.
+  kFused,
+};
+
 /// \brief Configuration of a full REPT run (Algorithms 1 and 2).
 struct ReptConfig {
   /// Sampling denominator: p = 1/m, m >= 2.
@@ -18,9 +35,8 @@ struct ReptConfig {
   /// Use the strict eta pair-counting rule instead of the paper-faithful
   /// initialization (see SemiTriangleCounter::Options::strict_pairs).
   bool strict_eta_pairs = false;
-  /// Execute each group of m processors as one fused pass (identical
-  /// results, different parallel granularity; ablation knob).
-  bool fused_groups = false;
+  /// Ingest scheduling strategy (identical results in every mode).
+  DispatchMode dispatch = DispatchMode::kRouted;
 
   void Validate() const {
     REPT_CHECK(m >= 2);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "core/semi_triangle_counter.hpp"
 #include "graph/edge_stream.hpp"
@@ -33,6 +34,25 @@ class ReptInstance {
     for (const Edge& e : stream) ProcessEdge(e.u, e.v);
   }
 
+  /// Stage 2 of the dispatch pipeline: replays a routed batch with zero hash
+  /// evaluations. `inserts` holds the ascending in-batch indices of the
+  /// edges whose (pre-evaluated, shared-hash) bucket matched this instance —
+  /// every edge is still counted, exactly as ProcessEdge would have, so the
+  /// resulting tallies are bit-identical to a broadcast replay.
+  void ReplayRouted(std::span<const Edge> edges,
+                    std::span<const uint32_t> inserts) {
+    size_t next = 0;
+    for (size_t t = 0; t < edges.size(); ++t) {
+      const Edge& e = edges[t];
+      counter_.CountArrival(e.u, e.v);
+      if (next < inserts.size() && inserts[next] == t) {
+        counter_.InsertSampled(e.u, e.v);
+        ++next;
+      }
+    }
+    REPT_DCHECK(next == inserts.size());
+  }
+
   /// Raw (unscaled) tallies tau^(i), eta^(i) and accessors used by the
   /// system-level combiner.
   const SemiTriangleCounter& counter() const { return counter_; }
@@ -40,6 +60,7 @@ class ReptInstance {
 
   uint32_t bucket() const { return bucket_; }
   uint32_t m() const { return m_; }
+  const MixEdgeHasher& hasher() const { return hasher_; }
 
  private:
   MixEdgeHasher hasher_;

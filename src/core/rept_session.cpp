@@ -5,165 +5,94 @@
 #include "core/combiner.hpp"
 #include "hash/hash_family.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace rept {
 
 namespace {
 
-// Identical instance layout to the pre-session batch runner: one shared hash
-// per group of m processors (a single group when c <= m), groups seeded in
-// order from the same HashFamily.
-std::vector<std::unique_ptr<ReptInstance>> BuildInstances(
-    const ReptConfig& config, uint64_t seed) {
+// The fused hash-group layout: one shared hash per group of m processors (a
+// single group of c live buckets when c <= m, c1 full groups plus a c % m
+// remainder group otherwise), groups seeded in order from one HashFamily.
+// This is THE definition of the (config, seed) -> instances map: both the
+// router and the instance set are derived from it, so the hash a router
+// evaluates in stage 1 is the exact hash the instance would have evaluated.
+std::vector<BatchRouter::GroupSpec> BuildGroupSpecs(const ReptConfig& config,
+                                                    uint64_t seed) {
+  config.Validate();
   const uint32_t m = config.m;
   const uint32_t c = config.c;
+  HashFamily<MixEdgeHasher> family(seed);
+  std::vector<BatchRouter::GroupSpec> specs;
+  if (c <= m) {
+    specs.push_back({family.MakeHasher(0), m, c});
+  } else {
+    const uint32_t c1 = c / m;
+    const uint32_t c2 = c % m;
+    specs.reserve(c1 + (c2 != 0 ? 1 : 0));
+    for (uint32_t group = 0; group < c1; ++group) {
+      specs.push_back({family.MakeHasher(group), m, m});
+    }
+    if (c2 != 0) specs.push_back({family.MakeHasher(c1), m, c2});
+  }
+  return specs;
+}
 
+// Instance i of group g keeps bucket i (its ordinal within the group) of the
+// group's shared hash — identical layout to the pre-session batch runner.
+std::vector<std::unique_ptr<ReptInstance>> BuildInstances(
+    const ReptConfig& config,
+    const std::vector<BatchRouter::GroupSpec>& specs) {
   SemiTriangleCounter::Options counter_options;
   counter_options.track_local = config.track_local;
   counter_options.track_pairs = config.NeedsPairTracking();
   counter_options.strict_pairs = config.strict_eta_pairs;
 
-  HashFamily<MixEdgeHasher> family(seed);
   std::vector<std::unique_ptr<ReptInstance>> instances;
-  instances.reserve(c);
-  if (c <= m) {
-    const MixEdgeHasher hasher = family.MakeHasher(0);
-    for (uint32_t i = 0; i < c; ++i) {
+  instances.reserve(config.c);
+  for (const BatchRouter::GroupSpec& spec : specs) {
+    for (uint32_t bucket = 0; bucket < spec.live_buckets; ++bucket) {
       instances.push_back(std::make_unique<ReptInstance>(
-          hasher, m, /*bucket=*/i, counter_options));
-    }
-  } else {
-    const uint32_t c1 = c / m;
-    const uint32_t c2 = c % m;
-    for (uint32_t group = 0; group < c1; ++group) {
-      const MixEdgeHasher hasher = family.MakeHasher(group);
-      for (uint32_t bucket = 0; bucket < m; ++bucket) {
-        instances.push_back(std::make_unique<ReptInstance>(
-            hasher, m, bucket, counter_options));
-      }
-    }
-    if (c2 != 0) {
-      const MixEdgeHasher hasher = family.MakeHasher(c1);
-      for (uint32_t bucket = 0; bucket < c2; ++bucket) {
-        instances.push_back(std::make_unique<ReptInstance>(
-            hasher, m, bucket, counter_options));
-      }
+          spec.hasher, spec.num_buckets, bucket, counter_options));
     }
   }
   return instances;
 }
 
-}  // namespace
-
-ReptSession::ReptSession(const ReptConfig& config, uint64_t seed,
-                         ThreadPool* pool, const SessionOptions& options)
-    : config_(config), pool_(pool) {
-  config_.Validate();
-  NoteVertices(options.expected_vertices);
-  instances_ = BuildInstances(config_, seed);
-  const uint32_t group_size = config_.c <= config_.m ? config_.c : config_.m;
-  for (size_t begin = 0; begin < instances_.size();) {
-    const size_t end = std::min(instances_.size(),
-                                begin + static_cast<size_t>(group_size));
-    group_ranges_.emplace_back(begin, end);
-    begin = end;
-  }
-}
-
-std::string ReptSession::Name() const {
-  return "REPT(m=" + std::to_string(config_.m) +
-         ",c=" + std::to_string(config_.c) + ")";
-}
-
-void ReptSession::Ingest(std::span<const Edge> edges) {
-  RecordBatch(edges);
-  if (edges.empty()) return;
-
-  if (!config_.fused_groups) {
-    // One parallel task per logical processor, each replaying the batch.
-    auto body = [this, edges](size_t i) {
-      ReptInstance& instance = *instances_[i];
-      for (const Edge& e : edges) instance.ProcessEdge(e.u, e.v);
-    };
-    if (pool_ != nullptr) {
-      ParallelFor(*pool_, instances_.size(), body);
-    } else {
-      for (size_t i = 0; i < instances_.size(); ++i) body(i);
-    }
-    return;
-  }
-
-  // Fused execution: instances sharing a hash function run in one pass that
-  // hashes each edge once. Identical results (counters are independent);
-  // coarser parallel granularity.
-  auto body = [this, edges](size_t g) {
-    const auto [begin, end] = group_ranges_[g];
-    for (const Edge& e : edges) {
-      for (size_t i = begin; i < end; ++i) {
-        instances_[i]->ProcessEdge(e.u, e.v);
-      }
-    }
-  };
-  if (pool_ != nullptr) {
-    ParallelFor(*pool_, group_ranges_.size(), body);
-  } else {
-    for (size_t g = 0; g < group_ranges_.size(); ++g) body(g);
-  }
-}
-
-uint64_t ReptSession::StoredEdges() const {
-  uint64_t total = 0;
-  for (const auto& inst : instances_) total += inst->counter().stored_edges();
-  return total;
-}
-
-TriangleEstimates ReptSession::Snapshot() const {
-  return SnapshotDetailed().estimates;
-}
-
-ReptEstimator::RunDetail ReptSession::SnapshotDetailed() const {
-  const double m = config_.m;
-  const uint32_t c = config_.c;
+// The scalar (global-count) part of a snapshot as a pure function of the
+// per-instance tallies. Both snapshot paths — live counters under the ingest
+// mutex, and a seqlock-published TallyBoard view — run exactly this
+// arithmetic, in exactly this accumulation order, which is what makes them
+// bit-identical to each other and to the legacy Run() at a batch boundary.
+ReptEstimator::RunDetail ComputeScalarDetail(const ReptConfig& config,
+                                             std::span<const double> tallies,
+                                             std::span<const double> etas) {
+  const double m = config.m;
+  const uint32_t c = config.c;
 
   ReptEstimator::RunDetail detail;
-  detail.instance_tallies.reserve(instances_.size());
-  for (const auto& inst : instances_) {
-    detail.instance_tallies.push_back(inst->counter().global());
-  }
-
-  const size_t n = num_vertices();
+  detail.instance_tallies.assign(tallies.begin(), tallies.end());
   TriangleEstimates& est = detail.estimates;
-  if (config_.track_local) est.local.assign(n, 0.0);
 
-  if (c <= config_.m) {
+  if (c <= config.m) {
     // Algorithm 1: tau_hat = (m^2 / c) * sum_i tau^(i).
     const double scale = m * m / c;
     double sum = 0.0;
-    for (const auto& inst : instances_) sum += inst->counter().global();
+    for (const double tally : tallies) sum += tally;
     est.global = scale * sum;
-    if (config_.track_local) {
-      for (const auto& inst : instances_) {
-        inst->counter().AccumulateLocal(est.local, scale);
-      }
-    }
     return detail;
   }
 
-  const uint32_t c1 = c / config_.m;
-  const uint32_t c2 = c % config_.m;
-  const size_t full_count = static_cast<size_t>(c1) * config_.m;
+  const uint32_t c1 = c / config.m;
+  const uint32_t c2 = c % config.m;
+  const size_t full_count = static_cast<size_t>(c1) * config.m;
 
   if (c2 == 0) {
     // Full groups only: tau_hat = (m / c1) * sum_i tau^(i).
     const double scale = m / c1;
     double sum = 0.0;
-    for (const auto& inst : instances_) sum += inst->counter().global();
+    for (const double tally : tallies) sum += tally;
     est.global = scale * sum;
-    if (config_.track_local) {
-      for (const auto& inst : instances_) {
-        inst->counter().AccumulateLocal(est.local, scale);
-      }
-    }
     return detail;
   }
 
@@ -177,14 +106,13 @@ ReptEstimator::RunDetail ReptSession::SnapshotDetailed() const {
   double sum1 = 0.0;
   double sum2 = 0.0;
   double sum_eta = 0.0;
-  for (size_t i = 0; i < instances_.size(); ++i) {
-    const SemiTriangleCounter& counter = instances_[i]->counter();
+  for (size_t i = 0; i < tallies.size(); ++i) {
     if (i < full_count) {
-      sum1 += counter.global();
+      sum1 += tallies[i];
     } else {
-      sum2 += counter.global();
+      sum2 += tallies[i];
     }
-    sum_eta += counter.eta();
+    sum_eta += etas[i];
   }
   detail.tau_hat1 = scale1 * sum1;
   detail.tau_hat2 = scale2 * sum2;
@@ -200,30 +128,239 @@ ReptEstimator::RunDetail ReptSession::SnapshotDetailed() const {
                             detail.w2, static_cast<double>(full_count),
                             static_cast<double>(c2))
                    .value;
+  return detail;
+}
 
-  if (config_.track_local) {
-    std::vector<double> local1(n, 0.0);
-    std::vector<double> local2(n, 0.0);
-    std::vector<double> eta_local(n, 0.0);
-    for (size_t i = 0; i < instances_.size(); ++i) {
-      const SemiTriangleCounter& counter = instances_[i]->counter();
-      if (i < full_count) {
-        counter.AccumulateLocal(local1, scale1);
-      } else {
-        counter.AccumulateLocal(local2, scale2);
+}  // namespace
+
+ReptSession::ReptSession(const ReptConfig& config, uint64_t seed,
+                         ThreadPool* pool, const SessionOptions& options)
+    : ReptSession(config, BuildGroupSpecs(config, seed), pool, options) {}
+
+ReptSession::ReptSession(const ReptConfig& config,
+                         std::vector<BatchRouter::GroupSpec> specs,
+                         ThreadPool* pool, const SessionOptions& options)
+    : config_(config),
+      pool_(pool),
+      router_(specs),
+      board_(config.c) {
+  NoteVertices(options.expected_vertices);
+  instances_ = BuildInstances(config_, specs);
+  instance_group_.reserve(instances_.size());
+  size_t begin = 0;
+  for (size_t g = 0; g < specs.size(); ++g) {
+    const size_t end = begin + specs[g].live_buckets;
+    group_ranges_.emplace_back(begin, end);
+    for (size_t i = begin; i < end; ++i) {
+      instance_group_.push_back(static_cast<uint32_t>(g));
+    }
+    begin = end;
+  }
+  REPT_CHECK(begin == instances_.size());
+  publish_global_.resize(instances_.size(), 0.0);
+  publish_eta_.resize(instances_.size(), 0.0);
+}
+
+std::string ReptSession::Name() const {
+  return "REPT(m=" + std::to_string(config_.m) +
+         ",c=" + std::to_string(config_.c) + ")";
+}
+
+void ReptSession::Ingest(std::span<const Edge> edges) {
+  RecordBatch(edges);
+  if (edges.empty()) return;
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  switch (config_.dispatch) {
+    case DispatchMode::kRouted:
+      IngestRouted(edges);
+      break;
+    case DispatchMode::kBroadcast:
+      IngestBroadcast(edges);
+      break;
+    case DispatchMode::kFused:
+      IngestFused(edges);
+      break;
+  }
+  ++stats_.batches;
+  PublishTallies();
+}
+
+void ReptSession::IngestRouted(std::span<const Edge> edges) {
+  // The router's scratch is O(num_groups x sub-batch edges); capping the
+  // sub-batch bounds that at a few MB per group even when a caller (e.g.
+  // the one-shot Run() wrapper) ingests a whole stream in one call, and
+  // keeps every routed batch far below the router's 2^32-edge index limit.
+  // Sub-batching cannot change the result: session state is batch-boundary
+  // invariant by construction.
+  constexpr size_t kMaxRoutedSubBatch = size_t{1} << 20;
+  for (size_t begin = 0; begin < edges.size(); begin += kMaxRoutedSubBatch) {
+    const std::span<const Edge> batch = edges.subspan(
+        begin, std::min(kMaxRoutedSubBatch, edges.size() - begin));
+
+    // Stage 1 — DISPATCH/ROUTE: one hash evaluation per (group, edge),
+    // tiled across the pool; builds the per-instance routed sublists.
+    WallTimer route_timer;
+    router_.Route(batch, pool_);
+    stats_.route_seconds += route_timer.Seconds();
+    stats_.routed_entries += router_.routed_entries();
+
+    // Stage 2 — ESTIMATE: every instance replays the batch from its
+    // sublist with zero hash evaluations. One parallel task per worker
+    // (dynamic instance claiming), not one enqueue per instance.
+    WallTimer estimate_timer;
+    auto body = [this, batch](size_t i) {
+      ReptInstance& instance = *instances_[i];
+      instance.ReplayRouted(
+          batch, router_.Inserts(instance_group_[i], instance.bucket()));
+    };
+    if (pool_ != nullptr) {
+      ParallelFor(*pool_, instances_.size(), body);
+    } else {
+      for (size_t i = 0; i < instances_.size(); ++i) body(i);
+    }
+    stats_.estimate_seconds += estimate_timer.Seconds();
+  }
+}
+
+void ReptSession::IngestBroadcast(std::span<const Edge> edges) {
+  // Legacy schedule: every logical processor replays the whole batch and
+  // re-evaluates its group hash per edge (c hash evaluations per edge).
+  WallTimer estimate_timer;
+  auto body = [this, edges](size_t i) {
+    ReptInstance& instance = *instances_[i];
+    for (const Edge& e : edges) instance.ProcessEdge(e.u, e.v);
+  };
+  if (pool_ != nullptr) {
+    ParallelFor(*pool_, instances_.size(), body);
+  } else {
+    for (size_t i = 0; i < instances_.size(); ++i) body(i);
+  }
+  stats_.estimate_seconds += estimate_timer.Seconds();
+}
+
+void ReptSession::IngestFused(std::span<const Edge> edges) {
+  // Legacy fused ablation: instances sharing a hash function run in one pass
+  // over the batch. Identical results (counters are independent); coarser
+  // parallel granularity, still one hash evaluation per (instance, edge).
+  WallTimer estimate_timer;
+  auto body = [this, edges](size_t g) {
+    const auto [begin, end] = group_ranges_[g];
+    for (const Edge& e : edges) {
+      for (size_t i = begin; i < end; ++i) {
+        instances_[i]->ProcessEdge(e.u, e.v);
       }
-      counter.AccumulateEtaLocal(eta_local, scale_eta);
     }
-    for (size_t v = 0; v < n; ++v) {
-      const double w1v = local1[v] * (m - 1.0) / c1;
-      const double w2v = (local1[v] * (m * m - c2) +
-                          2.0 * eta_local[v] * (m - c2)) /
-                         c2;
-      est.local[v] = GraybillDeal(local1[v], w1v, local2[v], w2v,
-                                  static_cast<double>(full_count),
-                                  static_cast<double>(c2))
-                         .value;
+  };
+  if (pool_ != nullptr) {
+    ParallelFor(*pool_, group_ranges_.size(), body);
+  } else {
+    for (size_t g = 0; g < group_ranges_.size(); ++g) body(g);
+  }
+  stats_.estimate_seconds += estimate_timer.Seconds();
+}
+
+void ReptSession::PublishTallies() {
+  uint64_t stored = 0;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const SemiTriangleCounter& counter = instances_[i]->counter();
+    publish_global_[i] = counter.global();
+    publish_eta_[i] = counter.eta();
+    stored += counter.stored_edges();
+  }
+  board_.Publish(publish_global_, publish_eta_, stored);
+}
+
+uint64_t ReptSession::StoredEdges() const {
+  return board_.ReadStoredEdges();
+}
+
+TriangleEstimates ReptSession::Snapshot() const {
+  if (!config_.track_local) {
+    // Wait-free path: scalar estimates from the seqlock-published board.
+    return SnapshotFromBoard().estimates;
+  }
+  // Local tallies live in the instance counters; serialize with the
+  // in-flight batch (blocking at most one batch).
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  return SnapshotFromCounters().estimates;
+}
+
+ReptEstimator::RunDetail ReptSession::SnapshotDetailed() const {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  return SnapshotFromCounters();
+}
+
+ReptEstimator::RunDetail ReptSession::SnapshotFromBoard() const {
+  // One View per reader thread: the snapshot loop of a monitor allocates
+  // nothing in steady state (Read reuses the buffers, resize is a no-op
+  // once sized).
+  thread_local TallyBoard::View view;
+  board_.Read(view);
+  return ComputeScalarDetail(config_, view.global, view.eta);
+}
+
+ReptEstimator::RunDetail ReptSession::SnapshotFromCounters() const {
+  std::vector<double> tallies(instances_.size());
+  std::vector<double> etas(instances_.size());
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const SemiTriangleCounter& counter = instances_[i]->counter();
+    tallies[i] = counter.global();
+    etas[i] = counter.eta();
+  }
+  ReptEstimator::RunDetail detail =
+      ComputeScalarDetail(config_, tallies, etas);
+  if (!config_.track_local) return detail;
+
+  const double m = config_.m;
+  const uint32_t c = config_.c;
+  const size_t n = num_vertices();
+  TriangleEstimates& est = detail.estimates;
+  est.local.assign(n, 0.0);
+
+  if (c <= config_.m) {
+    const double scale = m * m / c;
+    for (const auto& inst : instances_) {
+      inst->counter().AccumulateLocal(est.local, scale);
     }
+    return detail;
+  }
+
+  const uint32_t c1 = c / config_.m;
+  const uint32_t c2 = c % config_.m;
+  const size_t full_count = static_cast<size_t>(c1) * config_.m;
+
+  if (c2 == 0) {
+    const double scale = m / c1;
+    for (const auto& inst : instances_) {
+      inst->counter().AccumulateLocal(est.local, scale);
+    }
+    return detail;
+  }
+
+  const double scale1 = m / c1;
+  const double scale2 = m * m / c2;
+  const double scale_eta = m * m * m / c;
+  std::vector<double> local1(n, 0.0);
+  std::vector<double> local2(n, 0.0);
+  std::vector<double> eta_local(n, 0.0);
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const SemiTriangleCounter& counter = instances_[i]->counter();
+    if (i < full_count) {
+      counter.AccumulateLocal(local1, scale1);
+    } else {
+      counter.AccumulateLocal(local2, scale2);
+    }
+    counter.AccumulateEtaLocal(eta_local, scale_eta);
+  }
+  for (size_t v = 0; v < n; ++v) {
+    const double w1v = local1[v] * (m - 1.0) / c1;
+    const double w2v = (local1[v] * (m * m - c2) +
+                        2.0 * eta_local[v] * (m - c2)) /
+                       c2;
+    est.local[v] = GraybillDeal(local1[v], w1v, local2[v], w2v,
+                                static_cast<double>(full_count),
+                                static_cast<double>(c2))
+                       .value;
   }
   return detail;
 }

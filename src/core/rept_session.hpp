@@ -1,24 +1,47 @@
 // The REPT streaming session: c logical processors (ReptInstance) fed batch
-// by batch, with anytime Algorithm 1 / Algorithm 2 estimates.
+// by batch through a two-stage dispatch pipeline, with anytime Algorithm 1 /
+// Algorithm 2 estimates that stay readable while traffic flows.
+//
+// Ingest pipeline (DispatchMode::kRouted, the default):
+//   stage 1  DISPATCH/ROUTE — the BatchRouter evaluates each fused hash
+//            group's edge hash once per edge, tiled across the pool as
+//            (group, edge-range) work items, and builds per-instance routed
+//            sublists (only edges that can survive the group's sampling
+//            threshold are routed anywhere).
+//   stage 2  ESTIMATE — each instance replays the batch from its sublist
+//            (ReptInstance::ReplayRouted) with zero hash evaluations,
+//            fanned out across the pool per instance.
+// The legacy broadcast and fused-broadcast schedules remain available as
+// ablation/bench comparison modes (ReptConfig::dispatch).
 //
 // Determinism: instance construction (grouping, per-group hash seeding) is a
 // pure function of (config, seed), and every instance consumes the ingested
 // edge sequence in arrival order, so session state after t edges is
-// independent of both batch boundaries and the thread pool. Snapshot() after
-// a full ingest is therefore bit-identical to the legacy one-shot Run().
+// independent of batch boundaries, the thread pool, and the dispatch mode.
+// Snapshot() after a full ingest is therefore bit-identical to the legacy
+// one-shot Run().
+//
+// Concurrency: single-writer, concurrent snapshots OK. Each Ingest()
+// publishes the per-instance scalar tallies to a seqlock-guarded TallyBoard
+// at the batch boundary; global-only snapshots and StoredEdges() read the
+// board wait-free, while local-tally snapshots serialize with the in-flight
+// batch (blocking at most one batch).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/batch_router.hpp"
 #include "core/rept_config.hpp"
 #include "core/rept_estimator.hpp"
 #include "core/rept_instance.hpp"
 #include "core/streaming_estimator.hpp"
+#include "core/tally_board.hpp"
 
 namespace rept {
 
@@ -43,9 +66,42 @@ class ReptSession : public StreamingEstimator {
   /// raw tallies and Algorithm 2 intermediates for the current prefix.
   ReptEstimator::RunDetail SnapshotDetailed() const;
 
+  /// \brief Cumulative ingest-path timings, split by pipeline stage.
+  struct IngestStats {
+    uint64_t batches = 0;
+    /// Routed-sublist entries built by stage 1 (0 in broadcast modes).
+    uint64_t routed_entries = 0;
+    /// Stage 1 wall time: hash evaluation + scatter (0 in broadcast modes).
+    double route_seconds = 0.0;
+    /// Stage 2 wall time: per-instance counting/estimation.
+    double estimate_seconds = 0.0;
+  };
+
+  /// Writer-side statistic: read it from the ingesting thread (or after
+  /// ingest quiesces), not concurrently with Ingest().
+  const IngestStats& ingest_stats() const { return stats_; }
+
   const ReptConfig& config() const { return config_; }
 
  private:
+  /// Delegation target: `specs` is the fused hash-group layout derived from
+  /// (config, seed), the single source of truth for both the router and the
+  /// instance set.
+  ReptSession(const ReptConfig& config,
+              std::vector<BatchRouter::GroupSpec> specs, ThreadPool* pool,
+              const SessionOptions& options);
+
+  void IngestBroadcast(std::span<const Edge> edges);
+  void IngestFused(std::span<const Edge> edges);
+  void IngestRouted(std::span<const Edge> edges);
+  /// Copies the per-instance scalar tallies to the TallyBoard (batch
+  /// boundary publish). Caller holds ingest_mutex_.
+  void PublishTallies();
+  /// Full snapshot from the live counters. Caller holds ingest_mutex_.
+  ReptEstimator::RunDetail SnapshotFromCounters() const;
+  /// Global-only snapshot from a published TallyBoard view (wait-free path).
+  ReptEstimator::RunDetail SnapshotFromBoard() const;
+
   ReptConfig config_;
   ThreadPool* pool_;
   // Instances are individually heap-allocated: worker threads mutate their
@@ -55,6 +111,19 @@ class ReptSession : public StreamingEstimator {
   /// Fused-mode task ranges: instances sharing a hash function, as
   /// contiguous [begin, end) runs.
   std::vector<std::pair<size_t, size_t>> group_ranges_;
+  /// Group index of each instance (routed stage 2 lookup).
+  std::vector<uint32_t> instance_group_;
+
+  BatchRouter router_;
+  TallyBoard board_;
+  /// Serializes instance mutation (Ingest) against local-tally snapshots.
+  /// Global-only snapshots never take it — they read the board.
+  mutable std::mutex ingest_mutex_;
+
+  IngestStats stats_;
+  /// Publish scratch, reused every batch.
+  std::vector<double> publish_global_;
+  std::vector<double> publish_eta_;
 };
 
 }  // namespace rept

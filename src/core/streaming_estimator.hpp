@@ -2,13 +2,15 @@
 //
 // A StreamingEstimator is a long-lived estimation session created by
 // EstimatorSystem::CreateSession. Callers push edge batches of any size with
-// Ingest() and may call Snapshot() at any time to obtain anytime estimates of
-// the triangle counts of the stream prefix ingested so far. Ingesting the
-// same edge sequence always yields the same tallies regardless of how it was
+// Ingest() and may call Snapshot() at any time — including from another
+// thread while an Ingest() is in flight — to obtain anytime estimates of the
+// triangle counts of the stream prefix ingested so far. Ingesting the same
+// edge sequence always yields the same tallies regardless of how it was
 // chunked into batches, so a full-stream ingest followed by Snapshot()
 // reproduces the legacy one-shot EstimatorSystem::Run() bit for bit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -21,9 +23,24 @@ namespace rept {
 
 /// \brief A long-lived estimation session over an unbounded edge stream.
 ///
-/// Sessions are single-writer: Ingest() calls must be externally serialized
-/// (each call may fan work out across the session's thread pool internally).
-/// Snapshot() is const and may be interleaved between Ingest() calls.
+/// Concurrency contract: single-writer, concurrent snapshots OK.
+///  * Ingest() calls must be externally serialized (each call may fan work
+///    out across the session's thread pool internally).
+///  * Snapshot(), StoredEdges(), num_vertices(), and edges_ingested() are
+///    safe to call from other threads at any time, including while an
+///    Ingest() is running. A snapshot taken mid-ingest reflects a batch
+///    boundary: the published state after some completed Ingest() call (it
+///    never observes a half-applied batch). Implementations either read
+///    seqlock-published tallies (wait-free; REPT's global path) or serialize
+///    with the in-flight batch (blocking at most one batch; local-tally
+///    paths).
+///  * edges_ingested()/num_vertices() may lead the published tallies by the
+///    one batch currently being applied.
+///  * Do NOT call Snapshot()/StoredEdges() from a task running on the
+///    session's own thread pool: serializing implementations block on the
+///    in-flight batch, and that batch's fan-out is waiting for pool tasks —
+///    including the blocked snapshotter — to finish (deadlock). Snapshot
+///    from dedicated reader threads (or any thread outside the pool).
 class StreamingEstimator {
  public:
   virtual ~StreamingEstimator() = default;
@@ -45,44 +62,58 @@ class StreamingEstimator {
 
   /// Anytime estimate of the global and local triangle counts of the prefix
   /// ingested so far. Unbiased at every prefix; after a full ingest it equals
-  /// the legacy Run() result for the same (stream, seed).
+  /// the legacy Run() result for the same (stream, seed). Safe to call
+  /// concurrently with Ingest() (see the class contract).
   virtual TriangleEstimates Snapshot() const = 0;
 
   /// Total edges currently stored across the session's logical processors
-  /// (memory accounting).
+  /// (memory accounting). Safe to call concurrently with Ingest();
+  /// eviction-free samplers (REPT) publish a monotone non-decreasing
+  /// sequence.
   virtual uint64_t StoredEdges() const = 0;
 
   /// Raises the session's vertex-id-space bound to at least `num_vertices`.
   /// Ingest() already tracks the max vertex id seen; this only matters for
   /// streams whose declared id space exceeds the ids observed (isolated
   /// trailing vertices), so that Snapshot().local has the expected size.
+  /// Writer-side: serialize with Ingest() like any other mutation.
   void NoteVertices(VertexId num_vertices) {
-    if (num_vertices > num_vertices_) num_vertices_ = num_vertices;
+    if (num_vertices > num_vertices_.load(std::memory_order_relaxed)) {
+      num_vertices_.store(num_vertices, std::memory_order_relaxed);
+    }
   }
 
   /// Current vertex-id-space bound: max(noted bound, max ingested id + 1).
   /// Snapshot().local is indexed by vertex id and has exactly this size.
-  VertexId num_vertices() const { return num_vertices_; }
+  VertexId num_vertices() const {
+    return num_vertices_.load(std::memory_order_relaxed);
+  }
 
   /// Number of edges ingested so far (the stream time t).
-  uint64_t edges_ingested() const { return edges_ingested_; }
+  uint64_t edges_ingested() const {
+    return edges_ingested_.load(std::memory_order_relaxed);
+  }
 
  protected:
   /// Implementations call this at the top of Ingest() to maintain the
-  /// vertex-bound and stream-time accounting.
+  /// vertex-bound and stream-time accounting. Writer-side only.
   void RecordBatch(std::span<const Edge> edges) {
-    VertexId bound = num_vertices_;
+    VertexId bound = num_vertices_.load(std::memory_order_relaxed);
     for (const Edge& e : edges) {
       if (e.u >= bound) bound = e.u + 1;
       if (e.v >= bound) bound = e.v + 1;
     }
-    num_vertices_ = bound;
-    edges_ingested_ += edges.size();
+    num_vertices_.store(bound, std::memory_order_relaxed);
+    edges_ingested_.store(
+        edges_ingested_.load(std::memory_order_relaxed) + edges.size(),
+        std::memory_order_relaxed);
   }
 
  private:
-  VertexId num_vertices_ = 0;
-  uint64_t edges_ingested_ = 0;
+  // Relaxed atomics: written only by the (serialized) ingest thread, read by
+  // concurrent snapshotters. Monotone, so readers tolerate staleness.
+  std::atomic<VertexId> num_vertices_{0};
+  std::atomic<uint64_t> edges_ingested_{0};
 };
 
 }  // namespace rept

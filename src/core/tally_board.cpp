@@ -1,0 +1,48 @@
+#include "core/tally_board.hpp"
+
+#include "util/check.hpp"
+
+namespace rept {
+
+TallyBoard::TallyBoard(size_t num_instances)
+    : global_(num_instances), eta_(num_instances) {
+  for (size_t i = 0; i < num_instances; ++i) {
+    global_[i].store(0.0, std::memory_order_relaxed);
+    eta_[i].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+void TallyBoard::Publish(std::span<const double> global,
+                         std::span<const double> eta,
+                         uint64_t stored_edges) {
+  REPT_DCHECK(global.size() == global_.size());
+  REPT_DCHECK(eta.size() == eta_.size());
+  const uint64_t seq = seq_.load(std::memory_order_relaxed);
+  seq_.store(seq + 1, std::memory_order_relaxed);  // Odd: write in progress.
+  std::atomic_thread_fence(std::memory_order_release);
+  for (size_t i = 0; i < global.size(); ++i) {
+    global_[i].store(global[i], std::memory_order_relaxed);
+    eta_[i].store(eta[i], std::memory_order_relaxed);
+  }
+  stored_edges_.store(stored_edges, std::memory_order_release);
+  seq_.store(seq + 2, std::memory_order_release);  // Even: epoch visible.
+}
+
+void TallyBoard::Read(View& out) const {
+  out.global.resize(global_.size());
+  out.eta.resize(eta_.size());
+  for (;;) {
+    const uint64_t seq_before = seq_.load(std::memory_order_acquire);
+    if (seq_before & 1) continue;  // Publish in progress; spin.
+    for (size_t i = 0; i < global_.size(); ++i) {
+      out.global[i] = global_[i].load(std::memory_order_relaxed);
+      out.eta[i] = eta_[i].load(std::memory_order_relaxed);
+    }
+    out.stored_edges = stored_edges_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t seq_after = seq_.load(std::memory_order_relaxed);
+    if (seq_before == seq_after) return;
+  }
+}
+
+}  // namespace rept

@@ -1,0 +1,68 @@
+// Seqlock-published per-instance scalar tallies: the bridge that makes
+// Snapshot() safe while Ingest() is running.
+//
+// The ingest thread finishes a batch, then publishes each instance's raw
+// tallies (tau^(i), eta^(i)) and the aggregate stored-edge count under an
+// odd/even epoch counter. Reader threads take a consistent copy with the
+// classic seqlock retry loop — wait-free for the writer, lock-free for
+// readers (a retry only happens when a publish raced the read). All payload
+// slots are relaxed atomics, so the protocol is data-race-free under the C++
+// memory model (and clean under ThreadSanitizer); the fences follow Boehm's
+// "Can seqlocks get along with programming language memory models?" recipe.
+//
+// Published values are bit-exact copies of the live counters, so estimates
+// computed from a TallyBoard view are bit-identical to estimates computed
+// from the counters themselves at the same batch boundary.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rept {
+
+/// \brief Single-writer, many-reader board of published scalar tallies.
+class TallyBoard {
+ public:
+  explicit TallyBoard(size_t num_instances);
+
+  /// A consistent copy of one published epoch.
+  struct View {
+    std::vector<double> global;  ///< tau^(i) per instance.
+    std::vector<double> eta;     ///< eta^(i) per instance.
+    uint64_t stored_edges = 0;   ///< Sum of stored edges over instances.
+  };
+
+  /// Publishes a new epoch. Single writer: must only be called by the
+  /// (externally serialized) ingest thread. Spans must have size
+  /// num_instances.
+  void Publish(std::span<const double> global, std::span<const double> eta,
+               uint64_t stored_edges);
+
+  /// Copies the latest published epoch into `out` (buffers reused across
+  /// calls, so a snapshot loop allocates nothing in steady state); retries
+  /// if a publish races the read.
+  void Read(View& out) const;
+
+  /// Latest published stored-edge total. Monotone for eviction-free samplers
+  /// (REPT never evicts), so concurrent readers observe a non-decreasing
+  /// sequence.
+  uint64_t ReadStoredEdges() const {
+    return stored_edges_.load(std::memory_order_acquire);
+  }
+
+  size_t num_instances() const { return global_.size(); }
+
+ private:
+  std::atomic<uint64_t> seq_{0};
+  // Payload slots are atomics so torn reads discarded by the retry loop are
+  // still well-defined reads. Vectors are sized once in the constructor and
+  // never resized (atomics are not movable).
+  std::vector<std::atomic<double>> global_;
+  std::vector<std::atomic<double>> eta_;
+  std::atomic<uint64_t> stored_edges_{0};
+};
+
+}  // namespace rept

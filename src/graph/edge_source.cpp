@@ -1,8 +1,11 @@
 #include "graph/edge_source.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -174,20 +177,95 @@ size_t UniformRandomEdgeSource::NextChunk(std::span<Edge> out) {
 // ---------------------------------------------------------------------------
 // Pumps
 
-Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
+namespace {
+
+// Double-buffered pump: the spawned thread owns the source and fills the two
+// slots round-robin; the calling thread owns the session and drains them in
+// the same order. A slot is handed over full (producer -> consumer) and
+// handed back empty (consumer -> producer) under the mutex, so each side
+// touches a slot's buffer only while holding it and the chunk sequence —
+// hence the ingested edge sequence — is exactly the serial pump's.
+uint64_t IngestAllPrefetch(EdgeSource& source, StreamingEstimator& session,
                            size_t chunk_edges) {
-  REPT_CHECK(chunk_edges > 0);
-  std::vector<Edge> buffer(chunk_edges);
+  struct Slot {
+    std::vector<Edge> buffer;
+    size_t count = 0;
+    bool full = false;
+  };
+  Slot slots[2];
+  slots[0].buffer.resize(chunk_edges);
+  slots[1].buffer.resize(chunk_edges);
+  std::mutex mutex;
+  std::condition_variable slot_filled;
+  std::condition_variable slot_drained;
+
+  std::thread pump([&] {
+    int w = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        slot_drained.wait(lock, [&] { return !slots[w].full; });
+      }
+      const size_t n = source.NextChunk(std::span<Edge>(slots[w].buffer));
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        slots[w].count = n;
+        slots[w].full = true;
+      }
+      slot_filled.notify_one();
+      if (n == 0) return;  // Exhausted (or failed): the 0-count slot ends it.
+      w ^= 1;
+    }
+  });
+
   uint64_t total = 0;
+  int r = 0;
   for (;;) {
-    const size_t n = source.NextChunk(std::span<Edge>(buffer));
+    size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      slot_filled.wait(lock, [&] { return slots[r].full; });
+      n = slots[r].count;
+    }
     if (n == 0) break;
-    session.Ingest(std::span<const Edge>(buffer.data(), n));
+    session.Ingest(std::span<const Edge>(slots[r].buffer.data(), n));
     total += n;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      slots[r].full = false;
+    }
+    slot_drained.notify_one();
+    r ^= 1;
+  }
+  pump.join();
+  return total;
+}
+
+}  // namespace
+
+Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
+                           const IngestOptions& options) {
+  REPT_CHECK(options.chunk_edges > 0);
+  uint64_t total = 0;
+  if (options.prefetch) {
+    total = IngestAllPrefetch(source, session, options.chunk_edges);
+  } else {
+    std::vector<Edge> buffer(options.chunk_edges);
+    for (;;) {
+      const size_t n = source.NextChunk(std::span<Edge>(buffer));
+      if (n == 0) break;
+      session.Ingest(std::span<const Edge>(buffer.data(), n));
+      total += n;
+    }
   }
   if (!source.status().ok()) return source.status();
   session.NoteVertices(source.VertexCountHint());
   return total;
+}
+
+Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
+                           size_t chunk_edges) {
+  return IngestAll(source, session, IngestOptions{chunk_edges, false});
 }
 
 Result<EdgeStream> ReadAll(EdgeSource& source, size_t chunk_edges,

@@ -159,9 +159,26 @@ class UniformRandomEdgeSource : public EdgeSource {
   Rng rng_;
 };
 
-/// \brief Pumps a source dry into a session in chunks of `chunk_edges`,
-/// keeping the session's vertex bound in sync with the source's hint.
-/// Returns the number of edges ingested, or the source's error.
+/// \brief Tuning knobs of the IngestAll pump.
+struct IngestOptions {
+  /// Edges per Ingest() batch.
+  size_t chunk_edges = 65536;
+  /// Double-buffered prefetch: a dedicated pump thread decodes chunk t+1
+  /// from the source while the calling thread ingests chunk t, so
+  /// parse/decode latency overlaps estimation. The source is only ever
+  /// touched by the pump thread and the session only by the caller, with a
+  /// two-slot ping-pong handoff in between; the ingested edge sequence is
+  /// identical to the serial pump by construction.
+  bool prefetch = false;
+};
+
+/// \brief Pumps a source dry into a session, keeping the session's vertex
+/// bound in sync with the source's hint. Returns the number of edges
+/// ingested, or the source's error.
+Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
+                           const IngestOptions& options);
+
+/// Convenience overload: serial pump with `chunk_edges`-sized batches.
 Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
                            size_t chunk_edges = 65536);
 

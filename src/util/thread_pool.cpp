@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "util/check.hpp"
@@ -65,9 +66,12 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool& pool, size_t count,
                  const std::function<void(size_t)>& body) {
+  // Serial fallback: one index or one worker gains nothing from enqueueing
+  // (a single worker would run the indices sequentially anyway, after a
+  // wakeup round-trip per task batch).
   if (count == 0) return;
-  if (count == 1) {
-    body(0);
+  if (count == 1 || pool.num_threads() == 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
     return;
   }
   // Dynamic scheduling: workers pull the next index from a shared counter,
@@ -81,6 +85,32 @@ void ParallelFor(ThreadPool& pool, size_t count,
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
         body(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+void ParallelForChunked(ThreadPool& pool, size_t count, size_t tile,
+                        const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  if (tile == 0) tile = 1;
+  if (count <= tile || pool.num_threads() == 1) {
+    body(0, count);
+    return;
+  }
+  // Workers claim [i, i + tile) ranges from a shared cursor: dynamic load
+  // balancing with one atomic op per tile instead of one per index, and one
+  // enqueue per worker instead of one per work item.
+  std::atomic<size_t> next{0};
+  const size_t num_tiles = (count + tile - 1) / tile;
+  const size_t workers = std::min(pool.num_threads(), num_tiles);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.Submit([&next, count, tile, &body] {
+      for (;;) {
+        const size_t begin = next.fetch_add(tile, std::memory_order_relaxed);
+        if (begin >= count) return;
+        body(begin, std::min(count, begin + tile));
       }
     });
   }

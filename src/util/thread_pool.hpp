@@ -1,10 +1,12 @@
-// Fixed-size thread pool and a blocking parallel-for built on it.
+// Fixed-size thread pool and blocking parallel-for loops built on it.
 //
 // The evaluation harness runs up to several hundred logical stream
 // processors (the paper evaluates c up to 320) on however many hardware
-// threads exist; ParallelFor distributes those logical instances. Results
-// are deterministic regardless of the number of worker threads because every
-// task owns pre-seeded private state.
+// threads exist; ParallelFor distributes those logical instances and
+// ParallelForChunked distributes contiguous index ranges (tiles) so small
+// work items are not paid for one enqueue each. Results are deterministic
+// regardless of the number of worker threads because every task owns
+// pre-seeded private state.
 #pragma once
 
 #include <condition_variable>
@@ -30,7 +32,8 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task; it may begin executing immediately.
+  /// Enqueues a task; it may begin executing immediately. The task is moved
+  /// through into the queue, never copied.
   void Submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have finished.
@@ -49,13 +52,25 @@ class ThreadPool {
 };
 
 /// \brief Runs body(i) for i in [0, count) across the pool; blocks until all
-/// iterations complete. Iterations must be independent.
+/// iterations complete. Iterations must be independent. Falls back to serial
+/// in-place execution (no enqueue, no wakeups) when count <= 1 or the pool
+/// has a single worker.
 void ParallelFor(ThreadPool& pool, size_t count,
                  const std::function<void(size_t)>& body);
 
+/// \brief Chunked variant: runs body(begin, end) over disjoint tiles covering
+/// [0, count), each tile at most `tile` indices wide. Workers claim tiles
+/// dynamically, so one enqueue serves many indices — the scheduling shape for
+/// fine-grained work (per-edge hashing, per-instance replay). Tiles must be
+/// independent; indices within a tile execute in order. Serial fallback (one
+/// body(0, count) call) when the whole range fits in one tile or the pool has
+/// a single worker.
+void ParallelForChunked(ThreadPool& pool, size_t count, size_t tile,
+                        const std::function<void(size_t, size_t)>& body);
+
 /// \brief Convenience: runs body(i) on a transient pool with `threads`
 /// workers (0 = hardware concurrency). Falls back to serial execution when
-/// count == 1.
+/// count <= 1 or threads == 1.
 void ParallelFor(size_t threads, size_t count,
                  const std::function<void(size_t)>& body);
 

@@ -1,0 +1,152 @@
+// Snapshot()-during-Ingest() stress coverage for the "single-writer,
+// concurrent snapshots OK" contract (ISSUE 3):
+//  * a reader thread hammers Snapshot() / StoredEdges() while the writer
+//    ingests, checking that StoredEdges() is monotone non-decreasing (REPT
+//    and MASCOT never evict) and every snapshot is finite;
+//  * after the writer finishes, the session state is bit-identical to a
+//    serial full-stream ingest — concurrent readers never perturb it.
+// The CI ThreadSanitizer matrix entry runs exactly these tests to prove the
+// seqlock (TallyBoard) and mutex (local-tally, ensemble) paths race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "baselines/baseline_systems.hpp"
+#include "core/rept_estimator.hpp"
+#include "core/rept_session.hpp"
+#include "core/streaming_estimator.hpp"
+#include "gen/holme_kim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+namespace {
+
+EdgeStream StressStream() {
+  gen::HolmeKimParams params;
+  params.num_vertices = 1200;
+  params.edges_per_vertex = 4;
+  params.triad_probability = 0.5;
+  return gen::HolmeKim(params, /*seed=*/99);
+}
+
+// Ingests `stream` in small batches on `session` while a reader thread spins
+// on snapshots; returns how many snapshots the reader completed mid-ingest.
+uint64_t HammerSnapshotsDuringIngest(StreamingEstimator& session,
+                                     const EdgeStream& stream,
+                                     size_t chunk) {
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> snapshots{0};
+  std::thread reader([&] {
+    uint64_t last_stored = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t stored = session.StoredEdges();
+      EXPECT_GE(stored, last_stored) << "StoredEdges went backwards";
+      last_stored = stored;
+      const TriangleEstimates est = session.Snapshot();
+      EXPECT_TRUE(std::isfinite(est.global));
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  session.NoteVertices(stream.num_vertices());
+  const std::vector<Edge>& edges = stream.edges();
+  for (size_t i = 0; i < edges.size(); i += chunk) {
+    const size_t n = std::min(chunk, edges.size() - i);
+    session.Ingest(std::span<const Edge>(edges.data() + i, n));
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  return snapshots.load(std::memory_order_relaxed);
+}
+
+TEST(ConcurrentSnapshotTest, WaitFreeGlobalPathMatchesSerialRun) {
+  const EdgeStream stream = StressStream();
+  ReptConfig config;
+  config.m = 5;
+  config.c = 13;  // Algorithm 2: remainder group, the hardest tally path.
+  config.track_local = false;
+
+  ReptSession serial(config, /*seed=*/21, nullptr);
+  serial.Ingest(stream);
+  const double reference = serial.Snapshot().global;
+
+  ThreadPool pool(4);
+  ReptSession session(config, /*seed=*/21, &pool);
+  const uint64_t snapshots =
+      HammerSnapshotsDuringIngest(session, stream, /*chunk=*/61);
+
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_EQ(session.Snapshot().global, reference);
+  EXPECT_EQ(session.StoredEdges(), serial.StoredEdges());
+  EXPECT_EQ(session.edges_ingested(), stream.size());
+}
+
+TEST(ConcurrentSnapshotTest, MutexLocalPathMatchesSerialRun) {
+  const EdgeStream stream = StressStream();
+  ReptConfig config;
+  config.m = 5;
+  config.c = 13;
+  config.track_local = true;  // Snapshot serializes with the batch.
+
+  const ReptEstimator estimator(config);
+  const TriangleEstimates reference = estimator.Run(stream, 22, nullptr);
+
+  ThreadPool pool(4);
+  ReptSession session(config, /*seed=*/22, &pool);
+  const uint64_t snapshots =
+      HammerSnapshotsDuringIngest(session, stream, /*chunk=*/61);
+
+  EXPECT_GT(snapshots, 0u);
+  const TriangleEstimates final_snapshot = session.Snapshot();
+  EXPECT_EQ(final_snapshot.global, reference.global);
+  EXPECT_EQ(final_snapshot.local, reference.local);
+}
+
+TEST(ConcurrentSnapshotTest, DispatchModesSafeUnderConcurrentReaders) {
+  // Broadcast and fused publish through the same TallyBoard: the concurrency
+  // contract is mode-independent, and so is the final state.
+  const EdgeStream stream = StressStream();
+  ThreadPool pool(4);
+  for (const DispatchMode mode :
+       {DispatchMode::kRouted, DispatchMode::kBroadcast,
+        DispatchMode::kFused}) {
+    ReptConfig config;
+    config.m = 5;
+    config.c = 13;
+    config.track_local = false;
+    config.dispatch = mode;
+
+    ReptSession serial(config, /*seed=*/23, nullptr);
+    serial.Ingest(stream);
+
+    ReptSession session(config, /*seed=*/23, &pool);
+    HammerSnapshotsDuringIngest(session, stream, /*chunk=*/113);
+    EXPECT_EQ(session.Snapshot().global, serial.Snapshot().global);
+  }
+}
+
+TEST(ConcurrentSnapshotTest, EnsembleSessionToleratesConcurrentReaders) {
+  const EdgeStream stream = StressStream();
+  const auto mascot =
+      MakeParallelMascot(8, 4, /*track_local=*/false);  // Eviction-free.
+  const TriangleEstimates reference = mascot->Run(stream, 31, nullptr);
+
+  ThreadPool pool(4);
+  SessionOptions options;
+  options.expected_edges = stream.size();
+  options.expected_vertices = stream.num_vertices();
+  const auto session = mascot->CreateSession(31, &pool, options);
+  const uint64_t snapshots =
+      HammerSnapshotsDuringIngest(*session, stream, /*chunk=*/61);
+
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_EQ(session->Snapshot().global, reference.global);
+}
+
+}  // namespace
+}  // namespace rept

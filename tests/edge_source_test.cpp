@@ -194,5 +194,63 @@ TEST(EdgeSourceTest, IngestAllDrivesSessionToRunEquivalence) {
   std::remove(path.c_str());
 }
 
+TEST(EdgeSourceTest, PrefetchIngestIsBitIdenticalToSerialPump) {
+  // The double-buffered pump must hand the session the exact chunk sequence
+  // of the serial pump: same tallies, same ingest count, any chunk size.
+  const std::string path = TempPath("ingest_prefetch.txt");
+  ASSERT_TRUE(SaveEdgeListText(SampleStream(), path).ok());
+
+  ThreadPool pool(2);
+  const auto rept = MakeRept(5, 7);
+  for (const size_t chunk : {size_t{1}, size_t{23}, size_t{4096}}) {
+    auto serial_source = TextFileEdgeSource::Open(path);
+    ASSERT_TRUE(serial_source.ok());
+    auto serial_session = rept->CreateSession(33, &pool);
+    const auto serial_count =
+        IngestAll(**serial_source, *serial_session, chunk);
+    ASSERT_TRUE(serial_count.ok());
+
+    auto prefetch_source = TextFileEdgeSource::Open(path);
+    ASSERT_TRUE(prefetch_source.ok());
+    auto prefetch_session = rept->CreateSession(33, &pool);
+    const auto prefetch_count = IngestAll(
+        **prefetch_source, *prefetch_session, IngestOptions{chunk, true});
+    ASSERT_TRUE(prefetch_count.ok());
+
+    EXPECT_EQ(*prefetch_count, *serial_count) << "chunk=" << chunk;
+    EXPECT_EQ(prefetch_session->StoredEdges(), serial_session->StoredEdges());
+    const TriangleEstimates serial = serial_session->Snapshot();
+    const TriangleEstimates prefetch = prefetch_session->Snapshot();
+    EXPECT_EQ(prefetch.global, serial.global) << "chunk=" << chunk;
+    EXPECT_EQ(prefetch.local, serial.local) << "chunk=" << chunk;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSourceTest, PrefetchIngestPropagatesSourceErrors) {
+  // A truncated binary payload must still latch the source's error through
+  // the prefetch pump.
+  const std::string path = TempPath("ingest_prefetch_trunc.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(SampleStream(), path).ok());
+  {
+    // Chop the edge payload in half (same corruption as the ReadAll test).
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto source = BinaryFileEdgeSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  const auto rept = MakeRept(5, 5);
+  auto session = rept->CreateSession(1, nullptr);
+  const auto ingested =
+      IngestAll(**source, *session, IngestOptions{16, true});
+  EXPECT_FALSE(ingested.ok());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace rept

@@ -61,15 +61,22 @@ TEST(ReptEstimatorTest, ThreadCountDoesNotChangeResults) {
   }
 }
 
-TEST(ReptEstimatorTest, FusedExecutionIsIdentical) {
+TEST(ReptEstimatorTest, DispatchModesAreIdentical) {
+  // Routed, broadcast, and fused are scheduling strategies over the same
+  // seeded state: results must match bit for bit in every REPT regime.
   const EdgeStream s = TestStream();
   for (uint32_t c : {4u, 10u, 17u}) {
     ReptConfig cfg = Config(5, c);
-    const TriangleEstimates plain = ReptEstimator(cfg).Run(s, 9, nullptr);
-    cfg.fused_groups = true;
+    cfg.dispatch = DispatchMode::kRouted;
+    const TriangleEstimates routed = ReptEstimator(cfg).Run(s, 9, nullptr);
+    cfg.dispatch = DispatchMode::kBroadcast;
+    const TriangleEstimates broadcast = ReptEstimator(cfg).Run(s, 9, nullptr);
+    cfg.dispatch = DispatchMode::kFused;
     const TriangleEstimates fused = ReptEstimator(cfg).Run(s, 9, nullptr);
-    EXPECT_DOUBLE_EQ(plain.global, fused.global) << "c=" << c;
-    EXPECT_EQ(plain.local, fused.local) << "c=" << c;
+    EXPECT_DOUBLE_EQ(routed.global, broadcast.global) << "c=" << c;
+    EXPECT_EQ(routed.local, broadcast.local) << "c=" << c;
+    EXPECT_DOUBLE_EQ(routed.global, fused.global) << "c=" << c;
+    EXPECT_EQ(routed.local, fused.local) << "c=" << c;
   }
 }
 

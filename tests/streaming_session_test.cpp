@@ -34,18 +34,22 @@ EdgeStream FixedStream() {
 }
 
 // Every estimator family and REPT regime: Algorithm 1 (c <= m), full groups
-// (c % m == 0), Algorithm 2 (remainder group), fused execution, and the
-// averaged baselines incl. their single-instance "-S" variants.
+// (c % m == 0), Algorithm 2 (remainder group), every dispatch schedule
+// (routed is MakeRept's default), and the averaged baselines incl. their
+// single-instance "-S" variants.
 std::vector<std::unique_ptr<EstimatorSystem>> AllSystems() {
   std::vector<std::unique_ptr<EstimatorSystem>> systems;
   systems.push_back(MakeRept(5, 4));
   systems.push_back(MakeRept(5, 10));
   systems.push_back(MakeRept(5, 13));
-  ReptConfig fused;
-  fused.m = 5;
-  fused.c = 13;
-  fused.fused_groups = true;
-  systems.push_back(std::make_unique<ReptEstimator>(fused));
+  for (const DispatchMode mode :
+       {DispatchMode::kBroadcast, DispatchMode::kFused}) {
+    ReptConfig config;
+    config.m = 5;
+    config.c = 13;
+    config.dispatch = mode;
+    systems.push_back(std::make_unique<ReptEstimator>(config));
+  }
   systems.push_back(MakeParallelMascot(8, 4));
   systems.push_back(MakeParallelTriest(8, 4));
   systems.push_back(MakeParallelGps(8, 4));
@@ -82,7 +86,8 @@ TEST(StreamingSessionTest, FullIngestSnapshotMatchesRunAcrossPools) {
   const EdgeStream stream = FixedStream();
   ThreadPool pool1(1);
   ThreadPool pool4(4);
-  ThreadPool* pools[] = {nullptr, &pool1, &pool4};
+  ThreadPool pool_hw(0);  // Hardware concurrency.
+  ThreadPool* pools[] = {nullptr, &pool1, &pool4, &pool_hw};
 
   for (const auto& system : AllSystems()) {
     // The Run() reference itself must not depend on the pool.
@@ -125,22 +130,27 @@ TEST(StreamingSessionTest, ReptTalliesInvariantToChunkingAndPool) {
   ReptConfig config;
   config.m = 5;
   config.c = 13;  // Algorithm 2: the most schedule-sensitive path.
-  ThreadPool pool(4);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  ThreadPool pool_hw(0);  // Hardware concurrency.
+  ThreadPool* pools[] = {&pool1, &pool4, &pool_hw};
 
   ReptSession serial(config, /*seed=*/11, nullptr);
   serial.Ingest(stream);
   const auto reference = serial.SnapshotDetailed();
   EXPECT_TRUE(reference.used_combination);
 
-  for (const size_t chunk : {size_t{1}, size_t{7}, size_t{4096}}) {
-    ReptSession session(config, /*seed=*/11, &pool);
-    IngestChunked(session, stream, chunk);
-    const auto detail = session.SnapshotDetailed();
-    EXPECT_EQ(detail.instance_tallies, reference.instance_tallies)
-        << "chunk=" << chunk;
-    EXPECT_EQ(detail.tau_hat1, reference.tau_hat1);
-    EXPECT_EQ(detail.tau_hat2, reference.tau_hat2);
-    EXPECT_EQ(detail.eta_hat, reference.eta_hat);
+  for (ThreadPool* pool : pools) {
+    for (const size_t chunk : {size_t{1}, size_t{7}, size_t{4096}}) {
+      ReptSession session(config, /*seed=*/11, pool);
+      IngestChunked(session, stream, chunk);
+      const auto detail = session.SnapshotDetailed();
+      EXPECT_EQ(detail.instance_tallies, reference.instance_tallies)
+          << "chunk=" << chunk << " threads=" << pool->num_threads();
+      EXPECT_EQ(detail.tau_hat1, reference.tau_hat1);
+      EXPECT_EQ(detail.tau_hat2, reference.tau_hat2);
+      EXPECT_EQ(detail.eta_hat, reference.eta_hat);
+    }
   }
 }
 

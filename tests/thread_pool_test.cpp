@@ -78,5 +78,67 @@ TEST(ParallelForTest, SerialFallbackSingleThread) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(ParallelForChunkedTest, TilesCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const size_t count = 1003;  // Deliberately not a multiple of the tile.
+  std::vector<std::atomic<int>> hits(count);
+  ParallelForChunked(pool, count, /*tile=*/64,
+                     [&hits](size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         hits[i].fetch_add(1);
+                       }
+                     });
+  for (size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForChunkedTest, TilesNeverExceedRequestedWidth) {
+  ThreadPool pool(4);
+  std::atomic<size_t> max_width{0};
+  ParallelForChunked(pool, 257, /*tile=*/16,
+                     [&max_width](size_t begin, size_t end) {
+                       size_t width = end - begin;
+                       size_t seen = max_width.load();
+                       while (width > seen &&
+                              !max_width.compare_exchange_weak(seen, width)) {
+                       }
+                     });
+  EXPECT_LE(max_width.load(), 16u);
+  EXPECT_GT(max_width.load(), 0u);
+}
+
+TEST(ParallelForChunkedTest, SerialFallbackRunsOneTileInOrder) {
+  // Whole range within one tile, or a single worker: one in-place call.
+  ThreadPool pool(4);
+  std::vector<std::pair<size_t, size_t>> calls;
+  ParallelForChunked(pool, 10, /*tile=*/64,
+                     [&calls](size_t begin, size_t end) {
+                       calls.emplace_back(begin, end);
+                     });
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], (std::pair<size_t, size_t>{0, 10}));
+
+  ThreadPool single(1);
+  calls.clear();
+  ParallelForChunked(single, 100, /*tile=*/8,
+                     [&calls](size_t begin, size_t end) {
+                       calls.emplace_back(begin, end);
+                     });
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], (std::pair<size_t, size_t>{0, 100}));
+}
+
+TEST(ParallelForChunkedTest, ZeroCountAndZeroTile) {
+  ThreadPool pool(4);
+  int calls = 0;
+  ParallelForChunked(pool, 0, 16, [&calls](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // tile == 0 is treated as 1.
+  std::vector<std::atomic<int>> hits(5);
+  ParallelForChunked(pool, 5, 0, [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
 }  // namespace
 }  // namespace rept
