@@ -1,0 +1,191 @@
+// Checkpoint save/load throughput for the persist subsystem, emitted to
+// BENCH_checkpoint.json (override with --out) so CI and EXPERIMENTS.md can
+// track the durability path alongside ingest throughput.
+//
+// For each configured session (REPT global-only, REPT with local tallies,
+// and a TRIEST ensemble) the bench ingests a generated stream, then times
+// SaveCheckpoint (atomic tmp + rename, CRC framing included) and
+// LoadCheckpoint (parse + verify + rebuild) over several repetitions,
+// reporting file size and MB/s both ways plus a resume sanity check
+// (restored snapshot must equal the saved one bit for bit).
+//
+//   build/bench/bench_checkpoint [--edges 2000000] [--m 20] [--c 32]
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_systems.hpp"
+#include "bench_common.hpp"
+#include "core/rept_estimator.hpp"
+#include "core/streaming_estimator.hpp"
+#include "graph/edge_source.hpp"
+#include "persist/checkpoint.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct Measurement {
+  std::string system;
+  uint64_t stored_edges = 0;
+  uint64_t file_bytes = 0;
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;
+  double save_mb_s = 0.0;
+  double load_mb_s = 0.0;
+  bool roundtrip_ok = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t num_vertices = 100000;
+  uint64_t num_edges = 2000000;
+  uint64_t m = 20;
+  uint64_t c = 32;
+  uint64_t seed = 42;
+  uint64_t reps = 5;
+  uint64_t threads = 0;
+  std::string out = "BENCH_checkpoint.json";
+  std::string ckpt_path = "/tmp/rept_bench_checkpoint.ckpt";
+  rept::FlagSet flags(
+      "checkpoint save/load throughput (BENCH_checkpoint.json)");
+  flags.AddUint64("vertices", &num_vertices, "vertex-id space of the stream");
+  flags.AddUint64("edges", &num_edges, "stream length");
+  flags.AddUint64("m", &m, "sampling denominator");
+  flags.AddUint64("c", &c, "logical processors");
+  flags.AddUint64("seed", &seed, "seed");
+  flags.AddUint64("reps", &reps, "save/load repetitions per row");
+  flags.AddUint64("threads", &threads,
+                  "ingest workers (0 = hardware concurrency)");
+  flags.AddString("out", &out, "output JSON path");
+  flags.AddString("ckpt", &ckpt_path, "scratch checkpoint file");
+  rept::bench::ParseOrDie(flags, argc, argv);
+
+  rept::ThreadPool pool(static_cast<size_t>(threads));
+  rept::SessionOptions options;
+  options.expected_edges = num_edges;
+  options.expected_vertices = static_cast<rept::VertexId>(num_vertices);
+
+  struct SystemCase {
+    std::string label;
+    std::unique_ptr<rept::EstimatorSystem> system;
+  };
+  std::vector<SystemCase> cases;
+  cases.push_back({"REPT-global",
+                   rept::MakeRept(static_cast<uint32_t>(m),
+                                  static_cast<uint32_t>(c),
+                                  /*track_local=*/false)});
+  cases.push_back({"REPT-local",
+                   rept::MakeRept(static_cast<uint32_t>(m),
+                                  static_cast<uint32_t>(c),
+                                  /*track_local=*/true)});
+  cases.push_back({"TRIEST",
+                   rept::MakeParallelTriest(static_cast<uint32_t>(m),
+                                            static_cast<uint32_t>(c))});
+
+  std::vector<Measurement> results;
+  for (const SystemCase& system_case : cases) {
+    rept::UniformRandomEdgeSource source(
+        static_cast<rept::VertexId>(num_vertices), num_edges, seed);
+    const auto session =
+        system_case.system->CreateSession(seed, &pool, options);
+    const auto ingested = rept::IngestAll(source, *session);
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "%s\n", ingested.status().ToString().c_str());
+      return 2;
+    }
+
+    Measurement r;
+    r.system = system_case.label;
+    r.stored_edges = session->StoredEdges();
+    for (uint64_t rep = 0; rep < reps; ++rep) {
+      rept::WallTimer save_timer;
+      if (const rept::Status st = rept::SaveCheckpoint(*session, ckpt_path);
+          !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 2;
+      }
+      r.save_seconds += save_timer.Seconds();
+
+      const auto restored =
+          system_case.system->CreateSession(seed, &pool, options);
+      rept::WallTimer load_timer;
+      if (const rept::Status st =
+              rept::LoadCheckpoint(*restored, ckpt_path);
+          !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 2;
+      }
+      r.load_seconds += load_timer.Seconds();
+      if (rep == 0) {
+        r.roundtrip_ok =
+            restored->Snapshot().global == session->Snapshot().global &&
+            restored->StoredEdges() == session->StoredEdges();
+      }
+    }
+    r.save_seconds /= static_cast<double>(reps);
+    r.load_seconds /= static_cast<double>(reps);
+    const rept::CheckpointInfo info = rept::InspectCheckpoint(ckpt_path);
+    r.file_bytes = info.file_bytes;
+    const double mb = static_cast<double>(r.file_bytes) / (1024.0 * 1024.0);
+    r.save_mb_s = mb / r.save_seconds;
+    r.load_mb_s = mb / r.load_seconds;
+    results.push_back(r);
+    std::remove(ckpt_path.c_str());
+  }
+
+  rept::TablePrinter table({"system", "stored_edges", "file_MB", "save_s",
+                            "load_s", "save_MB/s", "load_MB/s", "roundtrip"});
+  for (const Measurement& r : results) {
+    table.AddRow({r.system, std::to_string(r.stored_edges),
+                  rept::bench::Fmt(
+                      static_cast<double>(r.file_bytes) / (1024.0 * 1024.0),
+                      2),
+                  rept::bench::Fmt(r.save_seconds, 4),
+                  rept::bench::Fmt(r.load_seconds, 4),
+                  rept::bench::Fmt(r.save_mb_s, 1),
+                  rept::bench::Fmt(r.load_mb_s, 1),
+                  r.roundtrip_ok ? "bit-identical" : "MISMATCH"});
+  }
+  table.Print();
+
+  std::FILE* json = std::fopen(out.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"checkpoint\",\n"
+               "  \"vertices\": %" PRIu64 ",\n  \"edges\": %" PRIu64 ",\n"
+               "  \"m\": %" PRIu64 ",\n  \"c\": %" PRIu64 ",\n"
+               "  \"reps\": %" PRIu64 ",\n  \"results\": [\n",
+               num_vertices, num_edges, m, c, reps);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& r = results[i];
+    std::fprintf(json,
+                 "    {\"system\": \"%s\", \"stored_edges\": %" PRIu64 ", "
+                 "\"file_bytes\": %" PRIu64 ", \"save_seconds\": %.6f, "
+                 "\"load_seconds\": %.6f, \"save_mb_per_sec\": %.2f, "
+                 "\"load_mb_per_sec\": %.2f, \"roundtrip_bit_identical\": "
+                 "%s}%s\n",
+                 r.system.c_str(), r.stored_edges, r.file_bytes,
+                 r.save_seconds, r.load_seconds, r.save_mb_s, r.load_mb_s,
+                 r.roundtrip_ok ? "true" : "false",
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", out.c_str());
+  const bool all_ok = [&results] {
+    for (const Measurement& r : results) {
+      if (!r.roundtrip_ok) return false;
+    }
+    return true;
+  }();
+  return all_ok ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 #include "gen/dataset_suite.hpp"
 #include "graph/edge_source.hpp"
 #include "graph/stream_io.hpp"
+#include "persist/checkpoint.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -35,6 +36,9 @@ int main(int argc, char** argv) {
   uint64_t topk = 10;
   uint64_t chunk = 65536;
   uint64_t threads = 0;
+  uint64_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  std::string resume;
   bool exact = false;
   bool keep_duplicates = false;
   bool prefetch = false;
@@ -48,6 +52,14 @@ int main(int argc, char** argv) {
   flags.AddUint64("chunk", &chunk, "edges ingested per batch");
   flags.AddUint64("threads", &threads,
                   "session pool workers (0 = hardware concurrency)");
+  flags.AddUint64("checkpoint-every", &checkpoint_every,
+                  "save a durable checkpoint every N ingested edges (0 = "
+                  "off)");
+  flags.AddString("checkpoint", &checkpoint_path,
+                  "checkpoint file path (default: <input>.ckpt)");
+  flags.AddString("resume", &resume,
+                  "restore session state from this checkpoint, skip the "
+                  "edges it already ingested, and continue");
   flags.AddBool("exact", &exact, "also compute exact counts for comparison");
   flags.AddBool("keep-duplicates", &keep_duplicates,
                 "skip edge dedup (O(chunk) reader memory for huge files)");
@@ -93,9 +105,52 @@ int main(int argc, char** argv) {
   rept::WallTimer run_timer;
   const std::unique_ptr<rept::StreamingEstimator> session =
       estimator.CreateSession(seed, &pool);
-  const auto ingested = rept::IngestAll(
-      **source, *session,
-      rept::IngestOptions{static_cast<size_t>(chunk), prefetch});
+
+  // Resume: restore the session at its saved batch boundary, then
+  // fast-forward the (deterministic) reader past the edges the checkpoint
+  // already ingested — the remap/dedupe state rebuilds itself on the way.
+  // The config/seed flags must match the run that wrote the checkpoint
+  // (verified via the header fingerprint); the input file must be the same
+  // stream, which only the operator can guarantee.
+  uint64_t resumed_edges = 0;
+  if (!resume.empty()) {
+    if (const rept::Status st = rept::LoadCheckpoint(*session, resume);
+        !st.ok()) {
+      std::fprintf(stderr, "--resume %s: %s\n", resume.c_str(),
+                   st.ToString().c_str());
+      return 2;
+    }
+    resumed_edges = session->edges_ingested();
+    const auto skipped =
+        rept::SkipEdges(**source, resumed_edges, static_cast<size_t>(chunk));
+    if (!skipped.ok()) {
+      std::fprintf(stderr, "--resume: %s\n",
+                   skipped.status().ToString().c_str());
+      return 2;
+    }
+    if (*skipped != resumed_edges) {
+      std::fprintf(stderr,
+                   "--resume: input holds only %" PRIu64
+                   " edges but the checkpoint already ingested %" PRIu64
+                   " (wrong input file?)\n",
+                   *skipped, resumed_edges);
+      return 2;
+    }
+    std::printf("resumed %s at edge %" PRIu64 " from %s\n",
+                session->Name().c_str(), resumed_edges, resume.c_str());
+  }
+
+  rept::IngestOptions ingest_options;
+  ingest_options.chunk_edges = static_cast<size_t>(chunk);
+  ingest_options.prefetch = prefetch;
+  if (checkpoint_every > 0) {
+    ingest_options.checkpoint.path =
+        checkpoint_path.empty() ? input + ".ckpt" : checkpoint_path;
+    ingest_options.checkpoint.every_edges = checkpoint_every;
+    std::printf("checkpointing every %" PRIu64 " edges to %s\n",
+                checkpoint_every, ingest_options.checkpoint.path.c_str());
+  }
+  const auto ingested = rept::IngestAll(**source, *session, ingest_options);
   if (!ingested.ok()) {
     std::fprintf(stderr, "%s\n", ingested.status().ToString().c_str());
     return 2;
@@ -104,7 +159,8 @@ int main(int argc, char** argv) {
   std::printf("%s ingested %s: %u vertices, %" PRIu64 " edges in %" PRIu64
               "-edge chunks (%.3fs, stores %" PRIu64 " edges)\n",
               session->Name().c_str(), input.c_str(), session->num_vertices(),
-              *ingested, chunk, run_timer.Seconds(), session->StoredEdges());
+              session->edges_ingested(), chunk, run_timer.Seconds(),
+              session->StoredEdges());
   std::printf("\nestimated global triangles: %.0f\n", est.global);
 
   std::vector<rept::VertexId> ids(session->num_vertices());

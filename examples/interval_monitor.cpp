@@ -29,6 +29,7 @@
 #include "gen/planted.hpp"
 #include "gen/rmat.hpp"
 #include "graph/permutation.hpp"
+#include "persist/checkpoint.hpp"
 #include "util/flags.hpp"
 #include "util/random.hpp"
 #include "util/statistics.hpp"
@@ -88,6 +89,9 @@ int main(int argc, char** argv) {
   uint64_t c = 8;
   uint64_t seed = 7;
   uint64_t threads = 0;
+  uint64_t checkpoint_every = 0;
+  std::string checkpoint_path = "/tmp/rept_interval_monitor.ckpt";
+  std::string resume;
   double threshold = 2.0;
   rept::FlagSet flags("per-interval triangle monitoring (paper §II use case)");
   flags.AddUint64("intervals", &intervals, "number of time intervals");
@@ -96,6 +100,12 @@ int main(int argc, char** argv) {
   flags.AddUint64("seed", &seed, "seed");
   flags.AddUint64("threads", &threads,
                   "session pool workers (0 = hardware concurrency)");
+  flags.AddUint64("checkpoint-every", &checkpoint_every,
+                  "save a durable checkpoint every N intervals (0 = off)");
+  flags.AddString("checkpoint", &checkpoint_path, "checkpoint file path");
+  flags.AddString("resume", &resume,
+                  "restore the session from this checkpoint and continue "
+                  "monitoring after the intervals it already ingested");
   flags.AddDouble("threshold", &threshold,
                   "flag intervals this many times above the running median");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
@@ -112,9 +122,24 @@ int main(int argc, char** argv) {
   rept::ThreadPool pool(static_cast<size_t>(threads));
   rept::SeedSequence seeds(seed);
 
-  // The whole day flows through this one session; it is never reset.
+  // The whole day flows through this one session; it is never reset. A
+  // checkpointed run can be resumed by a later process: interval traffic is
+  // a deterministic function of (seed, interval index), so the monitor
+  // regenerates and skips the intervals the restored session has already
+  // ingested, then continues monitoring. The alert baseline (delta history)
+  // is monitor-side state and re-warms from scratch after a resume.
   const std::unique_ptr<rept::StreamingEstimator> session =
       estimator.CreateSession(seeds.SeedFor(1000), &pool);
+  uint64_t resumed_edges = 0;
+  if (!resume.empty()) {
+    if (const rept::Status st = rept::LoadCheckpoint(*session, resume);
+        !st.ok()) {
+      std::fprintf(stderr, "--resume %s: %s\n", resume.c_str(),
+                   st.ToString().c_str());
+      return 2;
+    }
+    resumed_edges = session->edges_ingested();
+  }
 
   const auto is_attack = [intervals](uint64_t i) {
     return (i == 9 || i == 17) && i < intervals;
@@ -134,7 +159,9 @@ int main(int argc, char** argv) {
               "ratio", "verdict");
 
   std::vector<double> history;
-  double previous_global = 0.0;
+  double previous_global =
+      resumed_edges > 0 ? session->Snapshot().global : 0.0;
+  uint64_t regenerated_edges = 0;
   int flagged = 0;
   int missed_attacks = 0;
   for (uint64_t i = 0; i < intervals; ++i) {
@@ -142,7 +169,22 @@ int main(int argc, char** argv) {
     const rept::EdgeStream interval =
         MakeInterval(seeds.SeedFor(i), attack,
                      static_cast<rept::VertexId>(i) * kHostsPerInterval);
+    if (regenerated_edges < resumed_edges) {
+      // Already inside the restored prefix: skip the ingest, keep the
+      // deterministic edge accounting aligned.
+      regenerated_edges += interval.size();
+      if (regenerated_edges > resumed_edges) {
+        std::fprintf(stderr,
+                     "--resume: checkpoint was not taken at an interval "
+                     "boundary of this configuration\n");
+        return 2;
+      }
+      std::printf("%-10" PRIu64 " %12s %12s %8s  resumed past\n", i, "-",
+                  "-", "-");
+      continue;
+    }
     session->Ingest(interval);
+    regenerated_edges += interval.size();
 
     // Anytime snapshot: cumulative estimate for the whole day so far; the
     // delta against the previous snapshot is this interval's contribution
@@ -169,6 +211,16 @@ int main(int argc, char** argv) {
                 alert ? "ALERT" : "ok",
                 attack ? (alert ? " (true positive)" : " (MISSED attack)")
                        : (alert ? " (false positive)" : ""));
+
+    if (checkpoint_every > 0 && (i + 1) % checkpoint_every == 0) {
+      if (const rept::Status st =
+              rept::SaveCheckpoint(*session, checkpoint_path);
+          !st.ok()) {
+        std::fprintf(stderr, "checkpoint save failed: %s\n",
+                     st.ToString().c_str());
+        return 2;
+      }
+    }
   }
   std::printf("\nflagged %d interval(s); session ingested %" PRIu64
               " edges, stores %" PRIu64 " across %u processors (~1/%d of "

@@ -1,7 +1,11 @@
 #include "baselines/ensemble_session.hpp"
 
+#include <limits>
+#include <string_view>
 #include <utility>
+#include <vector>
 
+#include "persist/checkpoint_io.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
 #include "util/thread_pool.hpp"
@@ -12,7 +16,7 @@ EnsembleSession::EnsembleSession(
     std::shared_ptr<const StreamCounterFactory> factory, uint32_t c,
     std::string name, uint64_t seed, ThreadPool* pool,
     const SessionOptions& options)
-    : name_(std::move(name)), pool_(pool), edge_budget_(0) {
+    : name_(std::move(name)), pool_(pool), seed_(seed), edge_budget_(0) {
   REPT_CHECK(factory != nullptr);
   REPT_CHECK(c >= 1);
   edge_budget_ = factory->BudgetFor(options.expected_edges);
@@ -56,6 +60,90 @@ uint64_t EnsembleSession::StoredEdges() const {
   uint64_t total = 0;
   for (const auto& instance : instances_) total += instance->StoredEdges();
   return total;
+}
+
+uint64_t EnsembleSession::StateFingerprint() const {
+  return FingerprintBuilder()
+      .MixString("ENSEMBLE")
+      .MixString(name_)
+      .Mix(instances_.size())
+      .Mix(edge_budget_)
+      .Mix(seed_)
+      .Finish();
+}
+
+Status EnsembleSession::Checkpoint(CheckpointWriter& writer) const {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  writer.BeginSection(kSectionEnsembleMeta);
+  writer.AppendU64(edges_ingested());
+  writer.AppendU64(num_vertices());
+  writer.AppendU64(edge_budget_);
+  writer.AppendU32(static_cast<uint32_t>(instances_.size()));
+  writer.AppendU64(name_.size());
+  writer.AppendBytes(name_.data(), name_.size());
+  REPT_RETURN_NOT_OK(writer.EndSection());
+
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    writer.BeginSection(kSectionEnsembleInstance);
+    writer.AppendU32(static_cast<uint32_t>(i));
+    writer.AppendU64(instances_[i]->StoredEdges());
+    REPT_RETURN_NOT_OK(instances_[i]->SaveState(writer));
+    REPT_RETURN_NOT_OK(writer.EndSection());
+  }
+  return writer.status();
+}
+
+Status EnsembleSession::Restore(CheckpointReader& reader) {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  const Result<uint32_t> meta_id = reader.NextSection();
+  REPT_RETURN_NOT_OK(meta_id.status());
+  if (*meta_id != kSectionEnsembleMeta) {
+    return Status::Corruption("expected ensemble meta section, found id " +
+                              std::to_string(*meta_id));
+  }
+  const uint64_t edges = reader.ReadU64();
+  const uint64_t vertices = reader.ReadU64();
+  const uint64_t edge_budget = reader.ReadU64();
+  const uint32_t num_instances = reader.ReadU32();
+  const uint64_t name_len = reader.ReadCount(1);
+  std::vector<char> name(static_cast<size_t>(name_len));
+  if (name_len > 0) {
+    REPT_RETURN_NOT_OK(reader.ReadBytes(name.data(), name.size()));
+  }
+  REPT_RETURN_NOT_OK(reader.ExpectSectionEnd());
+  if (edge_budget != edge_budget_ || num_instances != instances_.size() ||
+      std::string_view(name.data(), name.size()) != name_) {
+    return Status::Corruption(
+        "checkpoint configuration does not match session " + Name());
+  }
+  if (vertices > std::numeric_limits<VertexId>::max()) {
+    return Status::Corruption("checkpoint vertex bound exceeds id space");
+  }
+
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const Result<uint32_t> id = reader.NextSection();
+    REPT_RETURN_NOT_OK(id.status());
+    if (*id != kSectionEnsembleInstance) {
+      return Status::Corruption(
+          "expected ensemble instance section, found id " +
+          std::to_string(*id));
+    }
+    const uint32_t index = reader.ReadU32();
+    const uint64_t stored = reader.ReadU64();
+    REPT_RETURN_NOT_OK(reader.status());
+    if (index != i) {
+      return Status::Corruption("instance sections out of order");
+    }
+    REPT_RETURN_NOT_OK(instances_[i]->LoadState(reader));
+    REPT_RETURN_NOT_OK(reader.ExpectSectionEnd());
+    if (instances_[i]->StoredEdges() != stored) {
+      return Status::Corruption(
+          "restored instance stored-edge count mismatch");
+    }
+  }
+
+  RestoreStreamAccounting(static_cast<VertexId>(vertices), edges);
+  return Status::OK();
 }
 
 }  // namespace rept

@@ -48,6 +48,16 @@ class EnsembleSession : public StreamingEstimator {
   TriangleEstimates Snapshot() const override;
   uint64_t StoredEdges() const override;
 
+  /// Binds a checkpoint to (display name, instance count, per-instance
+  /// budget, seed). The name carries the method and its (m, c) label, and
+  /// the budget pins the reservoir sizing that SessionOptions hints chose
+  /// at creation, so a restored session always re-derives identical
+  /// instances; per-counter construction parameters are additionally echoed
+  /// and verified inside each instance payload.
+  uint64_t StateFingerprint() const override;
+  Status Checkpoint(CheckpointWriter& writer) const override;
+  Status Restore(CheckpointReader& reader) override;
+
   /// The per-instance stored-edge budget the session was opened with (0 for
   /// probability-based methods).
   uint64_t edge_budget() const { return edge_budget_; }
@@ -55,6 +65,7 @@ class EnsembleSession : public StreamingEstimator {
  private:
   std::string name_;
   ThreadPool* pool_;
+  uint64_t seed_;
   uint64_t edge_budget_;
   std::vector<std::unique_ptr<StreamCounter>> instances_;
   /// Serializes instance mutation (Ingest) against concurrent snapshots.

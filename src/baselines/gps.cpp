@@ -1,5 +1,9 @@
 #include "baselines/gps.hpp"
 
+#include <cstring>
+
+#include "persist/checkpoint_io.hpp"
+#include "persist/state_codec.hpp"
 #include "util/check.hpp"
 
 namespace rept {
@@ -41,14 +45,86 @@ void GpsCounter::ProcessEdge(VertexId u, VertexId v) {
   // new edge itself) and raise the threshold.
   sample_.Insert(u, v);
   edge_weight_[EdgeKey(u, v)] = weight;
-  heap_.push(HeapEntry{rank, u, v});
+  heap_.push_back(HeapEntry{rank, u, v});
+  std::push_heap(heap_.begin(), heap_.end(), RankGreater{});
   if (sample_.num_edges() > budget_) {
-    const HeapEntry evicted = heap_.top();
-    heap_.pop();
+    const HeapEntry evicted = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), RankGreater{});
+    heap_.pop_back();
     if (evicted.rank > z_star_) z_star_ = evicted.rank;
     sample_.Erase(evicted.u, evicted.v);
     edge_weight_.erase(EdgeKey(evicted.u, evicted.v));
   }
+}
+
+Status GpsCounter::SaveState(CheckpointWriter& writer) const {
+  writer.AppendU8('G');
+  writer.AppendU8(track_local_ ? 1 : 0);
+  writer.AppendU64(budget_);
+  writer.AppendDouble(alpha_);
+  SaveRng(writer, rng_);
+  writer.AppendDouble(z_star_);
+  writer.AppendDouble(global_);
+  SaveSampledGraph(writer, sample_);
+  // Weights keyed like the sampled edges, then the heap array verbatim
+  // (rank ties evict by layout, so the layout is part of the state).
+  SaveSortedMap(writer, edge_weight_);
+  writer.AppendU64(heap_.size());
+  for (const HeapEntry& entry : heap_) {
+    writer.AppendDouble(entry.rank);
+    writer.AppendU32(entry.u);
+    writer.AppendU32(entry.v);
+  }
+  SaveVertexTallies(writer, local_);
+  return writer.status();
+}
+
+Status GpsCounter::LoadState(CheckpointReader& reader) {
+  if (reader.ReadU8() != 'G') {
+    return Status::Corruption("not a GPS instance payload");
+  }
+  const bool track_local = reader.ReadU8() != 0;
+  const uint64_t budget = reader.ReadU64();
+  const double alpha = reader.ReadDouble();
+  REPT_RETURN_NOT_OK(reader.status());
+  if (track_local != track_local_ || budget != budget_ ||
+      std::memcmp(&alpha, &alpha_, sizeof(alpha)) != 0) {
+    return Status::Corruption(
+        "GPS budget/alpha mismatch: checkpoint was written by a "
+        "differently configured instance");
+  }
+  REPT_RETURN_NOT_OK(LoadRng(reader, rng_));
+  const double z_star = reader.ReadDouble();
+  const double global = reader.ReadDouble();
+  REPT_RETURN_NOT_OK(LoadSampledGraph(reader, sample_));
+  REPT_RETURN_NOT_OK(LoadSortedMap(reader, edge_weight_, "GPS weights"));
+  if (edge_weight_.size() != sample_.num_edges()) {
+    return Status::Corruption("GPS weight map out of sync with sample");
+  }
+  const uint64_t heap_size =
+      reader.ReadCount(sizeof(double) + 2 * sizeof(VertexId));
+  REPT_RETURN_NOT_OK(reader.status());
+  std::vector<HeapEntry> heap;
+  heap.reserve(static_cast<size_t>(heap_size));
+  for (uint64_t i = 0; i < heap_size; ++i) {
+    HeapEntry entry;
+    entry.rank = reader.ReadDouble();
+    entry.u = reader.ReadU32();
+    entry.v = reader.ReadU32();
+    heap.push_back(entry);
+  }
+  REPT_RETURN_NOT_OK(reader.status());
+  if (heap.size() != sample_.num_edges()) {
+    return Status::Corruption("GPS heap out of sync with sample");
+  }
+  if (!std::is_heap(heap.begin(), heap.end(), RankGreater{})) {
+    return Status::Corruption("GPS heap array violates the heap property");
+  }
+  REPT_RETURN_NOT_OK(LoadVertexTallies(reader, local_));
+  z_star_ = z_star;
+  global_ = global;
+  heap_ = std::move(heap);
+  return Status::OK();
 }
 
 void GpsCounter::AccumulateLocal(std::vector<double>& acc,

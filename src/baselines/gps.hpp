@@ -19,7 +19,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -35,6 +34,9 @@ class GpsCounter : public StreamCounter {
              bool track_local = true);
 
   void ProcessEdge(VertexId u, VertexId v) override;
+
+  Status SaveState(CheckpointWriter& writer) const override;
+  Status LoadState(CheckpointReader& reader) override;
 
   double GlobalEstimate() const override { return global_; }
   void AccumulateLocal(std::vector<double>& acc,
@@ -67,7 +69,12 @@ class GpsCounter : public StreamCounter {
 
   SampledGraph sample_;
   std::unordered_map<uint64_t, double> edge_weight_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, RankGreater> heap_;
+  /// Min-heap on rank, managed with std::push_heap/std::pop_heap (exactly
+  /// what std::priority_queue is specified to do). An explicit vector so a
+  /// checkpoint can persist the array layout verbatim: with equal ranks the
+  /// eviction order depends on the layout, and restore must replay the
+  /// uninterrupted run bit for bit.
+  std::vector<HeapEntry> heap_;
   double z_star_ = 0.0;
 
   double global_ = 0.0;

@@ -1,5 +1,9 @@
 #include "baselines/mascot.hpp"
 
+#include <cstring>
+
+#include "persist/checkpoint_io.hpp"
+#include "persist/state_codec.hpp"
 #include "util/check.hpp"
 
 namespace rept {
@@ -15,6 +19,29 @@ MascotCounter::MascotCounter(double p, uint64_t seed, bool track_local)
 void MascotCounter::ProcessEdge(VertexId u, VertexId v) {
   counter_.CountArrival(u, v);
   if (rng_.Bernoulli(p_)) counter_.InsertSampled(u, v);
+}
+
+Status MascotCounter::SaveState(CheckpointWriter& writer) const {
+  writer.AppendU8('M');
+  writer.AppendDouble(p_);
+  SaveRng(writer, rng_);
+  counter_.SaveState(writer);
+  return writer.status();
+}
+
+Status MascotCounter::LoadState(CheckpointReader& reader) {
+  if (reader.ReadU8() != 'M') {
+    return Status::Corruption("not a MASCOT instance payload");
+  }
+  const double p = reader.ReadDouble();
+  REPT_RETURN_NOT_OK(reader.status());
+  if (std::memcmp(&p, &p_, sizeof(p)) != 0) {
+    return Status::Corruption(
+        "MASCOT sampling probability mismatch: checkpoint was written by a "
+        "differently configured instance");
+  }
+  REPT_RETURN_NOT_OK(LoadRng(reader, rng_));
+  return counter_.LoadState(reader);
 }
 
 }  // namespace rept

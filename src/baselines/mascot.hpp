@@ -25,6 +25,9 @@ class MascotCounter : public StreamCounter {
 
   void ProcessEdge(VertexId u, VertexId v) override;
 
+  Status SaveState(CheckpointWriter& writer) const override;
+  Status LoadState(CheckpointReader& reader) override;
+
   double GlobalEstimate() const override {
     return counter_.global() * inv_p2_;
   }

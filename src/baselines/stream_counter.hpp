@@ -12,8 +12,12 @@
 
 #include "graph/edge_stream.hpp"
 #include "graph/types.hpp"
+#include "util/status.hpp"
 
 namespace rept {
+
+class CheckpointReader;
+class CheckpointWriter;
 
 /// \brief One logical processor producing unbiased global/local estimates.
 class StreamCounter {
@@ -41,6 +45,23 @@ class StreamCounter {
 
   /// Number of edges currently stored (memory accounting).
   virtual uint64_t StoredEdges() const = 0;
+
+  /// Appends the instance's complete state (including RNG engine state, so
+  /// a restored instance replays the uninterrupted run bit for bit) to the
+  /// writer's current section. Default: not checkpointable — an
+  /// EnsembleSession over such counters reports Unsupported.
+  virtual Status SaveState(CheckpointWriter& writer) const {
+    (void)writer;
+    return Status::Unsupported("counter does not support checkpointing");
+  }
+
+  /// Restores from a SaveState payload written by an identically
+  /// constructed instance (construction parameters are echoed and verified;
+  /// a mismatch is Corruption).
+  virtual Status LoadState(CheckpointReader& reader) {
+    (void)reader;
+    return Status::Unsupported("counter does not support checkpointing");
+  }
 };
 
 /// \brief Creates pre-seeded instances; seed differs per ensemble member.

@@ -1,5 +1,7 @@
 #include "baselines/triest.hpp"
 
+#include "persist/checkpoint_io.hpp"
+#include "persist/state_codec.hpp"
 #include "util/check.hpp"
 
 namespace rept {
@@ -12,6 +14,69 @@ TriestCounter::TriestCounter(uint64_t budget, uint64_t seed,
       rng_(seed) {
   REPT_CHECK(budget_ >= 6);  // keeps both xi denominators positive
   reservoir_.reserve(budget_);
+}
+
+Status TriestCounter::SaveState(CheckpointWriter& writer) const {
+  writer.AppendU8('T');
+  writer.AppendU8(variant_ == TriestVariant::kImpr ? 0 : 1);
+  writer.AppendU8(track_local_ ? 1 : 0);
+  writer.AppendU64(budget_);
+  writer.AppendU64(t_);
+  SaveRng(writer, rng_);
+  writer.AppendDouble(global_);
+  // Reservoir slots in index order: eviction picks a slot by index, so the
+  // layout (not just the edge set) is part of the resumable state. The
+  // adjacency is serialized separately rather than rebuilt from the
+  // reservoir — duplicate stream edges can leave the two out of sync (a
+  // later eviction of one copy erases the adjacency entry), and restore
+  // must reproduce the sample exactly as it was.
+  writer.AppendU64(reservoir_.size());
+  for (const Edge& e : reservoir_) {
+    writer.AppendU32(e.u);
+    writer.AppendU32(e.v);
+  }
+  SaveSampledGraph(writer, sample_);
+  SaveVertexTallies(writer, local_);
+  return writer.status();
+}
+
+Status TriestCounter::LoadState(CheckpointReader& reader) {
+  if (reader.ReadU8() != 'T') {
+    return Status::Corruption("not a TRIEST instance payload");
+  }
+  const bool is_base = reader.ReadU8() != 0;
+  const bool track_local = reader.ReadU8() != 0;
+  const uint64_t budget = reader.ReadU64();
+  const uint64_t t = reader.ReadU64();
+  REPT_RETURN_NOT_OK(reader.status());
+  if (is_base != (variant_ == TriestVariant::kBase) || budget != budget_ ||
+      track_local != track_local_) {
+    return Status::Corruption(
+        "TRIEST variant/budget mismatch: checkpoint was written by a "
+        "differently configured instance");
+  }
+  REPT_RETURN_NOT_OK(LoadRng(reader, rng_));
+  const double global = reader.ReadDouble();
+  const uint64_t reservoir_size =
+      reader.ReadCount(2 * sizeof(VertexId));
+  REPT_RETURN_NOT_OK(reader.status());
+  if (reservoir_size > budget_) {
+    return Status::Corruption("TRIEST reservoir exceeds its budget");
+  }
+  std::vector<Edge> reservoir;
+  reservoir.reserve(budget_);
+  for (uint64_t i = 0; i < reservoir_size; ++i) {
+    const VertexId u = reader.ReadU32();
+    const VertexId v = reader.ReadU32();
+    reservoir.emplace_back(u, v);
+  }
+  REPT_RETURN_NOT_OK(reader.status());
+  REPT_RETURN_NOT_OK(LoadSampledGraph(reader, sample_));
+  REPT_RETURN_NOT_OK(LoadVertexTallies(reader, local_));
+  t_ = t;
+  global_ = global;
+  reservoir_ = std::move(reservoir);
+  return Status::OK();
 }
 
 double TriestCounter::EstimateScale() const {

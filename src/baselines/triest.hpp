@@ -35,6 +35,9 @@ class TriestCounter : public StreamCounter {
 
   void ProcessEdge(VertexId u, VertexId v) override;
 
+  Status SaveState(CheckpointWriter& writer) const override;
+  Status LoadState(CheckpointReader& reader) override;
+
   double GlobalEstimate() const override;
   void AccumulateLocal(std::vector<double>& acc,
                        double weight) const override;

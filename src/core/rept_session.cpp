@@ -1,9 +1,11 @@
 #include "core/rept_session.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/combiner.hpp"
 #include "hash/hash_family.hpp"
+#include "persist/checkpoint_io.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -135,12 +137,14 @@ ReptEstimator::RunDetail ComputeScalarDetail(const ReptConfig& config,
 
 ReptSession::ReptSession(const ReptConfig& config, uint64_t seed,
                          ThreadPool* pool, const SessionOptions& options)
-    : ReptSession(config, BuildGroupSpecs(config, seed), pool, options) {}
+    : ReptSession(config, seed, BuildGroupSpecs(config, seed), pool,
+                  options) {}
 
-ReptSession::ReptSession(const ReptConfig& config,
+ReptSession::ReptSession(const ReptConfig& config, uint64_t seed,
                          std::vector<BatchRouter::GroupSpec> specs,
                          ThreadPool* pool, const SessionOptions& options)
     : config_(config),
+      seed_(seed),
       pool_(pool),
       router_(specs),
       board_(config.c) {
@@ -283,6 +287,100 @@ TriangleEstimates ReptSession::Snapshot() const {
   // in-flight batch (blocking at most one batch).
   std::lock_guard<std::mutex> lock(ingest_mutex_);
   return SnapshotFromCounters().estimates;
+}
+
+uint64_t ReptSession::StateFingerprint() const {
+  return FingerprintBuilder()
+      .MixString("REPT")
+      .Mix(config_.m)
+      .Mix(config_.c)
+      .Mix(config_.track_local ? 1 : 0)
+      .Mix(config_.strict_eta_pairs ? 1 : 0)
+      .Mix(seed_)
+      .Finish();
+}
+
+Status ReptSession::Checkpoint(CheckpointWriter& writer) const {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  writer.BeginSection(kSectionReptMeta);
+  writer.AppendU64(edges_ingested());
+  writer.AppendU64(num_vertices());
+  writer.AppendU32(config_.m);
+  writer.AppendU32(config_.c);
+  writer.AppendU8(config_.track_local ? 1 : 0);
+  writer.AppendU8(config_.NeedsPairTracking() ? 1 : 0);
+  writer.AppendU8(config_.strict_eta_pairs ? 1 : 0);
+  writer.AppendU32(static_cast<uint32_t>(instances_.size()));
+  REPT_RETURN_NOT_OK(writer.EndSection());
+
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const SemiTriangleCounter& counter = instances_[i]->counter();
+    writer.BeginSection(kSectionReptInstance);
+    writer.AppendU32(static_cast<uint32_t>(i));
+    writer.AppendU64(counter.stored_edges());
+    counter.SaveState(writer);
+    REPT_RETURN_NOT_OK(writer.EndSection());
+  }
+  return writer.status();
+}
+
+Status ReptSession::Restore(CheckpointReader& reader) {
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  const Result<uint32_t> meta_id = reader.NextSection();
+  REPT_RETURN_NOT_OK(meta_id.status());
+  if (*meta_id != kSectionReptMeta) {
+    return Status::Corruption("expected REPT meta section, found id " +
+                              std::to_string(*meta_id));
+  }
+  const uint64_t edges = reader.ReadU64();
+  const uint64_t vertices = reader.ReadU64();
+  const uint32_t m = reader.ReadU32();
+  const uint32_t c = reader.ReadU32();
+  const bool track_local = reader.ReadU8() != 0;
+  const bool track_pairs = reader.ReadU8() != 0;
+  const bool strict_pairs = reader.ReadU8() != 0;
+  const uint32_t num_instances = reader.ReadU32();
+  REPT_RETURN_NOT_OK(reader.ExpectSectionEnd());
+  // The header fingerprint already binds config and seed; this re-check
+  // keeps a direct Restore() (no LoadCheckpoint wrapper) equally safe.
+  if (m != config_.m || c != config_.c ||
+      track_local != config_.track_local ||
+      track_pairs != config_.NeedsPairTracking() ||
+      strict_pairs != config_.strict_eta_pairs ||
+      num_instances != instances_.size()) {
+    return Status::Corruption(
+        "checkpoint configuration does not match session " + Name());
+  }
+  if (vertices > std::numeric_limits<VertexId>::max()) {
+    return Status::Corruption("checkpoint vertex bound exceeds id space");
+  }
+
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const Result<uint32_t> id = reader.NextSection();
+    REPT_RETURN_NOT_OK(id.status());
+    if (*id != kSectionReptInstance) {
+      return Status::Corruption("expected REPT instance section, found id " +
+                                std::to_string(*id));
+    }
+    const uint32_t index = reader.ReadU32();
+    const uint64_t stored = reader.ReadU64();
+    REPT_RETURN_NOT_OK(reader.status());
+    if (index != i) {
+      return Status::Corruption("instance sections out of order");
+    }
+    SemiTriangleCounter& counter = instances_[i]->counter();
+    REPT_RETURN_NOT_OK(counter.LoadState(reader));
+    REPT_RETURN_NOT_OK(reader.ExpectSectionEnd());
+    if (counter.stored_edges() != stored) {
+      return Status::Corruption(
+          "restored instance stored-edge count mismatch");
+    }
+  }
+
+  RestoreStreamAccounting(static_cast<VertexId>(vertices), edges);
+  stats_ = IngestStats{};
+  PublishTallies();
+  return Status::OK();
 }
 
 ReptEstimator::RunDetail ReptSession::SnapshotDetailed() const {

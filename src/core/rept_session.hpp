@@ -62,6 +62,17 @@ class ReptSession : public StreamingEstimator {
   TriangleEstimates Snapshot() const override;
   uint64_t StoredEdges() const override;
 
+  /// Binds a checkpoint to (m, c, track_local, strict_eta_pairs, seed).
+  /// The dispatch mode and thread pool are deliberately excluded: they are
+  /// scheduling knobs with bit-identical results, so a checkpoint written
+  /// under one may be restored under another (including a different pool
+  /// size — state is per-instance, so migration falls out).
+  uint64_t StateFingerprint() const override;
+  Status Checkpoint(CheckpointWriter& writer) const override;
+  /// Restores every instance's counter state, the stream-time accounting,
+  /// and republishes the TallyBoard, all at the checkpoint's batch boundary.
+  Status Restore(CheckpointReader& reader) override;
+
   /// Anytime equivalent of ReptEstimator::RunDetailed: the estimates plus
   /// raw tallies and Algorithm 2 intermediates for the current prefix.
   ReptEstimator::RunDetail SnapshotDetailed() const;
@@ -87,7 +98,7 @@ class ReptSession : public StreamingEstimator {
   /// Delegation target: `specs` is the fused hash-group layout derived from
   /// (config, seed), the single source of truth for both the router and the
   /// instance set.
-  ReptSession(const ReptConfig& config,
+  ReptSession(const ReptConfig& config, uint64_t seed,
               std::vector<BatchRouter::GroupSpec> specs, ThreadPool* pool,
               const SessionOptions& options);
 
@@ -103,6 +114,8 @@ class ReptSession : public StreamingEstimator {
   ReptEstimator::RunDetail SnapshotFromBoard() const;
 
   ReptConfig config_;
+  /// Master seed the instance layout was derived from (checkpoint identity).
+  uint64_t seed_;
   ThreadPool* pool_;
   // Instances are individually heap-allocated: worker threads mutate their
   // counters concurrently, and value-packing them in one vector caused

@@ -1,5 +1,7 @@
 #include "core/semi_triangle_counter.hpp"
 
+#include "persist/checkpoint_io.hpp"
+#include "persist/state_codec.hpp"
 #include "util/check.hpp"
 
 namespace rept {
@@ -77,6 +79,40 @@ void SemiTriangleCounter::EraseSampled(VertexId u, VertexId v) {
   if (!sample_.Erase(u, v)) return;
   if (options_.track_pairs) edge_triangles_.erase(EdgeKey(u, v));
   last_valid_ = false;
+}
+
+void SemiTriangleCounter::SaveState(CheckpointWriter& writer) const {
+  writer.AppendU8(options_.track_local ? 1 : 0);
+  writer.AppendU8(options_.track_pairs ? 1 : 0);
+  writer.AppendU8(options_.strict_pairs ? 1 : 0);
+  SaveSampledGraph(writer, sample_);
+  writer.AppendDouble(global_);
+  SaveVertexTallies(writer, local_);
+  writer.AppendDouble(eta_);
+  SaveVertexTallies(writer, eta_local_);
+  SaveEdgeCounters(writer, edge_triangles_);
+}
+
+Status SemiTriangleCounter::LoadState(CheckpointReader& reader) {
+  const bool track_local = reader.ReadU8() != 0;
+  const bool track_pairs = reader.ReadU8() != 0;
+  const bool strict_pairs = reader.ReadU8() != 0;
+  REPT_RETURN_NOT_OK(reader.status());
+  if (track_local != options_.track_local ||
+      track_pairs != options_.track_pairs ||
+      strict_pairs != options_.strict_pairs) {
+    return Status::Corruption(
+        "counter options mismatch: checkpoint was written under different "
+        "tally-tracking rules");
+  }
+  Reset();
+  REPT_RETURN_NOT_OK(LoadSampledGraph(reader, sample_));
+  global_ = reader.ReadDouble();
+  REPT_RETURN_NOT_OK(LoadVertexTallies(reader, local_));
+  eta_ = reader.ReadDouble();
+  REPT_RETURN_NOT_OK(LoadVertexTallies(reader, eta_local_));
+  REPT_RETURN_NOT_OK(LoadEdgeCounters(reader, edge_triangles_));
+  return reader.status();
 }
 
 void SemiTriangleCounter::AccumulateLocal(std::vector<double>& local_acc,

@@ -23,8 +23,12 @@
 
 #include "graph/sampled_graph.hpp"
 #include "graph/types.hpp"
+#include "util/status.hpp"
 
 namespace rept {
+
+class CheckpointReader;
+class CheckpointWriter;
 
 /// \brief Per-processor counting state shared by REPT instances and MASCOT.
 class SemiTriangleCounter {
@@ -77,6 +81,20 @@ class SemiTriangleCounter {
 
   const SampledGraph& sample() const { return sample_; }
   uint64_t stored_edges() const { return sample_.num_edges(); }
+
+  /// Appends the engine's complete state (options echo, sampled edges,
+  /// tallies, pair registers) to the writer's current section, in canonical
+  /// order. The completion cache is deliberately not persisted: it is only
+  /// consulted between a CountArrival and the immediately following
+  /// InsertSampled, and checkpoints are taken at batch boundaries where the
+  /// next operation is always a CountArrival (which recomputes the same
+  /// value from the same sampled graph anyway).
+  void SaveState(CheckpointWriter& writer) const;
+
+  /// Resets the engine and rebuilds it from a SaveState payload. The echoed
+  /// options must match this engine's construction options (a mismatch is
+  /// Corruption: the tallies would be interpreted under the wrong rules).
+  Status LoadState(CheckpointReader& reader);
 
  private:
   Options options_;

@@ -18,8 +18,12 @@
 #include "core/estimates.hpp"
 #include "graph/edge_stream.hpp"
 #include "graph/types.hpp"
+#include "util/status.hpp"
 
 namespace rept {
+
+class CheckpointReader;
+class CheckpointWriter;
 
 /// \brief A long-lived estimation session over an unbounded edge stream.
 ///
@@ -94,7 +98,47 @@ class StreamingEstimator {
     return edges_ingested_.load(std::memory_order_relaxed);
   }
 
+  // -------------------------------------------------------------------------
+  // Durability (src/persist). A session taken at a batch boundary can be
+  // serialized and later restored into a session created with the same
+  // (estimator config, seed) — possibly on a different machine, with a
+  // different thread pool — such that ingesting the remainder of the stream
+  // yields tallies bit-identical to an uninterrupted run. See
+  // persist/checkpoint.hpp for the file-level entry points.
+
+  /// Stable 64-bit identity of (estimator type, semantic config, seed).
+  /// Written into every checkpoint header; restore refuses a mismatch.
+  /// Performance-only knobs (thread pool, dispatch mode) are excluded.
+  /// 0 means the session does not support checkpointing.
+  virtual uint64_t StateFingerprint() const { return 0; }
+
+  /// Serializes the session's full state as framed sections. Writer-side
+  /// call: serialize with Ingest() externally (IngestAll does); concurrent
+  /// Snapshot()/StoredEdges() readers are safe. Like Snapshot(), never call
+  /// it from a task on the session's own pool.
+  virtual Status Checkpoint(CheckpointWriter& writer) const {
+    (void)writer;
+    return Status::Unsupported(Name() + ": checkpointing not implemented");
+  }
+
+  /// Overwrites the session's state from a checkpoint produced by a session
+  /// with the same StateFingerprint(). Consumes exactly the sections
+  /// Checkpoint() wrote. On failure the state is unspecified but valid —
+  /// recreate the session before further use.
+  virtual Status Restore(CheckpointReader& reader) {
+    (void)reader;
+    return Status::Unsupported(Name() + ": checkpointing not implemented");
+  }
+
  protected:
+  /// Restore-side counterpart of RecordBatch: installs the persisted
+  /// stream-time accounting. Writer-side only.
+  void RestoreStreamAccounting(VertexId num_vertices,
+                               uint64_t edges_ingested) {
+    num_vertices_.store(num_vertices, std::memory_order_relaxed);
+    edges_ingested_.store(edges_ingested, std::memory_order_relaxed);
+  }
+
   /// Implementations call this at the top of Ingest() to maintain the
   /// vertex-bound and stream-time accounting. Writer-side only.
   void RecordBatch(std::span<const Edge> edges) {

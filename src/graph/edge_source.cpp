@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -13,6 +14,7 @@
 
 #include "core/streaming_estimator.hpp"
 #include "graph/stream_format.hpp"
+#include "persist/checkpoint.hpp"
 #include "util/check.hpp"
 
 namespace rept {
@@ -123,9 +125,43 @@ Result<std::unique_ptr<BinaryFileEdgeSource>> BinaryFileEdgeSource::Open(
   if (!file.read(reinterpret_cast<char*>(counts), sizeof(counts))) {
     return Status::Corruption("truncated header in " + path);
   }
+  const uint64_t num_vertices = counts[0];
+  const uint64_t num_edges = counts[1];
+  if (num_vertices > std::numeric_limits<VertexId>::max()) {
+    return Status::Corruption("vertex count overflows id space in " + path);
+  }
+  if (num_edges > 0 && num_vertices == 0) {
+    return Status::Corruption("edges without a vertex id space in " + path);
+  }
+  // The header pins the payload size exactly; verify it against the file so
+  // a truncated or garbage-extended file fails here instead of yielding a
+  // silently short (or over-long) stream during ingestion.
+  constexpr uint64_t kHeaderBytes = sizeof(magic) + sizeof(counts);
+  static_assert(sizeof(Edge) == 2 * sizeof(VertexId));
+  std::error_code ec;
+  const uintmax_t file_bytes = std::filesystem::file_size(path, ec);
+  if (!ec) {
+    if (num_edges > (std::numeric_limits<uint64_t>::max() - kHeaderBytes) /
+                        sizeof(Edge)) {
+      return Status::Corruption("edge count overflows in " + path);
+    }
+    const uint64_t expected = kHeaderBytes + num_edges * sizeof(Edge);
+    if (file_bytes < expected) {
+      return Status::Corruption(
+          path + ": truncated (header declares " +
+          std::to_string(num_edges) + " edges, file holds " +
+          std::to_string((file_bytes - std::min<uintmax_t>(
+                                           file_bytes, kHeaderBytes)) /
+                         sizeof(Edge)) +
+          ")");
+    }
+    if (file_bytes > expected) {
+      return Status::Corruption(path + ": trailing garbage after edge data");
+    }
+  }
   return std::unique_ptr<BinaryFileEdgeSource>(new BinaryFileEdgeSource(
       std::move(file), path, Basename(path),
-      static_cast<VertexId>(counts[0]), counts[1]));
+      static_cast<VertexId>(num_vertices), num_edges));
 }
 
 size_t BinaryFileEdgeSource::NextChunk(std::span<Edge> out) {
@@ -137,8 +173,22 @@ size_t BinaryFileEdgeSource::NextChunk(std::span<Edge> out) {
   static_assert(sizeof(Edge) == 2 * sizeof(VertexId));
   if (!file_.read(reinterpret_cast<char*>(out.data()),
                   static_cast<std::streamsize>(want * sizeof(Edge)))) {
-    status_ = Status::Corruption("truncated edges in " + path_);
+    status_ = file_.bad()
+                  ? Status::IOError("read failed: " + path_)
+                  : Status::Corruption(
+                        "truncated edges in " + path_ + " (got " +
+                        std::to_string(file_.gcount()) + " of " +
+                        std::to_string(want * sizeof(Edge)) + " bytes)");
     return 0;
+  }
+  // Garbage detection: every endpoint must live in the declared id space.
+  for (size_t i = 0; i < want; ++i) {
+    if (out[i].u >= num_vertices_ || out[i].v >= num_vertices_) {
+      status_ = Status::Corruption(
+          "vertex id out of range at edge " +
+          std::to_string(produced_ + i) + " in " + path_);
+      return 0;
+    }
   }
   produced_ += want;
   return want;
@@ -179,14 +229,47 @@ size_t UniformRandomEdgeSource::NextChunk(std::span<Edge> out) {
 
 namespace {
 
+// Fires the IngestOptions checkpoint policy: counts edges/batches since the
+// last save and persists the session (atomic tmp + rename) when a trigger
+// is due. Runs on the ingesting thread at batch boundaries.
+class PeriodicCheckpointer {
+ public:
+  PeriodicCheckpointer(const CheckpointPolicy& policy,
+                       StreamingEstimator& session)
+      : policy_(policy), session_(session) {}
+
+  Status AfterBatch(size_t batch_edges) {
+    if (!policy_.enabled()) return Status::OK();
+    edges_since_save_ += batch_edges;
+    ++batches_since_save_;
+    const bool due =
+        (policy_.every_edges > 0 &&
+         edges_since_save_ >= policy_.every_edges) ||
+        (policy_.every_batches > 0 &&
+         batches_since_save_ >= policy_.every_batches);
+    if (!due) return Status::OK();
+    edges_since_save_ = 0;
+    batches_since_save_ = 0;
+    return SaveCheckpoint(session_, policy_.path);
+  }
+
+ private:
+  const CheckpointPolicy& policy_;
+  StreamingEstimator& session_;
+  uint64_t edges_since_save_ = 0;
+  uint64_t batches_since_save_ = 0;
+};
+
 // Double-buffered pump: the spawned thread owns the source and fills the two
 // slots round-robin; the calling thread owns the session and drains them in
 // the same order. A slot is handed over full (producer -> consumer) and
 // handed back empty (consumer -> producer) under the mutex, so each side
 // touches a slot's buffer only while holding it and the chunk sequence —
 // hence the ingested edge sequence — is exactly the serial pump's.
-uint64_t IngestAllPrefetch(EdgeSource& source, StreamingEstimator& session,
-                           size_t chunk_edges) {
+Result<uint64_t> IngestAllPrefetch(EdgeSource& source,
+                                   StreamingEstimator& session,
+                                   size_t chunk_edges,
+                                   PeriodicCheckpointer& checkpointer) {
   struct Slot {
     std::vector<Edge> buffer;
     size_t count = 0;
@@ -198,13 +281,15 @@ uint64_t IngestAllPrefetch(EdgeSource& source, StreamingEstimator& session,
   std::mutex mutex;
   std::condition_variable slot_filled;
   std::condition_variable slot_drained;
+  bool abort = false;  // Consumer-side failure: unblocks the pump thread.
 
   std::thread pump([&] {
     int w = 0;
     for (;;) {
       {
         std::unique_lock<std::mutex> lock(mutex);
-        slot_drained.wait(lock, [&] { return !slots[w].full; });
+        slot_drained.wait(lock, [&] { return !slots[w].full || abort; });
+        if (abort) return;
       }
       const size_t n = source.NextChunk(std::span<Edge>(slots[w].buffer));
       {
@@ -219,6 +304,7 @@ uint64_t IngestAllPrefetch(EdgeSource& source, StreamingEstimator& session,
   });
 
   uint64_t total = 0;
+  Status checkpoint_status;
   int r = 0;
   for (;;) {
     size_t n;
@@ -235,9 +321,19 @@ uint64_t IngestAllPrefetch(EdgeSource& source, StreamingEstimator& session,
       slots[r].full = false;
     }
     slot_drained.notify_one();
+    checkpoint_status = checkpointer.AfterBatch(n);
+    if (!checkpoint_status.ok()) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        abort = true;
+      }
+      slot_drained.notify_one();
+      break;
+    }
     r ^= 1;
   }
   pump.join();
+  if (!checkpoint_status.ok()) return checkpoint_status;
   return total;
 }
 
@@ -246,9 +342,13 @@ uint64_t IngestAllPrefetch(EdgeSource& source, StreamingEstimator& session,
 Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
                            const IngestOptions& options) {
   REPT_CHECK(options.chunk_edges > 0);
+  PeriodicCheckpointer checkpointer(options.checkpoint, session);
   uint64_t total = 0;
   if (options.prefetch) {
-    total = IngestAllPrefetch(source, session, options.chunk_edges);
+    const Result<uint64_t> pumped =
+        IngestAllPrefetch(source, session, options.chunk_edges, checkpointer);
+    REPT_RETURN_NOT_OK(pumped.status());
+    total = *pumped;
   } else {
     std::vector<Edge> buffer(options.chunk_edges);
     for (;;) {
@@ -256,6 +356,7 @@ Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
       if (n == 0) break;
       session.Ingest(std::span<const Edge>(buffer.data(), n));
       total += n;
+      REPT_RETURN_NOT_OK(checkpointer.AfterBatch(n));
     }
   }
   if (!source.status().ok()) return source.status();
@@ -265,7 +366,26 @@ Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
 
 Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
                            size_t chunk_edges) {
-  return IngestAll(source, session, IngestOptions{chunk_edges, false});
+  IngestOptions options;
+  options.chunk_edges = chunk_edges;
+  return IngestAll(source, session, options);
+}
+
+Result<uint64_t> SkipEdges(EdgeSource& source, uint64_t count,
+                           size_t chunk_edges) {
+  REPT_CHECK(chunk_edges > 0);
+  std::vector<Edge> buffer(
+      static_cast<size_t>(std::min<uint64_t>(chunk_edges, count)));
+  uint64_t skipped = 0;
+  while (skipped < count) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(buffer.size(), count - skipped));
+    const size_t n = source.NextChunk(std::span<Edge>(buffer.data(), want));
+    if (n == 0) break;
+    skipped += n;
+  }
+  if (!source.status().ok()) return source.status();
+  return skipped;
 }
 
 Result<EdgeStream> ReadAll(EdgeSource& source, size_t chunk_edges,

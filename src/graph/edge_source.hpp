@@ -24,6 +24,7 @@
 
 #include "graph/edge_stream.hpp"
 #include "graph/types.hpp"
+#include "persist/checkpoint_policy.hpp"
 #include "util/random.hpp"
 #include "util/status.hpp"
 
@@ -113,6 +114,13 @@ class TextFileEdgeSource : public EdgeSource {
 /// \brief Chunked reader of the SaveEdgeListBinary format (fixed header +
 /// raw little-endian u32 pairs). The header declares the vertex count, so
 /// VertexCountHint is exact from the start.
+///
+/// Hardened against damaged input: Open() validates the declared edge count
+/// against the actual file size (truncation and trailing garbage both fail
+/// up front), and NextChunk() rejects vertex ids outside the declared id
+/// space — every failure surfaces as Status::Corruption (malformed bytes)
+/// or Status::IOError (environmental read failure) through the Result /
+/// latched-status machinery, never as a silently short stream.
 class BinaryFileEdgeSource : public EdgeSource {
  public:
   static Result<std::unique_ptr<BinaryFileEdgeSource>> Open(
@@ -170,6 +178,11 @@ struct IngestOptions {
   /// two-slot ping-pong handoff in between; the ingested edge sequence is
   /// identical to the serial pump by construction.
   bool prefetch = false;
+  /// Periodic durable saves of the session while pumping (see
+  /// persist/checkpoint_policy.hpp). Saves happen on the ingesting thread
+  /// at batch boundaries — in prefetch mode the pump thread keeps decoding
+  /// while the save runs. A failed save aborts the ingest with its Status.
+  CheckpointPolicy checkpoint;
 };
 
 /// \brief Pumps a source dry into a session, keeping the session's vertex
@@ -180,6 +193,15 @@ Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
 
 /// Convenience overload: serial pump with `chunk_edges`-sized batches.
 Result<uint64_t> IngestAll(EdgeSource& source, StreamingEstimator& session,
+                           size_t chunk_edges = 65536);
+
+/// \brief Reads and discards up to `count` edges: fast-forwards a
+/// deterministic source to the stream position of a restored checkpoint, so
+/// the resumed ingest continues at edge `count` of the original sequence
+/// (stateful readers — id remap, dedupe set — rebuild their state exactly
+/// by re-reading). Returns the number actually skipped (less than `count`
+/// only if the source ran dry), or the source's error.
+Result<uint64_t> SkipEdges(EdgeSource& source, uint64_t count,
                            size_t chunk_edges = 65536);
 
 /// \brief Drains a source into an in-memory EdgeStream (the wholesale

@@ -80,6 +80,17 @@ class SampledGraph {
     return count;
   }
 
+  /// Calls fn(u, v) exactly once per stored edge, with u < v. Order is
+  /// unspecified (hash-map iteration); canonicalize before persisting.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (const auto& [u, nbrs] : adjacency_) {
+      for (const VertexId v : nbrs) {
+        if (u < v) fn(u, v);
+      }
+    }
+  }
+
   /// Sorted neighbor list of v (empty if v has no stored edges).
   const std::vector<VertexId>& neighbors(VertexId v) const {
     static const std::vector<VertexId> kEmpty;

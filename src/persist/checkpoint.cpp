@@ -1,0 +1,190 @@
+#include "persist/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "core/streaming_estimator.hpp"
+#include "persist/checkpoint_io.hpp"
+
+namespace rept {
+
+namespace {
+
+// Flushes a path's data (and, for the parent directory, the rename itself)
+// to stable storage. Without this, rename-over can commit the *name* of a
+// checkpoint whose *bytes* are still only in the page cache — a power loss
+// would then replace the previous good checkpoint with a truncated one,
+// which is exactly the failure the atomic save exists to prevent. No-op on
+// platforms without fsync.
+Status SyncPath(const std::string& path) {
+#if !defined(_WIN32)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed: " + path);
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status WriteCheckpointStream(const StreamingEstimator& session,
+                             std::ostream& out) {
+  CheckpointWriter writer(out);
+  REPT_RETURN_NOT_OK(writer.WriteHeader(session.StateFingerprint()));
+  REPT_RETURN_NOT_OK(session.Checkpoint(writer));
+  return writer.Finish();
+}
+
+Status ReadCheckpointStream(StreamingEstimator& session, std::istream& in,
+                            bool expect_stream_end) {
+  CheckpointReader reader(in, expect_stream_end);
+  const Result<CheckpointReader::Header> header = reader.ReadHeader();
+  REPT_RETURN_NOT_OK(header.status());
+  if (header->fingerprint != session.StateFingerprint()) {
+    return Status::Corruption(
+        "checkpoint fingerprint does not match session \"" + session.Name() +
+        "\" (different estimator config or seed wrote it)");
+  }
+  REPT_RETURN_NOT_OK(session.Restore(reader));
+  // The session consumed its own sections; the verified end marker (file
+  // CRC + no trailing bytes) must come next.
+  const Result<uint32_t> end = reader.NextSection();
+  REPT_RETURN_NOT_OK(end.status());
+  if (*end != kSectionEnd) {
+    return Status::Corruption("unexpected trailing section " +
+                              std::to_string(*end));
+  }
+  return Status::OK();
+}
+
+Status SaveCheckpoint(const StreamingEstimator& session,
+                      const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  Status status;
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open for writing: " + tmp_path);
+    }
+    status = WriteCheckpointStream(session, out);
+    if (status.ok()) {
+      out.close();
+      if (!out) status = Status::IOError("close failed: " + tmp_path);
+    }
+  }
+  if (status.ok()) status = SyncPath(tmp_path);
+  if (!status.ok()) {
+    std::remove(tmp_path.c_str());
+    return status;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("rename failed: " + tmp_path + " -> " + path);
+  }
+  // Persist the rename itself: fsync the directory entry.
+  return SyncPath(ParentDirectory(path));
+}
+
+Status LoadCheckpoint(StreamingEstimator& session, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  const Status status =
+      ReadCheckpointStream(session, in, /*expect_stream_end=*/true);
+  if (!status.ok() && status.code() == StatusCode::kCorruption) {
+    return Status::Corruption(path + ": " + status.message());
+  }
+  return status;
+}
+
+CheckpointInfo InspectCheckpoint(const std::string& path) {
+  CheckpointInfo info;
+  std::error_code ec;
+  const uintmax_t bytes = std::filesystem::file_size(path, ec);
+  if (!ec) info.file_bytes = static_cast<uint64_t>(bytes);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    info.error = Status::IOError("cannot open: " + path);
+    return info;
+  }
+  CheckpointReader reader(in, /*expect_stream_end=*/true);
+  const Result<CheckpointReader::Header> header = reader.ReadHeader();
+  if (!header.ok()) {
+    info.error = header.status();
+    return info;
+  }
+  info.format_version = header->version;
+  info.fingerprint = header->fingerprint;
+
+  for (;;) {
+    const Result<uint32_t> id = reader.NextSection();
+    if (!id.ok()) {
+      info.error = id.status();
+      return info;
+    }
+    if (*id == kSectionEnd) break;
+    CheckpointInfo::SectionInfo section;
+    section.id = *id;
+    section.payload_bytes = reader.SectionRemaining();
+    switch (*id) {
+      case kSectionReptMeta: {
+        info.kind = "REPT";
+        info.edges_ingested = reader.ReadU64();
+        info.num_vertices = reader.ReadU64();
+        reader.ReadU32();  // m
+        reader.ReadU32();  // c
+        reader.ReadU8();   // track_local
+        reader.ReadU8();   // track_pairs
+        reader.ReadU8();   // strict_pairs
+        info.num_instances = reader.ReadU32();
+        break;
+      }
+      case kSectionEnsembleMeta: {
+        info.kind = "ENSEMBLE";
+        info.edges_ingested = reader.ReadU64();
+        info.num_vertices = reader.ReadU64();
+        reader.ReadU64();  // edge budget
+        info.num_instances = reader.ReadU32();
+        const uint64_t name_len = reader.ReadCount(1);
+        std::vector<char> name(static_cast<size_t>(name_len));
+        if (name_len > 0) reader.ReadBytes(name.data(), name.size());
+        if (reader.status().ok()) info.label.assign(name.begin(), name.end());
+        break;
+      }
+      case kSectionReptInstance:
+      case kSectionEnsembleInstance: {
+        section.instance = reader.ReadU32();
+        section.stored_edges = reader.ReadU64();
+        break;
+      }
+      default:
+        break;  // Unknown section: size is still reported.
+    }
+    if (!reader.status().ok()) {
+      info.error = reader.status();
+      return info;
+    }
+    info.sections.push_back(section);
+  }
+  info.error = Status::OK();
+  return info;
+}
+
+}  // namespace rept

@@ -1,0 +1,91 @@
+// File-level checkpoint operations: durable save (atomic tmp + rename),
+// restore with fingerprint verification, and structural inspection for the
+// rept_ckpt_dump debugging tool.
+//
+// The resume contract (tested in checkpoint_roundtrip_test): take a
+// checkpoint at any batch boundary, restore it into a session created with
+// the same (estimator config, seed) — the thread pool and dispatch mode may
+// differ — ingest the remainder of the stream, and every tally is
+// bit-identical to an uninterrupted run. Truncated, bit-flipped,
+// version-mismatched, or config-mismatched files fail with
+// Status::Corruption (or IOError for environmental failures), never UB or a
+// crash.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/status.hpp"
+
+namespace rept {
+
+class StreamingEstimator;
+
+/// Serializes the session as one complete checkpoint (header, sections, end
+/// marker) into `out`. The in-memory building block of SaveCheckpoint —
+/// also the way to ship session state over a socket for migration.
+Status WriteCheckpointStream(const StreamingEstimator& session,
+                             std::ostream& out);
+
+/// Restores `session` from a WriteCheckpointStream payload, verifying the
+/// fingerprint, every CRC, and the end marker. The stream is left
+/// positioned just past the end marker, and data behind it is legal —
+/// several checkpoints can ride one stream back to back. Set
+/// `expect_stream_end` to additionally reject trailing bytes (the
+/// file-level invariant; LoadCheckpoint does).
+Status ReadCheckpointStream(StreamingEstimator& session, std::istream& in,
+                            bool expect_stream_end = false);
+
+/// Writes the session's state to `path` atomically: the bytes go to
+/// `path + ".tmp"` and are renamed over `path` only after a fully framed,
+/// CRC'd checkpoint was flushed — a crash mid-save never clobbers the
+/// previous checkpoint. Writer-side call: serialize with Ingest() like any
+/// other mutation (concurrent Snapshot() readers are fine).
+Status SaveCheckpoint(const StreamingEstimator& session,
+                      const std::string& path);
+
+/// Restores `session` from `path`. The session must have been created with
+/// the same estimator configuration and seed that wrote the checkpoint
+/// (verified via the header fingerprint). On any error the session's state
+/// is unspecified but valid — recreate it before further use.
+Status LoadCheckpoint(StreamingEstimator& session, const std::string& path);
+
+/// \brief Structural summary of a checkpoint file (rept_ckpt_dump).
+struct CheckpointInfo {
+  uint32_t format_version = 0;
+  uint64_t fingerprint = 0;
+  uint64_t file_bytes = 0;
+
+  /// "REPT", "ENSEMBLE", or "" when no meta section was parseable.
+  std::string kind;
+  /// Ensemble display name, when present.
+  std::string label;
+  uint64_t edges_ingested = 0;
+  uint64_t num_vertices = 0;
+  uint32_t num_instances = 0;
+
+  struct SectionInfo {
+    uint32_t id = 0;
+    uint64_t payload_bytes = 0;
+    /// Instance ordinal for per-instance sections, -1 otherwise.
+    int64_t instance = -1;
+    /// Stored-edge count declared by a per-instance section.
+    uint64_t stored_edges = 0;
+  };
+  std::vector<SectionInfo> sections;
+
+  /// OK iff the whole file parsed and every CRC verified. On failure the
+  /// fields above describe the readable prefix.
+  Status error;
+};
+
+/// Walks the file section by section, CRC-verifying as it goes. Never
+/// fails hard on corrupt input: the returned info carries the error plus
+/// whatever prefix was readable.
+CheckpointInfo InspectCheckpoint(const std::string& path);
+
+}  // namespace rept

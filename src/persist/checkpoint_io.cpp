@@ -1,0 +1,365 @@
+#include "persist/checkpoint_io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace rept {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void EncodeU32(uint8_t out[4], uint32_t value) {
+  out[0] = static_cast<uint8_t>(value);
+  out[1] = static_cast<uint8_t>(value >> 8);
+  out[2] = static_cast<uint8_t>(value >> 16);
+  out[3] = static_cast<uint8_t>(value >> 24);
+}
+
+void EncodeU64(uint8_t out[8], uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+uint32_t DecodeU32(const uint8_t in[4]) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) |
+         (static_cast<uint32_t>(in[3]) << 24);
+}
+
+uint64_t DecodeU64(const uint8_t in[8]) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(in[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+uint32_t Crc32(uint32_t crc, const void* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = BuildCrc32Table();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointWriter
+
+void CheckpointWriter::WriteRaw(const void* data, size_t len) {
+  if (!status_.ok()) return;
+  file_crc_ = Crc32(file_crc_, data, len);
+  if (!out_.write(static_cast<const char*>(data),
+                  static_cast<std::streamsize>(len))) {
+    status_ = Status::IOError("checkpoint stream write failed");
+  }
+}
+
+Status CheckpointWriter::WriteHeader(uint64_t fingerprint) {
+  REPT_CHECK(!header_written_);
+  header_written_ = true;
+  WriteRaw(kCheckpointMagic, sizeof(kCheckpointMagic));
+  uint8_t version[4];
+  EncodeU32(version, kCheckpointFormatVersion);
+  WriteRaw(version, sizeof(version));
+  uint8_t fp[8];
+  EncodeU64(fp, fingerprint);
+  WriteRaw(fp, sizeof(fp));
+  return status_;
+}
+
+void CheckpointWriter::BeginSection(uint32_t id) {
+  REPT_CHECK(header_written_ && !in_section_ && !finished_);
+  REPT_CHECK(id != kSectionEnd);
+  in_section_ = true;
+  section_id_ = id;
+  payload_.clear();
+}
+
+void CheckpointWriter::AppendU32(uint32_t value) {
+  uint8_t buf[4];
+  EncodeU32(buf, value);
+  payload_.insert(payload_.end(), buf, buf + sizeof(buf));
+}
+
+void CheckpointWriter::AppendU64(uint64_t value) {
+  uint8_t buf[8];
+  EncodeU64(buf, value);
+  payload_.insert(payload_.end(), buf, buf + sizeof(buf));
+}
+
+void CheckpointWriter::AppendDouble(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(bits);
+}
+
+void CheckpointWriter::AppendBytes(const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  payload_.insert(payload_.end(), bytes, bytes + len);
+}
+
+Status CheckpointWriter::EndSection() {
+  REPT_CHECK(in_section_);
+  in_section_ = false;
+  uint8_t id[4];
+  EncodeU32(id, section_id_);
+  WriteRaw(id, sizeof(id));
+  uint8_t len[8];
+  EncodeU64(len, payload_.size());
+  WriteRaw(len, sizeof(len));
+  WriteRaw(payload_.data(), payload_.size());
+  uint8_t crc[4];
+  EncodeU32(crc, Crc32(0, payload_.data(), payload_.size()));
+  WriteRaw(crc, sizeof(crc));
+  payload_.clear();
+  return status_;
+}
+
+Status CheckpointWriter::Finish() {
+  REPT_CHECK(header_written_ && !in_section_ && !finished_);
+  finished_ = true;
+  uint8_t id[4];
+  EncodeU32(id, kSectionEnd);
+  WriteRaw(id, sizeof(id));
+  uint8_t len[8];
+  EncodeU64(len, 4);
+  WriteRaw(len, sizeof(len));
+  // The file CRC covers every byte written so far, including the end
+  // marker's id and length — frame damage anywhere fails verification.
+  uint8_t crc_payload[4];
+  EncodeU32(crc_payload, file_crc_);
+  WriteRaw(crc_payload, sizeof(crc_payload));
+  uint8_t crc[4];
+  EncodeU32(crc, Crc32(0, crc_payload, sizeof(crc_payload)));
+  WriteRaw(crc, sizeof(crc));
+  if (status_.ok()) out_.flush();
+  if (status_.ok() && !out_) {
+    status_ = Status::IOError("checkpoint stream flush failed");
+  }
+  return status_;
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointReader
+
+CheckpointReader::CheckpointReader(std::istream& in, bool expect_stream_end)
+    : in_(in), expect_stream_end_(expect_stream_end) {
+  // Probe the stream length so corrupt section lengths are rejected before
+  // any allocation. Non-seekable streams (pipes, sockets) fall back to
+  // slab-wise payload reads: the allocation grows only with bytes that
+  // actually arrive, so a corrupt length still fails with Corruption at
+  // the first missing byte instead of one absurd resize.
+  const std::istream::pos_type here = in_.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in_.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in_.tellg();
+    in_.seekg(here);
+    if (end != std::istream::pos_type(-1) && in_) {
+      bytes_remaining_ = static_cast<uint64_t>(end - here);
+      size_known_ = true;
+    }
+  }
+  in_.clear();
+}
+
+Status CheckpointReader::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+  return status_;
+}
+
+bool CheckpointReader::ReadRaw(void* dst, size_t len) {
+  if (!status_.ok()) return false;
+  if (size_known_ && len > bytes_remaining_) {
+    Fail(Status::Corruption("checkpoint truncated"));
+    return false;
+  }
+  if (!in_.read(static_cast<char*>(dst),
+                static_cast<std::streamsize>(len))) {
+    Fail(in_.bad() ? Status::IOError("checkpoint stream read failed")
+                   : Status::Corruption("checkpoint truncated"));
+    return false;
+  }
+  if (size_known_) bytes_remaining_ -= len;
+  file_crc_ = Crc32(file_crc_, dst, len);
+  return true;
+}
+
+Result<CheckpointReader::Header> CheckpointReader::ReadHeader() {
+  REPT_CHECK(!header_read_);
+  header_read_ = true;
+  char magic[sizeof(kCheckpointMagic)];
+  if (!ReadRaw(magic, sizeof(magic))) return status_;
+  if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    return Fail(Status::Corruption("not a REPT checkpoint (bad magic)"));
+  }
+  uint8_t version[4];
+  uint8_t fingerprint[8];
+  if (!ReadRaw(version, sizeof(version)) ||
+      !ReadRaw(fingerprint, sizeof(fingerprint))) {
+    return status_;
+  }
+  Header header;
+  header.version = DecodeU32(version);
+  header.fingerprint = DecodeU64(fingerprint);
+  if (header.version != kCheckpointFormatVersion) {
+    return Fail(Status::Corruption(
+        "unsupported checkpoint format version " +
+        std::to_string(header.version) + " (expected " +
+        std::to_string(kCheckpointFormatVersion) + ")"));
+  }
+  return header;
+}
+
+Result<uint32_t> CheckpointReader::NextSection() {
+  REPT_CHECK(header_read_);
+  if (!status_.ok()) return status_;
+  if (end_seen_) {
+    return Fail(Status::Corruption("read past checkpoint end marker"));
+  }
+  // The file CRC is compared against the bytes *before* the end marker's
+  // payload, so snapshot it before consuming the frame.
+  uint8_t id_buf[4];
+  uint8_t len_buf[8];
+  if (!ReadRaw(id_buf, sizeof(id_buf))) {
+    // A clean EOF here means the end marker is missing.
+    return status_;
+  }
+  if (!ReadRaw(len_buf, sizeof(len_buf))) return status_;
+  const uint32_t id = DecodeU32(id_buf);
+  const uint64_t len = DecodeU64(len_buf);
+  const uint32_t expected_file_crc = file_crc_;
+  if (size_known_ && len > bytes_remaining_) {
+    return Fail(Status::Corruption("checkpoint section length exceeds file"));
+  }
+  if (id == kSectionEnd) {
+    if (len != 4) {
+      return Fail(Status::Corruption("malformed checkpoint end marker"));
+    }
+    uint8_t crc_payload[4];
+    uint8_t crc_buf[4];
+    if (!ReadRaw(crc_payload, sizeof(crc_payload)) ||
+        !ReadRaw(crc_buf, sizeof(crc_buf))) {
+      return status_;
+    }
+    if (DecodeU32(crc_buf) != Crc32(0, crc_payload, sizeof(crc_payload))) {
+      return Fail(Status::Corruption("checkpoint end marker CRC mismatch"));
+    }
+    if (DecodeU32(crc_payload) != expected_file_crc) {
+      return Fail(Status::Corruption("checkpoint file CRC mismatch"));
+    }
+    // Only a checkpoint *file* owns the whole stream; transport streams
+    // may legitimately carry more data behind the end marker.
+    if (expect_stream_end_ && size_known_ && bytes_remaining_ != 0) {
+      return Fail(
+          Status::Corruption("trailing bytes after checkpoint end marker"));
+    }
+    end_seen_ = true;
+    payload_.clear();
+    cursor_ = 0;
+    return uint32_t{kSectionEnd};
+  }
+  // Slab-wise read: grow the buffer only as payload bytes actually arrive,
+  // so on non-seekable streams (where the length prefix could not be
+  // validated above) a corrupt length fails at the first short read
+  // instead of driving one giant allocation.
+  constexpr uint64_t kPayloadSlabBytes = uint64_t{64} << 20;
+  payload_.clear();
+  for (uint64_t remaining = len; remaining > 0;) {
+    const size_t slab =
+        static_cast<size_t>(std::min(remaining, kPayloadSlabBytes));
+    const size_t old_size = payload_.size();
+    payload_.resize(old_size + slab);
+    if (!ReadRaw(payload_.data() + old_size, slab)) return status_;
+    remaining -= slab;
+  }
+  uint8_t crc_buf[4];
+  if (!ReadRaw(crc_buf, sizeof(crc_buf))) return status_;
+  if (DecodeU32(crc_buf) != Crc32(0, payload_.data(), payload_.size())) {
+    return Fail(Status::Corruption("checkpoint section CRC mismatch (id " +
+                                   std::to_string(id) + ")"));
+  }
+  cursor_ = 0;
+  return id;
+}
+
+uint8_t CheckpointReader::ReadU8() {
+  uint8_t value = 0;
+  ReadBytes(&value, sizeof(value));
+  return value;
+}
+
+uint32_t CheckpointReader::ReadU32() {
+  uint8_t buf[4] = {};
+  ReadBytes(buf, sizeof(buf));
+  return DecodeU32(buf);
+}
+
+uint64_t CheckpointReader::ReadU64() {
+  uint8_t buf[8] = {};
+  ReadBytes(buf, sizeof(buf));
+  return DecodeU64(buf);
+}
+
+double CheckpointReader::ReadDouble() {
+  const uint64_t bits = ReadU64();
+  double value;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Status CheckpointReader::ReadBytes(void* dst, size_t len) {
+  if (!status_.ok()) {
+    std::memset(dst, 0, len);
+    return status_;
+  }
+  if (len > SectionRemaining()) {
+    std::memset(dst, 0, len);
+    return Fail(Status::Corruption("checkpoint section field overruns"));
+  }
+  std::memcpy(dst, payload_.data() + cursor_, len);
+  cursor_ += len;
+  return Status::OK();
+}
+
+uint64_t CheckpointReader::ReadCount(size_t min_bytes_per_element) {
+  REPT_CHECK(min_bytes_per_element > 0);
+  const uint64_t count = ReadU64();
+  if (!status_.ok()) return 0;
+  if (count > SectionRemaining() / min_bytes_per_element) {
+    Fail(Status::Corruption("checkpoint element count exceeds section size"));
+    return 0;
+  }
+  return count;
+}
+
+Status CheckpointReader::ExpectSectionEnd() {
+  if (!status_.ok()) return status_;
+  if (SectionRemaining() != 0) {
+    return Fail(
+        Status::Corruption("checkpoint section has unconsumed bytes"));
+  }
+  return Status::OK();
+}
+
+}  // namespace rept

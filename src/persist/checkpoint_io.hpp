@@ -1,0 +1,201 @@
+// Framed, versioned, CRC-checked binary serialization for durable session
+// state — the encoding layer of the checkpoint/restore subsystem.
+//
+// File layout (all integers little-endian):
+//
+//   magic        8 bytes   "REPTCKP1"
+//   version      u32       kCheckpointFormatVersion
+//   fingerprint  u64       StreamingEstimator::StateFingerprint() of the
+//                          session that wrote the file (type + semantic
+//                          config + seed); restore refuses a mismatch.
+//   section*               { id u32 (!= 0), payload_len u64,
+//                            payload bytes, crc32 u32 (of payload) }
+//   end marker             { id u32 == 0, payload_len u64 == 4,
+//                            payload = u32 file CRC, crc32 u32 }
+//
+// The per-section CRC detects payload bit flips; the end-marker file CRC —
+// computed over every preceding byte including section ids and length
+// prefixes — detects frame-level damage and truncation. Every failure mode
+// (short file, flipped byte, bad magic, unknown version, absurd length
+// prefix) surfaces as Status::Corruption or Status::IOError, never as UB or
+// a crash: readers validate length prefixes against the file size before
+// allocating and latch the first error, and element counts are validated
+// against the bytes actually present (ReadCount) before any decode loop
+// trusts them.
+//
+// docs/checkpoint_format.md is the written spec of this layout; bump
+// kCheckpointFormatVersion whenever the bytes change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace rept {
+
+/// First bytes of every checkpoint file.
+inline constexpr char kCheckpointMagic[8] = {'R', 'E', 'P', 'T',
+                                             'C', 'K', 'P', '1'};
+
+/// Bump when the on-disk layout changes (see docs/checkpoint_format.md).
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// Section ids. 0 is reserved for the end marker.
+enum CheckpointSectionId : uint32_t {
+  kSectionEnd = 0,
+  kSectionReptMeta = 1,
+  kSectionReptInstance = 2,
+  kSectionEnsembleMeta = 3,
+  kSectionEnsembleInstance = 4,
+};
+
+/// Incremental CRC-32 (IEEE polynomial, zlib convention: pass the previous
+/// return value to continue, 0 to start).
+uint32_t Crc32(uint32_t crc, const void* data, size_t len);
+
+/// \brief Order-sensitive 64-bit hash accumulator for config fingerprints.
+///
+/// A fingerprint binds a checkpoint to the (estimator type, semantic
+/// configuration, seed) that produced it, so a file can never be restored
+/// into a session that would interpret the state differently.
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& Mix(uint64_t value) {
+    hash_ = Mix64(hash_ ^ value);
+    return *this;
+  }
+
+  FingerprintBuilder& MixString(std::string_view s) {
+    // FNV-1a over the bytes, then folded through the chain: the length mix
+    // keeps "ab","c" distinct from "a","bc" across consecutive calls.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char ch : s) {
+      h = (h ^ static_cast<uint8_t>(ch)) * 0x100000001b3ULL;
+    }
+    return Mix(h).Mix(s.size());
+  }
+
+  uint64_t Finish() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0x9ae16a3b2f90404fULL;
+};
+
+/// \brief Streaming checkpoint encoder.
+///
+/// Usage: WriteHeader, then for each section BeginSection / Append* /
+/// EndSection, then Finish. Payload bytes are buffered per section (the
+/// length prefix must precede them); stream failures latch an IOError that
+/// EndSection / Finish / status() report.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes magic + format version + session fingerprint.
+  Status WriteHeader(uint64_t fingerprint);
+
+  void BeginSection(uint32_t id);
+  void AppendU8(uint8_t value) { payload_.push_back(value); }
+  void AppendU32(uint32_t value);
+  void AppendU64(uint64_t value);
+  /// Doubles are stored as their IEEE-754 bit pattern (bit-exact restore).
+  void AppendDouble(double value);
+  void AppendBytes(const void* data, size_t len);
+  /// Frames the buffered payload: id, length, payload, payload CRC.
+  Status EndSection();
+
+  /// Writes the end marker carrying the whole-file CRC.
+  Status Finish();
+
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteRaw(const void* data, size_t len);
+
+  std::ostream& out_;
+  std::vector<uint8_t> payload_;
+  uint32_t section_id_ = kSectionEnd;
+  bool in_section_ = false;
+  bool header_written_ = false;
+  bool finished_ = false;
+  uint32_t file_crc_ = 0;
+  Status status_;
+};
+
+/// \brief Streaming checkpoint decoder with latched-error reads.
+///
+/// Usage: ReadHeader, then NextSection (which loads and CRC-verifies one
+/// section's payload) followed by typed reads; a section id of kSectionEnd
+/// means the verified end of the checkpoint. Reads past the section end
+/// latch Status::Corruption and return zeros, so decoders may read a whole
+/// section and check status() once — but any count that sizes a loop or an
+/// allocation must come from ReadCount, which bounds it by the bytes
+/// actually present.
+class CheckpointReader {
+ public:
+  struct Header {
+    uint32_t version = 0;
+    uint64_t fingerprint = 0;
+  };
+
+  /// `expect_stream_end` makes the end marker additionally assert that the
+  /// stream holds nothing after it — right for a checkpoint *file*
+  /// (LoadCheckpoint sets it), wrong for transport streams that may carry
+  /// further data (more checkpoints, protocol bytes) behind the payload.
+  explicit CheckpointReader(std::istream& in,
+                            bool expect_stream_end = false);
+
+  /// Validates magic + version; returns the header. Corruption on mismatch.
+  Result<Header> ReadHeader();
+
+  /// Loads the next section (payload CRC verified). Returns its id;
+  /// kSectionEnd after verifying the file CRC and the absence of trailing
+  /// bytes.
+  Result<uint32_t> NextSection();
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  double ReadDouble();
+  Status ReadBytes(void* dst, size_t len);
+
+  /// Reads a u64 element count and validates count * min_bytes_per_element
+  /// against the bytes remaining in the section — call this instead of
+  /// ReadU64 for any value that sizes an allocation or a decode loop.
+  uint64_t ReadCount(size_t min_bytes_per_element);
+
+  size_t SectionRemaining() const { return payload_.size() - cursor_; }
+
+  /// Corruption unless the section was consumed exactly.
+  Status ExpectSectionEnd();
+
+  /// OK until the first framing/IO/overrun error.
+  const Status& status() const { return status_; }
+
+ private:
+  bool ReadRaw(void* dst, size_t len);
+  Status Fail(Status status);
+
+  std::istream& in_;
+  /// Bytes left in the stream (size probed via seek at construction); caps
+  /// section length prefixes so corrupt lengths fail before allocating.
+  /// Non-seekable streams fall back to slab-wise payload reads, which
+  /// bound the allocation by the bytes actually present instead.
+  uint64_t bytes_remaining_ = 0;
+  bool size_known_ = false;
+  bool expect_stream_end_ = false;
+  std::vector<uint8_t> payload_;
+  size_t cursor_ = 0;
+  uint32_t file_crc_ = 0;
+  bool header_read_ = false;
+  bool end_seen_ = false;
+  Status status_;
+};
+
+}  // namespace rept

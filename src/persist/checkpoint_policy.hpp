@@ -1,0 +1,33 @@
+// Periodic-checkpoint policy consumed by the IngestAll pump: save the
+// session to `path` every N ingested edges and/or every N batches. Kept as a
+// standalone leaf header so graph/edge_source.hpp can embed it in
+// IngestOptions without pulling in the persist implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rept {
+
+/// \brief When and where IngestAll persists the session it is pumping.
+///
+/// Checkpoints are only ever taken at batch boundaries (the granularity at
+/// which session state is defined), written atomically (tmp + rename), and a
+/// save failure aborts the ingest with the failing Status rather than
+/// continuing with durability silently lost.
+struct CheckpointPolicy {
+  /// Target file. Empty disables checkpointing.
+  std::string path;
+  /// Save once at least this many edges were ingested since the last save
+  /// (0 = no edge-based trigger).
+  uint64_t every_edges = 0;
+  /// Save once this many batches completed since the last save (0 = no
+  /// batch-based trigger). Both triggers may be set; either fires a save.
+  uint64_t every_batches = 0;
+
+  bool enabled() const {
+    return !path.empty() && (every_edges > 0 || every_batches > 0);
+  }
+};
+
+}  // namespace rept

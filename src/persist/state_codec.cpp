@@ -1,0 +1,71 @@
+#include "persist/state_codec.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rept {
+
+void SaveSampledGraph(CheckpointWriter& writer, const SampledGraph& graph) {
+  std::vector<uint64_t> keys;
+  keys.reserve(static_cast<size_t>(graph.num_edges()));
+  graph.ForEachEdge(
+      [&keys](VertexId u, VertexId v) { keys.push_back(EdgeKey(u, v)); });
+  std::sort(keys.begin(), keys.end());
+  writer.AppendU64(keys.size());
+  for (const uint64_t key : keys) writer.AppendU64(key);
+}
+
+Status LoadSampledGraph(CheckpointReader& reader, SampledGraph& graph) {
+  graph.Clear();
+  const uint64_t count = reader.ReadCount(sizeof(uint64_t));
+  uint64_t previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t key = reader.ReadU64();
+    if (!reader.status().ok()) return reader.status();
+    if (i > 0 && key <= previous) {
+      return Status::Corruption("sampled edge keys not strictly ascending");
+    }
+    previous = key;
+    const VertexId u = static_cast<VertexId>(key >> 32);
+    const VertexId v = static_cast<VertexId>(key & 0xffffffffu);
+    if (!graph.Insert(u, v)) {
+      return Status::Corruption("invalid sampled edge (self loop)");
+    }
+  }
+  return reader.status();
+}
+
+void SaveVertexTallies(CheckpointWriter& writer,
+                       const std::unordered_map<VertexId, double>& tallies) {
+  SaveSortedMap(writer, tallies);
+}
+
+Status LoadVertexTallies(CheckpointReader& reader,
+                         std::unordered_map<VertexId, double>& tallies) {
+  return LoadSortedMap(reader, tallies, "vertex tallies");
+}
+
+void SaveEdgeCounters(CheckpointWriter& writer,
+                      const std::unordered_map<uint64_t, uint32_t>& counters) {
+  SaveSortedMap(writer, counters);
+}
+
+Status LoadEdgeCounters(CheckpointReader& reader,
+                        std::unordered_map<uint64_t, uint32_t>& counters) {
+  return LoadSortedMap(reader, counters, "edge counters");
+}
+
+void SaveRng(CheckpointWriter& writer, const Rng& rng) {
+  const std::array<uint64_t, 4> state = rng.SaveState();
+  for (const uint64_t word : state) writer.AppendU64(word);
+}
+
+Status LoadRng(CheckpointReader& reader, Rng& rng) {
+  std::array<uint64_t, 4> state;
+  for (uint64_t& word : state) word = reader.ReadU64();
+  if (!reader.status().ok()) return reader.status();
+  rng.LoadState(state);
+  return Status::OK();
+}
+
+}  // namespace rept

@@ -1,0 +1,115 @@
+// Shared field encoders for estimator state: the sampled-edge sets, per-node
+// tally maps, and RNG engine state that every counter serializes. Encoding
+// is canonical (key-ascending order) so identical state always produces
+// identical checkpoint bytes, and decoding validates structure (strictly
+// ascending keys, no self loops, no duplicates) so corrupt input fails with
+// Status::Corruption instead of corrupting a live session.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/sampled_graph.hpp"
+#include "graph/types.hpp"
+#include "persist/checkpoint_io.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+
+namespace rept {
+
+/// Appends the graph's edge set as a count plus EdgeKey-ascending u64 keys.
+void SaveSampledGraph(CheckpointWriter& writer, const SampledGraph& graph);
+
+/// Clears `graph` and rebuilds it from the serialized edge set. Insertion
+/// rebuilds the sorted adjacency deterministically, so the restored
+/// structure answers every query exactly like the saved one.
+Status LoadSampledGraph(CheckpointReader& reader, SampledGraph& graph);
+
+namespace internal {
+
+// Scalar dispatch for the map codec below (u32 / u64 / double fields).
+inline void AppendScalar(CheckpointWriter& writer, uint32_t value) {
+  writer.AppendU32(value);
+}
+inline void AppendScalar(CheckpointWriter& writer, uint64_t value) {
+  writer.AppendU64(value);
+}
+inline void AppendScalar(CheckpointWriter& writer, double value) {
+  writer.AppendDouble(value);
+}
+template <typename T>
+T ReadScalar(CheckpointReader& reader) {
+  if constexpr (std::is_same_v<T, uint32_t>) return reader.ReadU32();
+  if constexpr (std::is_same_v<T, uint64_t>) return reader.ReadU64();
+  if constexpr (std::is_same_v<T, double>) return reader.ReadDouble();
+}
+
+}  // namespace internal
+
+/// Appends a hash map as a count plus key-ascending (key, value) pairs —
+/// the one canonical map encoding every counter state uses.
+template <typename K, typename V>
+void SaveSortedMap(CheckpointWriter& writer,
+                   const std::unordered_map<K, V>& map) {
+  std::vector<std::pair<K, V>> items(map.begin(), map.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer.AppendU64(items.size());
+  for (const auto& [key, value] : items) {
+    internal::AppendScalar(writer, key);
+    internal::AppendScalar(writer, value);
+  }
+}
+
+/// Decodes a SaveSortedMap payload, validating the element count against
+/// the bytes present and the strictly-ascending key order (which also
+/// rejects duplicates). `what` names the field in the Corruption message.
+template <typename K, typename V>
+Status LoadSortedMap(CheckpointReader& reader, std::unordered_map<K, V>& map,
+                     const char* what) {
+  map.clear();
+  const uint64_t count = reader.ReadCount(sizeof(K) + sizeof(V));
+  map.reserve(static_cast<size_t>(count));
+  K previous{};
+  for (uint64_t i = 0; i < count; ++i) {
+    const K key = internal::ReadScalar<K>(reader);
+    const V value = internal::ReadScalar<V>(reader);
+    if (!reader.status().ok()) return reader.status();
+    if (i > 0 && key <= previous) {
+      return Status::Corruption(std::string(what) +
+                                " not strictly ascending");
+    }
+    previous = key;
+    map.emplace(key, value);
+  }
+  return reader.status();
+}
+
+/// Appends a vertex-id -> double tally map as a count plus key-ascending
+/// (u32 key, f64 bits) pairs.
+void SaveVertexTallies(CheckpointWriter& writer,
+                       const std::unordered_map<VertexId, double>& tallies);
+
+Status LoadVertexTallies(CheckpointReader& reader,
+                         std::unordered_map<VertexId, double>& tallies);
+
+/// Appends an EdgeKey -> u32 counter map (Algorithm 2's per-edge
+/// semi-triangle registers) as key-ascending (u64, u32) pairs.
+void SaveEdgeCounters(CheckpointWriter& writer,
+                      const std::unordered_map<uint64_t, uint32_t>& counters);
+
+Status LoadEdgeCounters(CheckpointReader& reader,
+                        std::unordered_map<uint64_t, uint32_t>& counters);
+
+/// Appends the engine's raw 256-bit state; restore is bit-exact, so the
+/// resumed generator emits the same sequence the interrupted one would have.
+void SaveRng(CheckpointWriter& writer, const Rng& rng);
+
+Status LoadRng(CheckpointReader& reader, Rng& rng);
+
+}  // namespace rept

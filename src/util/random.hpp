@@ -6,6 +6,7 @@
 // and standard library implementation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "util/check.hpp"
@@ -87,6 +88,17 @@ class Rng {
 
   /// Bernoulli(p) trial.
   bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Raw 256-bit engine state, for checkpointing. LoadState(SaveState())
+  /// resumes the exact output sequence, which is what makes restored
+  /// reservoir samplers replay the uninterrupted run bit for bit.
+  std::array<uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  void LoadState(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < state.size(); ++i) state_[i] = state[i];
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

@@ -1,0 +1,150 @@
+// Concurrency contract of Checkpoint(): it is a writer-side operation
+// (serialized with Ingest on the ingest thread) that is safe while reader
+// threads hammer Snapshot()/StoredEdges() from outside the pool — and every
+// checkpoint it produces is a consistent batch boundary, proven by
+// restoring each one and replaying the remainder against an uninterrupted
+// reference. TSan (CI matrix) watches the seqlock/mutex interplay.
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rept_estimator.hpp"
+#include "core/rept_session.hpp"
+#include "gen/holme_kim.hpp"
+#include "persist/checkpoint.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+namespace {
+
+EdgeStream FixedStream() {
+  gen::HolmeKimParams params;
+  params.num_vertices = 250;
+  params.edges_per_vertex = 4;
+  params.triad_probability = 0.6;
+  return gen::HolmeKim(params, /*seed=*/404);
+}
+
+// Writer ingests batch by batch, checkpointing every few batches, while
+// reader threads spin on anytime snapshots. Parameterized on track_local:
+// false exercises the wait-free TallyBoard snapshot path concurrent with
+// Checkpoint(), true the mutex-serialized local-tally path.
+void HammeredCheckpointRun(bool track_local) {
+  const EdgeStream stream = FixedStream();
+  ReptConfig config;
+  config.m = 4;
+  config.c = 8;
+  config.track_local = track_local;
+  const uint64_t seed = 99;
+  const size_t chunk = 120;
+  ThreadPool pool(4);
+
+  ReptSession session(config, seed, &pool);
+  session.NoteVertices(stream.num_vertices());
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&session, &done] {
+      uint64_t last_stored = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const TriangleEstimates est = session.Snapshot();
+        (void)est;
+        const uint64_t stored = session.StoredEdges();
+        // REPT never evicts: stored edges are monotone across snapshots.
+        EXPECT_GE(stored, last_stored);
+        last_stored = stored;
+      }
+    });
+  }
+
+  // (boundary, serialized bytes) pairs taken while readers hammer away.
+  std::vector<std::pair<size_t, std::string>> checkpoints;
+  const auto& edges = stream.edges();
+  size_t batch = 0;
+  for (size_t at = 0; at < stream.size(); at += chunk, ++batch) {
+    const size_t n = std::min(chunk, stream.size() - at);
+    session.Ingest(std::span<const Edge>(edges.data() + at, n));
+    if (batch % 2 == 1) {
+      std::stringstream buffer;
+      ASSERT_TRUE(WriteCheckpointStream(session, buffer).ok());
+      checkpoints.emplace_back(at + n, buffer.str());
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  ASSERT_GE(checkpoints.size(), 2u);
+
+  // Every checkpoint is a consistent boundary: restore + replay the rest
+  // must reproduce the uninterrupted final state bit for bit.
+  const TriangleEstimates want = session.Snapshot();
+  for (const auto& [boundary, bytes] : checkpoints) {
+    ReptSession resumed(config, seed, &pool);
+    std::stringstream buffer(bytes);
+    ASSERT_TRUE(ReadCheckpointStream(resumed, buffer).ok());
+    EXPECT_EQ(resumed.edges_ingested(), boundary);
+    resumed.NoteVertices(stream.num_vertices());
+    for (size_t at = boundary; at < stream.size(); at += chunk) {
+      const size_t n = std::min(chunk, stream.size() - at);
+      resumed.Ingest(std::span<const Edge>(edges.data() + at, n));
+    }
+    const TriangleEstimates got = resumed.Snapshot();
+    EXPECT_EQ(got.global, want.global) << "boundary " << boundary;
+    ASSERT_EQ(got.local.size(), want.local.size());
+    if (!got.local.empty()) {
+      EXPECT_EQ(std::memcmp(got.local.data(), want.local.data(),
+                            got.local.size() * sizeof(double)),
+                0)
+          << "boundary " << boundary;
+    }
+  }
+}
+
+TEST(CheckpointConcurrentTest, CheckpointUnderGlobalSnapshotHammering) {
+  HammeredCheckpointRun(/*track_local=*/false);
+}
+
+TEST(CheckpointConcurrentTest, CheckpointUnderLocalSnapshotHammering) {
+  HammeredCheckpointRun(/*track_local=*/true);
+}
+
+TEST(CheckpointConcurrentTest, RestoredSessionServesConcurrentReaders) {
+  // A freshly restored session immediately publishes a consistent board:
+  // readers started right after Restore() see the checkpoint's tallies.
+  const EdgeStream stream = FixedStream();
+  ReptConfig config;
+  config.m = 4;
+  config.c = 8;
+  config.track_local = false;
+  ReptSession writer(config, /*seed=*/7, nullptr);
+  writer.NoteVertices(stream.num_vertices());
+  writer.Ingest(std::span<const Edge>(stream.edges().data(),
+                                      stream.size() / 2));
+  const double want = writer.Snapshot().global;
+  const uint64_t want_stored = writer.StoredEdges();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteCheckpointStream(writer, buffer).ok());
+
+  ThreadPool pool(2);
+  ReptSession resumed(config, /*seed=*/7, &pool);
+  ASSERT_TRUE(ReadCheckpointStream(resumed, buffer).ok());
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&resumed, want, want_stored] {
+      for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(resumed.Snapshot().global, want);
+        EXPECT_EQ(resumed.StoredEdges(), want_stored);
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,369 @@
+// The resume contract of the persist subsystem: a checkpoint taken at any
+// batch boundary, restored into a session created with the same (config,
+// seed) — under any thread-pool size and any dispatch mode — and fed the
+// remainder of the stream produces tallies bit-identical to an
+// uninterrupted run. Plus the file-level machinery: fingerprint rejection,
+// atomic save, the IngestAll checkpoint policy, and SkipEdges-based resume.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_systems.hpp"
+#include "core/rept_estimator.hpp"
+#include "core/rept_session.hpp"
+#include "core/streaming_estimator.hpp"
+#include "gen/holme_kim.hpp"
+#include "graph/edge_source.hpp"
+#include "persist/checkpoint.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+EdgeStream FixedStream() {
+  gen::HolmeKimParams params;
+  params.num_vertices = 300;
+  params.edges_per_vertex = 4;
+  params.triad_probability = 0.6;
+  return gen::HolmeKim(params, /*seed=*/2024);
+}
+
+// Feeds stream edges [begin, end) in `chunk`-sized batches.
+void IngestRange(StreamingEstimator& session, const EdgeStream& stream,
+                 size_t begin, size_t end, size_t chunk) {
+  session.NoteVertices(stream.num_vertices());
+  const auto& edges = stream.edges();
+  for (size_t at = begin; at < end; at += chunk) {
+    const size_t n = std::min(chunk, end - at);
+    session.Ingest(std::span<const Edge>(edges.data() + at, n));
+  }
+}
+
+void ExpectBitIdentical(const TriangleEstimates& resumed,
+                        const TriangleEstimates& reference,
+                        const std::string& context) {
+  EXPECT_EQ(resumed.global, reference.global) << context;
+  ASSERT_EQ(resumed.local.size(), reference.local.size()) << context;
+  if (!resumed.local.empty()) {
+    EXPECT_EQ(std::memcmp(resumed.local.data(), reference.local.data(),
+                          resumed.local.size() * sizeof(double)),
+              0)
+        << context;
+  }
+}
+
+// The heart of the contract, exercised at EVERY batch boundary: one writer
+// session ingests the stream chunk by chunk, checkpointing after each
+// batch; each checkpoint is then restored into a fresh session whose
+// thread-pool size and dispatch mode cycle through the full matrix, the
+// remainder is ingested, and the final state must match the uninterrupted
+// run bit for bit.
+TEST(CheckpointRoundtripTest, ReptResumeAtEveryBoundaryIsBitIdentical) {
+  const EdgeStream stream = FixedStream();
+  ReptConfig config;
+  config.m = 5;
+  config.c = 13;  // c > m, c % m != 0: Algorithm 2 + pair registers.
+  const uint64_t seed = 777;
+  const size_t chunk = 97;
+
+  ThreadPool writer_pool(2);
+  ThreadPool pools[3] = {ThreadPool(1), ThreadPool(2), ThreadPool(8)};
+  const DispatchMode modes[3] = {DispatchMode::kRouted,
+                                 DispatchMode::kBroadcast,
+                                 DispatchMode::kFused};
+
+  ReptSession reference(config, seed, &writer_pool);
+  IngestRange(reference, stream, 0, stream.size(), chunk);
+  const ReptEstimator::RunDetail want = reference.SnapshotDetailed();
+  ASSERT_TRUE(want.used_combination);
+
+  ReptSession writer(config, seed, &writer_pool);
+  writer.NoteVertices(stream.num_vertices());
+  const auto& edges = stream.edges();
+  size_t boundary_index = 0;
+  for (size_t at = 0; at < stream.size(); at += chunk, ++boundary_index) {
+    const size_t n = std::min(chunk, stream.size() - at);
+    writer.Ingest(std::span<const Edge>(edges.data() + at, n));
+    const size_t boundary = at + n;
+
+    std::stringstream buffer;
+    ASSERT_TRUE(WriteCheckpointStream(writer, buffer).ok());
+
+    // Restore under a cycling (pool size, dispatch mode) combination —
+    // including serial (no pool) every 7th boundary.
+    ReptConfig resume_config = config;
+    resume_config.dispatch = modes[boundary_index % 3];
+    ThreadPool* pool = boundary_index % 7 == 6
+                           ? nullptr
+                           : &pools[(boundary_index / 3) % 3];
+    ReptSession resumed(resume_config, seed, pool);
+    ASSERT_TRUE(ReadCheckpointStream(resumed, buffer).ok())
+        << "boundary " << boundary;
+    EXPECT_EQ(resumed.edges_ingested(), boundary);
+    EXPECT_EQ(resumed.StoredEdges(), writer.StoredEdges());
+
+    IngestRange(resumed, stream, boundary, stream.size(), chunk);
+    const ReptEstimator::RunDetail got = resumed.SnapshotDetailed();
+    const std::string context = "boundary " + std::to_string(boundary);
+    ExpectBitIdentical(got.estimates, want.estimates, context);
+    ASSERT_EQ(got.instance_tallies.size(), want.instance_tallies.size());
+    EXPECT_EQ(std::memcmp(got.instance_tallies.data(),
+                          want.instance_tallies.data(),
+                          want.instance_tallies.size() * sizeof(double)),
+              0)
+        << context;
+    EXPECT_EQ(got.tau_hat1, want.tau_hat1) << context;
+    EXPECT_EQ(got.tau_hat2, want.tau_hat2) << context;
+    EXPECT_EQ(got.eta_hat, want.eta_hat) << context;
+    EXPECT_EQ(resumed.edges_ingested(), reference.edges_ingested());
+    EXPECT_EQ(resumed.StoredEdges(), reference.StoredEdges());
+    EXPECT_EQ(resumed.num_vertices(), reference.num_vertices());
+  }
+}
+
+TEST(CheckpointRoundtripTest, ReptAlgorithm1ConfigRoundtrips) {
+  // c <= m (single group, no pair registers): the other estimator regime.
+  const EdgeStream stream = FixedStream();
+  ReptConfig config;
+  config.m = 10;
+  config.c = 4;
+  ThreadPool pool(4);
+
+  ReptSession reference(config, /*seed=*/5, &pool);
+  IngestRange(reference, stream, 0, stream.size(), 128);
+
+  ReptSession writer(config, /*seed=*/5, &pool);
+  IngestRange(writer, stream, 0, stream.size() / 2, 128);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteCheckpointStream(writer, buffer).ok());
+
+  ReptSession resumed(config, /*seed=*/5, nullptr);
+  ASSERT_TRUE(ReadCheckpointStream(resumed, buffer).ok());
+  IngestRange(resumed, stream, stream.size() / 2, stream.size(), 128);
+  ExpectBitIdentical(resumed.Snapshot(), reference.Snapshot(), "alg1");
+}
+
+TEST(CheckpointRoundtripTest, EnsembleMethodsRoundtripBitIdentically) {
+  // MASCOT (probability), TRIEST (reservoir + RNG-driven evictions), GPS
+  // (priority heap + threshold): small budgets so evictions and threshold
+  // raises actually happen before and after the boundary.
+  const EdgeStream stream = FixedStream();
+  struct Case {
+    const char* name;
+    std::unique_ptr<EstimatorSystem> system;
+  };
+  Case cases[3] = {{"MASCOT", MakeParallelMascot(4, 3)},
+                   {"TRIEST", MakeParallelTriest(8, 3)},
+                   {"GPS", MakeParallelGps(8, 3)}};
+  SessionOptions options;
+  options.expected_edges = stream.size();
+  options.expected_vertices = stream.num_vertices();
+  ThreadPool pool(3);
+
+  for (Case& test_case : cases) {
+    SCOPED_TRACE(test_case.name);
+    auto reference = test_case.system->CreateSession(42, &pool, options);
+    IngestRange(*reference, stream, 0, stream.size(), 111);
+
+    auto writer = test_case.system->CreateSession(42, &pool, options);
+    const size_t boundary = (stream.size() / 111 / 2) * 111;
+    IngestRange(*writer, stream, 0, boundary, 111);
+    std::stringstream buffer;
+    ASSERT_TRUE(WriteCheckpointStream(*writer, buffer).ok());
+
+    // Restore into a serial session (different pool "size"): baseline
+    // instances are pre-seeded, so scheduling never affects state.
+    auto resumed = test_case.system->CreateSession(42, nullptr, options);
+    ASSERT_TRUE(ReadCheckpointStream(*resumed, buffer).ok());
+    EXPECT_EQ(resumed->StoredEdges(), writer->StoredEdges());
+    IngestRange(*resumed, stream, boundary, stream.size(), 111);
+
+    EXPECT_EQ(resumed->StoredEdges(), reference->StoredEdges());
+    ExpectBitIdentical(resumed->Snapshot(), reference->Snapshot(),
+                       test_case.name);
+  }
+}
+
+TEST(CheckpointRoundtripTest, FingerprintBindsConfigAndSeed) {
+  const EdgeStream stream = FixedStream();
+  ReptConfig config;
+  config.m = 5;
+  config.c = 6;
+  ReptSession writer(config, /*seed=*/1, nullptr);
+  IngestRange(writer, stream, 0, 500, 100);
+  const std::string path = TempPath("fingerprint.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(writer, path).ok());
+
+  {  // Different seed.
+    ReptSession other(config, /*seed=*/2, nullptr);
+    const Status st = LoadCheckpoint(other, path);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  }
+  {  // Different m.
+    ReptConfig other_config = config;
+    other_config.m = 6;
+    ReptSession other(other_config, /*seed=*/1, nullptr);
+    EXPECT_EQ(LoadCheckpoint(other, path).code(), StatusCode::kCorruption);
+  }
+  {  // Different estimator type entirely.
+    auto ensemble = MakeParallelMascot(5, 6)->CreateSession(1, nullptr);
+    EXPECT_EQ(LoadCheckpoint(*ensemble, path).code(),
+              StatusCode::kCorruption);
+  }
+  {  // Dispatch mode is a scheduling knob: NOT part of the identity.
+    ReptConfig other_config = config;
+    other_config.dispatch = DispatchMode::kBroadcast;
+    ReptSession other(other_config, /*seed=*/1, nullptr);
+    EXPECT_TRUE(LoadCheckpoint(other, path).ok());
+    ExpectBitIdentical(other.Snapshot(), writer.Snapshot(), "dispatch");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundtripTest, BackToBackCheckpointsShareOneStream) {
+  // Transport usage: several checkpoints ride one stream (migration over a
+  // socket); each ReadCheckpointStream consumes exactly one and leaves the
+  // stream positioned at the next.
+  const EdgeStream stream = FixedStream();
+  ReptConfig config;
+  config.m = 4;
+  config.c = 6;
+  ReptSession writer(config, /*seed=*/21, nullptr);
+  std::stringstream pipe;
+  IngestRange(writer, stream, 0, 300, 100);
+  ASSERT_TRUE(WriteCheckpointStream(writer, pipe).ok());
+  const double global_at_300 = writer.Snapshot().global;
+  IngestRange(writer, stream, 300, 700, 100);
+  ASSERT_TRUE(WriteCheckpointStream(writer, pipe).ok());
+  const double global_at_700 = writer.Snapshot().global;
+
+  ReptSession first(config, /*seed=*/21, nullptr);
+  ASSERT_TRUE(ReadCheckpointStream(first, pipe).ok());
+  EXPECT_EQ(first.edges_ingested(), 300u);
+  EXPECT_EQ(first.Snapshot().global, global_at_300);
+  ReptSession second(config, /*seed=*/21, nullptr);
+  ASSERT_TRUE(ReadCheckpointStream(second, pipe).ok());
+  EXPECT_EQ(second.edges_ingested(), 700u);
+  EXPECT_EQ(second.Snapshot().global, global_at_700);
+}
+
+TEST(CheckpointRoundtripTest, SaveIsAtomicAndLeavesNoTempFile) {
+  const EdgeStream stream = FixedStream();
+  ReptConfig config;
+  config.m = 4;
+  config.c = 4;
+  ReptSession session(config, /*seed=*/3, nullptr);
+  IngestRange(session, stream, 0, 400, 100);
+
+  const std::string path = TempPath("atomic.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(session, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Overwriting an existing checkpoint goes through the same tmp + rename.
+  IngestRange(session, stream, 400, 800, 100);
+  ASSERT_TRUE(SaveCheckpoint(session, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  ReptSession restored(config, /*seed=*/3, nullptr);
+  ASSERT_TRUE(LoadCheckpoint(restored, path).ok());
+  EXPECT_EQ(restored.edges_ingested(), 800u);
+
+  // An unwritable target fails with IOError and leaves no tmp turd.
+  const std::string bad = "/nonexistent-dir/x.ckpt";
+  EXPECT_EQ(SaveCheckpoint(session, bad).code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundtripTest, IngestAllPolicyPeriodicallySavesAndResumes) {
+  const EdgeStream stream = FixedStream();
+  ReptConfig config;
+  config.m = 5;
+  config.c = 7;
+  const std::string path = TempPath("policy.ckpt");
+
+  // Uninterrupted reference.
+  ReptSession reference(config, /*seed=*/9, nullptr);
+  {
+    InMemoryEdgeSource source{EdgeStream(stream)};
+    ASSERT_TRUE(IngestAll(source, reference, /*chunk_edges=*/128).ok());
+  }
+
+  // Run 1 "crashes" after pumping only a prefix, but the policy saved a
+  // checkpoint every 300 edges along the way.
+  const size_t prefix = (stream.size() / 2 / 128) * 128;
+  uint64_t saved_at = 0;
+  {
+    ReptSession session(config, /*seed=*/9, nullptr);
+    InMemoryEdgeSource source{EdgeStream(
+        stream.name(), stream.num_vertices(),
+        std::vector<Edge>(stream.edges().begin(),
+                          stream.edges().begin() +
+                              static_cast<int64_t>(prefix)))};
+    IngestOptions options;
+    options.chunk_edges = 128;
+    options.checkpoint.path = path;
+    options.checkpoint.every_edges = 300;
+    ASSERT_TRUE(IngestAll(source, session, options).ok());
+    ASSERT_TRUE(std::filesystem::exists(path));
+    // The file on disk is the last periodic save: a 128-edge batch boundary
+    // at a multiple of the trigger's batch quantization.
+    ReptSession probe(config, /*seed=*/9, nullptr);
+    ASSERT_TRUE(LoadCheckpoint(probe, path).ok());
+    saved_at = probe.edges_ingested();
+    EXPECT_GT(saved_at, 0u);
+    EXPECT_LE(saved_at, prefix);
+    EXPECT_EQ(saved_at % 128, 0u);
+  }
+
+  // Run 2 resumes from the file: restore, skip, ingest the rest (with
+  // prefetch, proving the policy + resume path composes with the pump).
+  {
+    ReptSession session(config, /*seed=*/9, nullptr);
+    ASSERT_TRUE(LoadCheckpoint(session, path).ok());
+    InMemoryEdgeSource source{EdgeStream(stream)};
+    auto skipped = SkipEdges(source, session.edges_ingested());
+    ASSERT_TRUE(skipped.ok());
+    ASSERT_EQ(*skipped, saved_at);
+    IngestOptions options;
+    options.chunk_edges = 128;
+    options.prefetch = true;
+    ASSERT_TRUE(IngestAll(source, session, options).ok());
+    EXPECT_EQ(session.edges_ingested(), stream.size());
+    ExpectBitIdentical(session.Snapshot(), reference.Snapshot(), "policy");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundtripTest, IngestAllPolicyEveryBatchesTriggers) {
+  const EdgeStream stream = FixedStream();
+  ReptConfig config;
+  config.m = 4;
+  config.c = 4;
+  const std::string path = TempPath("policy_batches.ckpt");
+  ReptSession session(config, /*seed=*/11, nullptr);
+  InMemoryEdgeSource source{EdgeStream(stream)};
+  IngestOptions options;
+  options.chunk_edges = 64;
+  options.checkpoint.path = path;
+  options.checkpoint.every_batches = 3;
+  ASSERT_TRUE(IngestAll(source, session, options).ok());
+  ReptSession probe(config, /*seed=*/11, nullptr);
+  ASSERT_TRUE(LoadCheckpoint(probe, path).ok());
+  // Saves land every 3 batches of 64 edges.
+  EXPECT_EQ(probe.edges_ingested() % (3 * 64), 0u);
+  EXPECT_GT(probe.edges_ingested(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rept

@@ -120,24 +120,78 @@ TEST(EdgeSourceTest, BinarySourceMatchesWholesaleLoad) {
   std::remove(path.c_str());
 }
 
-TEST(EdgeSourceTest, BinarySourceReportsTruncation) {
+// Reads the file's bytes for corruption-injection rewrites.
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(EdgeSourceTest, BinaryOpenRejectsTruncatedPayload) {
+  // The header pins the payload size; a short file must fail at Open()
+  // instead of yielding a silently short stream later.
   const std::string path = TempPath("trunc.bin");
   ASSERT_TRUE(SaveEdgeListBinary(SampleStream(), path).ok());
-  // Chop the edge payload in half.
-  std::ifstream in(path, std::ios::binary);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  in.close();
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(),
-              static_cast<std::streamsize>(bytes.size() / 2));
+  const std::string bytes = SlurpFile(path);
+  for (const size_t keep :
+       {bytes.size() / 2, bytes.size() - 1, size_t{30}, size_t{10}}) {
+    WriteFile(path, bytes.substr(0, keep));
+    auto source = BinaryFileEdgeSource::Open(path);
+    ASSERT_FALSE(source.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(source.status().code(), StatusCode::kCorruption);
   }
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSourceTest, BinaryOpenRejectsTrailingGarbage) {
+  const std::string path = TempPath("trailing.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(SampleStream(), path).ok());
+  WriteFile(path, SlurpFile(path) + "extra");
   auto source = BinaryFileEdgeSource::Open(path);
-  ASSERT_TRUE(source.ok());
-  auto drained = ReadAll(**source);
-  EXPECT_FALSE(drained.ok());
-  EXPECT_EQ(drained.status().code(), StatusCode::kCorruption);
+  ASSERT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSourceTest, BinaryOpenRejectsAbsurdEdgeCount) {
+  // A bit-flipped edge count far beyond the actual payload fails up front
+  // (and can never over-allocate: Open validates it against the file size).
+  const std::string path = TempPath("absurd.bin");
+  ASSERT_TRUE(SaveEdgeListBinary(SampleStream(), path).ok());
+  std::string bytes = SlurpFile(path);
+  bytes[16] = '\xff';  // low byte of the u64 edge count
+  bytes[22] = '\x7f';  // and a high byte, for good measure
+  WriteFile(path, bytes);
+  auto source = BinaryFileEdgeSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSourceTest, BinaryChunkRejectsOutOfRangeVertexIds) {
+  // Garbage endpoints (ids outside the declared vertex space) latch
+  // Corruption mid-stream and propagate through IngestAll.
+  const std::string path = TempPath("badids.bin");
+  EdgeStream stream("badids", 8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  ASSERT_TRUE(SaveEdgeListBinary(stream, path).ok());
+  std::string bytes = SlurpFile(path);
+  // Header is 24 bytes; edge 2's u (offset 24 + 2*8) becomes 0xffffffff.
+  for (size_t i = 0; i < 4; ++i) bytes[24 + 16 + i] = '\xff';
+  WriteFile(path, bytes);
+  auto source = BinaryFileEdgeSource::Open(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  const auto rept = MakeRept(5, 5);
+  auto session = rept->CreateSession(1, nullptr);
+  const auto ingested = IngestAll(**source, *session, /*chunk_edges=*/2);
+  ASSERT_FALSE(ingested.ok());
+  EXPECT_EQ(ingested.status().code(), StatusCode::kCorruption);
+  // The bad edge's chunk was never delivered: only the first chunk landed.
+  EXPECT_EQ(session->edges_ingested(), 2u);
   std::remove(path.c_str());
 }
 
@@ -213,8 +267,11 @@ TEST(EdgeSourceTest, PrefetchIngestIsBitIdenticalToSerialPump) {
     auto prefetch_source = TextFileEdgeSource::Open(path);
     ASSERT_TRUE(prefetch_source.ok());
     auto prefetch_session = rept->CreateSession(33, &pool);
+    IngestOptions prefetch_options;
+    prefetch_options.chunk_edges = chunk;
+    prefetch_options.prefetch = true;
     const auto prefetch_count = IngestAll(
-        **prefetch_source, *prefetch_session, IngestOptions{chunk, true});
+        **prefetch_source, *prefetch_session, prefetch_options);
     ASSERT_TRUE(prefetch_count.ok());
 
     EXPECT_EQ(*prefetch_count, *serial_count) << "chunk=" << chunk;
@@ -227,28 +284,49 @@ TEST(EdgeSourceTest, PrefetchIngestIsBitIdenticalToSerialPump) {
   std::remove(path.c_str());
 }
 
-TEST(EdgeSourceTest, PrefetchIngestPropagatesSourceErrors) {
-  // A truncated binary payload must still latch the source's error through
-  // the prefetch pump.
-  const std::string path = TempPath("ingest_prefetch_trunc.bin");
-  ASSERT_TRUE(SaveEdgeListBinary(SampleStream(), path).ok());
-  {
-    // Chop the edge payload in half (same corruption as the ReadAll test).
-    std::ifstream in(path, std::ios::binary);
-    std::string bytes((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-    in.close();
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(),
-              static_cast<std::streamsize>(bytes.size() / 2));
+TEST(EdgeSourceTest, SkipEdgesFastForwardsDeterministically) {
+  const EdgeStream stream = SampleStream();
+  for (const uint64_t skip : {uint64_t{0}, uint64_t{1}, uint64_t{37},
+                              stream.size() - 1, stream.size()}) {
+    InMemoryEdgeSource source{EdgeStream(stream)};
+    auto skipped = SkipEdges(source, skip, /*chunk_edges=*/16);
+    ASSERT_TRUE(skipped.ok());
+    EXPECT_EQ(*skipped, skip);
+    auto rest = ReadAll(source, /*chunk_edges=*/16);
+    ASSERT_TRUE(rest.ok());
+    ASSERT_EQ(rest->size(), stream.size() - skip);
+    for (size_t i = 0; i < rest->size(); ++i) {
+      EXPECT_EQ(EdgeKey((*rest)[i]), EdgeKey(stream[skip + i]));
+    }
   }
-  auto source = BinaryFileEdgeSource::Open(path);
+  // Skipping past the end reports how far the source actually reached.
+  InMemoryEdgeSource source{EdgeStream(stream)};
+  auto skipped = SkipEdges(source, stream.size() + 100);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(*skipped, stream.size());
+}
+
+TEST(EdgeSourceTest, PrefetchIngestPropagatesSourceErrors) {
+  // A parse error halfway through the stream must still latch the source's
+  // error through the prefetch pump. (Truncated binary files no longer get
+  // this far: the hardened Open() rejects them up front — see
+  // BinaryOpenRejectsTruncatedPayload below.)
+  const std::string path = TempPath("ingest_prefetch_garbage.txt");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (int i = 0; i < 64; ++i) out << i << ' ' << i + 1 << '\n';
+    out << "not an edge line\n";
+  }
+  auto source = TextFileEdgeSource::Open(path);
   ASSERT_TRUE(source.ok());
   const auto rept = MakeRept(5, 5);
   auto session = rept->CreateSession(1, nullptr);
-  const auto ingested =
-      IngestAll(**source, *session, IngestOptions{16, true});
+  IngestOptions options;
+  options.chunk_edges = 16;
+  options.prefetch = true;
+  const auto ingested = IngestAll(**source, *session, options);
   EXPECT_FALSE(ingested.ok());
+  EXPECT_EQ(ingested.status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 
