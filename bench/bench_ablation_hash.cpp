@@ -32,7 +32,9 @@ template <typename Hasher>
 double RunGroup(const EdgeStream& stream, uint32_t m, const Hasher& hasher) {
   SemiTriangleCounter::Options opts;
   opts.track_local = false;
-  std::vector<SemiTriangleCounter> counters(m, SemiTriangleCounter(opts));
+  std::vector<SemiTriangleCounter> counters;
+  counters.reserve(m);
+  for (uint32_t i = 0; i < m; ++i) counters.emplace_back(opts);
   for (const Edge& e : stream) {
     const uint32_t bucket = hasher.Bucket(e.u, e.v, m);
     for (uint32_t i = 0; i < m; ++i) {

@@ -154,33 +154,29 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
-  std::FILE* json = std::fopen(out.c_str(), "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 2;
+  using rept::bench::BenchJsonWriter;
+  BenchJsonWriter json("checkpoint");
+  json.Meta("vertices", BenchJsonWriter::NumU(num_vertices));
+  json.Meta("edges", BenchJsonWriter::NumU(num_edges));
+  json.Meta("m", BenchJsonWriter::NumU(m));
+  json.Meta("c", BenchJsonWriter::NumU(c));
+  json.Meta("reps", BenchJsonWriter::NumU(reps));
+  for (const Measurement& r : results) {
+    // Primary throughput metric: stored edges serialized per second of
+    // save time (the ingest-side cost of a periodic checkpoint policy).
+    const double edges_per_sec =
+        static_cast<double>(r.stored_edges) / r.save_seconds;
+    json.Result(
+        r.system, "uniform-random", /*threads=*/1, edges_per_sec,
+        {{"stored_edges", BenchJsonWriter::NumU(r.stored_edges)},
+         {"file_bytes", BenchJsonWriter::NumU(r.file_bytes)},
+         {"save_seconds", BenchJsonWriter::Num(r.save_seconds)},
+         {"load_seconds", BenchJsonWriter::Num(r.load_seconds)},
+         {"save_mb_per_sec", BenchJsonWriter::Num(r.save_mb_s)},
+         {"load_mb_per_sec", BenchJsonWriter::Num(r.load_mb_s)},
+         {"roundtrip_bit_identical", r.roundtrip_ok ? "true" : "false"}});
   }
-  std::fprintf(json,
-               "{\n  \"bench\": \"checkpoint\",\n"
-               "  \"vertices\": %" PRIu64 ",\n  \"edges\": %" PRIu64 ",\n"
-               "  \"m\": %" PRIu64 ",\n  \"c\": %" PRIu64 ",\n"
-               "  \"reps\": %" PRIu64 ",\n  \"results\": [\n",
-               num_vertices, num_edges, m, c, reps);
-  for (size_t i = 0; i < results.size(); ++i) {
-    const Measurement& r = results[i];
-    std::fprintf(json,
-                 "    {\"system\": \"%s\", \"stored_edges\": %" PRIu64 ", "
-                 "\"file_bytes\": %" PRIu64 ", \"save_seconds\": %.6f, "
-                 "\"load_seconds\": %.6f, \"save_mb_per_sec\": %.2f, "
-                 "\"load_mb_per_sec\": %.2f, \"roundtrip_bit_identical\": "
-                 "%s}%s\n",
-                 r.system.c_str(), r.stored_edges, r.file_bytes,
-                 r.save_seconds, r.load_seconds, r.save_mb_s, r.load_mb_s,
-                 r.roundtrip_ok ? "true" : "false",
-                 i + 1 == results.size() ? "" : ",");
-  }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
-  std::printf("\nwrote %s\n", out.c_str());
+  if (!json.WriteTo(out)) return 2;
   const bool all_ok = [&results] {
     for (const Measurement& r : results) {
       if (!r.roundtrip_ok) return false;

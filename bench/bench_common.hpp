@@ -6,10 +6,12 @@
 // --size=default --runs=N raise fidelity toward the paper's setup.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exact/exact_counts.hpp"
@@ -124,5 +126,89 @@ inline std::string Fmt(double v, int precision = 4) {
 }
 
 inline std::string Sci(double v) { return TablePrinter::FormatSci(v, 2); }
+
+/// \brief Standardized BENCH_*.json emitter. Every bench result file has
+/// the shape
+///
+///   {"bench": "<bench>", "meta": {...},
+///    "results": [{"name": ..., "dataset": ..., "threads": N,
+///                 "edges_per_sec": X, ...bench-specific extras}, ...]}
+///
+/// so CI and EXPERIMENTS.md tooling can track any bench's throughput
+/// trajectory with one parser. `name` identifies the measured
+/// configuration, `dataset` the input, and `edges_per_sec` the primary
+/// throughput metric; everything else rides in the extras.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Raw-value helpers: Str quotes/escapes, Num/NumU render numbers.
+  static std::string Str(const std::string& s) {
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') out += '\\';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  }
+  static std::string Num(double v) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+    return buffer;
+  }
+  static std::string NumU(uint64_t v) { return std::to_string(v); }
+
+  /// Adds a top-level meta field (raw JSON value; use Str/Num/NumU).
+  void Meta(const std::string& key, const std::string& raw_value) {
+    meta_.emplace_back(key, raw_value);
+  }
+
+  /// Adds one standardized result row plus bench-specific extras (raw JSON
+  /// values, same helpers).
+  void Result(
+      const std::string& name, const std::string& dataset, size_t threads,
+      double edges_per_sec,
+      const std::vector<std::pair<std::string, std::string>>& extra = {}) {
+    std::string row = "{\"name\": " + Str(name) +
+                      ", \"dataset\": " + Str(dataset) +
+                      ", \"threads\": " + std::to_string(threads) +
+                      ", \"edges_per_sec\": " + Num(edges_per_sec);
+    for (const auto& [key, raw_value] : extra) {
+      row += ", \"" + key + "\": " + raw_value;
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes the file (false + stderr message on I/O failure).
+  bool WriteTo(const std::string& path) const {
+    std::FILE* json = std::fopen(path.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(json, "{\n  \"bench\": %s,\n", Str(bench_).c_str());
+    std::fprintf(json, "  \"meta\": {");
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(json, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                   meta_[i].first.c_str(), meta_[i].second.c_str());
+    }
+    std::fprintf(json, "},\n  \"results\": [\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(json, "    %s%s\n", rows_[i].c_str(),
+                   i + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace rept::bench

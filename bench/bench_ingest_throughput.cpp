@@ -204,32 +204,26 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
-  std::FILE* json = std::fopen(out.c_str(), "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 2;
+  using rept::bench::BenchJsonWriter;
+  BenchJsonWriter json("ingest_throughput");
+  json.Meta("vertices", BenchJsonWriter::NumU(num_vertices));
+  json.Meta("edges", BenchJsonWriter::NumU(num_edges));
+  json.Meta("m", BenchJsonWriter::NumU(m));
+  json.Meta("c", BenchJsonWriter::NumU(c));
+  const std::string dataset = generator.Name();
+  for (const Measurement& r : results) {
+    std::string name = r.system + "/" + r.mode;
+    if (!r.dispatch.empty()) name += "/" + r.dispatch;
+    json.Result(
+        name, dataset, r.threads, r.edges_per_sec,
+        {{"mode", BenchJsonWriter::Str(r.mode)},
+         {"dispatch", BenchJsonWriter::Str(r.dispatch)},
+         {"chunk_edges", BenchJsonWriter::NumU(r.chunk)},
+         {"seconds", BenchJsonWriter::Num(r.seconds)},
+         {"route_seconds", BenchJsonWriter::Num(r.route_seconds)},
+         {"estimate_seconds", BenchJsonWriter::Num(r.estimate_seconds)},
+         {"global_estimate", BenchJsonWriter::Num(r.global_estimate)}});
   }
-  std::fprintf(json,
-               "{\n  \"bench\": \"ingest_throughput\",\n"
-               "  \"vertices\": %" PRIu64 ",\n  \"edges\": %" PRIu64 ",\n"
-               "  \"m\": %" PRIu64 ",\n  \"c\": %" PRIu64 ",\n"
-               "  \"threads\": %zu,\n  \"results\": [\n",
-               num_vertices, num_edges, m, c, pool.num_threads());
-  for (size_t i = 0; i < results.size(); ++i) {
-    const Measurement& r = results[i];
-    std::fprintf(json,
-                 "    {\"system\": \"%s\", \"mode\": \"%s\", "
-                 "\"dispatch\": \"%s\", \"chunk_edges\": %" PRIu64 ", "
-                 "\"threads\": %zu, \"seconds\": %.6f, "
-                 "\"edges_per_sec\": %.1f, \"route_seconds\": %.6f, "
-                 "\"estimate_seconds\": %.6f, \"global_estimate\": %.1f}%s\n",
-                 r.system.c_str(), r.mode.c_str(), r.dispatch.c_str(),
-                 r.chunk, r.threads, r.seconds, r.edges_per_sec,
-                 r.route_seconds, r.estimate_seconds, r.global_estimate,
-                 i + 1 == results.size() ? "" : ",");
-  }
-  std::fprintf(json, "  ]\n}\n");
-  std::fclose(json);
-  std::printf("\nwrote %s\n", out.c_str());
+  if (!json.WriteTo(out)) return 2;
   return 0;
 }

@@ -1,62 +1,368 @@
 // Micro-benchmark: SampledGraph operations — the estimator inner loop is
 // dominated by common-neighbor queries against the sampled subgraph.
-#include <benchmark/benchmark.h>
+//
+// Measures the flat, arena-backed SampledGraph against `node`, an in-bench
+// replica of the PR-4 structure (std::unordered_map<VertexId,
+// std::vector<VertexId>> with sorted-vector neighbor lists), on the four
+// workloads the estimators issue:
+//
+//   insert            build the adjacency from a stream (hash + sorted insert)
+//   insert+intersect  the estimator's per-edge sequence at p = 1/20: every
+//                     stream edge is intersected against the sampled
+//                     subgraph (CountArrival), one in twenty is stored —
+//                     the profile of a REPT/MASCOT instance, and the
+//                     workload the >= 2x acceptance gate measures
+//   intersect-sparse  common-neighbor queries over random pairs against a
+//                     sampled-density (inline-list) subgraph
+//   intersect-dense   the same against a degree-~40 subgraph, where the
+//                     sorted-merge dominates and the map choice matters
+//                     least (kept honest: expect parity, not a win)
+//   churn             reservoir steady state: erase one edge, insert another
+//
+// Results go to BENCH_adjacency.json in the standardized bench schema plus
+// a per-workload speedup column. --smoke shrinks everything to a
+// CI-friendly second; exit is nonzero if the two implementations disagree
+// on results, or if any workload that is supposed to win falls below 0.9x
+// (a noise margin for shared CI runners — a real structural regression
+// lands far lower). intersect-dense is parity-by-design and exempt.
+//
+//   build/bench/bench_micro_adjacency [--smoke] [--reps 5]
+//       [--out BENCH_adjacency.json]
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "graph/sampled_graph.hpp"
+#include "util/flags.hpp"
 #include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 
-namespace rept {
+namespace rept::bench {
 namespace {
 
-EdgeStream MakeSample(uint32_t n, uint32_t edges) {
-  return gen::ErdosRenyi({.num_vertices = n, .num_edges = edges}, 7);
-}
-
-void BM_SampledGraphInsert(benchmark::State& state) {
-  const EdgeStream s = MakeSample(10000, static_cast<uint32_t>(state.range(0)));
-  for (auto _ : state) {
-    SampledGraph g;
-    for (const Edge& e : s) g.Insert(e.u, e.v);
-    benchmark::DoNotOptimize(g.num_edges());
+// ---------------------------------------------------------------------------
+// The PR-4 reference structure, verbatim semantics: hash map vertex ->
+// sorted neighbor vector, one heap allocation per vertex, O(deg) memmove
+// per insert, two map lookups per intersection.
+class NodeSampledGraph {
+ public:
+  bool Insert(VertexId u, VertexId v) {
+    if (u == v) return false;
+    std::vector<VertexId>& nu = adjacency_[u];
+    if (!SortedInsert(nu, v)) return false;
+    SortedInsert(adjacency_[v], u);
+    ++num_edges_;
+    return true;
   }
-  state.SetItemsProcessed(state.iterations() * s.size());
-}
-BENCHMARK(BM_SampledGraphInsert)->Arg(1000)->Arg(10000);
 
-void BM_SampledGraphCommonNeighbors(benchmark::State& state) {
-  const EdgeStream s = MakeSample(2000, static_cast<uint32_t>(state.range(0)));
-  SampledGraph g;
-  for (const Edge& e : s) g.Insert(e.u, e.v);
+  bool Erase(VertexId u, VertexId v) {
+    auto iu = adjacency_.find(u);
+    if (iu == adjacency_.end()) return false;
+    if (!SortedErase(iu->second, v)) return false;
+    if (iu->second.empty()) adjacency_.erase(iu);
+    auto iv = adjacency_.find(v);
+    SortedErase(iv->second, u);
+    if (iv->second.empty()) adjacency_.erase(iv);
+    --num_edges_;
+    return true;
+  }
+
+  uint32_t CountCommonNeighbors(VertexId u, VertexId v) const {
+    auto iu = adjacency_.find(u);
+    if (iu == adjacency_.end()) return 0;
+    auto iv = adjacency_.find(v);
+    if (iv == adjacency_.end()) return 0;
+    const std::vector<VertexId>& a = iu->second;
+    const std::vector<VertexId>& b = iv->second;
+    uint32_t count = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        ++count;
+        ++i;
+        ++j;
+      }
+    }
+    return count;
+  }
+
+  uint64_t num_edges() const { return num_edges_; }
+
+ private:
+  static bool SortedInsert(std::vector<VertexId>& vec, VertexId x) {
+    auto it = std::lower_bound(vec.begin(), vec.end(), x);
+    if (it != vec.end() && *it == x) return false;
+    vec.insert(it, x);
+    return true;
+  }
+  static bool SortedErase(std::vector<VertexId>& vec, VertexId x) {
+    auto it = std::lower_bound(vec.begin(), vec.end(), x);
+    if (it == vec.end() || *it != x) return false;
+    vec.erase(it);
+    return true;
+  }
+
+  std::unordered_map<VertexId, std::vector<VertexId>> adjacency_;
+  uint64_t num_edges_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Workloads, templated over the graph implementation. Each returns a
+// checksum so the compiler cannot elide the work and so both
+// implementations can be cross-checked for agreement.
+
+template <typename Graph>
+uint64_t RunInsert(const EdgeStream& stream) {
+  Graph g;
+  for (const Edge& e : stream) g.Insert(e.u, e.v);
+  return g.num_edges();
+}
+
+template <typename Graph>
+uint64_t RunArrival(const EdgeStream& stream, uint32_t m) {
+  // CountArrival's shape: every arriving edge is intersected against the
+  // current sample; one in m (deterministic stand-in for the REPT bucket
+  // hash) is then stored. The sample stays at sampled density — mostly
+  // absent endpoints and degree-<=4 lists — exactly the state the
+  // estimators query millions of times per second. The flat graph runs its
+  // production fast path (the arrival probes feed the insert); the node
+  // reference has no such path, faithfully to PR 4.
+  Graph g;
+  uint64_t completions = 0;
+  constexpr size_t kPrefetchAhead = 8;  // as in ReptInstance::ReplayRouted
+  for (size_t t = 0; t < stream.size(); ++t) {
+    const Edge& e = stream[t];
+    const uint64_t hash =
+        EdgeKey(e.u, e.v) * uint64_t{0x9E3779B97F4A7C15} >> 33;
+    const bool store = hash % m == 0;
+    if constexpr (std::is_same_v<Graph, SampledGraph>) {
+      if (t + kPrefetchAhead < stream.size()) {
+        const Edge& ahead = stream[t + kPrefetchAhead];
+        g.PrefetchVertices(ahead.u, ahead.v);
+      }
+      uint64_t found = 0;
+      if (store) {
+        const auto probe = g.ProbeCommonNeighbors(
+            e.u, e.v, [&found](VertexId) { ++found; });
+        g.InsertWithProbe(probe);
+      } else {
+        g.ForEachCommonNeighbor(e.u, e.v, [&found](VertexId) { ++found; });
+      }
+      completions += found;
+    } else {
+      completions += g.CountCommonNeighbors(e.u, e.v);
+      if (store) g.Insert(e.u, e.v);
+    }
+  }
+  return completions + g.num_edges();
+}
+
+template <typename Graph>
+uint64_t RunIntersect(const EdgeStream& stream, VertexId n, uint64_t queries) {
+  Graph g;
+  for (const Edge& e : stream) g.Insert(e.u, e.v);
   Rng rng(3);
-  for (auto _ : state) {
-    const VertexId u = static_cast<VertexId>(rng.Below(2000));
-    const VertexId v = static_cast<VertexId>(rng.Below(2000));
-    benchmark::DoNotOptimize(g.CountCommonNeighbors(u, v));
+  uint64_t total = 0;
+  for (uint64_t q = 0; q < queries; ++q) {
+    const VertexId u = static_cast<VertexId>(rng.Below(n));
+    const VertexId v = static_cast<VertexId>(rng.Below(n));
+    total += g.CountCommonNeighbors(u, v);
   }
-  state.SetItemsProcessed(state.iterations());
+  return total;
 }
-BENCHMARK(BM_SampledGraphCommonNeighbors)->Arg(5000)->Arg(20000);
 
-void BM_SampledGraphChurn(benchmark::State& state) {
+template <typename Graph>
+uint64_t RunChurn(const EdgeStream& stream, uint64_t ops) {
   // Reservoir-style insert+erase cycling (TRIEST's steady state).
-  const EdgeStream s = MakeSample(5000, 20000);
-  SampledGraph g;
-  const size_t window = 1000;
-  for (size_t i = 0; i < window; ++i) g.Insert(s[i].u, s[i].v);
+  Graph g;
+  const size_t window = std::min<size_t>(1000, stream.size() / 2);
+  for (size_t i = 0; i < window; ++i) g.Insert(stream[i].u, stream[i].v);
   size_t head = window;
   size_t tail = 0;
-  for (auto _ : state) {
-    const Edge& in = s[head % s.size()];
-    const Edge& out = s[tail % s.size()];
+  for (uint64_t op = 0; op < ops; ++op) {
+    const Edge& in = stream[head % stream.size()];
+    const Edge& out = stream[tail % stream.size()];
     g.Erase(out.u, out.v);
     g.Insert(in.u, in.v);
     ++head;
     ++tail;
   }
-  state.SetItemsProcessed(state.iterations());
+  return g.num_edges();
 }
-BENCHMARK(BM_SampledGraphChurn);
+
+struct WorkloadResult {
+  uint64_t checksum = 0;
+  double best_seconds = 0.0;  // min over reps (least-noise estimator)
+};
+
+template <typename Fn>
+WorkloadResult Measure(uint64_t reps, Fn&& run) {
+  WorkloadResult result;
+  for (uint64_t rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    const uint64_t checksum = run();
+    const double seconds = timer.Seconds();
+    if (rep == 0 || seconds < result.best_seconds) {
+      result.best_seconds = seconds;
+    }
+    result.checksum = checksum;
+  }
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  uint64_t reps = 5;
+  std::string out = "BENCH_adjacency.json";
+  FlagSet flags(
+      "SampledGraph micro-benchmarks: flat/arena structures vs the PR-4 "
+      "node-based reference (BENCH_adjacency.json)");
+  flags.AddBool("smoke", &smoke,
+                "tiny sizes + 2 reps: the CI perf-harness canary");
+  flags.AddUint64("reps", &reps, "repetitions (best-of wins)");
+  flags.AddString("out", &out, "output JSON path");
+  ParseOrDie(flags, argc, argv);
+  if (smoke) reps = std::min<uint64_t>(reps, 2);
+
+  // The arrival/intersect configuration mirrors the paper's operating
+  // point: p = 1/m sampling over a large id space (LiveJournal-class
+  // streams keep p|E| ~ hundreds of thousands of edges scattered over
+  // millions of ids), so the adjacency working set exceeds mid-level
+  // caches and the probe pattern — not the merge — dominates, exactly as
+  // in a production instance.
+  const uint32_t n_insert = smoke ? 10000 : 300000;
+  const uint32_t e_insert = smoke ? 30000 : 900000;
+  const uint32_t n_arrival = smoke ? 10000 : 500000;
+  const uint32_t e_arrival = smoke ? 100000 : 4000000;
+  const uint32_t m_arrival = 20;  // p = 1/20 sampled density
+  const uint32_t n_dense = smoke ? 800 : 2000;
+  const uint32_t e_dense = smoke ? 8000 : 40000;
+  const uint64_t queries = smoke ? 100000 : 2000000;
+  const uint64_t churn_ops = smoke ? 100000 : 1000000;
+
+  const EdgeStream sparse = gen::ErdosRenyi(
+      {.num_vertices = n_insert, .num_edges = e_insert}, /*seed=*/7);
+  const EdgeStream arrival_stream = gen::ErdosRenyi(
+      {.num_vertices = n_arrival, .num_edges = e_arrival}, /*seed=*/7);
+  // Sampled-density graph for the sparse intersect queries: every m-th edge
+  // of the arrival stream (what a p = 1/m instance would have stored).
+  EdgeStream sampled_sparse = [&] {
+    std::vector<Edge> kept;
+    for (size_t i = 0; i < arrival_stream.size(); i += m_arrival) {
+      kept.push_back(arrival_stream[i]);
+    }
+    return EdgeStream("sampled_sparse", n_arrival, std::move(kept));
+  }();
+  const EdgeStream dense = gen::ErdosRenyi(
+      {.num_vertices = n_dense, .num_edges = e_dense}, /*seed=*/7);
+
+  struct Row {
+    std::string workload;
+    std::string dataset;
+    uint64_t items;
+    WorkloadResult node;
+    WorkloadResult flat;
+  };
+  std::vector<Row> rows;
+
+  rows.push_back({"insert", sparse.name(), sparse.size(),
+                  Measure(reps,
+                          [&] { return RunInsert<NodeSampledGraph>(sparse); }),
+                  Measure(reps,
+                          [&] { return RunInsert<SampledGraph>(sparse); })});
+  rows.push_back(
+      {"insert+intersect", arrival_stream.name(), arrival_stream.size(),
+       Measure(reps,
+               [&] {
+                 return RunArrival<NodeSampledGraph>(arrival_stream,
+                                                     m_arrival);
+               }),
+       Measure(reps,
+               [&] { return RunArrival<SampledGraph>(arrival_stream,
+                                                     m_arrival); })});
+  rows.push_back(
+      {"intersect-sparse", sampled_sparse.name(), queries,
+       Measure(reps,
+               [&] {
+                 return RunIntersect<NodeSampledGraph>(sampled_sparse,
+                                                       n_arrival, queries);
+               }),
+       Measure(reps,
+               [&] {
+                 return RunIntersect<SampledGraph>(sampled_sparse, n_arrival,
+                                                   queries);
+               })});
+  rows.push_back(
+      {"intersect-dense", dense.name(), queries,
+       Measure(reps,
+               [&] {
+                 return RunIntersect<NodeSampledGraph>(dense, n_dense,
+                                                       queries);
+               }),
+       Measure(reps,
+               [&] { return RunIntersect<SampledGraph>(dense, n_dense,
+                                                       queries); })});
+  rows.push_back(
+      {"churn", dense.name(), churn_ops,
+       Measure(reps,
+               [&] { return RunChurn<NodeSampledGraph>(dense, churn_ops); }),
+       Measure(reps,
+               [&] { return RunChurn<SampledGraph>(dense, churn_ops); })});
+
+  TablePrinter table({"workload", "items", "node ops/s", "flat ops/s",
+                      "speedup"});
+  BenchJsonWriter json("micro_adjacency");
+  json.Meta("smoke", smoke ? "true" : "false");
+  json.Meta("reps", BenchJsonWriter::NumU(reps));
+  bool ok = true;
+  for (const Row& row : rows) {
+    if (row.node.checksum != row.flat.checksum) {
+      std::fprintf(stderr, "%s: node/flat checksum mismatch (%llu vs %llu)\n",
+                   row.workload.c_str(),
+                   static_cast<unsigned long long>(row.node.checksum),
+                   static_cast<unsigned long long>(row.flat.checksum));
+      ok = false;
+    }
+    const double node_rate =
+        static_cast<double>(row.items) / row.node.best_seconds;
+    const double flat_rate =
+        static_cast<double>(row.items) / row.flat.best_seconds;
+    const double speedup = flat_rate / node_rate;
+    // Perf-harness canary with a noise margin for shared CI runners: a
+    // real regression of the flat structures lands well below 0.9x. The
+    // merge-bound dense row sits at parity by design and is exempt (it
+    // would flap on noise alone); checksum agreement above stays strict.
+    if (speedup < 0.9 && row.workload != "intersect-dense") ok = false;
+    table.AddRow({row.workload, std::to_string(row.items), Sci(node_rate),
+                  Sci(flat_rate), Fmt(speedup, 2)});
+    json.Result("flat:" + row.workload, row.dataset, /*threads=*/1, flat_rate,
+                {{"speedup_vs_node", BenchJsonWriter::Num(speedup)},
+                 {"node_edges_per_sec", BenchJsonWriter::Num(node_rate)},
+                 {"items", BenchJsonWriter::NumU(row.items)}});
+  }
+  table.Print();
+  if (!json.WriteTo(out)) return 2;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: checksum mismatch or flat slower than the node "
+                 "baseline\n");
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
-}  // namespace rept
+}  // namespace rept::bench
+
+int main(int argc, char** argv) { return rept::bench::Main(argc, argv); }

@@ -25,6 +25,10 @@ EnsembleSession::EnsembleSession(
   instances_.reserve(c);
   for (uint32_t i = 0; i < c; ++i) {
     instances_.push_back(factory->Create(seeds.SeedFor(i), edge_budget_));
+    if (options.expected_edges > 0) {
+      instances_.back()->ReserveForExpectedEdges(options.expected_edges,
+                                                 options.expected_vertices);
+    }
   }
 }
 

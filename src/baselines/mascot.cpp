@@ -17,8 +17,15 @@ MascotCounter::MascotCounter(double p, uint64_t seed, bool track_local)
 }
 
 void MascotCounter::ProcessEdge(VertexId u, VertexId v) {
-  counter_.CountArrival(u, v);
-  if (rng_.Bernoulli(p_)) counter_.InsertSampled(u, v);
+  // One Bernoulli draw per edge either way, and the count never touches the
+  // RNG — flipping first is bit-identical and lets the (usual) reject path
+  // take the lighter no-store arrival.
+  if (rng_.Bernoulli(p_)) {
+    counter_.CountArrival(u, v);
+    counter_.InsertSampled(u, v);
+  } else {
+    counter_.CountArrivalNoStore(u, v);
+  }
 }
 
 Status MascotCounter::SaveState(CheckpointWriter& writer) const {

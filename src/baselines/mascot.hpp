@@ -25,6 +25,15 @@ class MascotCounter : public StreamCounter {
 
   void ProcessEdge(VertexId u, VertexId v) override;
 
+  /// Expected stored edges are p|E| (independent coin flips).
+  void ReserveForExpectedEdges(uint64_t expected_edges,
+                               VertexId expected_vertices) override {
+    counter_.ReserveFor(static_cast<uint64_t>(
+                            p_ * static_cast<double>(expected_edges)) +
+                            1,
+                        expected_vertices);
+  }
+
   Status SaveState(CheckpointWriter& writer) const override;
   Status LoadState(CheckpointReader& reader) override;
 

@@ -34,6 +34,17 @@ class StreamCounter {
     for (const Edge& e : stream) ProcessEdge(e.u, e.v);
   }
 
+  /// Pre-sizes internal structures for an expected stream length and id
+  /// space (SessionOptions hints plumbed through EnsembleSession;
+  /// `expected_vertices` of 0 = unknown, used to cap vertex-keyed
+  /// reservations). Pure capacity hint: results are identical with or
+  /// without it. Default: no-op.
+  virtual void ReserveForExpectedEdges(uint64_t expected_edges,
+                                       VertexId expected_vertices) {
+    (void)expected_edges;
+    (void)expected_vertices;
+  }
+
   /// Unbiased estimate of the global triangle count tau from this instance
   /// alone (scaling included).
   virtual double GlobalEstimate() const = 0;

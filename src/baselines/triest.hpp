@@ -35,6 +35,20 @@ class TriestCounter : public StreamCounter {
 
   void ProcessEdge(VertexId u, VertexId v) override;
 
+  /// The reservoir stores min(M, |E|) edges.
+  void ReserveForExpectedEdges(uint64_t expected_edges,
+                               VertexId expected_vertices) override {
+    const size_t stored =
+        static_cast<size_t>(std::min(budget_, expected_edges));
+    size_t vertices = 2 * stored;
+    if (expected_vertices > 0) {
+      vertices = std::min(vertices, size_t{expected_vertices});
+    }
+    sample_.ReserveVertices(vertices);
+    reservoir_.reserve(stored);
+    if (track_local_) local_.reserve(vertices);
+  }
+
   Status SaveState(CheckpointWriter& writer) const override;
   Status LoadState(CheckpointReader& reader) override;
 

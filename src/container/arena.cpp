@@ -1,0 +1,47 @@
+#include "container/arena.hpp"
+
+#include <algorithm>
+
+namespace rept {
+
+VertexId* Arena::AllocateIds(uint32_t capacity) {
+  const uint32_t size_class = ClassOf(capacity);
+  if (FreeNode* node = free_lists_[size_class]) {
+    free_lists_[size_class] = node->next;
+    return reinterpret_cast<VertexId*>(node);
+  }
+  const size_t bytes = size_t{capacity} * sizeof(VertexId);
+  static_assert(sizeof(FreeNode) <= kMinArrayCapacity * sizeof(VertexId));
+  if (cursor_ + bytes > block_capacity_) {
+    const size_t block_bytes = std::max(next_block_bytes_, bytes);
+    blocks_.push_back(std::make_unique<std::byte[]>(block_bytes));
+    total_block_bytes_ += block_bytes;
+    block_capacity_ = block_bytes;
+    cursor_ = 0;
+    next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
+  }
+  // Sizes are multiples of 32 bytes in a fresh block, so alignment for
+  // VertexId and the in-place FreeNode holds without padding.
+  VertexId* ptr = reinterpret_cast<VertexId*>(blocks_.back().get() + cursor_);
+  cursor_ += bytes;
+  return ptr;
+}
+
+void Arena::FreeIds(VertexId* ptr, uint32_t capacity) {
+  REPT_DCHECK(ptr != nullptr);
+  const uint32_t size_class = ClassOf(capacity);
+  FreeNode* node = reinterpret_cast<FreeNode*>(ptr);
+  node->next = free_lists_[size_class];
+  free_lists_[size_class] = node;
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  cursor_ = 0;
+  block_capacity_ = 0;
+  next_block_bytes_ = kMinBlockBytes;
+  total_block_bytes_ = 0;
+  std::fill(std::begin(free_lists_), std::end(free_lists_), nullptr);
+}
+
+}  // namespace rept

@@ -1,0 +1,101 @@
+// Bump allocator backing the spilled (capacity > inline) neighbor-list
+// storage of a SampledGraph. One Arena per sampled graph — and therefore,
+// through SemiTriangleCounter, one per logical processor — so allocation is
+// single-threaded by the repo's single-writer ingest contract and needs no
+// synchronization.
+//
+// Lifetime rules (see docs/hot_path.md):
+//  * AllocateIds hands out arrays whose storage lives until Reset(); there
+//    is no per-array destructor. NeighborList values are therefore plain
+//    24-byte records that a FlatHashMap may relocate freely — the pointers
+//    they hold stay valid across rehashes and map moves.
+//  * FreeIds recycles an array through a power-of-two free list (the next
+//    pointer is stored in the freed storage itself), so reservoir churn
+//    (TRIEST / GPS evictions) reuses blocks instead of growing the arena.
+//  * Reset() drops every block and free list at once: O(#blocks), used by
+//    SampledGraph::Clear and checkpoint restore.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace rept {
+
+/// \brief Chunked bump allocator for VertexId arrays with per-size-class
+/// recycling. Allocation sizes must be powers of two, at least
+/// kMinArrayCapacity ids.
+class Arena {
+ public:
+  /// Smallest array the arena hands out (must hold a free-list pointer).
+  static constexpr uint32_t kMinArrayCapacity = 8;
+
+  Arena() = default;
+  // Manual moves: the moved-from arena must forget its bump cursor and
+  // free lists (they reference storage the destination now owns), so it is
+  // left valid-and-empty rather than silently corrupting the destination
+  // on reuse.
+  Arena(Arena&& other) noexcept { *this = std::move(other); }
+  Arena& operator=(Arena&& other) noexcept {
+    blocks_ = std::move(other.blocks_);
+    cursor_ = std::exchange(other.cursor_, 0);
+    block_capacity_ = std::exchange(other.block_capacity_, 0);
+    next_block_bytes_ = std::exchange(other.next_block_bytes_, kMinBlockBytes);
+    total_block_bytes_ = std::exchange(other.total_block_bytes_, 0);
+    for (size_t i = 0; i < kNumClasses; ++i) {
+      free_lists_[i] = std::exchange(other.free_lists_[i], nullptr);
+    }
+    return *this;
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns an uninitialized array of `capacity` ids. `capacity` must be a
+  /// power of two >= kMinArrayCapacity.
+  VertexId* AllocateIds(uint32_t capacity);
+
+  /// Recycles an AllocateIds array for reuse at the same capacity. The
+  /// storage itself is only reclaimed by Reset().
+  void FreeIds(VertexId* ptr, uint32_t capacity);
+
+  /// Drops every block and free list. Invalidates all outstanding arrays.
+  void Reset();
+
+  /// Total bytes of block storage currently owned (the arena footprint used
+  /// by MemoryBytes accounting; free-listed arrays are included since they
+  /// are still resident).
+  size_t MemoryBytes() const { return total_block_bytes_; }
+
+ private:
+  // Blocks grow geometrically from 4 KiB to a 256 KiB ceiling; oversize
+  // requests get a dedicated block.
+  static constexpr size_t kMinBlockBytes = size_t{1} << 12;
+  static constexpr size_t kMaxBlockBytes = size_t{1} << 18;
+  static constexpr size_t kNumClasses = 32;  // free list per log2(capacity)
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static uint32_t ClassOf(uint32_t capacity) {
+    REPT_DCHECK(capacity >= kMinArrayCapacity);
+    REPT_DCHECK((capacity & (capacity - 1)) == 0);
+    uint32_t log2 = 0;
+    while ((uint32_t{1} << log2) < capacity) ++log2;
+    return log2;
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  size_t cursor_ = 0;          // bump offset into blocks_.back()
+  size_t block_capacity_ = 0;  // bytes in blocks_.back()
+  size_t next_block_bytes_ = kMinBlockBytes;
+  size_t total_block_bytes_ = 0;
+  FreeNode* free_lists_[kNumClasses] = {};
+};
+
+}  // namespace rept

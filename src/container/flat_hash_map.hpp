@@ -1,0 +1,352 @@
+// Open-addressing hash map specialized for the ingest hot path: unsigned
+// integer keys (VertexId / EdgeKey), linear probing over a power-of-two slot
+// array, multiplicative (Fibonacci) hashing taking the high bits, max load
+// factor 3/4, and backward-shift deletion (no tombstones, so probe chains
+// never rot under reservoir churn).
+//
+// Layout: ONE slot array of {state, key, value} records — a probe lands on
+// a single cache line that already holds the value (32 bytes per slot for
+// the adjacency map's NeighborList values, 16 for vertex tallies), where
+// std::unordered_map costs a bucket-array line plus a heap-node line, and a
+// heap allocation per entry. Values must be plainly relocatable (moved with
+// assignment during rehash and erase); NeighborList, doubles, and integer
+// counters all qualify.
+//
+// The Probe/InsertAtProbe API exposes the slot a lookup landed on so the
+// CountArrival -> InsertSampled fast path can reuse it instead of re-hashing
+// (see SampledGraph::InsertWithProbe). A Probe is validated against the
+// map's generation counter, which bumps on every rehash and clear.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rept {
+
+/// \brief Flat open-addressing map from an unsigned integer key to a
+/// relocatable value. Not thread-safe (single-writer per instance, like
+/// every hot-path structure in this repo).
+template <typename K, typename V>
+class FlatHashMap {
+  static_assert(std::is_unsigned_v<K> && (sizeof(K) == 4 || sizeof(K) == 8),
+                "FlatHashMap is specialized for u32/u64 keys");
+
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  FlatHashMap() = default;
+  FlatHashMap(FlatHashMap&& other) noexcept { *this = std::move(other); }
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    slots_ = std::move(other.slots_);
+    capacity_ = std::exchange(other.capacity_, 0);
+    size_ = std::exchange(other.size_, 0);
+    shift_ = std::exchange(other.shift_, 64);
+    generation_ = other.generation_ + 1;
+    return *this;
+  }
+  FlatHashMap(const FlatHashMap&) = delete;
+  FlatHashMap& operator=(const FlatHashMap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// Drops every entry but keeps the slot array (steady-state reuse).
+  void clear() {
+    for (size_t i = 0; i < capacity_; ++i) slots_[i].state = 0;
+    size_ = 0;
+    ++generation_;
+  }
+
+  /// Ensures `n` entries fit without rehashing.
+  void reserve(size_t n) {
+    const size_t needed = CapacityFor(n);
+    if (needed > capacity_) Rehash(needed);
+  }
+
+  V* Find(K key) {
+    if (capacity_ == 0) return nullptr;
+    const Probe probe = FindProbe(key);
+    return probe.found ? &slots_[probe.slot].value : nullptr;
+  }
+  const V* Find(K key) const {
+    return const_cast<FlatHashMap*>(this)->Find(key);
+  }
+
+  bool contains(K key) const { return Find(key) != nullptr; }
+  size_t count(K key) const { return contains(key) ? 1 : 0; }
+
+  /// Checked lookup (the std::unordered_map::at of the tests); the key must
+  /// be present.
+  const V& at(K key) const {
+    const V* value = Find(key);
+    REPT_CHECK(value != nullptr);
+    return *value;
+  }
+
+  /// Finds or value-initializes, exactly like std::unordered_map's
+  /// operator[] — `map[k] += x` on a fresh key accumulates onto V{}.
+  V& operator[](K key) { return *TryEmplace(key).first; }
+
+  /// Finds or inserts a value-initialized entry; second is true when the
+  /// entry was inserted by this call.
+  std::pair<V*, bool> TryEmplace(K key) {
+    ReserveForInsert();
+    const Probe probe = FindProbe(key);
+    if (probe.found) return {&slots_[probe.slot].value, false};
+    return {&OccupySlot(probe.slot, key), true};
+  }
+
+  /// Inserts (key, value) if absent; no-op when present (codec input is
+  /// pre-validated to be duplicate-free).
+  void emplace(K key, V value) {
+    auto [slot_value, inserted] = TryEmplace(key);
+    if (inserted) *slot_value = std::move(value);
+  }
+
+  /// Removes `key` via backward-shift deletion; returns false if absent.
+  /// Entries displaced by the shift are moved with plain assignment.
+  bool erase(K key) {
+    if (capacity_ == 0) return false;
+    Probe probe = FindProbe(key);
+    if (!probe.found) return false;
+    const size_t mask = capacity_ - 1;
+    size_t hole = probe.slot;
+    size_t next = hole;
+    for (;;) {
+      next = (next + 1) & mask;
+      if (!slots_[next].state) break;
+      const size_t ideal = IndexFor(slots_[next].key);
+      // Move next into the hole unless its ideal slot lies inside the
+      // cyclic range (hole, next] — in that case the entry is already as
+      // close to home as the probe invariant allows.
+      const bool ideal_in_range = hole < next
+                                      ? (ideal > hole && ideal <= next)
+                                      : (ideal > hole || ideal <= next);
+      if (!ideal_in_range) {
+        slots_[hole].key = slots_[next].key;
+        slots_[hole].value = std::move(slots_[next].value);
+        hole = next;
+      }
+    }
+    slots_[hole].state = 0;
+    --size_;
+    return true;
+  }
+
+  // -------------------------------------------------------------------
+  // Probe API (the CountArrival fast path).
+
+  /// A lookup's landing slot. Valid while generation() is unchanged and no
+  /// erase ran in between.
+  struct Probe {
+    size_t slot = 0;
+    bool found = false;
+  };
+
+  /// Hints the cache that `key`'s home slot is about to be probed. The
+  /// arrival path prefetches both endpoints before either probe, so the two
+  /// (usually L2/L3-missing) slot loads overlap instead of serializing.
+  void Prefetch(K key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (capacity_ != 0) __builtin_prefetch(&slots_[IndexFor(key)]);
+#else
+    (void)key;
+#endif
+  }
+
+  /// The slot `key` occupies (found) or would occupy (not found). Requires
+  /// capacity() > 0 for a meaningful slot; on an empty map returns
+  /// {0, false} which InsertAtProbe handles by growing first.
+  Probe FindProbe(K key) const {
+    if (capacity_ == 0) return Probe{0, false};
+    const size_t mask = capacity_ - 1;
+    size_t slot = IndexFor(key);
+    for (;;) {
+      const Slot& s = slots_[slot];
+      if (!s.state) return Probe{slot, false};
+      if (s.key == key) return Probe{slot, true};
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  /// Bumps on every rehash, clear, and move — any event that invalidates
+  /// outstanding Probes.
+  uint64_t generation() const { return generation_; }
+
+  K slot_key(size_t slot) const { return slots_[slot].key; }
+  V& slot_value(size_t slot) { return slots_[slot].value; }
+  const V& slot_value(size_t slot) const { return slots_[slot].value; }
+
+  /// Inserts `key` at a not-found Probe obtained at the current generation,
+  /// skipping the re-probe. Falls back to a fresh probe when the insert
+  /// forces a rehash. Returns the value-initialized slot value.
+  V& InsertAtProbe(Probe probe, K key) {
+    REPT_DCHECK(!probe.found);
+    if (NeedsGrowth()) {
+      Rehash(capacity_ == 0 ? kMinCapacity : capacity_ * 2);
+      probe = FindProbe(key);
+      REPT_DCHECK(!probe.found);
+    }
+    return OccupySlot(probe.slot, key);
+  }
+
+  // -------------------------------------------------------------------
+  // Iteration (occupied slots, unspecified order — canonicalize before
+  // persisting, exactly like the unordered_map contract this replaces).
+
+  template <bool Const>
+  class Iter {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::pair<K, V>;
+    using difference_type = std::ptrdiff_t;
+    using MapPtr = std::conditional_t<Const, const FlatHashMap*, FlatHashMap*>;
+    using VRef = std::conditional_t<Const, const V&, V&>;
+    using reference = std::pair<const K&, VRef>;
+    using pointer = void;
+
+    Iter() = default;
+    Iter(MapPtr map, size_t slot) : map_(map), slot_(slot) { SkipEmpty(); }
+
+    reference operator*() const {
+      return reference(map_->slots_[slot_].key, map_->slots_[slot_].value);
+    }
+    Iter& operator++() {
+      ++slot_;
+      SkipEmpty();
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.slot_ == b.slot_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) { return !(a == b); }
+
+   private:
+    void SkipEmpty() {
+      while (slot_ < map_->capacity_ && !map_->slots_[slot_].state) ++slot_;
+    }
+    MapPtr map_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, capacity_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, capacity_); }
+
+  /// Slot-array bytes. Arena-backed values report their spill separately
+  /// (SampledGraph::MemoryBytes adds the arena footprint).
+  size_t MemoryBytes() const { return capacity_ * sizeof(Slot); }
+
+ private:
+  // state first so the compiler packs it into the key's alignment padding:
+  // 16 bytes per slot for (u32 -> double), 32 for the adjacency map's
+  // (u32 -> NeighborList) — whole slots per cache line, probe and value on
+  // the same line.
+  struct Slot {
+    uint8_t state = 0;  // 0 empty, 1 occupied
+    K key;
+    V value;
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+
+  // Fibonacci multiplicative hash; the high bits feed the slot index, which
+  // linear probing needs (low multiplicative bits cluster).
+  size_t IndexFor(K key) const {
+    const uint64_t h =
+        static_cast<uint64_t>(key) * uint64_t{0x9E3779B97F4A7C15};
+    return static_cast<size_t>(h >> shift_);
+  }
+
+  static size_t CapacityFor(size_t n) {
+    size_t capacity = kMinCapacity;
+    // Max load factor 3/4.
+    while (capacity - capacity / 4 < n) capacity *= 2;
+    return capacity;
+  }
+
+  bool NeedsGrowth() const { return size_ + 1 > capacity_ - capacity_ / 4; }
+
+  void ReserveForInsert() {
+    if (NeedsGrowth()) {
+      Rehash(capacity_ == 0 ? kMinCapacity : capacity_ * 2);
+    }
+  }
+
+  V& OccupySlot(size_t slot, K key) {
+    REPT_DCHECK(!slots_[slot].state);
+    Slot& s = slots_[slot];
+    s.state = 1;
+    s.key = key;
+    s.value = V{};
+    ++size_;
+    return s.value;
+  }
+
+  void Rehash(size_t new_capacity) {
+    REPT_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::unique_ptr<Slot[]> old_slots = std::move(slots_);
+    const size_t old_capacity = capacity_;
+
+    slots_ = std::make_unique<Slot[]>(new_capacity);  // value-init: empty
+    capacity_ = new_capacity;
+    shift_ = 64;
+    for (size_t c = new_capacity; c > 1; c >>= 1) --shift_;
+    ++generation_;
+
+    const size_t mask = new_capacity - 1;
+    for (size_t i = 0; i < old_capacity; ++i) {
+      if (!old_slots[i].state) continue;
+      size_t slot = IndexFor(old_slots[i].key);
+      while (slots_[slot].state) slot = (slot + 1) & mask;
+      Slot& s = slots_[slot];
+      s.state = 1;
+      s.key = old_slots[i].key;
+      s.value = std::move(old_slots[i].value);
+    }
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  uint32_t shift_ = 64;  // 64 - log2(capacity): slot = hash >> shift_
+  uint64_t generation_ = 0;
+};
+
+/// \brief Flat set over the same machinery (the streaming-text dedup set).
+template <typename K>
+class FlatHashSet {
+ public:
+  /// Returns true when `key` was newly inserted (the
+  /// `unordered_set::insert(...).second` idiom of the dedup loops).
+  bool insert(K key) { return map_.TryEmplace(key).second; }
+  bool contains(K key) const { return map_.contains(key); }
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(size_t n) { map_.reserve(n); }
+  size_t MemoryBytes() const { return map_.MemoryBytes(); }
+
+ private:
+  struct Unit {};
+  FlatHashMap<K, Unit> map_;
+};
+
+}  // namespace rept

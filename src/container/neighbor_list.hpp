@@ -1,0 +1,121 @@
+// Sorted neighbor list with inline small-buffer storage, spilling into an
+// Arena. At REPT's sampling rates (p = 1/m, m >= 10) most sampled-subgraph
+// vertices have degree <= 4, so the common case lives entirely inside the
+// 24-byte record — zero allocations, zero pointer chases — and intersection
+// reads one or two cache lines per endpoint.
+//
+// A NeighborList is a plain relocatable record: it never owns storage (the
+// Arena does) and has no destructor, so FlatHashMap may move it during
+// rehashes and backward-shift deletions with plain assignment. Every
+// mutating call that can grow takes the Arena explicitly; Release() hands
+// spilled storage back to the arena's free list (map-erase path).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "container/arena.hpp"
+#include "graph/types.hpp"
+#include "util/check.hpp"
+
+namespace rept {
+
+/// \brief Sorted VertexId list: inline up to kInlineCapacity, arena-backed
+/// beyond, geometric growth.
+class NeighborList {
+ public:
+  static constexpr uint32_t kInlineCapacity = 4;
+
+  NeighborList() : size_(0), capacity_(kInlineCapacity) {}
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const VertexId* data() const {
+    return capacity_ == kInlineCapacity ? inline_ : heap_;
+  }
+  VertexId* data() { return capacity_ == kInlineCapacity ? inline_ : heap_; }
+
+  std::span<const VertexId> view() const {
+    return std::span<const VertexId>(data(), size_);
+  }
+
+  bool SortedContains(VertexId x) const {
+    const VertexId* begin = data();
+    return std::binary_search(begin, begin + size_, x);
+  }
+
+  /// Inserts x keeping ascending order; returns false if already present.
+  bool SortedInsert(VertexId x, Arena& arena) {
+    VertexId* begin = data();
+    VertexId* pos = std::lower_bound(begin, begin + size_, x);
+    if (pos != begin + size_ && *pos == x) return false;
+    if (size_ == capacity_) {
+      const size_t offset = static_cast<size_t>(pos - begin);
+      Grow(arena);
+      begin = data();
+      pos = begin + offset;
+    }
+    std::memmove(pos + 1, pos,
+                 static_cast<size_t>(begin + size_ - pos) * sizeof(VertexId));
+    *pos = x;
+    ++size_;
+    return true;
+  }
+
+  /// Removes x; returns false if absent. Capacity is retained (spilled
+  /// storage goes back to the arena only via Release).
+  bool SortedErase(VertexId x) {
+    VertexId* begin = data();
+    VertexId* pos = std::lower_bound(begin, begin + size_, x);
+    if (pos == begin + size_ || *pos != x) return false;
+    std::memmove(pos, pos + 1,
+                 static_cast<size_t>(begin + size_ - pos - 1) *
+                     sizeof(VertexId));
+    --size_;
+    return true;
+  }
+
+  /// Returns spilled storage to the arena free list and resets to an empty
+  /// inline list. Call before dropping the owning map entry.
+  void Release(Arena& arena) {
+    if (capacity_ != kInlineCapacity) {
+      arena.FreeIds(heap_, capacity_);
+      capacity_ = kInlineCapacity;
+    }
+    size_ = 0;
+  }
+
+  /// Bytes of arena storage this list holds (0 while inline).
+  size_t SpilledBytes() const {
+    return capacity_ == kInlineCapacity
+               ? 0
+               : size_t{capacity_} * sizeof(VertexId);
+  }
+
+ private:
+  void Grow(Arena& arena) {
+    const uint32_t new_capacity =
+        std::max(capacity_ * 2, Arena::kMinArrayCapacity);
+    VertexId* storage = arena.AllocateIds(new_capacity);
+    std::memcpy(storage, data(), size_t{size_} * sizeof(VertexId));
+    if (capacity_ != kInlineCapacity) arena.FreeIds(heap_, capacity_);
+    heap_ = storage;
+    capacity_ = new_capacity;
+  }
+
+  uint32_t size_;
+  uint32_t capacity_;  // == kInlineCapacity iff the list is inline
+  union {
+    VertexId inline_[kInlineCapacity];
+    VertexId* heap_;
+  };
+};
+
+static_assert(sizeof(NeighborList) == 24,
+              "NeighborList is the FlatHashMap value of the adjacency map; "
+              "keep it one-third of a cache line");
+
+}  // namespace rept

@@ -150,6 +150,16 @@ ReptSession::ReptSession(const ReptConfig& config, uint64_t seed,
       board_(config.c) {
   NoteVertices(options.expected_vertices);
   instances_ = BuildInstances(config_, specs);
+  if (options.expected_edges > 0) {
+    // Every processor keeps one of its group's m hash buckets, so it is
+    // expected to store |E|/m edges; pre-size the adjacency and tally maps
+    // accordingly (capacity hint only — results are identical without it).
+    // The vertex hint caps the per-instance reservations at the id space.
+    const uint64_t stored_hint = options.expected_edges / config_.m + 1;
+    for (auto& instance : instances_) {
+      instance->counter().ReserveFor(stored_hint, options.expected_vertices);
+    }
+  }
   instance_group_.reserve(instances_.size());
   size_t begin = 0;
   for (size_t g = 0; g < specs.size(); ++g) {

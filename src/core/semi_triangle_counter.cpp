@@ -1,5 +1,7 @@
 #include "core/semi_triangle_counter.hpp"
 
+#include <algorithm>
+
 #include "persist/checkpoint_io.hpp"
 #include "persist/state_codec.hpp"
 #include "util/check.hpp"
@@ -16,53 +18,76 @@ void SemiTriangleCounter::Reset() {
   last_valid_ = false;
 }
 
-uint32_t SemiTriangleCounter::CountArrival(VertexId u, VertexId v) {
-  scratch_.clear();
-  sample_.ForEachCommonNeighbor(
-      u, v, [this](VertexId w) { scratch_.push_back(w); });
-  const uint32_t completions = static_cast<uint32_t>(scratch_.size());
+void SemiTriangleCounter::ReserveFor(uint64_t expected_stored_edges,
+                                     VertexId max_vertices) {
+  if (expected_stored_edges == 0) return;
+  const size_t stored = static_cast<size_t>(
+      std::min<uint64_t>(expected_stored_edges, uint64_t{1} << 32));
+  // A sample of E edges touches at most 2E distinct vertices — but never
+  // more than the stream's id space; tallied vertices (endpoints and
+  // shared neighbors of completions) concentrate on the same set.
+  size_t vertices = 2 * stored;
+  if (max_vertices > 0) {
+    vertices = std::min(vertices, size_t{max_vertices});
+  }
+  sample_.ReserveVertices(vertices);
+  if (options_.track_local) {
+    local_.reserve(vertices);
+    if (options_.track_pairs) eta_local_.reserve(vertices);
+  }
+  if (options_.track_pairs) edge_triangles_.reserve(stored);
+}
 
-  if (completions > 0) {
-    global_ += completions;
-    if (options_.track_local) {
-      local_[u] += completions;
-      local_[v] += completions;
-      for (VertexId w : scratch_) local_[w] += 1.0;
-    }
-    if (options_.track_pairs) {
-      // Algorithm 2, UpdateTrianglePairCNT: the new semi-triangle {u,v,w}
-      // (early edges (u,w) and (v,w)) pairs with every semi-triangle already
-      // registered on those shared edges, then registers itself.
-      for (VertexId w : scratch_) {
-        uint32_t& kuw = edge_triangles_[EdgeKey(u, w)];
-        uint32_t& kvw = edge_triangles_[EdgeKey(v, w)];
-        eta_ += kuw + kvw;
-        if (options_.track_local) {
-          // Guarded so zero increments do not create map entries.
-          if (kuw + kvw > 0) eta_local_[w] += kuw + kvw;
-          if (kuw > 0) eta_local_[u] += kuw;
-          if (kvw > 0) eta_local_[v] += kvw;
-        }
-        ++kuw;
-        ++kvw;
+void SemiTriangleCounter::TallyCompletions(VertexId u, VertexId v,
+                                           uint32_t completions) {
+  global_ += completions;
+  if (options_.track_local) {
+    local_[u] += completions;
+    local_[v] += completions;
+    for (VertexId w : scratch_) local_[w] += 1.0;
+  }
+  if (options_.track_pairs) {
+    // Algorithm 2, UpdateTrianglePairCNT: the new semi-triangle {u,v,w}
+    // (early edges (u,w) and (v,w)) pairs with every semi-triangle already
+    // registered on those shared edges, then registers itself.
+    for (VertexId w : scratch_) {
+      const uint64_t key_uw = EdgeKey(u, w);
+      const uint64_t key_vw = EdgeKey(v, w);
+      uint32_t* kuw = &edge_triangles_[key_uw];
+      const uint64_t generation = edge_triangles_.generation();
+      uint32_t* kvw = &edge_triangles_[key_vw];
+      if (edge_triangles_.generation() != generation) {
+        // Inserting the second register rehashed the flat map; re-find
+        // the first (flat slots, unlike unordered_map nodes, move).
+        kuw = edge_triangles_.Find(key_uw);
       }
+      eta_ += *kuw + *kvw;
+      if (options_.track_local) {
+        // Guarded so zero increments do not create map entries.
+        if (*kuw + *kvw > 0) eta_local_[w] += *kuw + *kvw;
+        if (*kuw > 0) eta_local_[u] += *kuw;
+        if (*kvw > 0) eta_local_[v] += *kvw;
+      }
+      ++*kuw;
+      ++*kvw;
     }
   }
-
-  last_u_ = u;
-  last_v_ = v;
-  last_completions_ = completions;
-  last_valid_ = true;
-  return completions;
 }
 
 void SemiTriangleCounter::InsertSampled(VertexId u, VertexId v) {
-  if (!sample_.Insert(u, v)) return;
+  const bool cached =
+      last_valid_ && last_probe_.u == u && last_probe_.v == v;
+  const bool inserted =
+      cached ? sample_.InsertWithProbe(last_probe_) : sample_.Insert(u, v);
+  if (!inserted) {
+    last_valid_ = false;
+    return;
+  }
   if (options_.track_pairs && !options_.strict_pairs) {
     // Paper-faithful initialization: τ^(i)_(u,v) ← |N^(i)_u,v| — the
     // semi-triangles whose last edge is (u, v) itself.
     uint32_t completions;
-    if (last_valid_ && last_u_ == u && last_v_ == v) {
+    if (cached) {
       completions = last_completions_;
     } else {
       // Insert() already added the edge; adjacency of u/v now contains each
@@ -79,6 +104,11 @@ void SemiTriangleCounter::EraseSampled(VertexId u, VertexId v) {
   if (!sample_.Erase(u, v)) return;
   if (options_.track_pairs) edge_triangles_.erase(EdgeKey(u, v));
   last_valid_ = false;
+}
+
+size_t SemiTriangleCounter::MemoryBytes() const {
+  return sample_.MemoryBytes() + local_.MemoryBytes() +
+         eta_local_.MemoryBytes() + edge_triangles_.MemoryBytes();
 }
 
 void SemiTriangleCounter::SaveState(CheckpointWriter& writer) const {

@@ -15,12 +15,19 @@
 // Whether the arriving edge is then *stored* is the caller's policy: REPT
 // stores on hash match, MASCOT on a coin flip. Counting always happens
 // first, mirroring the pseudocode.
+//
+// All per-edge state lives in flat, arena-backed structures (container/):
+// the sampled adjacency is a FlatHashMap of inline-small NeighborLists and
+// every tally map is a FlatHashMap — no node allocations or pointer chases
+// anywhere on the arrival path. CountArrival records the adjacency slots it
+// probed so an immediately following InsertSampled reuses them instead of
+// re-hashing.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "container/flat_hash_map.hpp"
 #include "graph/sampled_graph.hpp"
 #include "graph/types.hpp"
 #include "util/status.hpp"
@@ -33,6 +40,11 @@ class CheckpointWriter;
 /// \brief Per-processor counting state shared by REPT instances and MASCOT.
 class SemiTriangleCounter {
  public:
+  /// Per-node tally map: vertex -> tau_v^(i) (or eta_v^(i)).
+  using VertexTallyMap = FlatHashMap<VertexId, double>;
+  /// Per-edge pair registers of Algorithm 2: EdgeKey -> τ^(i)_(u,v).
+  using EdgeCounterMap = FlatHashMap<uint64_t, uint32_t>;
+
   struct Options {
     /// Maintain per-node tallies (cheap to disable for global-only benches).
     bool track_local = true;
@@ -54,12 +66,42 @@ class SemiTriangleCounter {
 
   void Reset();
 
+  /// Pre-sizes the sampled adjacency and tally maps for a stream expected
+  /// to leave `expected_stored_edges` edges in this processor's sample, so
+  /// steady-state ingest never pays a rehash spike (SessionOptions /
+  /// BudgetFor hints flow here). `max_vertices` caps the vertex-keyed
+  /// reservations at the stream's declared id-space size (0 = unknown) —
+  /// without it a large edge hint would over-commit slot arrays far beyond
+  /// the number of ids that can ever exist.
+  void ReserveFor(uint64_t expected_stored_edges, VertexId max_vertices = 0);
+
   /// Processes arriving edge (u, v): tallies its semi-triangle completions
-  /// (and pair counts when enabled). Returns |N^(i)_u ∩ N^(i)_v|.
-  uint32_t CountArrival(VertexId u, VertexId v);
+  /// (and pair counts when enabled). Returns |N^(i)_u ∩ N^(i)_v|. Records
+  /// the arrival's adjacency probes so an immediately following
+  /// InsertSampled(u, v) reuses them.
+  uint32_t CountArrival(VertexId u, VertexId v) {
+    return CountArrivalImpl</*kCacheProbe=*/true>(u, v);
+  }
+
+  /// CountArrival for an edge the caller already knows it will NOT store
+  /// (REPT's routed replay pre-computes the bucket decision): identical
+  /// tallies, but skips the probe/completion caching an insert would have
+  /// consumed. Calling InsertSampled afterwards is still correct — it just
+  /// recomputes.
+  uint32_t CountArrivalNoStore(VertexId u, VertexId v) {
+    return CountArrivalImpl</*kCacheProbe=*/false>(u, v);
+  }
+
+  /// Cache hint for an upcoming CountArrival(u, v): see
+  /// SampledGraph::PrefetchVertices. Batch replay loops issue this a few
+  /// edges ahead of the one being counted.
+  void PrefetchArrival(VertexId u, VertexId v) const {
+    sample_.PrefetchVertices(u, v);
+  }
 
   /// Stores (u, v) in E^(i). Must be called right after CountArrival(u, v)
-  /// when the caller's sampling policy accepts the edge.
+  /// when the caller's sampling policy accepts the edge (the arrival's
+  /// adjacency probes and completion count are reused).
   void InsertSampled(VertexId u, VertexId v);
 
   /// Removes a stored edge (reservoir evictions). Pair counters for the
@@ -69,10 +111,8 @@ class SemiTriangleCounter {
   double global() const { return global_; }
   double eta() const { return eta_; }
 
-  const std::unordered_map<VertexId, double>& local() const { return local_; }
-  const std::unordered_map<VertexId, double>& eta_local() const {
-    return eta_local_;
-  }
+  const VertexTallyMap& local() const { return local_; }
+  const VertexTallyMap& eta_local() const { return eta_local_; }
 
   /// local_acc[v] += weight * tau_v^(i) for all tallied v.
   void AccumulateLocal(std::vector<double>& local_acc, double weight) const;
@@ -81,6 +121,10 @@ class SemiTriangleCounter {
 
   const SampledGraph& sample() const { return sample_; }
   uint64_t stored_edges() const { return sample_.num_edges(); }
+
+  /// Heap bytes of the engine's hot-path state: sampled adjacency (slot
+  /// array + arena) plus every tally map's slot array.
+  size_t MemoryBytes() const;
 
   /// Appends the engine's complete state (options echo, sampled edges,
   /// tallies, pair registers) to the writer's current section, in canonical
@@ -97,21 +141,49 @@ class SemiTriangleCounter {
   Status LoadState(CheckpointReader& reader);
 
  private:
+  /// The shared arrival body, inlined into both entry points. The
+  /// kCacheProbe instantiation fills the completion cache for a following
+  /// InsertSampled; the no-store instantiation runs the plain (lighter)
+  /// intersection.
+  template <bool kCacheProbe>
+  uint32_t CountArrivalImpl(VertexId u, VertexId v) {
+    scratch_.clear();
+    if constexpr (kCacheProbe) {
+      last_probe_ = sample_.ProbeCommonNeighbors(
+          u, v, [this](VertexId w) { scratch_.push_back(w); });
+    } else {
+      sample_.ForEachCommonNeighbor(
+          u, v, [this](VertexId w) { scratch_.push_back(w); });
+    }
+    const uint32_t completions = static_cast<uint32_t>(scratch_.size());
+    if (completions > 0) TallyCompletions(u, v, completions);
+    if constexpr (kCacheProbe) {
+      last_completions_ = completions;
+      last_valid_ = true;
+    } else {
+      last_valid_ = false;
+    }
+    return completions;
+  }
+
+  /// The (rare) tally-update tail of an arrival with completions.
+  void TallyCompletions(VertexId u, VertexId v, uint32_t completions);
+
   Options options_;
   SampledGraph sample_;
 
   double global_ = 0.0;
-  std::unordered_map<VertexId, double> local_;
+  VertexTallyMap local_;
 
   double eta_ = 0.0;
-  std::unordered_map<VertexId, double> eta_local_;
+  VertexTallyMap eta_local_;
   /// τ^(i)_(u,v): semi-triangles registered on stored edge (u,v).
-  std::unordered_map<uint64_t, uint32_t> edge_triangles_;
+  EdgeCounterMap edge_triangles_;
 
-  /// Completion cache so InsertSampled can reuse the intersection that
-  /// CountArrival just computed (same state, same result).
-  VertexId last_u_ = 0;
-  VertexId last_v_ = 0;
+  /// Completion cache so InsertSampled can reuse the intersection — and the
+  /// adjacency slots — that CountArrival just computed (same state, same
+  /// result).
+  SampledGraph::ArrivalProbe last_probe_;
   uint32_t last_completions_ = 0;
   bool last_valid_ = false;
 

@@ -23,14 +23,21 @@ void StreamingExactCounter::ProcessEdge(VertexId u, VertexId v) {
     // New triangle {u, v, w} has early edges (u,w) and (v,w): pair it with
     // every prior triangle in which those edges are early, then register it.
     for (VertexId w : scratch_) {
-      uint32_t& kuw = early_count_[EdgeKey(u, w)];
-      uint32_t& kvw = early_count_[EdgeKey(v, w)];
-      eta_ += kuw + kvw;
-      eta_v_[w] += kuw + kvw;  // shared edge incident to w either way
-      eta_v_[u] += kuw;        // pairs through (u,w) are incident to u
-      eta_v_[v] += kvw;        // pairs through (v,w) are incident to v
-      ++kuw;
-      ++kvw;
+      const uint64_t key_uw = EdgeKey(u, w);
+      const uint64_t key_vw = EdgeKey(v, w);
+      uint32_t* kuw = &early_count_[key_uw];
+      const uint64_t generation = early_count_.generation();
+      uint32_t* kvw = &early_count_[key_vw];
+      if (early_count_.generation() != generation) {
+        // The second insert may rehash the flat map; re-find the first.
+        kuw = early_count_.Find(key_uw);
+      }
+      eta_ += *kuw + *kvw;
+      eta_v_[w] += *kuw + *kvw;  // shared edge incident to w either way
+      eta_v_[u] += *kuw;         // pairs through (u,w) are incident to u
+      eta_v_[v] += *kvw;         // pairs through (v,w) are incident to v
+      ++*kuw;
+      ++*kvw;
     }
   }
   graph_.Insert(u, v);

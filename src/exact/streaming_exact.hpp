@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "container/flat_hash_map.hpp"
 #include "graph/edge_stream.hpp"
 #include "graph/sampled_graph.hpp"
 #include "graph/types.hpp"
@@ -42,7 +42,7 @@ class StreamingExactCounter {
   uint64_t eta_ = 0;
   std::vector<uint64_t> eta_v_;
   /// Early-edge triangle tally per stored edge (k_g in exact_counts.hpp).
-  std::unordered_map<uint64_t, uint32_t> early_count_;
+  FlatHashMap<uint64_t, uint32_t> early_count_;
   std::vector<VertexId> scratch_;
 };
 

@@ -33,6 +33,7 @@ EdgeStream BarabasiAlbert(const BarabasiAlbertParams& params, uint64_t seed) {
   }
 
   std::unordered_set<VertexId> picked;
+  picked.reserve(m);
   for (VertexId v = seed_size; v < n; ++v) {
     picked.clear();
     while (picked.size() < m) {

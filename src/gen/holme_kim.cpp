@@ -18,7 +18,10 @@ EdgeStream HolmeKim(const HolmeKimParams& params, uint64_t seed) {
 
   Rng rng(seed);
   std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(seed_size) * (seed_size - 1) / 2 +
+                static_cast<size_t>(n - seed_size) * m);
   std::vector<VertexId> endpoints;          // preferential-attachment urn
+  endpoints.reserve(edges.capacity() * 2);
   std::vector<std::vector<VertexId>> adj(n);  // needed for triad steps
 
   auto add_edge = [&](VertexId a, VertexId b) {
@@ -34,6 +37,7 @@ EdgeStream HolmeKim(const HolmeKimParams& params, uint64_t seed) {
   }
 
   std::unordered_set<VertexId> picked;
+  picked.reserve(m);
   for (VertexId v = seed_size; v < n; ++v) {
     picked.clear();
     VertexId last_target = 0;

@@ -15,8 +15,14 @@ EdgeStream PlantedCliques(const PlantedCliqueParams& params, uint64_t seed) {
              n);
 
   Rng rng(seed);
+  const size_t expected_edges =
+      static_cast<size_t>(params.num_cliques) * params.clique_size *
+          (params.clique_size - 1) / 2 +
+      static_cast<size_t>(params.background_edges);
   std::unordered_set<uint64_t> seen;
+  seen.reserve(expected_edges);
   std::vector<Edge> edges;
+  edges.reserve(expected_edges);
 
   // Disjoint clique membership from a seeded permutation prefix.
   std::vector<VertexId> perm(n);

@@ -16,6 +16,7 @@ EdgeStream WattsStrogatz(const WattsStrogatzParams& params, uint64_t seed) {
 
   Rng rng(seed);
   std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(n) * (k / 2));
   std::vector<Edge> edges;
   edges.reserve(static_cast<size_t>(n) * (k / 2));
 

@@ -69,9 +69,9 @@ Result<std::unique_ptr<TextFileEdgeSource>> TextFileEdgeSource::Open(
 size_t TextFileEdgeSource::NextChunk(std::span<Edge> out) {
   if (!status_.ok()) return 0;
   auto map_id = [this](uint64_t raw) {
-    auto [it, inserted] = remap_.emplace(raw, next_id_);
-    if (inserted) ++next_id_;
-    return it->second;
+    auto [id, inserted] = remap_.TryEmplace(raw);
+    if (inserted) *id = next_id_++;
+    return *id;
   };
 
   size_t produced = 0;
@@ -89,7 +89,7 @@ size_t TextFileEdgeSource::NextChunk(std::span<Edge> out) {
     }
     const VertexId u = map_id(raw_u);
     const VertexId v = map_id(raw_v);
-    if (dedupe_ && u != v && !seen_.insert(EdgeKey(u, v)).second) continue;
+    if (dedupe_ && u != v && !seen_.insert(EdgeKey(u, v))) continue;
     out[produced++] = Edge(u, v);
   }
   if (file_.bad()) {

@@ -19,9 +19,8 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "container/flat_hash_map.hpp"
 #include "graph/edge_stream.hpp"
 #include "graph/types.hpp"
 #include "persist/checkpoint_policy.hpp"
@@ -105,8 +104,10 @@ class TextFileEdgeSource : public EdgeSource {
   bool dedupe_;
   Status status_ = Status::OK();
 
-  std::unordered_map<uint64_t, VertexId> remap_;
-  std::unordered_set<uint64_t> seen_;
+  // Flat, open-addressing structures: the remap and dedup lookups run once
+  // per input line, making them part of the ingest hot path.
+  FlatHashMap<uint64_t, VertexId> remap_;
+  FlatHashSet<uint64_t> seen_;
   VertexId next_id_ = 0;
   uint64_t line_no_ = 0;
 };

@@ -1,69 +1,85 @@
 #include "graph/sampled_graph.hpp"
 
-#include <algorithm>
-
 namespace rept {
 
-namespace {
-
-// Inserts x into sorted vector; returns false if already present.
-bool SortedInsert(std::vector<VertexId>& vec, VertexId x) {
-  auto it = std::lower_bound(vec.begin(), vec.end(), x);
-  if (it != vec.end() && *it == x) return false;
-  vec.insert(it, x);
-  return true;
+NeighborList* SampledGraph::InsertEndpoint(VertexId target, VertexId neighbor,
+                                           const AdjacencyMap::Probe& probe,
+                                           bool probe_valid) {
+  NeighborList* list;
+  if (probe_valid) {
+    if (probe.found) {
+      REPT_DCHECK(adjacency_.slot_key(probe.slot) == target);
+      list = &adjacency_.slot_value(probe.slot);
+    } else {
+      list = &adjacency_.InsertAtProbe(probe, target);
+    }
+  } else {
+    list = &adjacency_[target];
+  }
+  return list->SortedInsert(neighbor, arena_) ? list : nullptr;
 }
-
-// Erases x from sorted vector; returns false if absent.
-bool SortedErase(std::vector<VertexId>& vec, VertexId x) {
-  auto it = std::lower_bound(vec.begin(), vec.end(), x);
-  if (it == vec.end() || *it != x) return false;
-  vec.erase(it);
-  return true;
-}
-
-}  // namespace
 
 bool SampledGraph::Insert(VertexId u, VertexId v) {
   if (u == v) return false;
-  std::vector<VertexId>& nu = adjacency_[u];
-  if (!SortedInsert(nu, v)) return false;
-  const bool inserted = SortedInsert(adjacency_[v], u);
-  REPT_DCHECK(inserted);
-  (void)inserted;
+  if (InsertEndpoint(u, v, AdjacencyMap::Probe{}, /*probe_valid=*/false) ==
+      nullptr) {
+    return false;
+  }
+  const NeighborList* nv =
+      InsertEndpoint(v, u, AdjacencyMap::Probe{}, /*probe_valid=*/false);
+  REPT_DCHECK(nv != nullptr);
+  (void)nv;
+  ++num_edges_;
+  return true;
+}
+
+bool SampledGraph::InsertWithProbe(const ArrivalProbe& probe) {
+  if (probe.u == probe.v) return false;
+  const bool pu_valid = probe.generation == adjacency_.generation();
+  if (InsertEndpoint(probe.u, probe.v, probe.pu, pu_valid) == nullptr) {
+    return false;
+  }
+  // Inserting u's entry may have rehashed the map; pv survives only when
+  // the generation still matches. When both endpoints were absent and
+  // probed to the same empty slot, u's insert consumed it — v must
+  // re-probe even without a rehash.
+  const bool pv_valid =
+      probe.generation == adjacency_.generation() &&
+      !(!probe.pu.found && !probe.pv.found &&
+        probe.pu.slot == probe.pv.slot);
+  const NeighborList* nv =
+      InsertEndpoint(probe.v, probe.u, probe.pv, pv_valid);
+  REPT_DCHECK(nv != nullptr);
+  (void)nv;
   ++num_edges_;
   return true;
 }
 
 bool SampledGraph::Erase(VertexId u, VertexId v) {
-  auto iu = adjacency_.find(u);
-  if (iu == adjacency_.end()) return false;
-  if (!SortedErase(iu->second, v)) return false;
-  if (iu->second.empty()) adjacency_.erase(iu);
-  auto iv = adjacency_.find(v);
-  REPT_DCHECK(iv != adjacency_.end());
-  const bool erased = SortedErase(iv->second, u);
+  NeighborList* nu = adjacency_.Find(u);
+  if (nu == nullptr) return false;
+  if (!nu->SortedErase(v)) return false;
+  if (nu->empty()) {
+    nu->Release(arena_);
+    adjacency_.erase(u);
+  }
+  NeighborList* nv = adjacency_.Find(v);
+  REPT_DCHECK(nv != nullptr);
+  const bool erased = nv->SortedErase(u);
   REPT_DCHECK(erased);
   (void)erased;
-  if (iv->second.empty()) adjacency_.erase(iv);
+  if (nv->empty()) {
+    nv->Release(arena_);
+    adjacency_.erase(v);
+  }
   REPT_DCHECK(num_edges_ > 0);
   --num_edges_;
   return true;
 }
 
 bool SampledGraph::Contains(VertexId u, VertexId v) const {
-  auto iu = adjacency_.find(u);
-  if (iu == adjacency_.end()) return false;
-  const std::vector<VertexId>& nu = iu->second;
-  return std::binary_search(nu.begin(), nu.end(), v);
-}
-
-size_t SampledGraph::MemoryBytes() const {
-  size_t bytes = adjacency_.bucket_count() * sizeof(void*);
-  for (const auto& [v, nbrs] : adjacency_) {
-    bytes += sizeof(v) + sizeof(nbrs) + nbrs.capacity() * sizeof(VertexId);
-  }
-  return bytes;
+  const NeighborList* nu = adjacency_.Find(u);
+  return nu != nullptr && nu->SortedContains(v);
 }
 
 }  // namespace rept

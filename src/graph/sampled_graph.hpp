@@ -3,16 +3,24 @@
 // per-edge cost of MASCOT/TRIEST/GPS/REPT is dominated by
 // CommonNeighbors(u, v) on this structure (paper §III-C).
 //
-// Representation: hash map vertex -> sorted neighbor vector. Sampled
-// subgraphs are sparse (≈ p|E| edges scattered over many vertices), so
-// sorted-vector neighbor lists beat per-vertex hash sets on both memory and
-// intersection speed (linear merge over two short sorted ranges).
+// Representation (docs/hot_path.md): a FlatHashMap from vertex to a sorted
+// NeighborList with inline small-buffer storage, spilling into a per-graph
+// Arena. Sampled subgraphs are sparse (≈ p|E| edges scattered over many
+// vertices, most of degree <= 4), so the common case is one open-addressing
+// probe plus an inline 16-byte list — no per-vertex heap node, no pointer
+// chase. Intersections run the adaptive kernel of sorted_intersect.hpp
+// (linear merge for balanced degrees, gallop under >= 8x skew).
+//
+// Not thread-safe: single writer per instance (the repo-wide ingest
+// contract); concurrent readers go through published tallies, never here.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
+#include <span>
 
+#include "container/flat_hash_map.hpp"
+#include "container/neighbor_list.hpp"
+#include "container/sorted_intersect.hpp"
 #include "graph/types.hpp"
 #include "util/check.hpp"
 
@@ -22,6 +30,12 @@ namespace rept {
 /// queries.
 class SampledGraph {
  public:
+  SampledGraph() = default;
+  SampledGraph(SampledGraph&&) = default;
+  SampledGraph& operator=(SampledGraph&&) = default;
+  SampledGraph(const SampledGraph&) = delete;
+  SampledGraph& operator=(const SampledGraph&) = delete;
+
   /// Inserts undirected edge {u, v}. Returns false (no-op) if the edge is
   /// already present or is a self loop.
   bool Insert(VertexId u, VertexId v);
@@ -37,13 +51,18 @@ class SampledGraph {
   size_t num_active_vertices() const { return adjacency_.size(); }
 
   uint32_t degree(VertexId v) const {
-    auto it = adjacency_.find(v);
-    return it == adjacency_.end() ? 0
-                                  : static_cast<uint32_t>(it->second.size());
+    const NeighborList* list = adjacency_.Find(v);
+    return list == nullptr ? 0 : list->size();
   }
+
+  /// Pre-sizes the adjacency map for `n` active vertices, so a stream whose
+  /// expected size is known up front (SessionOptions hints) never pays a
+  /// mid-stream rehash spike.
+  void ReserveVertices(size_t n) { adjacency_.reserve(n); }
 
   void Clear() {
     adjacency_.clear();
+    arena_.Reset();
     num_edges_ = 0;
   }
 
@@ -52,25 +71,13 @@ class SampledGraph {
   /// an arriving edge (u, v).
   template <typename Fn>
   void ForEachCommonNeighbor(VertexId u, VertexId v, Fn&& fn) const {
-    auto iu = adjacency_.find(u);
-    if (iu == adjacency_.end()) return;
-    auto iv = adjacency_.find(v);
-    if (iv == adjacency_.end()) return;
-    const std::vector<VertexId>& a = iu->second;
-    const std::vector<VertexId>& b = iv->second;
-    size_t i = 0;
-    size_t j = 0;
-    while (i < a.size() && j < b.size()) {
-      if (a[i] < b[j]) {
-        ++i;
-      } else if (a[i] > b[j]) {
-        ++j;
-      } else {
-        fn(a[i]);
-        ++i;
-        ++j;
-      }
-    }
+    adjacency_.Prefetch(u);
+    adjacency_.Prefetch(v);
+    const NeighborList* nu = adjacency_.Find(u);
+    if (nu == nullptr) return;
+    const NeighborList* nv = adjacency_.Find(v);
+    if (nv == nullptr) return;
+    IntersectSorted(nu->view(), nv->view(), std::forward<Fn>(fn));
   }
 
   /// |N_u ∩ N_v| without enumeration.
@@ -80,29 +87,92 @@ class SampledGraph {
     return count;
   }
 
+  // -------------------------------------------------------------------
+  // Arrival fast path: one adjacency probe per endpoint, reused by the
+  // insert that may immediately follow (SemiTriangleCounter::CountArrival
+  // -> InsertSampled re-hashed both endpoints before this existed).
+
+  /// \brief The slots u and v landed on during an arrival intersection.
+  /// Valid for InsertWithProbe while no other mutation intervenes; a stale
+  /// generation falls back to a fresh probe automatically.
+  struct ArrivalProbe {
+    VertexId u = 0;
+    VertexId v = 0;
+    FlatHashMap<VertexId, NeighborList>::Probe pu;
+    FlatHashMap<VertexId, NeighborList>::Probe pv;
+    uint64_t generation = 0;
+  };
+
+  /// ForEachCommonNeighbor that also returns the endpoint probes, so a
+  /// following InsertWithProbe skips both re-hashes.
+  template <typename Fn>
+  ArrivalProbe ProbeCommonNeighbors(VertexId u, VertexId v, Fn&& fn) const {
+    // Both home slots are computable up front; prefetch them together so
+    // the two slot loads overlap instead of serializing through the cache
+    // hierarchy.
+    adjacency_.Prefetch(u);
+    adjacency_.Prefetch(v);
+    ArrivalProbe probe;
+    probe.u = u;
+    probe.v = v;
+    probe.generation = adjacency_.generation();
+    probe.pu = adjacency_.FindProbe(u);
+    probe.pv = adjacency_.FindProbe(v);
+    if (probe.pu.found && probe.pv.found) {
+      IntersectSorted(adjacency_.slot_value(probe.pu.slot).view(),
+                      adjacency_.slot_value(probe.pv.slot).view(),
+                      std::forward<Fn>(fn));
+    }
+    return probe;
+  }
+
+  /// Insert(probe.u, probe.v) that reuses the probed slots when still
+  /// valid. Same result as Insert in every case.
+  bool InsertWithProbe(const ArrivalProbe& probe);
+
+  /// Cache hint for a future arrival's endpoints: batch replay loops call
+  /// this a few edges ahead so the (usually cache-missing) adjacency slot
+  /// loads of edge t+k overlap the counting work of edge t.
+  void PrefetchVertices(VertexId u, VertexId v) const {
+    adjacency_.Prefetch(u);
+    adjacency_.Prefetch(v);
+  }
+
   /// Calls fn(u, v) exactly once per stored edge, with u < v. Order is
-  /// unspecified (hash-map iteration); canonicalize before persisting.
+  /// unspecified (slot order); canonicalize before persisting.
   template <typename Fn>
   void ForEachEdge(Fn&& fn) const {
     for (const auto& [u, nbrs] : adjacency_) {
-      for (const VertexId v : nbrs) {
+      for (const VertexId v : nbrs.view()) {
         if (u < v) fn(u, v);
       }
     }
   }
 
-  /// Sorted neighbor list of v (empty if v has no stored edges).
-  const std::vector<VertexId>& neighbors(VertexId v) const {
-    static const std::vector<VertexId> kEmpty;
-    auto it = adjacency_.find(v);
-    return it == adjacency_.end() ? kEmpty : it->second;
+  /// Sorted neighbor list of v (empty if v has no stored edges). The span
+  /// is invalidated by any mutation.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    const NeighborList* list = adjacency_.Find(v);
+    return list == nullptr ? std::span<const VertexId>() : list->view();
   }
 
-  /// Approximate heap bytes used (for memory accounting in benches).
-  size_t MemoryBytes() const;
+  /// Heap bytes used: the flat slot array plus the arena footprint backing
+  /// spilled neighbor lists (memory-parity accounting for the benches).
+  size_t MemoryBytes() const {
+    return adjacency_.MemoryBytes() + arena_.MemoryBytes();
+  }
 
  private:
-  std::unordered_map<VertexId, std::vector<VertexId>> adjacency_;
+  using AdjacencyMap = FlatHashMap<VertexId, NeighborList>;
+
+  /// Inserts v into u's list (creating u's entry if needed), preferring the
+  /// probed slot. Returns nullptr if v was already present, else u's list.
+  NeighborList* InsertEndpoint(VertexId target, VertexId neighbor,
+                               const AdjacencyMap::Probe& probe,
+                               bool probe_valid);
+
+  AdjacencyMap adjacency_;
+  Arena arena_;
   uint64_t num_edges_ = 0;
 };
 

@@ -35,26 +35,6 @@ Status LoadSampledGraph(CheckpointReader& reader, SampledGraph& graph) {
   return reader.status();
 }
 
-void SaveVertexTallies(CheckpointWriter& writer,
-                       const std::unordered_map<VertexId, double>& tallies) {
-  SaveSortedMap(writer, tallies);
-}
-
-Status LoadVertexTallies(CheckpointReader& reader,
-                         std::unordered_map<VertexId, double>& tallies) {
-  return LoadSortedMap(reader, tallies, "vertex tallies");
-}
-
-void SaveEdgeCounters(CheckpointWriter& writer,
-                      const std::unordered_map<uint64_t, uint32_t>& counters) {
-  SaveSortedMap(writer, counters);
-}
-
-Status LoadEdgeCounters(CheckpointReader& reader,
-                        std::unordered_map<uint64_t, uint32_t>& counters) {
-  return LoadSortedMap(reader, counters, "edge counters");
-}
-
 void SaveRng(CheckpointWriter& writer, const Rng& rng) {
   const std::array<uint64_t, 4> state = rng.SaveState();
   for (const uint64_t word : state) writer.AppendU64(word);

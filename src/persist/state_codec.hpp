@@ -1,16 +1,20 @@
 // Shared field encoders for estimator state: the sampled-edge sets, per-node
 // tally maps, and RNG engine state that every counter serializes. Encoding
 // is canonical (key-ascending order) so identical state always produces
-// identical checkpoint bytes, and decoding validates structure (strictly
-// ascending keys, no self loops, no duplicates) so corrupt input fails with
+// identical checkpoint bytes — regardless of the in-memory map type or its
+// iteration order — and decoding validates structure (strictly ascending
+// keys, no self loops, no duplicates) so corrupt input fails with
 // Status::Corruption instead of corrupting a live session.
+//
+// The map codecs are generic over the container: both std::unordered_map
+// (TRIEST / GPS cold state) and FlatHashMap (the hot-path tally maps) work,
+// via the shared key_type/mapped_type + begin/end + reserve/emplace surface.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <string>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -53,9 +57,10 @@ T ReadScalar(CheckpointReader& reader) {
 
 /// Appends a hash map as a count plus key-ascending (key, value) pairs —
 /// the one canonical map encoding every counter state uses.
-template <typename K, typename V>
-void SaveSortedMap(CheckpointWriter& writer,
-                   const std::unordered_map<K, V>& map) {
+template <typename Map>
+void SaveSortedMap(CheckpointWriter& writer, const Map& map) {
+  using K = typename Map::key_type;
+  using V = typename Map::mapped_type;
   std::vector<std::pair<K, V>> items(map.begin(), map.end());
   std::sort(items.begin(), items.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -69,9 +74,10 @@ void SaveSortedMap(CheckpointWriter& writer,
 /// Decodes a SaveSortedMap payload, validating the element count against
 /// the bytes present and the strictly-ascending key order (which also
 /// rejects duplicates). `what` names the field in the Corruption message.
-template <typename K, typename V>
-Status LoadSortedMap(CheckpointReader& reader, std::unordered_map<K, V>& map,
-                     const char* what) {
+template <typename Map>
+Status LoadSortedMap(CheckpointReader& reader, Map& map, const char* what) {
+  using K = typename Map::key_type;
+  using V = typename Map::mapped_type;
   map.clear();
   const uint64_t count = reader.ReadCount(sizeof(K) + sizeof(V));
   map.reserve(static_cast<size_t>(count));
@@ -92,19 +98,31 @@ Status LoadSortedMap(CheckpointReader& reader, std::unordered_map<K, V>& map,
 
 /// Appends a vertex-id -> double tally map as a count plus key-ascending
 /// (u32 key, f64 bits) pairs.
-void SaveVertexTallies(CheckpointWriter& writer,
-                       const std::unordered_map<VertexId, double>& tallies);
+template <typename Map>
+void SaveVertexTallies(CheckpointWriter& writer, const Map& tallies) {
+  static_assert(std::is_same_v<typename Map::key_type, VertexId> &&
+                std::is_same_v<typename Map::mapped_type, double>);
+  SaveSortedMap(writer, tallies);
+}
 
-Status LoadVertexTallies(CheckpointReader& reader,
-                         std::unordered_map<VertexId, double>& tallies);
+template <typename Map>
+Status LoadVertexTallies(CheckpointReader& reader, Map& tallies) {
+  return LoadSortedMap(reader, tallies, "vertex tallies");
+}
 
 /// Appends an EdgeKey -> u32 counter map (Algorithm 2's per-edge
 /// semi-triangle registers) as key-ascending (u64, u32) pairs.
-void SaveEdgeCounters(CheckpointWriter& writer,
-                      const std::unordered_map<uint64_t, uint32_t>& counters);
+template <typename Map>
+void SaveEdgeCounters(CheckpointWriter& writer, const Map& counters) {
+  static_assert(std::is_same_v<typename Map::key_type, uint64_t> &&
+                std::is_same_v<typename Map::mapped_type, uint32_t>);
+  SaveSortedMap(writer, counters);
+}
 
-Status LoadEdgeCounters(CheckpointReader& reader,
-                        std::unordered_map<uint64_t, uint32_t>& counters);
+template <typename Map>
+Status LoadEdgeCounters(CheckpointReader& reader, Map& counters) {
+  return LoadSortedMap(reader, counters, "edge counters");
+}
 
 /// Appends the engine's raw 256-bit state; restore is bit-exact, so the
 /// resumed generator emits the same sequence the interrupted one would have.

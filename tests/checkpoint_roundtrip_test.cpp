@@ -344,6 +344,38 @@ TEST(CheckpointRoundtripTest, IngestAllPolicyPeriodicallySavesAndResumes) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointRoundtripTest, GoldenCheckpointBytesMatchPr4Implementation) {
+  // Golden constants captured from the PR-4 (node-based-map)
+  // implementation: the flat arena-backed structures must serialize to the
+  // exact same checkpoint byte stream (the codec canonicalizes by key
+  // order, so this holds regardless of in-memory layout). A drift here
+  // means restored sessions would diverge from pre-rewrite checkpoints.
+  gen::HolmeKimParams params;
+  params.num_vertices = 400;
+  params.edges_per_vertex = 4;
+  params.triad_probability = 0.6;
+  const EdgeStream stream = gen::HolmeKim(params, /*seed=*/12345);
+
+  ReptConfig config;
+  config.m = 5;
+  config.c = 13;
+  ReptSession session(config, /*seed=*/777, /*pool=*/nullptr);
+  IngestRange(session, stream, 0, stream.size(), /*chunk=*/97);
+
+  EXPECT_EQ(session.StateFingerprint(), 0xa6ce86bfb318e7e5ull);
+
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(WriteCheckpointStream(session, out).ok());
+  const std::string bytes = out.str();
+  EXPECT_EQ(bytes.size(), 59358u);
+  uint64_t hash = 1469598103934665603ull;
+  for (const char byte : bytes) {
+    hash ^= static_cast<unsigned char>(byte);
+    hash *= 1099511628211ull;
+  }
+  EXPECT_EQ(hash, 0x601b9c2ade3aa597ull);
+}
+
 TEST(CheckpointRoundtripTest, IngestAllPolicyEveryBatchesTriggers) {
   const EdgeStream stream = FixedStream();
   ReptConfig config;

@@ -1,0 +1,250 @@
+// Unit tests for the flat hot-path containers: FlatHashMap probing and
+// backward-shift deletion, the Probe/InsertAtProbe fast path, Arena
+// recycling, NeighborList small-buffer behavior, and the adaptive
+// intersection kernel.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "container/arena.hpp"
+#include "container/flat_hash_map.hpp"
+#include "container/neighbor_list.hpp"
+#include "container/sorted_intersect.hpp"
+#include "util/random.hpp"
+
+namespace rept {
+namespace {
+
+TEST(FlatHashMapTest, InsertFindErase) {
+  FlatHashMap<uint32_t, double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+
+  map[7] = 1.5;
+  map[9] += 2.0;  // operator[] value-initializes
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_DOUBLE_EQ(map.at(7), 1.5);
+  EXPECT_DOUBLE_EQ(map.at(9), 2.0);
+  EXPECT_EQ(map.count(8), 0u);
+
+  EXPECT_TRUE(map.erase(7));
+  EXPECT_FALSE(map.erase(7));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_NE(map.Find(9), nullptr);
+}
+
+TEST(FlatHashMapTest, GrowthPreservesEntries) {
+  FlatHashMap<uint64_t, uint32_t> map;
+  for (uint64_t k = 0; k < 10000; ++k) map[k * 2654435761u] = k & 0xffff;
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    const uint32_t* value = map.Find(k * 2654435761u);
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(*value, k & 0xffff);
+  }
+}
+
+TEST(FlatHashMapTest, DifferentialAgainstStdMap) {
+  // Random insert/erase/lookup storm vs std::map reference, including
+  // adversarial keys that collide in the low bits.
+  FlatHashMap<uint32_t, uint32_t> map;
+  std::map<uint32_t, uint32_t> reference;
+  Rng rng(99);
+  for (int step = 0; step < 200000; ++step) {
+    const uint32_t key = static_cast<uint32_t>(rng.Below(512)) << 16;
+    const uint32_t op = static_cast<uint32_t>(rng.Below(4));
+    if (op == 0) {
+      EXPECT_EQ(map.erase(key), reference.erase(key) > 0);
+    } else if (op == 1) {
+      const uint32_t* found = map.Find(key);
+      const auto it = reference.find(key);
+      ASSERT_EQ(found != nullptr, it != reference.end());
+      if (found != nullptr) {
+        EXPECT_EQ(*found, it->second);
+      }
+    } else {
+      const uint32_t value = static_cast<uint32_t>(rng.Below(1000));
+      map[key] = value;
+      reference[key] = value;
+    }
+    ASSERT_EQ(map.size(), reference.size());
+  }
+  // Final sweep: identical contents.
+  for (const auto& [key, value] : reference) {
+    const uint32_t* found = map.Find(key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, value);
+  }
+}
+
+TEST(FlatHashMapTest, IterationVisitsEachEntryOnce) {
+  FlatHashMap<uint32_t, double> map;
+  for (uint32_t k = 1; k <= 100; ++k) map[k] = k * 0.5;
+  std::set<uint32_t> seen;
+  double sum = 0.0;
+  for (const auto& [key, value] : map) {
+    EXPECT_TRUE(seen.insert(key).second);
+    sum += value;
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_DOUBLE_EQ(sum, 0.5 * (100.0 * 101.0 / 2.0));
+}
+
+TEST(FlatHashMapTest, ProbeInsertFastPath) {
+  FlatHashMap<uint32_t, uint32_t> map;
+  // Empty map: probe then insert-at-probe must grow transparently.
+  auto probe = map.FindProbe(42);
+  EXPECT_FALSE(probe.found);
+  map.InsertAtProbe(probe, 42) = 7;
+  EXPECT_EQ(map.at(42), 7u);
+
+  // Existing-key probe round-trips through slot accessors.
+  probe = map.FindProbe(42);
+  ASSERT_TRUE(probe.found);
+  EXPECT_EQ(map.slot_key(probe.slot), 42u);
+  EXPECT_EQ(map.slot_value(probe.slot), 7u);
+
+  // Generation bumps on rehash, not on in-place inserts.
+  const uint64_t generation = map.generation();
+  map.reserve(1000);
+  EXPECT_NE(map.generation(), generation);
+}
+
+TEST(FlatHashMapTest, ClearKeepsCapacityDropsEntries) {
+  FlatHashMap<uint32_t, uint32_t> map;
+  for (uint32_t k = 0; k < 100; ++k) map[k] = k;
+  const size_t bytes = map.MemoryBytes();
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(5), nullptr);
+  EXPECT_EQ(map.MemoryBytes(), bytes);
+}
+
+TEST(FlatHashSetTest, InsertReportsNovelty) {
+  FlatHashSet<uint64_t> set;
+  EXPECT_TRUE(set.insert(10));
+  EXPECT_FALSE(set.insert(10));
+  EXPECT_TRUE(set.insert(11));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(10));
+  EXPECT_FALSE(set.contains(12));
+}
+
+TEST(ArenaTest, RecyclesFreedArrays) {
+  Arena arena;
+  VertexId* a = arena.AllocateIds(8);
+  const size_t bytes_after_first = arena.MemoryBytes();
+  arena.FreeIds(a, 8);
+  VertexId* b = arena.AllocateIds(8);
+  EXPECT_EQ(a, b);  // free list handed the same storage back
+  EXPECT_EQ(arena.MemoryBytes(), bytes_after_first);
+  arena.Reset();
+  EXPECT_EQ(arena.MemoryBytes(), 0u);
+}
+
+TEST(ArenaTest, MovedFromArenaIsReusable) {
+  Arena a;
+  VertexId* p = a.AllocateIds(8);
+  a.FreeIds(p, 8);
+  Arena b = std::move(a);
+  EXPECT_EQ(a.MemoryBytes(), 0u);
+  // The destination inherited the free list; the moved-from arena starts
+  // fresh and must never hand out storage aliasing b's blocks.
+  VertexId* from_b = b.AllocateIds(8);
+  EXPECT_EQ(from_b, p);
+  VertexId* from_a = a.AllocateIds(8);
+  EXPECT_NE(from_a, from_b);
+  from_a[7] = 42;
+  from_b[7] = 43;
+  EXPECT_EQ(from_a[7], 42u);
+  EXPECT_EQ(from_b[7], 43u);
+}
+
+TEST(ArenaTest, OversizeRequestGetsDedicatedBlock) {
+  Arena arena;
+  VertexId* big = arena.AllocateIds(1u << 20);  // 4 MiB, beyond block cap
+  big[0] = 1;
+  big[(1u << 20) - 1] = 2;
+  EXPECT_GE(arena.MemoryBytes(), (size_t{1} << 20) * sizeof(VertexId));
+}
+
+TEST(NeighborListTest, StaysInlineUpToFour) {
+  Arena arena;
+  NeighborList list;
+  EXPECT_TRUE(list.SortedInsert(3, arena));
+  EXPECT_TRUE(list.SortedInsert(1, arena));
+  EXPECT_TRUE(list.SortedInsert(2, arena));
+  EXPECT_TRUE(list.SortedInsert(4, arena));
+  EXPECT_FALSE(list.SortedInsert(2, arena));  // duplicate
+  EXPECT_EQ(arena.MemoryBytes(), 0u);         // still inline
+  EXPECT_EQ(list.size(), 4u);
+  const std::vector<VertexId> got(list.view().begin(), list.view().end());
+  EXPECT_EQ(got, (std::vector<VertexId>{1, 2, 3, 4}));
+}
+
+TEST(NeighborListTest, SpillsAndGrowsGeometrically) {
+  Arena arena;
+  NeighborList list;
+  for (VertexId v = 0; v < 100; ++v) {
+    EXPECT_TRUE(list.SortedInsert(v * 3, arena));
+  }
+  EXPECT_EQ(list.size(), 100u);
+  EXPECT_GT(arena.MemoryBytes(), 0u);
+  EXPECT_TRUE(list.SortedContains(99 * 3));
+  EXPECT_FALSE(list.SortedContains(1));
+  EXPECT_TRUE(std::is_sorted(list.view().begin(), list.view().end()));
+
+  EXPECT_TRUE(list.SortedErase(0));
+  EXPECT_FALSE(list.SortedErase(0));
+  EXPECT_EQ(list.size(), 99u);
+  list.Release(arena);
+  EXPECT_EQ(list.size(), 0u);
+}
+
+std::vector<VertexId> IntersectVia(const std::vector<VertexId>& a,
+                                   const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  IntersectSorted(std::span<const VertexId>(a), std::span<const VertexId>(b),
+                  [&out](VertexId w) { out.push_back(w); });
+  return out;
+}
+
+TEST(SortedIntersectTest, MatchesStdSetIntersection) {
+  // Random sorted ranges across the merge/gallop size boundary.
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::set<VertexId> sa;
+    std::set<VertexId> sb;
+    const size_t na = 1 + rng.Below(20);
+    const size_t nb = 1 + rng.Below(300);  // often >= 8x skew
+    while (sa.size() < na) sa.insert(static_cast<VertexId>(rng.Below(400)));
+    while (sb.size() < nb) sb.insert(static_cast<VertexId>(rng.Below(400)));
+    const std::vector<VertexId> a(sa.begin(), sa.end());
+    const std::vector<VertexId> b(sb.begin(), sb.end());
+    std::vector<VertexId> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(IntersectVia(a, b), expected);
+    EXPECT_EQ(IntersectVia(b, a), expected);
+  }
+}
+
+TEST(SortedIntersectTest, EdgeCases) {
+  EXPECT_TRUE(IntersectVia({}, {1, 2, 3}).empty());
+  EXPECT_TRUE(IntersectVia({1, 2, 3}, {}).empty());
+  EXPECT_TRUE(IntersectVia({1, 3, 5}, {2, 4, 6}).empty());
+  EXPECT_EQ(IntersectVia({1, 2, 3}, {1, 2, 3}),
+            (std::vector<VertexId>{1, 2, 3}));
+  // Gallop path: tiny probe list vs long target, matches at both ends.
+  std::vector<VertexId> lengthy;
+  for (VertexId v = 0; v < 1000; ++v) lengthy.push_back(v);
+  EXPECT_EQ(IntersectVia({0, 999}, lengthy),
+            (std::vector<VertexId>{0, 999}));
+}
+
+}  // namespace
+}  // namespace rept

@@ -1,0 +1,194 @@
+// Randomized differential test of SampledGraph (and the
+// SemiTriangleCounter Insert/Erase interplay above it) against a naive
+// std::set-based reference model — the executable definition of the
+// pre-rewrite sorted-vector/unordered_map semantics. Every operation the
+// estimators issue (Insert, Erase, Contains, degree, common-neighbor
+// enumeration, the CountArrival -> InsertSampled probe fast path, and
+// reservoir-style EraseSampled churn) is driven with random vertex ids over
+// a small id space (heavy collisions) and cross-checked after each step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/semi_triangle_counter.hpp"
+#include "graph/sampled_graph.hpp"
+#include "util/random.hpp"
+
+namespace rept {
+namespace {
+
+/// The reference model: an explicit undirected edge set.
+class ReferenceGraph {
+ public:
+  bool Insert(VertexId u, VertexId v) {
+    if (u == v) return false;
+    return edges_.insert(Key(u, v)).second;
+  }
+  bool Erase(VertexId u, VertexId v) { return edges_.erase(Key(u, v)) > 0; }
+  bool Contains(VertexId u, VertexId v) const {
+    return edges_.count(Key(u, v)) > 0;
+  }
+  uint64_t num_edges() const { return edges_.size(); }
+
+  uint32_t degree(VertexId v) const {
+    uint32_t d = 0;
+    for (const auto& [a, b] : edges_) d += (a == v || b == v) ? 1 : 0;
+    return d;
+  }
+
+  std::vector<VertexId> Neighbors(VertexId v) const {
+    std::vector<VertexId> out;
+    for (const auto& [a, b] : edges_) {
+      if (a == v) out.push_back(b);
+      if (b == v) out.push_back(a);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<VertexId> CommonNeighbors(VertexId u, VertexId v) const {
+    const std::vector<VertexId> nu = Neighbors(u);
+    const std::vector<VertexId> nv = Neighbors(v);
+    std::vector<VertexId> out;
+    std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                          std::back_inserter(out));
+    return out;
+  }
+
+ private:
+  static std::pair<VertexId, VertexId> Key(VertexId u, VertexId v) {
+    return {std::min(u, v), std::max(u, v)};
+  }
+  std::set<std::pair<VertexId, VertexId>> edges_;
+};
+
+std::vector<VertexId> Collect(const SampledGraph& g, VertexId u, VertexId v) {
+  std::vector<VertexId> out;
+  g.ForEachCommonNeighbor(u, v, [&out](VertexId w) { out.push_back(w); });
+  return out;
+}
+
+TEST(SampledGraphFuzzTest, DifferentialAgainstReferenceModel) {
+  SampledGraph graph;
+  ReferenceGraph reference;
+  Rng rng(2024);
+  // Small id space so inserts collide, erases hit, vertices empty out and
+  // come back, and lists cross the inline->spill boundary repeatedly.
+  constexpr VertexId kVertices = 24;
+
+  for (int step = 0; step < 60000; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.Below(kVertices));
+    const VertexId v = static_cast<VertexId>(rng.Below(kVertices));
+    switch (rng.Below(4)) {
+      case 0:
+      case 1:  // bias toward inserts so the graph stays populated
+        ASSERT_EQ(graph.Insert(u, v), reference.Insert(u, v))
+            << "insert " << u << "," << v << " at step " << step;
+        break;
+      case 2:
+        ASSERT_EQ(graph.Erase(u, v), reference.Erase(u, v))
+            << "erase " << u << "," << v << " at step " << step;
+        break;
+      default: {
+        const VertexId w = static_cast<VertexId>(rng.Below(kVertices));
+        ASSERT_EQ(graph.Contains(v, w), reference.Contains(v, w));
+        ASSERT_EQ(graph.degree(u), reference.degree(u));
+        ASSERT_EQ(Collect(graph, u, v), reference.CommonNeighbors(u, v));
+        break;
+      }
+    }
+    ASSERT_EQ(graph.num_edges(), reference.num_edges());
+  }
+
+  // Full final audit: neighbor lists and intersections over every pair.
+  for (VertexId u = 0; u < kVertices; ++u) {
+    const auto nbrs = graph.neighbors(u);
+    ASSERT_EQ(std::vector<VertexId>(nbrs.begin(), nbrs.end()),
+              reference.Neighbors(u));
+    for (VertexId v = u + 1; v < kVertices; ++v) {
+      ASSERT_EQ(graph.Contains(u, v), reference.Contains(u, v));
+      ASSERT_EQ(Collect(graph, u, v), reference.CommonNeighbors(u, v));
+    }
+  }
+}
+
+TEST(SampledGraphFuzzTest, ProbeInsertMatchesPlainInsert) {
+  // The CountArrival fast path: ProbeCommonNeighbors + InsertWithProbe must
+  // behave exactly like ForEachCommonNeighbor + Insert, including the
+  // both-endpoints-new and duplicate-edge corners.
+  SampledGraph probed;
+  SampledGraph plain;
+  Rng rng(11);
+  constexpr VertexId kVertices = 40;
+  for (int step = 0; step < 30000; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.Below(kVertices));
+    const VertexId v = static_cast<VertexId>(rng.Below(kVertices));
+    if (rng.Below(8) == 0) {
+      ASSERT_EQ(probed.Erase(u, v), plain.Erase(u, v));
+      continue;
+    }
+    std::vector<VertexId> via_probe;
+    const auto probe = probed.ProbeCommonNeighbors(
+        u, v, [&via_probe](VertexId w) { via_probe.push_back(w); });
+    ASSERT_EQ(via_probe, Collect(plain, u, v));
+    if (rng.Below(2) == 0) {  // the caller's sampling policy
+      ASSERT_EQ(probed.InsertWithProbe(probe), plain.Insert(u, v));
+    }
+    ASSERT_EQ(probed.num_edges(), plain.num_edges());
+  }
+}
+
+TEST(SampledGraphFuzzTest, CounterInsertEraseInterplay) {
+  // EraseSampled after CountArrival must invalidate the completion cache:
+  // the tallies of a churned counter must match a replayed fresh counter
+  // fed the surviving operation sequence. This is the TRIEST/GPS eviction
+  // pattern (CountArrival every edge, InsertSampled/EraseSampled mixed).
+  SemiTriangleCounter::Options options;
+  options.track_local = true;
+  options.track_pairs = true;
+  SemiTriangleCounter counter(options);
+  Rng rng(5);
+  constexpr VertexId kVertices = 30;
+  std::vector<Edge> stored;  // mirror of the counter's sampled edge set
+
+  for (int step = 0; step < 20000; ++step) {
+    const VertexId u = static_cast<VertexId>(rng.Below(kVertices));
+    VertexId v = static_cast<VertexId>(rng.Below(kVertices - 1));
+    if (v >= u) ++v;
+    if (!stored.empty() && rng.Below(4) == 0) {
+      const size_t victim = rng.Below(stored.size());
+      const Edge evicted = stored[victim];
+      counter.EraseSampled(evicted.u, evicted.v);
+      stored.erase(stored.begin() + static_cast<int64_t>(victim));
+      ASSERT_EQ(counter.stored_edges(), stored.size());
+      ASSERT_FALSE(counter.sample().Contains(evicted.u, evicted.v));
+      continue;
+    }
+    const uint32_t completions = counter.CountArrival(u, v);
+    ASSERT_EQ(completions, counter.sample().CountCommonNeighbors(u, v));
+    if (rng.Below(2) == 0) {
+      const uint64_t before = counter.stored_edges();
+      counter.InsertSampled(u, v);
+      if (counter.stored_edges() != before) stored.push_back(Edge(u, v));
+      ASSERT_TRUE(counter.sample().Contains(u, v));
+    }
+  }
+
+  // The sampled graph's structure survived the churn intact.
+  ReferenceGraph reference;
+  for (const Edge& e : stored) reference.Insert(e.u, e.v);
+  ASSERT_EQ(counter.stored_edges(), reference.num_edges());
+  for (VertexId a = 0; a < kVertices; ++a) {
+    for (VertexId b = a + 1; b < kVertices; ++b) {
+      ASSERT_EQ(counter.sample().Contains(a, b), reference.Contains(a, b));
+      ASSERT_EQ(Collect(counter.sample(), a, b),
+                reference.CommonNeighbors(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rept

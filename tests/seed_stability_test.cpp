@@ -1,11 +1,20 @@
 // Determinism regression: with a pinned seed, a REPT run is a pure function
 // of (stream, seed, config) — never of thread scheduling. Guards the
 // pre-seeded-private-state contract that thread_pool.hpp promises.
+//
+// The GoldenTallies case additionally pins the *values*: the constants were
+// captured from the PR-4 implementation (std::unordered_map tally maps,
+// sorted-vector adjacency) and the flat arena-backed rewrite must reproduce
+// them bit for bit — the executable proof that the hot-path data-structure
+// swap changed performance only.
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "core/rept_estimator.hpp"
+#include "core/rept_session.hpp"
 #include "gen/holme_kim.hpp"
 #include "util/thread_pool.hpp"
 
@@ -68,6 +77,54 @@ TEST(SeedStabilityTest, PoolSizeDoesNotAffectInstanceTallies) {
   EXPECT_EQ(serial.tau_hat2, parallel.tau_hat2);
   EXPECT_EQ(serial.eta_hat, parallel.eta_hat);
   EXPECT_TRUE(serial.used_combination);
+}
+
+uint64_t Fnv1a(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(SeedStabilityTest, GoldenTalliesMatchPr4Implementation) {
+  // Golden values captured from the PR-4 (node-based-map) implementation:
+  // HolmeKim(n=400, m=4, pt=0.6, seed=12345), REPT m=5 c=13 (Algorithm 2),
+  // session seed 777, serial ingest in 97-edge batches.
+  gen::HolmeKimParams params;
+  params.num_vertices = 400;
+  params.edges_per_vertex = 4;
+  params.triad_probability = 0.6;
+  const EdgeStream stream = gen::HolmeKim(params, /*seed=*/12345);
+  ASSERT_EQ(stream.size(), 1590u);
+
+  ReptConfig config;
+  config.m = 5;
+  config.c = 13;
+  ReptSession session(config, /*seed=*/777, /*pool=*/nullptr);
+  session.NoteVertices(stream.num_vertices());
+  const auto& edges = stream.edges();
+  for (size_t at = 0; at < edges.size(); at += 97) {
+    const size_t n = std::min<size_t>(97, edges.size() - at);
+    session.Ingest(std::span<const Edge>(edges.data() + at, n));
+  }
+
+  const ReptEstimator::RunDetail detail = session.SnapshotDetailed();
+  EXPECT_EQ(detail.estimates.global, 0x1.e556567be4574p+9);
+  EXPECT_EQ(detail.tau_hat1, 0x1.e28p+9);
+  EXPECT_EQ(detail.tau_hat2, 0x1.f400000000001p+9);
+  EXPECT_EQ(detail.eta_hat, 0x1.0fa2762762762p+11);
+  EXPECT_EQ(session.StoredEdges(), 4144u);
+  ASSERT_EQ(detail.instance_tallies.size(), 13u);
+  EXPECT_EQ(Fnv1a(detail.instance_tallies.data(),
+                  detail.instance_tallies.size() * sizeof(double)),
+            0x6fd56692e2f8426full);
+  ASSERT_EQ(detail.estimates.local.size(), 400u);
+  EXPECT_EQ(Fnv1a(detail.estimates.local.data(),
+                  detail.estimates.local.size() * sizeof(double)),
+            0x3f760448fcd27eb8ull);
 }
 
 TEST(SeedStabilityTest, DifferentSeedsProduceDifferentTallies) {
