@@ -12,7 +12,14 @@
 // with c — the default c is 64 to make that visible.
 //
 //   build/bench/bench_ingest_throughput [--edges 2000000] [--c 64]
-//       [--chunk-list 1024,65536,1048576] [--thread-list 1,4,0]
+//       [--chunk-list 1024,65536,1048576] [--thread-list 1,2,4,0]
+//
+// --smoke is the CI canary: a small stream swept at threads 1 and 2, which
+// exits nonzero if any thread count changes the global estimate (parallel
+// replay must be a pure scheduling change) or if 2-thread routed throughput
+// collapses below a generous floor of the 1-thread run (catches lock-convoy
+// regressions even on single-core runners, where 2 threads should roughly
+// tie, not tank).
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
@@ -40,9 +47,11 @@ struct Measurement {
   double seconds = 0.0;
   double edges_per_sec = 0.0;
   double global_estimate = 0.0;
-  // Routed-pipeline stage split (0 unless dispatch == "routed").
+  // Routed-pipeline stage split (0 unless dispatch == "routed"). Under the
+  // pipelined schedule these are summed task times, not wall intervals.
   double route_seconds = 0.0;
   double estimate_seconds = 0.0;
+  uint64_t sub_batches = 0;
 };
 
 std::vector<uint64_t> ParseList(const std::string& list) {
@@ -56,6 +65,7 @@ std::vector<uint64_t> ParseList(const std::string& list) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
   uint64_t num_vertices = 100000;
   uint64_t num_edges = 2000000;
   uint64_t m = 20;
@@ -63,11 +73,14 @@ int main(int argc, char** argv) {
   uint64_t seed = 42;
   uint64_t threads = 0;
   std::string chunk_list = "1024,65536,1048576";
-  std::string thread_list = "1,4,0";
+  std::string thread_list = "1,2,4,0";
   std::string out = "BENCH_ingest.json";
   rept::FlagSet flags(
       "batch vs session ingest + broadcast vs routed dispatch sweep "
       "(BENCH_ingest.json)");
+  flags.AddBool("smoke", &smoke,
+                "CI canary: small stream, threads 1+2, determinism + "
+                "throughput-floor gates (nonzero exit on failure)");
   flags.AddUint64("vertices", &num_vertices, "vertex-id space of the stream");
   flags.AddUint64("edges", &num_edges, "stream length");
   flags.AddUint64("m", &m, "sampling denominator");
@@ -82,6 +95,13 @@ int main(int argc, char** argv) {
                   "(0 = hardware concurrency)");
   flags.AddString("out", &out, "output JSON path");
   rept::bench::ParseOrDie(flags, argc, argv);
+  if (smoke) {
+    num_vertices = 20000;
+    num_edges = 200000;
+    chunk_list = "65536";
+    thread_list = "1,2";
+    out = "/dev/null";
+  }
 
   // The stream comes from the generator-backed source (fixed memory), then
   // is materialized once so every measured path consumes the exact same
@@ -185,6 +205,7 @@ int main(int argc, char** argv) {
         r.global_estimate = est.global;
         r.route_seconds = session.ingest_stats().route_seconds;
         r.estimate_seconds = session.ingest_stats().estimate_seconds;
+        r.sub_batches = session.ingest_stats().sub_batches;
         results.push_back(r);
       }
     }
@@ -210,6 +231,9 @@ int main(int argc, char** argv) {
   json.Meta("edges", BenchJsonWriter::NumU(num_edges));
   json.Meta("m", BenchJsonWriter::NumU(m));
   json.Meta("c", BenchJsonWriter::NumU(c));
+  // Thread counts above this are oversubscribed on the machine that
+  // produced the file — read speedup columns against it.
+  json.Meta("hardware_threads", BenchJsonWriter::NumU(rept::HardwareThreads()));
   const std::string dataset = generator.Name();
   for (const Measurement& r : results) {
     std::string name = r.system + "/" + r.mode;
@@ -222,8 +246,51 @@ int main(int argc, char** argv) {
          {"seconds", BenchJsonWriter::Num(r.seconds)},
          {"route_seconds", BenchJsonWriter::Num(r.route_seconds)},
          {"estimate_seconds", BenchJsonWriter::Num(r.estimate_seconds)},
+         {"sub_batches", BenchJsonWriter::NumU(r.sub_batches)},
          {"global_estimate", BenchJsonWriter::Num(r.global_estimate)}});
   }
   if (!json.WriteTo(out)) return 2;
+
+  if (smoke) {
+    // Gate 1: determinism. Every sweep cell of one dispatch mode saw the
+    // same stream with the same seed, so the estimate must be bit-equal
+    // across thread counts and chunk sizes (parallel replay is a pure
+    // scheduling change).
+    double routed_1t = 0.0, routed_2t = 0.0;
+    for (const Measurement& r : results) {
+      if (r.mode != "dispatch-sweep") continue;
+      for (const Measurement& other : results) {
+        if (other.mode != "dispatch-sweep" || other.dispatch != r.dispatch) {
+          continue;
+        }
+        if (r.global_estimate != other.global_estimate) {
+          std::fprintf(stderr,
+                       "SMOKE FAIL: %s estimate differs across cells "
+                       "(threads %zu vs %zu): %.17g vs %.17g\n",
+                       r.dispatch.c_str(), r.threads, other.threads,
+                       r.global_estimate, other.global_estimate);
+          return 1;
+        }
+      }
+      if (r.dispatch == "routed" && r.threads == 1) routed_1t = r.edges_per_sec;
+      if (r.dispatch == "routed" && r.threads == 2) routed_2t = r.edges_per_sec;
+    }
+    // Gate 2: throughput floor. Even on a single-core runner a 2-worker
+    // routed ingest should roughly tie serial; 0.4x is the generous floor
+    // that still catches a lock convoy or a serialization bug.
+    if (routed_1t <= 0.0 || routed_2t <= 0.0) {
+      std::fprintf(stderr, "SMOKE FAIL: missing routed 1t/2t rows\n");
+      return 1;
+    }
+    if (routed_2t < 0.4 * routed_1t) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: routed 2-thread throughput %.3g e/s fell "
+                   "below 0.4x of 1-thread %.3g e/s\n",
+                   routed_2t, routed_1t);
+      return 1;
+    }
+    std::printf("smoke OK: estimates thread-invariant, routed 2t/1t = %.2fx\n",
+                routed_2t / routed_1t);
+  }
   return 0;
 }

@@ -1,7 +1,6 @@
 #include "core/batch_router.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
 
 #include "util/check.hpp"
@@ -30,9 +29,61 @@ BatchRouter::BatchRouter(std::vector<GroupSpec> groups) {
   }
 }
 
+void BatchRouter::BeginBatch(std::span<const Edge> edges) {
+  REPT_CHECK(edges.size() <= kMaxBatchEdges);
+  batch_ = edges;
+  routed_entries_ = 0;
+}
+
+void BatchRouter::RouteGroup(size_t g) {
+  // Hash pass for this group only, then its counting sort. Touches nothing
+  // but groups_[g] scratch, so concurrent RouteGroup(g') calls are disjoint.
+  GroupState& group = groups_[g];
+  const size_t n = batch_.size();
+  group.buckets.resize(n);
+  const MixEdgeHasher hasher = group.spec.hasher;
+  const uint32_t m = group.spec.num_buckets;
+  for (size_t t = 0; t < n; ++t) {
+    group.buckets[t] = hasher.Bucket(batch_[t].u, batch_[t].v, m);
+  }
+  ScatterGroup(g);
+}
+
+void BatchRouter::FinishBatch() {
+  routed_entries_ = 0;
+  for (const GroupState& group : groups_) {
+    routed_entries_ += group.routed.size();
+  }
+  batch_ = {};
+}
+
+void BatchRouter::ScatterGroup(size_t g) {
+  // Counting-sort the group's live-bucket hits into the per-instance
+  // sublists (ascending within a bucket because the scan is in stream
+  // order).
+  GroupState& group = groups_[g];
+  const size_t n = group.buckets.size();
+  const uint32_t live = group.spec.live_buckets;
+  std::fill(group.offsets.begin(), group.offsets.end(), 0u);
+  for (size_t t = 0; t < n; ++t) {
+    const uint32_t b = group.buckets[t];
+    if (b < live) ++group.offsets[b + 1];
+  }
+  for (uint32_t b = 0; b < live; ++b) {
+    group.offsets[b + 1] += group.offsets[b];
+  }
+  group.routed.resize(group.offsets[live]);
+  group.cursor.assign(group.offsets.begin(), group.offsets.end() - 1);
+  for (size_t t = 0; t < n; ++t) {
+    const uint32_t b = group.buckets[t];
+    if (b < live) {
+      group.routed[group.cursor[b]++] = static_cast<uint32_t>(t);
+    }
+  }
+}
+
 void BatchRouter::Route(std::span<const Edge> edges, ThreadPool* pool) {
-  REPT_CHECK(edges.size() <=
-             static_cast<size_t>(std::numeric_limits<uint32_t>::max()));
+  BeginBatch(edges);
   const size_t n = edges.size();
 
   // Pass A — hashing, the per-edge hot loop. The flattened work space is
@@ -59,39 +110,15 @@ void BatchRouter::Route(std::span<const Edge> edges, ThreadPool* pool) {
     hash_range(0, groups_.size() * n);
   }
 
-  // Pass B — scatter: counting-sort each group's live-bucket hits into the
-  // per-instance sublists (ascending within a bucket because the scan is in
-  // stream order). Groups are independent.
-  auto scatter_group = [this, n](size_t g) {
-    GroupState& group = groups_[g];
-    const uint32_t live = group.spec.live_buckets;
-    std::fill(group.offsets.begin(), group.offsets.end(), 0u);
-    for (size_t t = 0; t < n; ++t) {
-      const uint32_t b = group.buckets[t];
-      if (b < live) ++group.offsets[b + 1];
-    }
-    for (uint32_t b = 0; b < live; ++b) {
-      group.offsets[b + 1] += group.offsets[b];
-    }
-    group.routed.resize(group.offsets[live]);
-    group.cursor.assign(group.offsets.begin(), group.offsets.end() - 1);
-    for (size_t t = 0; t < n; ++t) {
-      const uint32_t b = group.buckets[t];
-      if (b < live) {
-        group.routed[group.cursor[b]++] = static_cast<uint32_t>(t);
-      }
-    }
-  };
+  // Pass B — scatter. Groups are independent.
+  auto scatter_group = [this](size_t g) { ScatterGroup(g); };
   if (pool != nullptr && groups_.size() > 1) {
     ParallelFor(*pool, groups_.size(), scatter_group);
   } else {
-    for (size_t g = 0; g < groups_.size(); ++g) scatter_group(g);
+    for (size_t g = 0; g < groups_.size(); ++g) ScatterGroup(g);
   }
 
-  routed_entries_ = 0;
-  for (const GroupState& group : groups_) {
-    routed_entries_ += group.routed.size();
-  }
+  FinishBatch();
 }
 
 std::span<const uint32_t> BatchRouter::Inserts(size_t group,

@@ -14,10 +14,20 @@
 // batch per instance with zero hash evaluations, bit-identical to the
 // broadcast replay by construction: the router ran the same hash the
 // instance would have.
+//
+// Two routing shapes are exposed:
+//  * Route(edges, pool) — route a whole batch, fanning the hash pass across
+//    the pool internally and blocking until the sublists are ready;
+//  * BeginBatch / RouteGroup / FinishBatch — the same work sliced per group
+//    so a caller can schedule routing of batch k+1 *alongside* other pool
+//    work (ReptSession's pipelined ingest overlaps it with the stage-2
+//    replay of batch k). Groups touch disjoint state, so RouteGroup calls
+//    for different groups may run on different threads concurrently.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -29,10 +39,21 @@ namespace rept {
 class ThreadPool;
 
 /// \brief Per-batch hash router for a fixed set of fused hash groups.
-/// Single-writer: Route() overwrites the previous batch's sublists (buffers
-/// are reused, so steady-state routing allocates nothing).
+/// Single-writer per batch: Route()/BeginBatch() overwrites the previous
+/// batch's sublists (buffers are reused, so steady-state routing allocates
+/// nothing).
 class BatchRouter {
  public:
+  /// Largest batch a single Route()/BeginBatch() accepts. Routed sublists
+  /// index edges with uint32_t (4 bytes per entry instead of 8 — the
+  /// sublists are the router's memory footprint), so a batch must stay below
+  /// 2^32 edges; Route() enforces this with a hard REPT_CHECK rather than
+  /// silently wrapping. Callers with unbounded batches split first:
+  /// ReptSession sub-batches at kMaxRoutedSubBatch (1M edges), three orders
+  /// of magnitude below this ceiling.
+  static constexpr size_t kMaxBatchEdges =
+      std::numeric_limits<uint32_t>::max();
+
   struct GroupSpec {
     /// The hash shared by the group's instances.
     MixEdgeHasher hasher;
@@ -47,10 +68,23 @@ class BatchRouter {
 
   /// Routes one batch: evaluates every group's hash once per edge (tiled
   /// across `pool` when given) and rebuilds the per-instance sublists.
+  /// `edges.size()` must be <= kMaxBatchEdges (checked).
   void Route(std::span<const Edge> edges, ThreadPool* pool);
 
+  /// Pipelined routing, step 1: binds the router to `edges` (size checked
+  /// against kMaxBatchEdges) and invalidates the previous batch's sublists.
+  void BeginBatch(std::span<const Edge> edges);
+  /// Pipelined routing, step 2: hashes and counting-sorts group `g` of the
+  /// BeginBatch() edges. Each group owns disjoint scratch, so concurrent
+  /// calls for different groups are race-free; call each group exactly once
+  /// per batch.
+  void RouteGroup(size_t g);
+  /// Pipelined routing, step 3: finalizes batch statistics. Call after every
+  /// RouteGroup() of the batch has completed (from one thread).
+  void FinishBatch();
+
   /// Ascending indices into the last routed batch of the edges instance
-  /// (`group`, `bucket`) stores. Valid until the next Route().
+  /// (`group`, `bucket`) stores. Valid until the next Route()/BeginBatch().
   std::span<const uint32_t> Inserts(size_t group, uint32_t bucket) const;
 
   size_t num_groups() const { return groups_.size(); }
@@ -72,7 +106,13 @@ class BatchRouter {
     std::vector<uint32_t> routed;
   };
 
+  /// Counting-sort of group `g`'s live-bucket hits into its sublists, from
+  /// the already-populated bucket scratch.
+  void ScatterGroup(size_t g);
+
   std::vector<GroupState> groups_;
+  /// Edges bound by the in-flight BeginBatch() (empty outside a batch).
+  std::span<const Edge> batch_;
   uint64_t routed_entries_ = 0;
 };
 

@@ -37,10 +37,20 @@ struct ReptConfig {
   bool strict_eta_pairs = false;
   /// Ingest scheduling strategy (identical results in every mode).
   DispatchMode dispatch = DispatchMode::kRouted;
+  /// Routed-mode sub-batch size in edges. One Ingest() call is split into
+  /// sub-batches of at most this many edges; each sub-batch is routed,
+  /// replayed, and published as one pipeline step (routing of sub-batch k+1
+  /// overlaps the replay of sub-batch k on the session's pool). Bounds the
+  /// router scratch to O(num_groups x sub-batch) and keeps every routed
+  /// batch far below BatchRouter::kMaxBatchEdges. Scheduling knob only —
+  /// results are sub-batch-boundary invariant by construction — and, like
+  /// `dispatch`, excluded from the checkpoint fingerprint.
+  uint32_t routed_sub_batch = 1u << 20;
 
   void Validate() const {
     REPT_CHECK(m >= 2);
     REPT_CHECK(c >= 1);
+    REPT_CHECK(routed_sub_batch >= 1);
   }
 
   double sampling_probability() const { return 1.0 / m; }

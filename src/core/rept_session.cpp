@@ -1,6 +1,7 @@
 #include "core/rept_session.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "core/combiner.hpp"
@@ -146,7 +147,7 @@ ReptSession::ReptSession(const ReptConfig& config, uint64_t seed,
     : config_(config),
       seed_(seed),
       pool_(pool),
-      router_(specs),
+      routers_{BatchRouter(specs), BatchRouter(specs)},
       board_(config.c) {
   NoteVertices(options.expected_vertices);
   instances_ = BuildInstances(config_, specs);
@@ -190,49 +191,137 @@ void ReptSession::Ingest(std::span<const Edge> edges) {
       break;
     case DispatchMode::kBroadcast:
       IngestBroadcast(edges);
+      PublishTallies();
       break;
     case DispatchMode::kFused:
       IngestFused(edges);
+      PublishTallies();
       break;
   }
   ++stats_.batches;
-  PublishTallies();
+}
+
+void ReptSession::ReplayInstance(const BatchRouter& router, size_t i,
+                                 std::span<const Edge> batch) {
+  ReptInstance& instance = *instances_[i];
+  instance.ReplayRouted(
+      batch, router.Inserts(instance_group_[i], instance.bucket()));
 }
 
 void ReptSession::IngestRouted(std::span<const Edge> edges) {
   // The router's scratch is O(num_groups x sub-batch edges); capping the
-  // sub-batch bounds that at a few MB per group even when a caller (e.g.
-  // the one-shot Run() wrapper) ingests a whole stream in one call, and
-  // keeps every routed batch far below the router's 2^32-edge index limit.
-  // Sub-batching cannot change the result: session state is batch-boundary
-  // invariant by construction.
-  constexpr size_t kMaxRoutedSubBatch = size_t{1} << 20;
-  for (size_t begin = 0; begin < edges.size(); begin += kMaxRoutedSubBatch) {
-    const std::span<const Edge> batch = edges.subspan(
-        begin, std::min(kMaxRoutedSubBatch, edges.size() - begin));
+  // sub-batch (config.routed_sub_batch) bounds that at a few MB per group
+  // even when a caller (e.g. the one-shot Run() wrapper) ingests a whole
+  // stream in one call, and keeps every routed batch far below
+  // BatchRouter::kMaxBatchEdges. Sub-batching cannot change the result:
+  // session state is batch-boundary invariant by construction. Tallies are
+  // published per sub-batch, so snapshot readers observe progress inside
+  // one large Ingest() call.
+  if (pool_ != nullptr && pool_->num_threads() > 1) {
+    IngestRoutedPipelined(edges);
+    return;
+  }
+  const size_t sub = config_.routed_sub_batch;
+  for (size_t begin = 0; begin < edges.size(); begin += sub) {
+    const std::span<const Edge> batch =
+        edges.subspan(begin, std::min(sub, edges.size() - begin));
 
-    // Stage 1 — DISPATCH/ROUTE: one hash evaluation per (group, edge),
-    // tiled across the pool; builds the per-instance routed sublists.
+    // Stage 1 — DISPATCH/ROUTE: one hash evaluation per (group, edge);
+    // builds the per-instance routed sublists.
     WallTimer route_timer;
-    router_.Route(batch, pool_);
+    routers_[0].Route(batch, pool_);
     stats_.route_seconds += route_timer.Seconds();
-    stats_.routed_entries += router_.routed_entries();
+    stats_.routed_entries += routers_[0].routed_entries();
 
     // Stage 2 — ESTIMATE: every instance replays the batch from its
-    // sublist with zero hash evaluations. One parallel task per worker
-    // (dynamic instance claiming), not one enqueue per instance.
+    // sublist with zero hash evaluations.
     WallTimer estimate_timer;
-    auto body = [this, batch](size_t i) {
-      ReptInstance& instance = *instances_[i];
-      instance.ReplayRouted(
-          batch, router_.Inserts(instance_group_[i], instance.bucket()));
-    };
-    if (pool_ != nullptr) {
-      ParallelFor(*pool_, instances_.size(), body);
-    } else {
-      for (size_t i = 0; i < instances_.size(); ++i) body(i);
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      ReplayInstance(routers_[0], i, batch);
     }
     stats_.estimate_seconds += estimate_timer.Seconds();
+    ++stats_.sub_batches;
+    PublishTallies();
+  }
+}
+
+void ReptSession::IngestRoutedPipelined(std::span<const Edge> edges) {
+  if (edges.empty()) return;
+  const size_t sub = config_.routed_sub_batch;
+  const size_t num_batches = (edges.size() + sub - 1) / sub;
+  const auto sub_batch = [edges, sub](size_t k) {
+    const size_t begin = k * sub;
+    return edges.subspan(begin, std::min(sub, edges.size() - begin));
+  };
+
+  // Prologue: route sub-batch 0 alone (nothing to overlap it with yet),
+  // fanned across the pool as fine-grained (group, edge-range) tiles.
+  {
+    WallTimer route_timer;
+    routers_[0].Route(sub_batch(0), pool_);
+    stats_.route_seconds += route_timer.Seconds();
+    stats_.routed_entries += routers_[0].routed_entries();
+  }
+
+  for (size_t k = 0; k < num_batches; ++k) {
+    BatchRouter& current = routers_[k & 1];
+    BatchRouter& next_router = routers_[(k + 1) & 1];
+    const std::span<const Edge> batch = sub_batch(k);
+    const bool route_next = k + 1 < num_batches;
+    if (route_next) next_router.BeginBatch(sub_batch(k + 1));
+
+    // One claimable index space for both overlapped stages: indices
+    // [0, route_items) route a whole group of sub-batch k+1 into the spare
+    // router buffer; the rest replay one instance of sub-batch k from the
+    // current buffer. Routing work is listed first so the pipeline's
+    // lookahead starts immediately; workers that finish it (or never get
+    // any) drain replay items. Every item touches only state owned by the
+    // claimed group/instance — per-instance counters, maps, and arenas are
+    // strictly thread-local to the claiming worker for the duration.
+    const size_t route_items = route_next ? next_router.num_groups() : 0;
+    const size_t total_items = route_items + instances_.size();
+    std::atomic<size_t> next_item{0};
+    std::atomic<uint64_t> route_nanos{0};
+    std::atomic<uint64_t> replay_nanos{0};
+    auto drain = [&] {
+      for (;;) {
+        const size_t t = next_item.fetch_add(1, std::memory_order_relaxed);
+        if (t >= total_items) return;
+        WallTimer item_timer;
+        if (t < route_items) {
+          next_router.RouteGroup(t);
+          route_nanos.fetch_add(
+              static_cast<uint64_t>(item_timer.Seconds() * 1e9),
+              std::memory_order_relaxed);
+        } else {
+          ReplayInstance(current, t - route_items, batch);
+          replay_nanos.fetch_add(
+              static_cast<uint64_t>(item_timer.Seconds() * 1e9),
+              std::memory_order_relaxed);
+        }
+      }
+    };
+    const size_t workers = std::min(pool_->num_threads(), total_items);
+    for (size_t w = 0; w < workers; ++w) {
+      const bool ok = pool_->Submit(drain);
+      REPT_CHECK(ok);
+    }
+    pool_->Wait();
+
+    if (route_next) {
+      next_router.FinishBatch();
+      stats_.routed_entries += next_router.routed_entries();
+    }
+    stats_.route_seconds +=
+        static_cast<double>(route_nanos.load(std::memory_order_relaxed)) *
+        1e-9;
+    stats_.estimate_seconds +=
+        static_cast<double>(replay_nanos.load(std::memory_order_relaxed)) *
+        1e-9;
+    ++stats_.sub_batches;
+    // Sub-batch boundary: replay of k is complete (Wait above), so the
+    // counters hold a consistent prefix; publish it for snapshot readers.
+    PublishTallies();
   }
 }
 

@@ -11,7 +11,16 @@
 //   stage 2  ESTIMATE — each instance replays the batch from its sublist
 //            (ReptInstance::ReplayRouted) with zero hash evaluations,
 //            fanned out across the pool per instance.
-// The legacy broadcast and fused-broadcast schedules remain available as
+// An Ingest() call is split into sub-batches of config.routed_sub_batch
+// edges, and on a multi-worker pool the two stages are software-pipelined
+// across sub-batches with double-buffered routers: while the instances
+// replay sub-batch k (one claimable work item per instance, all state
+// thread-local to the claiming worker — each instance owns its counter,
+// maps, and arena), the same workers also claim the per-group routing of
+// sub-batch k+1 into the other router buffer. Per-instance tallies are
+// published to the TallyBoard at every sub-batch boundary, so snapshot
+// readers see progress even inside one huge Ingest() call. The legacy
+// broadcast and fused-broadcast schedules remain available as
 // ablation/bench comparison modes (ReptConfig::dispatch).
 //
 // Determinism: instance construction (grouping, per-group hash seeding) is a
@@ -28,6 +37,7 @@
 // batch (blocking at most one batch).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -78,13 +88,21 @@ class ReptSession : public StreamingEstimator {
   ReptEstimator::RunDetail SnapshotDetailed() const;
 
   /// \brief Cumulative ingest-path timings, split by pipeline stage.
+  ///
+  /// On a multi-worker pool the routed pipeline overlaps the two stages, so
+  /// the per-stage numbers are summed task time (total work performed by
+  /// that stage across all workers) rather than disjoint wall-clock
+  /// intervals; their sum can exceed the Ingest() wall time by up to the
+  /// parallel speedup. Serial ingest keeps the old wall-time meaning.
   struct IngestStats {
     uint64_t batches = 0;
+    /// Routed sub-batches processed (= TallyBoard publishes from ingest).
+    uint64_t sub_batches = 0;
     /// Routed-sublist entries built by stage 1 (0 in broadcast modes).
     uint64_t routed_entries = 0;
-    /// Stage 1 wall time: hash evaluation + scatter (0 in broadcast modes).
+    /// Stage 1 time: hash evaluation + scatter (0 in broadcast modes).
     double route_seconds = 0.0;
-    /// Stage 2 wall time: per-instance counting/estimation.
+    /// Stage 2 time: per-instance counting/estimation.
     double estimate_seconds = 0.0;
   };
 
@@ -105,6 +123,13 @@ class ReptSession : public StreamingEstimator {
   void IngestBroadcast(std::span<const Edge> edges);
   void IngestFused(std::span<const Edge> edges);
   void IngestRouted(std::span<const Edge> edges);
+  /// Pipelined routed ingest: double-buffered routing of sub-batch k+1
+  /// overlapped with the replay of sub-batch k, both claimed from the same
+  /// worker fan-out. Requires a pool with >= 2 workers.
+  void IngestRoutedPipelined(std::span<const Edge> edges);
+  /// Stage-2 replay of `batch` into instance `i` from `router`'s sublists.
+  void ReplayInstance(const BatchRouter& router, size_t i,
+                      std::span<const Edge> batch);
   /// Copies the per-instance scalar tallies to the TallyBoard (batch
   /// boundary publish). Caller holds ingest_mutex_.
   void PublishTallies();
@@ -127,7 +152,10 @@ class ReptSession : public StreamingEstimator {
   /// Group index of each instance (routed stage 2 lookup).
   std::vector<uint32_t> instance_group_;
 
-  BatchRouter router_;
+  /// Double-buffered routers: routers_[k % 2] holds the sublists of the
+  /// sub-batch currently replaying while the other buffer absorbs the
+  /// routing of the next sub-batch. Non-pipelined paths only use [0].
+  std::array<BatchRouter, 2> routers_;
   TallyBoard board_;
   /// Serializes instance mutation (Ingest) against local-tally snapshots.
   /// Global-only snapshots never take it — they read the board.

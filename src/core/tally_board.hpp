@@ -53,6 +53,14 @@ class TallyBoard {
     return stored_edges_.load(std::memory_order_acquire);
   }
 
+  /// Number of completed Publish() calls so far (the publish cadence).
+  /// Monotone; safe from any thread. A long Ingest() that sub-batches
+  /// internally publishes once per sub-batch, so readers see this advance
+  /// while the call is still in flight.
+  uint64_t PublishedEpochs() const {
+    return seq_.load(std::memory_order_acquire) / 2;
+  }
+
   size_t num_instances() const { return global_.size(); }
 
  private:

@@ -1,65 +1,150 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace rept {
 
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 4;
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) num_threads = 4;
-  }
+  if (num_threads == 0) num_threads = HardwareThreads();
+  num_threads_ = num_threads;
+  queues_ = std::make_unique<WorkerQueue[]>(num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    stop_ = true;
-  }
-  task_available_.notify_all();
-  for (auto& worker : workers_) worker.join();
-}
+ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
+  const size_t w =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % num_threads_;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    REPT_CHECK(!stop_);
-    queue_.push(std::move(task));
-    ++in_flight_;
+    std::lock_guard<std::mutex> lock(queues_[w].mutex);
+    // Checked under the queue mutex: Shutdown()'s final drain also takes
+    // every queue mutex after stop_ is set, so a Submit that observed
+    // stop_ == false here enqueued before that drain ran (its task will be
+    // executed), and one that lost the race observes stop_ == true.
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    queues_[w].tasks.push_back(std::move(task));
+    // pending_ rises before the task is visible to Wait()-ers and before
+    // the submitting task (if any) can finish: a nested Submit therefore
+    // keeps pending_ > 0 continuously until the child completes, which is
+    // what makes Wait() count nested submissions correctly.
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    // seq_cst pairs with the worker's sleepers_++ / queued_ check (a
+    // store-buffer litmus): either this store is visible to the worker's
+    // predicate, or the worker's sleepers_ increment is visible to the load
+    // below — never neither, so a sleeper cannot be missed.
+    queued_.fetch_add(1, std::memory_order_seq_cst);
   }
-  task_available_.notify_one();
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // Empty critical section: orders this submission against a worker that
+    // is between its predicate check and blocking, closing the lost-wakeup
+    // window. Only reached when some worker is (going) idle.
+    { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+    sleep_cv_.notify_one();
+  }
+  return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (pending_.load(std::memory_order_acquire) == 0) return;
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  wait_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (joined_) return;
+    stop_.store(true, std::memory_order_release);
+    {
+      // Wake every sleeper; they observe stop_, drain, and exit.
+      std::lock_guard<std::mutex> sleep_lock(sleep_mutex_);
+    }
+    sleep_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    joined_ = true;
+  }
+  // Drain: execute anything a racing Submit slipped in after the workers
+  // last scanned their queues (see the ordering argument in Submit). Taking
+  // each queue mutex here is also what publishes stop_ to late submitters.
+  for (size_t w = 0; w < num_threads_; ++w) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(queues_[w].mutex);
+        if (queues_[w].tasks.empty()) break;
+        task = std::move(queues_[w].tasks.front());
+        queues_[w].tasks.pop_front();
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      RunTask(task);
+    }
+  }
+}
+
+bool ThreadPool::TryPop(size_t self, std::function<void()>& task) {
+  const size_t n = num_threads_;
+  for (size_t k = 0; k < n; ++k) {
+    WorkerQueue& queue = queues_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty()) continue;
+    if (k == 0) {  // Own queue: FIFO.
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    } else {  // Steal the coldest task from the victim's back.
+      task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  task();
+  task = nullptr;  // Destroy captures before completion is announced.
+  // acq_rel: release publishes this task's writes to whoever observes the
+  // decrement (a Wait()-er's acquire load), acquire orders the zero check.
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Lock-then-notify so a Wait()-er that just evaluated pending_ > 0
+    // cannot block after this notification (no lost wakeup).
+    { std::lock_guard<std::mutex> lock(wait_mutex_); }
+    wait_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
   for (;;) {
     std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
+    if (TryPop(self, task)) {
+      RunTask(task);
+      continue;
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    // seq_cst: see the pairing note in Submit().
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_relaxed) == 0) {
+      return;
     }
   }
 }
@@ -80,13 +165,14 @@ void ParallelFor(ThreadPool& pool, size_t count,
   std::atomic<size_t> next{0};
   const size_t workers = std::min(pool.num_threads(), count);
   for (size_t w = 0; w < workers; ++w) {
-    pool.Submit([&next, count, &body] {
+    const bool ok = pool.Submit([&next, count, &body] {
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
         body(i);
       }
     });
+    REPT_CHECK(ok);  // ParallelFor on a stopped pool is a programming error.
   }
   pool.Wait();
 }
@@ -106,15 +192,22 @@ void ParallelForChunked(ThreadPool& pool, size_t count, size_t tile,
   const size_t num_tiles = (count + tile - 1) / tile;
   const size_t workers = std::min(pool.num_threads(), num_tiles);
   for (size_t w = 0; w < workers; ++w) {
-    pool.Submit([&next, count, tile, &body] {
+    const bool ok = pool.Submit([&next, count, tile, &body] {
       for (;;) {
         const size_t begin = next.fetch_add(tile, std::memory_order_relaxed);
         if (begin >= count) return;
         body(begin, std::min(count, begin + tile));
       }
     });
+    REPT_CHECK(ok);
   }
   pool.Wait();
+}
+
+ThreadPool& SharedThreadPool() {
+  // Constructed on first use, destroyed at exit (Shutdown drains cleanly).
+  static ThreadPool pool(0);
+  return pool;
 }
 
 void ParallelFor(size_t threads, size_t count,
@@ -123,6 +216,12 @@ void ParallelFor(size_t threads, size_t count,
     for (size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  if (threads == 0 || threads == SharedThreadPool().num_threads()) {
+    ParallelFor(SharedThreadPool(), count, body);
+    return;
+  }
+  // Explicit non-default width: honor it with a transient pool (tests pin
+  // exact worker counts; production paths pass 0 or plumb a real pool).
   ThreadPool pool(threads);
   ParallelFor(pool, count, body);
 }

@@ -7,48 +7,117 @@
 // work items are not paid for one enqueue each. Results are deterministic
 // regardless of the number of worker threads because every task owns
 // pre-seeded private state.
+//
+// Scheduling internals: each worker owns its own task queue (one mutex per
+// queue, round-robin submission, idle workers steal from neighbors), and
+// completion is tracked by a lone atomic counter — the Submit/Wait/complete
+// path never serializes every task through one pool-wide mutex. Wait()
+// counts *nested* submissions correctly: a task that submits another task
+// increments the outstanding count before its own completion decrements it,
+// so Wait() cannot return between the parent finishing and the child
+// starting.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace rept {
 
-/// \brief Fixed-size worker pool executing enqueued tasks FIFO.
+/// Number of workers a default-sized pool creates:
+/// std::thread::hardware_concurrency(), or 4 when the runtime reports 0
+/// (permitted by the standard on exotic platforms). Every "0 threads means
+/// hardware concurrency" knob in the repo resolves through this one
+/// function, so the fallback is uniform.
+size_t HardwareThreads();
+
+/// \brief Fixed-size worker pool executing enqueued tasks.
+///
+/// Tasks submitted from one thread start in submission order per worker
+/// queue but may complete in any order (idle workers steal). Wait() blocks
+/// until every submitted task — including tasks submitted by running tasks —
+/// has finished. Never call Wait() from a task running on the pool itself:
+/// the waiting worker is one of the threads Wait() is waiting for.
 class ThreadPool {
  public:
-  /// Creates `num_threads` workers (0 means std::thread::hardware_concurrency).
+  /// Creates `num_threads` workers (0 means HardwareThreads()).
   explicit ThreadPool(size_t num_threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const { return num_threads_; }
 
   /// Enqueues a task; it may begin executing immediately. The task is moved
-  /// through into the queue, never copied.
-  void Submit(std::function<void()> task);
+  /// through into the queue, never copied. Returns true on enqueue. After
+  /// Shutdown() has completed, returns false and the task is NOT enqueued —
+  /// submitting to a stopped pool is a defined (checkable) error, not an
+  /// abort. Every Submit that returns true runs exactly once, even when it
+  /// races Shutdown()/destruction.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until all submitted tasks (including nested ones) have finished.
   void Wait();
 
- private:
-  void WorkerLoop();
+  /// Stops the pool: runs every task already accepted (draining queues),
+  /// joins the workers, and flips the pool into the stopped state in which
+  /// Submit() returns false. Idempotent; called by the destructor. Safe to
+  /// race with Submit() from other threads — each such Submit either returns
+  /// false or its task is executed before Shutdown() returns.
+  void Shutdown();
 
+ private:
+  // One queue per worker, each behind its own mutex so two submissions (or a
+  // pop and a push) to different workers never contend. Cache-line aligned:
+  // the queues are the only cross-thread-mutated state on the hot path.
+  struct alignas(64) WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops the next task: own queue front first (FIFO for cache locality of
+  /// freshly submitted work), then steals from other queues back to front.
+  bool TryPop(size_t self, std::function<void()>& task);
+  /// Completion bookkeeping shared by workers and the shutdown drain.
+  void RunTask(std::function<void()>& task);
+
+  /// Worker count, fixed before any worker thread starts. Everything the
+  /// workers read to navigate (queue count, steal ring size) goes through
+  /// this plain member, never workers_.size(): the vector is still growing
+  /// while early workers already run, and reading its size would race the
+  /// remaining emplace_back calls.
+  size_t num_threads_ = 0;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::unique_ptr<WorkerQueue[]> queues_;
+  /// Round-robin submission cursor.
+  std::atomic<size_t> next_queue_{0};
+  /// Tasks submitted but not yet finished (queued + running). The only
+  /// global word the per-task fast path touches.
+  std::atomic<size_t> pending_{0};
+  /// Tasks sitting in some queue (not yet popped); the idle-sleep predicate.
+  std::atomic<size_t> queued_{0};
+  std::atomic<bool> stop_{false};
+  bool joined_ = false;  // Shutdown() ran to completion (guards re-entry).
+  std::mutex shutdown_mutex_;
+
+  // Idle workers sleep here; Submit only touches the mutex when a sleeper
+  // exists (sleepers_ > 0), so a saturated pool never serializes on it.
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<size_t> sleepers_{0};
+
+  // Wait() blocks here; the worker that drops pending_ to zero notifies.
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
 };
 
 /// \brief Runs body(i) for i in [0, count) across the pool; blocks until all
@@ -68,9 +137,19 @@ void ParallelFor(ThreadPool& pool, size_t count,
 void ParallelForChunked(ThreadPool& pool, size_t count, size_t tile,
                         const std::function<void(size_t, size_t)>& body);
 
-/// \brief Convenience: runs body(i) on a transient pool with `threads`
-/// workers (0 = hardware concurrency). Falls back to serial execution when
-/// count <= 1 or threads == 1.
+/// \brief The process-wide shared pool (HardwareThreads() workers), created
+/// on first use. For callers that need occasional parallelism without
+/// plumbing a pool through their API — repeated calls reuse the same workers
+/// instead of spawning and joining a fresh pool each time. Concurrent users
+/// share the completion counter, so a ParallelFor on the shared pool may
+/// also wait out another caller's in-flight tasks (correct, possibly
+/// overlong); give hot paths their own pool.
+ThreadPool& SharedThreadPool();
+
+/// \brief Convenience: runs body(i) across `threads` workers (0 = hardware
+/// concurrency). Serial when count <= 1 or threads == 1; otherwise runs on
+/// SharedThreadPool() when `threads` is 0 or matches its size, and only
+/// spins up a transient pool for an explicit non-default thread count.
 void ParallelFor(size_t threads, size_t count,
                  const std::function<void(size_t)>& body);
 

@@ -134,6 +134,88 @@ TEST(ConcurrentSnapshotTest, DispatchModesSafeUnderConcurrentReaders) {
   }
 }
 
+TEST(ConcurrentSnapshotTest, PipelinedParallelReplayMatchesSerialRun) {
+  // The pipelined routed path (pool >= 2 workers): sub-batches are routed
+  // into double-buffered routers while instances replay the previous
+  // sub-batch, and tallies publish at every sub-batch boundary. A tiny
+  // routed_sub_batch forces many pipeline iterations; snapshot hammering
+  // runs throughout. This is the TSan witness for the parallel-replay
+  // design: per-instance state thread-local, publish via seqlock only.
+  const EdgeStream stream = StressStream();
+  ReptConfig config;
+  config.m = 5;
+  config.c = 13;  // Algorithm 2: remainder group, the hardest tally path.
+  config.track_local = false;
+  config.routed_sub_batch = 64;  // Many sub-batches per Ingest call.
+
+  ReptSession serial(config, /*seed=*/29, nullptr);
+  serial.Ingest(stream);
+  const double reference = serial.Snapshot().global;
+
+  ThreadPool pool(4);
+  ReptSession session(config, /*seed=*/29, &pool);
+  // Large chunks: each Ingest() call spans many sub-batches, so the
+  // pipelined overlap (route k+1 while replaying k) actually engages.
+  const uint64_t snapshots =
+      HammerSnapshotsDuringIngest(session, stream, /*chunk=*/1024);
+
+  EXPECT_GT(snapshots, 0u);
+  EXPECT_EQ(session.Snapshot().global, reference);
+  EXPECT_EQ(session.StoredEdges(), serial.StoredEdges());
+  EXPECT_EQ(session.edges_ingested(), stream.size());
+  // Publish cadence: one publish per 64-edge sub-batch within each chunk.
+  uint64_t expected_subs = 0;
+  for (size_t at = 0; at < stream.size(); at += 1024) {
+    const size_t n = std::min<size_t>(1024, stream.size() - at);
+    expected_subs += (n + 63) / 64;
+  }
+  EXPECT_EQ(session.ingest_stats().sub_batches, expected_subs);
+}
+
+TEST(ConcurrentSnapshotTest, PipelinedLocalTalliesMatchSerialRun) {
+  // track_local sends Snapshot() through the ingest mutex instead of the
+  // board — the serializing path must also stay correct (and TSan-clean)
+  // under the pipelined fan-out.
+  const EdgeStream stream = StressStream();
+  ReptConfig config;
+  config.m = 5;
+  config.c = 13;
+  config.track_local = true;
+  config.routed_sub_batch = 128;
+
+  const ReptEstimator estimator(config);
+  const TriangleEstimates reference = estimator.Run(stream, 33, nullptr);
+
+  ThreadPool pool(4);
+  ReptSession session(config, /*seed=*/33, &pool);
+  const uint64_t snapshots =
+      HammerSnapshotsDuringIngest(session, stream, /*chunk=*/1024);
+
+  EXPECT_GT(snapshots, 0u);
+  const TriangleEstimates final_snapshot = session.Snapshot();
+  EXPECT_EQ(final_snapshot.global, reference.global);
+  EXPECT_EQ(final_snapshot.local, reference.local);
+}
+
+TEST(ConcurrentSnapshotTest, SubBatchPublishCadenceAdvancesEpochs) {
+  // One big Ingest() call must publish once per sub-batch — the board's
+  // epoch counter is the observable cadence (snapshot freshness inside a
+  // long call rides on it).
+  const EdgeStream stream = StressStream();
+  ReptConfig config;
+  config.m = 5;
+  config.c = 13;
+  config.track_local = false;
+  config.routed_sub_batch = 100;
+
+  ThreadPool pool(4);
+  ReptSession session(config, /*seed=*/37, &pool);
+  session.Ingest(stream);
+  const uint64_t expected_subs = (stream.size() + 99) / 100;
+  EXPECT_EQ(session.ingest_stats().sub_batches, expected_subs);
+  EXPECT_EQ(session.ingest_stats().batches, 1u);
+}
+
 TEST(ConcurrentSnapshotTest, EnsembleSessionToleratesConcurrentReaders) {
   const EdgeStream stream = StressStream();
   const auto mascot =

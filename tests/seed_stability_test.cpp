@@ -127,6 +127,68 @@ TEST(SeedStabilityTest, GoldenTalliesMatchPr4Implementation) {
             0x3f760448fcd27eb8ull);
 }
 
+TEST(SeedStabilityTest, GoldenTalliesSurviveParallelPipelinedReplay) {
+  // Same golden constants as GoldenTalliesMatchPr4Implementation, but run
+  // through the pipelined parallel routed path: a 4-worker pool plus a tiny
+  // routed_sub_batch forces double-buffered routing, overlapped replay, and
+  // per-sub-batch publishes. Bit-identical goldens here are the executable
+  // proof that parallel replay is a pure scheduling change.
+  gen::HolmeKimParams params;
+  params.num_vertices = 400;
+  params.edges_per_vertex = 4;
+  params.triad_probability = 0.6;
+  const EdgeStream stream = gen::HolmeKim(params, /*seed=*/12345);
+  ASSERT_EQ(stream.size(), 1590u);
+
+  ReptConfig config;
+  config.m = 5;
+  config.c = 13;
+  config.routed_sub_batch = 37;  // Many pipeline iterations per batch.
+  ThreadPool pool(4);
+  ReptSession session(config, /*seed=*/777, &pool);
+  session.NoteVertices(stream.num_vertices());
+  const auto& edges = stream.edges();
+  for (size_t at = 0; at < edges.size(); at += 97) {
+    const size_t n = std::min<size_t>(97, edges.size() - at);
+    session.Ingest(std::span<const Edge>(edges.data() + at, n));
+  }
+
+  const ReptEstimator::RunDetail detail = session.SnapshotDetailed();
+  EXPECT_EQ(detail.estimates.global, 0x1.e556567be4574p+9);
+  EXPECT_EQ(detail.tau_hat1, 0x1.e28p+9);
+  EXPECT_EQ(detail.tau_hat2, 0x1.f400000000001p+9);
+  EXPECT_EQ(detail.eta_hat, 0x1.0fa2762762762p+11);
+  EXPECT_EQ(session.StoredEdges(), 4144u);
+  ASSERT_EQ(detail.instance_tallies.size(), 13u);
+  EXPECT_EQ(Fnv1a(detail.instance_tallies.data(),
+                  detail.instance_tallies.size() * sizeof(double)),
+            0x6fd56692e2f8426full);
+  ASSERT_EQ(detail.estimates.local.size(), 400u);
+  EXPECT_EQ(Fnv1a(detail.estimates.local.data(),
+                  detail.estimates.local.size() * sizeof(double)),
+            0x3f760448fcd27eb8ull);
+}
+
+TEST(SeedStabilityTest, SubBatchSizeDoesNotAffectTallies) {
+  // routed_sub_batch is a scheduling knob: any value must reproduce the
+  // same bits (it only changes pipeline granularity and publish cadence).
+  const EdgeStream stream = FixedStream();
+  ThreadPool pool(3);
+  std::vector<double> reference;
+  for (const uint32_t sub : {16u, 251u, 1u << 20}) {
+    ReptConfig config = Config();
+    config.routed_sub_batch = sub;
+    ReptSession session(config, /*seed=*/777, &pool);
+    session.Ingest(stream);
+    const auto detail = session.SnapshotDetailed();
+    if (reference.empty()) {
+      reference = detail.instance_tallies;
+    } else {
+      ExpectByteIdenticalTallies(reference, detail.instance_tallies);
+    }
+  }
+}
+
 TEST(SeedStabilityTest, DifferentSeedsProduceDifferentTallies) {
   const EdgeStream stream = FixedStream();
   const ReptEstimator estimator(Config());

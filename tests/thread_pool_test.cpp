@@ -1,9 +1,20 @@
+// ThreadPool runtime contract tests: task execution and Wait() completeness
+// (including tasks submitted *by* running tasks), the defined-error shutdown
+// path, Submit/Wait/Shutdown races, and the ParallelFor/ParallelForChunked
+// scheduling helpers (coverage, tile boundaries, serial fallbacks, the
+// shared-pool transient overload). The racy cases assert schedule-invariant
+// properties only — every accepted task runs exactly once, Wait() never
+// returns with work outstanding — so they are deterministic to *check* even
+// though the interleavings vary; the CI TSan matrix entry runs them under
+// ThreadSanitizer.
 #include "util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace rept {
@@ -13,7 +24,7 @@ TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
@@ -28,16 +39,133 @@ TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
 TEST(ThreadPoolTest, ReusableAfterWait) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
-  pool.Submit([&counter] { counter.fetch_add(1); });
+  ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
   pool.Wait();
-  pool.Submit([&counter] { counter.fetch_add(1); });
+  ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
   pool.Wait();
   EXPECT_EQ(counter.load(), 2);
 }
 
 TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  // "Zero-thread construction": 0 means HardwareThreads(), never an empty
+  // pool, and HardwareThreads() itself never reports 0 (4-worker fallback).
   ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), HardwareThreads());
   EXPECT_GE(pool.num_threads(), 1u);
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitCountsNestedSubmissions) {
+  // Regression (ISSUE 6): Wait() must not return between a parent task
+  // finishing and a task it submitted starting. The child is submitted
+  // mid-parent, so the outstanding count never touches zero until the child
+  // (and grandchild) are done.
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<bool> child_ran{false};
+    std::atomic<bool> grandchild_ran{false};
+    ASSERT_TRUE(pool.Submit([&pool, &child_ran, &grandchild_ran] {
+      ASSERT_TRUE(pool.Submit([&pool, &child_ran, &grandchild_ran] {
+        ASSERT_TRUE(
+            pool.Submit([&grandchild_ran] { grandchild_ran.store(true); }));
+        child_ran.store(true);
+      }));
+      // Give Wait() a chance to race the handoff.
+      std::this_thread::yield();
+    }));
+    pool.Wait();
+    EXPECT_TRUE(child_ran.load()) << "round " << round;
+    EXPECT_TRUE(grandchild_ran.load()) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, WaitNestedSubmissionStress) {
+  // Many parents each spawning children while the main thread is already
+  // blocked in Wait(): every child must be counted.
+  ThreadPool pool(4);
+  constexpr int kParents = 64;
+  std::atomic<int> executed{0};
+  for (int i = 0; i < kParents; ++i) {
+    ASSERT_TRUE(pool.Submit([&pool, &executed] {
+      ASSERT_TRUE(pool.Submit([&executed] { executed.fetch_add(1); }));
+      executed.fetch_add(1);
+    }));
+  }
+  pool.Wait();
+  EXPECT_EQ(executed.load(), 2 * kParents);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsDefinedError) {
+  // Regression (ISSUE 6): submitting to a stopped pool used to hit
+  // REPT_CHECK(!stop_) and abort the process; it is now a defined error.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 1);  // Shutdown drains accepted work.
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  EXPECT_EQ(counter.load(), 1);  // The rejected task never ran.
+  pool.Shutdown();               // Idempotent.
+  pool.Wait();                   // No outstanding work; returns immediately.
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  // Tasks accepted before Shutdown() all run, even the ones still queued
+  // when the stop flag goes up.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitRacingShutdownRunsOrRejects) {
+  // The shutdown contract under a live race: every Submit that returned
+  // true is executed exactly once; every false return left no trace. The
+  // executed count must therefore equal the accepted count — regardless of
+  // how the interleaving went.
+  for (int round = 0; round < 20; ++round) {
+    auto pool = std::make_unique<ThreadPool>(2);
+    std::atomic<int> executed{0};
+    std::atomic<int> accepted{0};
+    std::atomic<bool> go{false};
+    std::thread submitter([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < 100; ++i) {
+        if (pool->Submit([&executed] { executed.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+    go.store(true, std::memory_order_release);
+    pool->Shutdown();
+    submitter.join();
+    EXPECT_EQ(executed.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersAndWaiters) {
+  // Several threads submit and Wait() concurrently; each Wait() returning
+  // implies that thread's own submissions are all done (pending covers
+  // everyone's tasks, so the check is conservative but precise enough).
+  ThreadPool pool(4);
+  constexpr int kThreads = 4;
+  static constexpr int kTasksEach = 50;
+  std::vector<std::thread> users;
+  for (int u = 0; u < kThreads; ++u) {
+    users.emplace_back([&pool] {
+      std::atomic<int> mine{0};
+      for (int i = 0; i < kTasksEach; ++i) {
+        ASSERT_TRUE(pool.Submit([&mine] { mine.fetch_add(1); }));
+      }
+      pool.Wait();
+      EXPECT_EQ(mine.load(), kTasksEach);
+    });
+  }
+  for (auto& t : users) t.join();
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
@@ -76,6 +204,18 @@ TEST(ParallelForTest, SerialFallbackSingleThread) {
   ParallelFor(/*threads=*/1, 5, [&order](size_t i) { order.push_back(i); });
   const std::vector<size_t> expected = {0, 1, 2, 3, 4};
   EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, SharedPoolServesDefaultWidthRepeatedly) {
+  // threads == 0 routes through the persistent SharedThreadPool() — no
+  // per-call pool spin-up — and repeated calls stay correct.
+  EXPECT_EQ(SharedThreadPool().num_threads(), HardwareThreads());
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<int>> hits(128);
+    ParallelFor(/*threads=*/0, 128,
+                [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
 }
 
 TEST(ParallelForChunkedTest, TilesCoverEveryIndexExactlyOnce) {
@@ -125,6 +265,32 @@ TEST(ParallelForChunkedTest, SerialFallbackRunsOneTileInOrder) {
                      });
   ASSERT_EQ(calls.size(), 1u);
   EXPECT_EQ(calls[0], (std::pair<size_t, size_t>{0, 100}));
+}
+
+TEST(ParallelForChunkedTest, TileBoundaryCases) {
+  ThreadPool pool(4);
+  // tile == count: one in-place call covering the exact range.
+  std::vector<std::pair<size_t, size_t>> calls;
+  ParallelForChunked(pool, 32, /*tile=*/32,
+                     [&calls](size_t begin, size_t end) {
+                       calls.emplace_back(begin, end);
+                     });
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], (std::pair<size_t, size_t>{0, 32}));
+
+  // count == tile + 1: smallest range that actually fans out; full coverage
+  // with the final tile exactly one index wide.
+  std::vector<std::atomic<int>> hits(33);
+  std::atomic<int> one_wide{0};
+  ParallelForChunked(pool, 33, /*tile=*/32,
+                     [&hits, &one_wide](size_t begin, size_t end) {
+                       if (end - begin == 1) one_wide.fetch_add(1);
+                       for (size_t i = begin; i < end; ++i) {
+                         hits[i].fetch_add(1);
+                       }
+                     });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  EXPECT_EQ(one_wide.load(), 1);
 }
 
 TEST(ParallelForChunkedTest, ZeroCountAndZeroTile) {
