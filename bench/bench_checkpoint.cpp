@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
     rept::UniformRandomEdgeSource source(
         static_cast<rept::VertexId>(num_vertices), num_edges, seed);
     const auto session =
-        system_case.system->CreateSession(seed, &pool, options);
+        system_case.system->CreateSession(seed, &pool, options).value();
     const auto ingested = rept::IngestAll(source, *session);
     if (!ingested.ok()) {
       std::fprintf(stderr, "%s\n", ingested.status().ToString().c_str());
@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
       r.save_seconds += save_timer.Seconds();
 
       const auto restored =
-          system_case.system->CreateSession(seed, &pool, options);
+          system_case.system->CreateSession(seed, &pool, options).value();
       rept::WallTimer load_timer;
       if (const rept::Status st =
               rept::LoadCheckpoint(*restored, ckpt_path);

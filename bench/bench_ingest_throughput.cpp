@@ -149,7 +149,7 @@ int main(int argc, char** argv) {
       // timed region so batch and session time the same work.
       rept::InMemoryEdgeSource source{rept::EdgeStream(*stream)};
       rept::WallTimer timer;
-      const auto session = system->CreateSession(seed, &pool, options);
+      const auto session = system->CreateSession(seed, &pool, options).value();
       const auto ingested =
           rept::IngestAll(source, *session, static_cast<size_t>(chunk));
       const rept::TriangleEstimates est = session->Snapshot();

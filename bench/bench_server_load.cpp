@@ -1,0 +1,262 @@
+// Multi-connection load generator for rept_server: starts an in-process
+// server, then sweeps (client connections x sessions) while streaming
+// generated graphs over real TCP, and reports end-to-end ingest throughput
+// in the standardized BENCH_server.json schema.
+//
+// Sweep points: dedicated sessions (each connection owns one session, the
+// scaling case admission control is built for) plus one shared-session
+// point (4 connections interleaving batches into a single session, which
+// serializes on the session's ingest mutex — the expected-contention
+// comparison).
+//
+//   build/bench/bench_server_load                  # full sweep
+//   build/bench/bench_server_load --smoke          # CI loopback gate
+//
+// --smoke shrinks the load and turns the run into a pass/fail check:
+// every dedicated session's served estimate must be bit-identical to a
+// direct library ingest of the same (stream, seed), and multi-connection
+// throughput must not collapse below 20% of single-connection throughput.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rept_estimator.hpp"
+#include "gen/holme_kim.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using rept::bench::BenchJsonWriter;
+
+struct SweepPoint {
+  size_t connections;
+  size_t sessions;
+  /// Sessions are assigned round-robin; connections > sessions means
+  /// several connections interleave batches into one session.
+  bool shared() const { return connections > sessions; }
+  std::string Label() const {
+    return "conn" + std::to_string(connections) + "_sess" +
+           std::to_string(sessions) + (shared() ? "_shared" : "");
+  }
+};
+
+rept::EdgeStream MakeLoadStream(uint64_t edges_target, uint64_t seed) {
+  rept::gen::HolmeKimParams params;
+  params.num_vertices =
+      static_cast<rept::VertexId>(std::max<uint64_t>(64, edges_target / 4));
+  params.edges_per_vertex = 4;
+  params.triad_probability = 0.4;
+  return rept::gen::HolmeKim(params, seed);
+}
+
+struct PointResult {
+  double seconds = 0.0;
+  uint64_t edges = 0;
+  bool estimates_ok = true;
+  double edges_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(edges) / seconds : 0.0;
+  }
+};
+
+/// Runs one sweep point against `server`. Sessions are created fresh and
+/// dropped afterwards so points don't see each other's state.
+PointResult RunPoint(rept::net::ReptServer& server, const SweepPoint& point,
+                     const std::vector<rept::EdgeStream>& streams,
+                     const std::vector<double>& expected_globals,
+                     size_t batch_edges) {
+  const uint16_t port = server.port();
+  rept::ReptConfig config;
+  config.m = 8;
+  config.c = 8;
+  config.track_local = false;
+
+  // Admin connection: session setup/teardown and verification.
+  rept::net::ReptClient admin;
+  if (!admin.Connect("127.0.0.1", port).ok()) return {};
+  std::vector<std::string> names;
+  for (size_t s = 0; s < point.sessions; ++s) {
+    rept::net::SessionSpec spec;
+    spec.name = point.Label() + "_s" + std::to_string(s);
+    spec.seed = 1000 + s;
+    spec.config = config;
+    spec.options.expected_edges = streams[s].size();
+    spec.options.expected_vertices = streams[s].num_vertices();
+    if (!admin.CreateSession(spec).ok()) return {};
+    names.push_back(spec.name);
+  }
+
+  // Each connection streams its share; for shared sessions the share is a
+  // disjoint slice of the session's stream.
+  PointResult result;
+  std::vector<std::thread> workers;
+  // Bytes, not vector<bool>: each worker writes its own slot concurrently.
+  std::vector<uint8_t> worker_ok(point.connections, 0);
+  rept::WallTimer timer;
+  for (size_t w = 0; w < point.connections; ++w) {
+    workers.emplace_back([&, w] {
+      const size_t session = w % point.sessions;
+      const rept::EdgeStream& stream = streams[session];
+      const size_t sharers =
+          point.connections / point.sessions +
+          (session < point.connections % point.sessions ? 1 : 0);
+      const size_t share = w / point.sessions;
+      const size_t begin = stream.size() * share / sharers;
+      const size_t end = stream.size() * (share + 1) / sharers;
+
+      rept::net::ReptClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) return;
+      const std::span<const rept::Edge> edges(
+          stream.edges().data() + begin, end - begin);
+      for (size_t i = 0; i < edges.size(); i += batch_edges) {
+        const size_t n = std::min(batch_edges, edges.size() - i);
+        if (!client
+                 .Ingest(names[session], edges.subspan(i, n),
+                         i == 0 ? stream.num_vertices() : 0)
+                 .ok()) {
+          return;
+        }
+      }
+      worker_ok[w] = 1;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  result.seconds = timer.Seconds();
+  for (size_t s = 0; s < point.sessions; ++s) result.edges += streams[s].size();
+  for (const uint8_t ok : worker_ok) {
+    if (ok == 0) result.estimates_ok = false;
+  }
+
+  // Dedicated sessions saw their stream in order: the served estimate must
+  // be bit-identical to the library. Shared sessions interleave batches
+  // (a different but valid edge order), so only the accounting is checked.
+  for (size_t s = 0; s < point.sessions && result.estimates_ok; ++s) {
+    auto snapshot = admin.Snapshot(names[s], 0);
+    if (!snapshot.ok() ||
+        snapshot.value().edges_ingested != streams[s].size()) {
+      result.estimates_ok = false;
+      break;
+    }
+    if (!point.shared() &&
+        snapshot.value().global != expected_globals[s]) {
+      std::fprintf(stderr, "%s session %zu: served %.6f != library %.6f\n",
+                   point.Label().c_str(), s, snapshot.value().global,
+                   expected_globals[s]);
+      result.estimates_ok = false;
+    }
+  }
+  for (const std::string& name : names) (void)admin.DropSession(name);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t edges_per_session = 200000;
+  uint64_t batch = 8192;
+  uint64_t threads = 0;
+  uint64_t seed = 42;
+  bool smoke = false;
+  std::string out_json = "BENCH_server.json";
+  rept::FlagSet flags(
+      "rept_server load generator: connections x sessions throughput sweep "
+      "over loopback TCP");
+  flags.AddUint64("edges", &edges_per_session, "edges per session")
+      .AddUint64("batch", &batch, "edges per INGEST frame")
+      .AddUint64("threads", &threads, "server pool threads (0 = hardware)")
+      .AddUint64("seed", &seed, "stream seed base")
+      .AddBool("smoke", &smoke,
+               "small load + hard pass/fail on estimates and scaling")
+      .AddString("out", &out_json, "output JSON path");
+  rept::bench::ParseOrDie(flags, argc, argv);
+  if (smoke) edges_per_session = std::min<uint64_t>(edges_per_session, 20000);
+
+  rept::net::ServerOptions options;
+  options.pool_threads = static_cast<size_t>(threads);
+  options.limits.max_sessions = 16;
+  rept::net::ReptServer server(options);
+  if (const rept::Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<SweepPoint> points = {
+      {1, 1}, {2, 2}, {4, 4}, {4, 1}};
+  const size_t max_sessions = 4;
+
+  // Streams and library references are per session index (same seed at
+  // every sweep point, so references are computed once).
+  std::vector<rept::EdgeStream> streams;
+  std::vector<double> expected_globals;
+  rept::ReptConfig config;
+  config.m = 8;
+  config.c = 8;
+  config.track_local = false;
+  for (size_t s = 0; s < max_sessions; ++s) {
+    streams.push_back(MakeLoadStream(edges_per_session, seed + s));
+    const auto reference = rept::ReptEstimator(config)
+                               .CreateSession(1000 + s, nullptr)
+                               .value();
+    reference->Ingest(streams.back());
+    expected_globals.push_back(reference->Snapshot().global);
+  }
+
+  BenchJsonWriter json("server");
+  json.Meta("edges_per_session", BenchJsonWriter::NumU(edges_per_session));
+  json.Meta("batch", BenchJsonWriter::NumU(batch));
+  json.Meta("smoke", smoke ? "true" : "false");
+
+  std::printf("%-18s %12s %10s %14s %10s\n", "point", "edges", "seconds",
+              "edges/sec", "verified");
+  std::map<std::string, double> throughput;
+  bool all_ok = true;
+  for (const SweepPoint& point : points) {
+    const PointResult result = RunPoint(server, point, streams,
+                                        expected_globals,
+                                        static_cast<size_t>(batch));
+    all_ok = all_ok && result.estimates_ok;
+    throughput[point.Label()] = result.edges_per_sec();
+    std::printf("%-18s %12llu %10.3f %14.0f %10s\n", point.Label().c_str(),
+                static_cast<unsigned long long>(result.edges),
+                result.seconds, result.edges_per_sec(),
+                result.estimates_ok ? "yes" : "NO");
+    json.Result(point.Label(), "holme-kim",
+                server.pool()->num_threads(), result.edges_per_sec(),
+                {{"connections", BenchJsonWriter::NumU(point.connections)},
+                 {"sessions", BenchJsonWriter::NumU(point.sessions)},
+                 {"shared_session", point.shared() ? "true" : "false"},
+                 {"edges", BenchJsonWriter::NumU(result.edges)},
+                 {"verified", result.estimates_ok ? "true" : "false"}});
+  }
+  (void)server.Stop();
+  if (!json.WriteTo(out_json)) return 1;
+
+  if (!all_ok) {
+    std::fprintf(stderr, "FAILED: served estimates diverged from the "
+                 "library\n");
+    return 1;
+  }
+  if (smoke) {
+    // Multi-connection throughput must not collapse: 4 dedicated
+    // connections at >= 20% of one connection (loose enough for 1-core CI
+    // runners, tight enough to catch a serialization regression).
+    const double single = throughput["conn1_sess1"];
+    const double quad = throughput["conn4_sess4"];
+    if (single > 0.0 && quad < 0.2 * single) {
+      std::fprintf(stderr,
+                   "FAILED: throughput collapse: conn4_sess4 %.0f < 20%% "
+                   "of conn1_sess1 %.0f\n",
+                   quad, single);
+      return 1;
+    }
+    std::printf("smoke: ok\n");
+  }
+  return 0;
+}

@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
   // while the session estimates chunk t.
   rept::WallTimer run_timer;
   const std::unique_ptr<rept::StreamingEstimator> session =
-      estimator.CreateSession(seed, &pool);
+      estimator.CreateSession(seed, &pool).value();
 
   // Resume: restore the session at its saved batch boundary, then
   // fast-forward the (deterministic) reader past the edges the checkpoint

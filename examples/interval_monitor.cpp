@@ -17,6 +17,7 @@
 // Exits non-zero if an attack interval goes unflagged, so the ctest smoke
 // run enforces detection end-to-end.
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -38,6 +39,21 @@
 namespace {
 
 constexpr rept::VertexId kHostsPerInterval = 4096;
+
+// SIGINT/SIGTERM ask for a graceful stop: the interval in flight finishes,
+// a final checkpoint is saved (when a checkpoint path is in use), and the
+// process exits 0 so a supervisor restart with --resume continues the day.
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleSignal(int sig) { g_signal = sig; }
+
+void InstallSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
 
 // One interval's traffic: R-MAT background; attack intervals additionally
 // carry planted cliques (a burst of tightly interconnected hosts). Flow ids
@@ -114,6 +130,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  InstallSignalHandlers();
+
   rept::ReptConfig config;
   config.m = static_cast<uint32_t>(m);
   config.c = static_cast<uint32_t>(c);
@@ -129,7 +147,7 @@ int main(int argc, char** argv) {
   // ingested, then continues monitoring. The alert baseline (delta history)
   // is monitor-side state and re-warms from scratch after a resume.
   const std::unique_ptr<rept::StreamingEstimator> session =
-      estimator.CreateSession(seeds.SeedFor(1000), &pool);
+      estimator.CreateSession(seeds.SeedFor(1000), &pool).value();
   uint64_t resumed_edges = 0;
   if (!resume.empty()) {
     if (const rept::Status st = rept::LoadCheckpoint(*session, resume);
@@ -165,6 +183,24 @@ int main(int argc, char** argv) {
   int flagged = 0;
   int missed_attacks = 0;
   for (uint64_t i = 0; i < intervals; ++i) {
+    if (g_signal != 0) {
+      // Graceful drain: the stream pauses at an interval boundary (exactly
+      // where checkpoints are bit-identical-resumable), saves, and exits
+      // cleanly so a restart with --resume picks the day back up.
+      std::printf("\nsignal %d: checkpointing to %s before exit\n",
+                  static_cast<int>(g_signal), checkpoint_path.c_str());
+      if (const rept::Status st =
+              rept::SaveCheckpoint(*session, checkpoint_path);
+          !st.ok()) {
+        std::fprintf(stderr, "shutdown checkpoint failed: %s\n",
+                     st.ToString().c_str());
+        return 2;
+      }
+      std::printf("resume with: interval_monitor --intervals %" PRIu64
+                  " --resume %s\n",
+                  intervals, checkpoint_path.c_str());
+      return 0;
+    }
     const bool attack = is_attack(i);
     const rept::EdgeStream interval =
         MakeInterval(seeds.SeedFor(i), attack,

@@ -1,6 +1,7 @@
 #include "baselines/parallel_ensemble.hpp"
 
 #include "baselines/ensemble_session.hpp"
+#include "core/rept_config.hpp"
 #include "util/check.hpp"
 
 namespace rept {
@@ -18,10 +19,17 @@ std::string ParallelEnsemble::Name() const {
   return factory_->MethodName() + "(c=" + std::to_string(c_) + ")";
 }
 
-std::unique_ptr<StreamingEstimator> ParallelEnsemble::CreateSession(
+Result<std::unique_ptr<StreamingEstimator>> ParallelEnsemble::CreateSession(
     uint64_t seed, ThreadPool* pool, const SessionOptions& options) const {
-  return std::make_unique<EnsembleSession>(factory_, c_, Name(), seed, pool,
-                                           options);
+  if (c_ < 1 || c_ > ReptConfig::kMaxProcessors) {
+    return Status::InvalidArgument(
+        "ensemble c must be in [1, " +
+        std::to_string(ReptConfig::kMaxProcessors) + "], got " +
+        std::to_string(c_));
+  }
+  REPT_RETURN_NOT_OK(options.Check());
+  return std::unique_ptr<StreamingEstimator>(std::make_unique<EnsembleSession>(
+      factory_, c_, Name(), seed, pool, options));
 }
 
 }  // namespace rept

@@ -30,8 +30,9 @@ class ParallelEnsemble : public EstimatorSystem {
   /// Opens an EnsembleSession. For budget-based methods (TRIEST, GPS) pass
   /// `options.expected_edges` when the stream length is known — it
   /// reproduces the paper's budget = fraction * |E| reservoir sizing;
-  /// without it the factory's default budget applies.
-  std::unique_ptr<StreamingEstimator> CreateSession(
+  /// without it the factory's default budget applies. InvalidArgument on an
+  /// absurd processor count or sizing hint.
+  Result<std::unique_ptr<StreamingEstimator>> CreateSession(
       uint64_t seed, ThreadPool* pool,
       const SessionOptions& options = {}) const override;
 

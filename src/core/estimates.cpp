@@ -9,8 +9,10 @@ TriangleEstimates EstimatorSystem::Run(const EdgeStream& stream, uint64_t seed,
   SessionOptions options;
   options.expected_edges = stream.size();
   options.expected_vertices = stream.num_vertices();
+  // Run() is the trusted-caller wrapper: a config bad enough to fail
+  // CreateSession is a programming error here, so unwrap.
   const std::unique_ptr<StreamingEstimator> session =
-      CreateSession(seed, pool, options);
+      CreateSession(seed, pool, options).value();
   session->Ingest(stream);
   return session->Snapshot();
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/edge_stream.hpp"
+#include "util/status.hpp"
 
 namespace rept {
 
@@ -40,6 +41,24 @@ struct SessionOptions {
   uint64_t expected_edges = 0;
   /// Expected vertex-id-space size; 0 = unknown. Pre-noted on the session.
   VertexId expected_vertices = 0;
+
+  /// Hints are sizing inputs (reservoir budgets, hash-map reserves), so an
+  /// absurd value is an up-front allocation bomb. Check() bounds them for
+  /// untrusted callers; CreateSession implementations reject on failure.
+  static constexpr uint64_t kMaxExpectedEdges = uint64_t{1} << 40;
+  static constexpr VertexId kMaxExpectedVertices = VertexId{1} << 31;
+
+  Status Check() const {
+    if (expected_edges > kMaxExpectedEdges) {
+      return Status::InvalidArgument("expected_edges hint is absurd: " +
+                                     std::to_string(expected_edges));
+    }
+    if (expected_vertices > kMaxExpectedVertices) {
+      return Status::InvalidArgument("expected_vertices hint is absurd: " +
+                                     std::to_string(expected_vertices));
+    }
+    return Status::OK();
+  }
 };
 
 /// \brief A complete estimation system: a named configuration that spawns
@@ -62,7 +81,13 @@ class EstimatorSystem {
   /// Opens a long-lived streaming session. `pool` may be nullptr (serial
   /// execution) and must outlive the session. `options` carries sizing hints
   /// for budget-based methods (see SessionOptions).
-  virtual std::unique_ptr<StreamingEstimator> CreateSession(
+  ///
+  /// Fallible: an invalid configuration or absurd sizing hint returns
+  /// InvalidArgument instead of tripping a process-killing check, so
+  /// network-facing callers (rept_server's CREATE_SESSION verb) can surface
+  /// the failure as a protocol error. Library callers with known-good
+  /// configs unwrap with .value().
+  virtual Result<std::unique_ptr<StreamingEstimator>> CreateSession(
       uint64_t seed, ThreadPool* pool,
       const SessionOptions& options = {}) const = 0;
 

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "util/check.hpp"
+#include "util/status.hpp"
 
 namespace rept {
 
@@ -47,10 +49,38 @@ struct ReptConfig {
   /// `dispatch`, excluded from the checkpoint fingerprint.
   uint32_t routed_sub_batch = 1u << 20;
 
+  /// Hard ceilings on the configuration space. Values beyond these are
+  /// treated as hostile or nonsensical (a processor count in the millions
+  /// would eagerly allocate that many counters): Check() rejects them so a
+  /// network-facing caller (rept_server CREATE_SESSION) can refuse a bad
+  /// request instead of dying on a REPT_CHECK or exhausting memory. The
+  /// paper evaluates c up to 320; 65536 leaves two orders of headroom.
+  static constexpr uint32_t kMaxProcessors = 1u << 16;
+  static constexpr uint32_t kMaxSamplingDenominator = 1u << 28;
+
+  /// Recoverable validation: InvalidArgument with a narrative message for
+  /// out-of-domain or absurd values, OK otherwise. The untrusted-input
+  /// counterpart of Validate().
+  Status Check() const {
+    if (m < 2 || m > kMaxSamplingDenominator) {
+      return Status::InvalidArgument(
+          "m must be in [2, " + std::to_string(kMaxSamplingDenominator) +
+          "], got " + std::to_string(m));
+    }
+    if (c < 1 || c > kMaxProcessors) {
+      return Status::InvalidArgument(
+          "c must be in [1, " + std::to_string(kMaxProcessors) + "], got " +
+          std::to_string(c));
+    }
+    if (routed_sub_batch < 1) {
+      return Status::InvalidArgument("routed_sub_batch must be >= 1");
+    }
+    return Status::OK();
+  }
+
   void Validate() const {
-    REPT_CHECK(m >= 2);
-    REPT_CHECK(c >= 1);
-    REPT_CHECK(routed_sub_batch >= 1);
+    const Status st = Check();
+    REPT_CHECK(st.ok() && "invalid ReptConfig (see ReptConfig::Check)");
   }
 
   double sampling_probability() const { return 1.0 / m; }

@@ -6,9 +6,11 @@
 
 namespace rept {
 
-ReptEstimator::ReptEstimator(ReptConfig config) : config_(config) {
-  config_.Validate();
-}
+// Deliberately no Validate() here: the estimator may be constructed from
+// untrusted wire input (rept_server builds one per CREATE_SESSION request);
+// CreateSession() is the validation gate that turns a bad config into an
+// InvalidArgument instead of a process abort.
+ReptEstimator::ReptEstimator(ReptConfig config) : config_(config) {}
 
 std::string ReptEstimator::Name() const {
   std::ostringstream name;
@@ -16,9 +18,12 @@ std::string ReptEstimator::Name() const {
   return name.str();
 }
 
-std::unique_ptr<StreamingEstimator> ReptEstimator::CreateSession(
+Result<std::unique_ptr<StreamingEstimator>> ReptEstimator::CreateSession(
     uint64_t seed, ThreadPool* pool, const SessionOptions& options) const {
-  return std::make_unique<ReptSession>(config_, seed, pool, options);
+  REPT_RETURN_NOT_OK(config_.Check());
+  REPT_RETURN_NOT_OK(options.Check());
+  return std::unique_ptr<StreamingEstimator>(
+      std::make_unique<ReptSession>(config_, seed, pool, options));
 }
 
 ReptEstimator::RunDetail ReptEstimator::RunDetailed(const EdgeStream& stream,

@@ -39,8 +39,9 @@ class ReptEstimator : public EstimatorSystem {
 
   /// Opens a ReptSession (see core/rept_session.hpp). The sizing hints in
   /// `options` are optional: REPT's per-processor sampling rate is 1/m, so
-  /// no reservoir sizing depends on |E|.
-  std::unique_ptr<StreamingEstimator> CreateSession(
+  /// no reservoir sizing depends on |E|. InvalidArgument when the config
+  /// fails ReptConfig::Check() or the hints fail SessionOptions::Check().
+  Result<std::unique_ptr<StreamingEstimator>> CreateSession(
       uint64_t seed, ThreadPool* pool,
       const SessionOptions& options = {}) const override;
 

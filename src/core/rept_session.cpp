@@ -377,6 +377,14 @@ uint64_t ReptSession::StoredEdges() const {
   return board_.ReadStoredEdges();
 }
 
+size_t ReptSession::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& instance : instances_) {
+    total += instance->counter().MemoryBytes();
+  }
+  return total;
+}
+
 TriangleEstimates ReptSession::Snapshot() const {
   if (!config_.track_local) {
     // Wait-free path: scalar estimates from the seqlock-published board.

@@ -71,6 +71,9 @@ class ReptSession : public StreamingEstimator {
 
   TriangleEstimates Snapshot() const override;
   uint64_t StoredEdges() const override;
+  /// Sum of the per-instance counter footprints (sampled adjacency + tally
+  /// maps + arenas). Writer-side (see the base-class contract).
+  size_t MemoryBytes() const override;
 
   /// Binds a checkpoint to (m, c, track_local, strict_eta_pairs, seed).
   /// The dispatch mode and thread pool are deliberately excluded: they are

@@ -76,6 +76,12 @@ class StreamingEstimator {
   /// sequence.
   virtual uint64_t StoredEdges() const = 0;
 
+  /// Approximate resident bytes of the session's sampled state (adjacency
+  /// slots, arenas, tally maps). Writer-side like Checkpoint(): read it at
+  /// batch boundaries, serialized with Ingest() — rept_server does so to
+  /// enforce per-session and global memory budgets. 0 = not tracked.
+  virtual size_t MemoryBytes() const { return 0; }
+
   /// Raises the session's vertex-id-space bound to at least `num_vertices`.
   /// Ingest() already tracks the max vertex id seen; this only matters for
   /// streams whose declared id space exceeds the ids observed (isolated

@@ -1,0 +1,203 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+
+#include "net/wire.hpp"
+
+namespace rept::net {
+namespace {
+
+/// Error-frame messages can be long but must not size unbounded allocs.
+constexpr size_t kMaxErrorMessage = 4096;
+
+}  // namespace
+
+Status ReptClient::Connect(const std::string& host, uint16_t port) {
+  Result<TcpSocket> sock = TcpSocket::Connect(host, port);
+  REPT_RETURN_NOT_OK(sock.status());
+  socket_ = std::move(sock).value();
+  return Status::OK();
+}
+
+Result<Frame> ReptClient::Roundtrip(MessageType request,
+                                    std::span<const uint8_t> payload,
+                                    MessageType expected) {
+  if (!socket_.valid()) return Status::IOError("client is not connected");
+  REPT_RETURN_NOT_OK(WriteFrame(socket_, request, payload));
+  Frame reply;
+  REPT_RETURN_NOT_OK(ReadFrame(socket_, reply, max_frame_payload_));
+  if (reply.type == static_cast<uint32_t>(MessageType::kError)) {
+    WireReader reader(reply.payload);
+    const WireError code = static_cast<WireError>(reader.ReadU32());
+    const std::string message = reader.ReadString(kMaxErrorMessage);
+    REPT_RETURN_NOT_OK(reader.status());
+    return StatusFromWireError(code, message);
+  }
+  if (reply.type != static_cast<uint32_t>(expected)) {
+    return Status::Corruption("unexpected response type " +
+                              std::to_string(reply.type));
+  }
+  return reply;
+}
+
+Status ReptClient::CreateSession(const SessionSpec& spec,
+                                 uint64_t* fingerprint) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(payload);
+  writer.AppendString(spec.name);
+  writer.AppendU64(spec.seed);
+  writer.AppendU32(spec.config.m);
+  writer.AppendU32(spec.config.c);
+  const uint8_t flags =
+      static_cast<uint8_t>((spec.config.track_local ? 0x01 : 0) |
+                           (spec.config.strict_eta_pairs ? 0x02 : 0));
+  writer.AppendU8(flags);
+  writer.AppendU64(spec.options.expected_edges);
+  writer.AppendU64(spec.options.expected_vertices);
+  writer.AppendU64(spec.memory_budget);
+
+  Result<Frame> reply =
+      Roundtrip(MessageType::kCreateSession, payload, MessageType::kOk);
+  REPT_RETURN_NOT_OK(reply.status());
+  WireReader reader(reply.value().payload);
+  const uint64_t fp = reader.ReadU64();
+  REPT_RETURN_NOT_OK(reader.ExpectEnd());
+  if (fingerprint != nullptr) *fingerprint = fp;
+  return Status::OK();
+}
+
+Result<IngestReply> ReptClient::Ingest(const std::string& name,
+                                       std::span<const Edge> edges,
+                                       uint64_t note_vertices) {
+  // Per-frame fixed cost: name (4 + len), note_vertices u64, count u64.
+  const uint64_t overhead = 4 + name.size() + 8 + 8;
+  if (overhead + 8 > max_frame_payload_) {
+    return Status::InvalidArgument("frame cap too small for an ingest");
+  }
+  const size_t max_edges_per_frame =
+      static_cast<size_t>((max_frame_payload_ - overhead) / 8);
+
+  IngestReply last;
+  size_t offset = 0;
+  do {
+    const size_t n = std::min(edges.size() - offset, max_edges_per_frame);
+    std::vector<uint8_t> payload;
+    payload.reserve(static_cast<size_t>(overhead) + n * 8);
+    WireWriter writer(payload);
+    writer.AppendString(name);
+    writer.AppendU64(offset == 0 ? note_vertices : 0);
+    writer.AppendU64(n);
+    for (size_t i = 0; i < n; ++i) {
+      writer.AppendU32(edges[offset + i].u);
+      writer.AppendU32(edges[offset + i].v);
+    }
+    Result<Frame> reply =
+        Roundtrip(MessageType::kIngestBatch, payload, MessageType::kOk);
+    REPT_RETURN_NOT_OK(reply.status());
+    WireReader reader(reply.value().payload);
+    last.edges_ingested = reader.ReadU64();
+    last.stored_edges = reader.ReadU64();
+    last.memory_bytes = reader.ReadU64();
+    REPT_RETURN_NOT_OK(reader.ExpectEnd());
+    offset += n;
+  } while (offset < edges.size());
+  return last;
+}
+
+Result<SnapshotReply> ReptClient::Snapshot(const std::string& name,
+                                           uint32_t top_k) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(payload);
+  writer.AppendString(name);
+  writer.AppendU32(top_k);
+
+  Result<Frame> reply = Roundtrip(MessageType::kSnapshot, payload,
+                                  MessageType::kSnapshotResult);
+  REPT_RETURN_NOT_OK(reply.status());
+  WireReader reader(reply.value().payload);
+  SnapshotReply out;
+  out.edges_ingested = reader.ReadU64();
+  out.stored_edges = reader.ReadU64();
+  out.num_vertices = reader.ReadU64();
+  out.global = reader.ReadDouble();
+  const uint32_t k = reader.ReadU32();
+  if (reader.status().ok() && k > reader.Remaining() / 12) {
+    return Status::Corruption("snapshot entry count exceeds payload");
+  }
+  out.top.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    const VertexId vertex = reader.ReadU32();
+    const double tally = reader.ReadDouble();
+    out.top.emplace_back(vertex, tally);
+  }
+  REPT_RETURN_NOT_OK(reader.ExpectEnd());
+  return out;
+}
+
+Result<std::vector<uint8_t>> ReptClient::Checkpoint(
+    const std::string& name) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(payload);
+  writer.AppendString(name);
+  Result<Frame> reply = Roundtrip(MessageType::kCheckpoint, payload,
+                                  MessageType::kCheckpointData);
+  REPT_RETURN_NOT_OK(reply.status());
+  return std::move(reply.value().payload);
+}
+
+Status ReptClient::Restore(const std::string& name,
+                           std::span<const uint8_t> bytes) {
+  std::vector<uint8_t> payload;
+  payload.reserve(4 + name.size() + bytes.size());
+  WireWriter writer(payload);
+  writer.AppendString(name);
+  writer.AppendBytes(bytes.data(), bytes.size());
+  Result<Frame> reply =
+      Roundtrip(MessageType::kRestore, payload, MessageType::kOk);
+  return reply.status();
+}
+
+Status ReptClient::DropSession(const std::string& name) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(payload);
+  writer.AppendString(name);
+  Result<Frame> reply =
+      Roundtrip(MessageType::kDropSession, payload, MessageType::kOk);
+  return reply.status();
+}
+
+Result<ServerStats> ReptClient::Stats() {
+  Result<Frame> reply =
+      Roundtrip(MessageType::kStats, {}, MessageType::kStatsResult);
+  REPT_RETURN_NOT_OK(reply.status());
+  WireReader reader(reply.value().payload);
+  ServerStats out;
+  out.connections_accepted = reader.ReadU64();
+  out.frames_served = reader.ReadU64();
+  out.total_memory_bytes = reader.ReadU64();
+  const uint32_t n = reader.ReadU32();
+  // Each row is at least a name length prefix plus four u64 fields.
+  if (reader.status().ok() && n > reader.Remaining() / (4 + 32)) {
+    return Status::Corruption("stats row count exceeds payload");
+  }
+  out.sessions.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ServerStats::SessionRow row;
+    row.name = reader.ReadString(kMaxSessionNameBytes);
+    row.edges_ingested = reader.ReadU64();
+    row.stored_edges = reader.ReadU64();
+    row.num_vertices = reader.ReadU64();
+    row.memory_bytes = reader.ReadU64();
+    out.sessions.push_back(std::move(row));
+  }
+  REPT_RETURN_NOT_OK(reader.ExpectEnd());
+  return out;
+}
+
+Status ReptClient::Shutdown() {
+  Result<Frame> reply =
+      Roundtrip(MessageType::kShutdown, {}, MessageType::kOk);
+  return reply.status();
+}
+
+}  // namespace rept::net

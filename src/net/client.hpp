@@ -1,0 +1,110 @@
+// Client side of the rept_server protocol: one blocking connection, one
+// request/response exchange at a time. Not thread-safe — use one ReptClient
+// per thread (connections are cheap; the server multiplexes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "net/protocol.hpp"
+#include "net/session_registry.hpp"
+#include "net/socket.hpp"
+#include "util/status.hpp"
+
+namespace rept::net {
+
+/// \brief Decoded kSnapshotResult.
+struct SnapshotReply {
+  uint64_t edges_ingested = 0;
+  uint64_t stored_edges = 0;
+  uint64_t num_vertices = 0;
+  double global = 0.0;
+  /// Top-k (vertex, local tally), tally-descending, ties by vertex id. May
+  /// be shorter than requested when the session has fewer vertices or the
+  /// full list would not fit one frame.
+  std::vector<std::pair<VertexId, double>> top;
+};
+
+/// \brief Decoded kStatsResult.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_served = 0;
+  uint64_t total_memory_bytes = 0;
+  struct SessionRow {
+    std::string name;
+    uint64_t edges_ingested = 0;
+    uint64_t stored_edges = 0;
+    uint64_t num_vertices = 0;
+    uint64_t memory_bytes = 0;
+  };
+  std::vector<SessionRow> sessions;
+};
+
+/// \brief Reply of a successful INGEST (cumulative, post-batch).
+struct IngestReply {
+  uint64_t edges_ingested = 0;
+  uint64_t stored_edges = 0;
+  uint64_t memory_bytes = 0;
+};
+
+/// \brief A synchronous rept_server client.
+class ReptClient {
+ public:
+  ReptClient() = default;
+
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return socket_.valid(); }
+  void Close() { socket_.Close(); }
+
+  /// Caps outbound frames; must not exceed the server's --max-frame-mb.
+  /// Ingest() chunks batches to fit.
+  void set_max_frame_payload(uint64_t bytes) { max_frame_payload_ = bytes; }
+
+  /// Opens a named session; `spec.options`/`spec.memory_budget` ride along.
+  /// On success `fingerprint` (when non-null) receives the session's
+  /// StateFingerprint.
+  Status CreateSession(const SessionSpec& spec,
+                       uint64_t* fingerprint = nullptr);
+
+  /// Streams a batch into the named session, transparently split into as
+  /// many INGEST frames as the frame cap requires. `note_vertices` (0 =
+  /// none) is delivered with the first frame. Returns the cumulative
+  /// accounting after the last frame.
+  Result<IngestReply> Ingest(const std::string& name,
+                             std::span<const Edge> edges,
+                             uint64_t note_vertices = 0);
+
+  Result<SnapshotReply> Snapshot(const std::string& name, uint32_t top_k);
+
+  /// The session's full serialized state (a WriteCheckpointStream payload —
+  /// the same bytes SaveCheckpoint would put in a file).
+  Result<std::vector<uint8_t>> Checkpoint(const std::string& name);
+
+  /// Overwrites the named session's state from Checkpoint() bytes. The
+  /// session must exist with the same (config, seed) the bytes were taken
+  /// from.
+  Status Restore(const std::string& name, std::span<const uint8_t> bytes);
+
+  Status DropSession(const std::string& name);
+
+  Result<ServerStats> Stats();
+
+  /// Asks the server to drain and exit. The connection is unusable after.
+  Status Shutdown();
+
+ private:
+  /// One request/response exchange; maps kError replies onto Status and
+  /// rejects replies of any type other than `expected`.
+  Result<Frame> Roundtrip(MessageType request,
+                          std::span<const uint8_t> payload,
+                          MessageType expected);
+
+  TcpSocket socket_;
+  uint64_t max_frame_payload_ = kDefaultMaxFramePayload;
+};
+
+}  // namespace rept::net

@@ -1,0 +1,219 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "net/wire.hpp"
+#include "persist/checkpoint_io.hpp"
+
+namespace rept::net {
+namespace {
+
+/// Fills `len` bytes from the source, looping over short reads. Returns the
+/// bytes actually delivered before EOF (== len unless the stream ended).
+Result<size_t> ReadFully(ByteSource& source, uint8_t* dst, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    Result<size_t> n = source.Read(dst + got, len - got);
+    REPT_RETURN_NOT_OK(n.status());
+    if (n.value() == 0) break;  // End of stream.
+    got += n.value();
+  }
+  return got;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+const char* WireErrorName(WireError code) {
+  switch (code) {
+    case WireError::kBadFrame:
+      return "BadFrame";
+    case WireError::kUnknownVerb:
+      return "UnknownVerb";
+    case WireError::kInvalidArgument:
+      return "InvalidArgument";
+    case WireError::kNotFound:
+      return "NotFound";
+    case WireError::kAlreadyExists:
+      return "AlreadyExists";
+    case WireError::kResourceExhausted:
+      return "ResourceExhausted";
+    case WireError::kCorruption:
+      return "Corruption";
+    case WireError::kIOError:
+      return "IOError";
+    case WireError::kUnsupported:
+      return "Unsupported";
+    case WireError::kShuttingDown:
+      return "ShuttingDown";
+    case WireError::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+WireError WireErrorFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireError::kInternal;  // Caller bug: OK is not an error.
+    case StatusCode::kInvalidArgument:
+      return WireError::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireError::kNotFound;
+    case StatusCode::kIOError:
+      return WireError::kIOError;
+    case StatusCode::kCorruption:
+      return WireError::kCorruption;
+    case StatusCode::kUnsupported:
+      return WireError::kUnsupported;
+    case StatusCode::kResourceExhausted:
+      return WireError::kResourceExhausted;
+  }
+  return WireError::kInternal;
+}
+
+Status StatusFromWireError(WireError code, const std::string& message) {
+  switch (code) {
+    case WireError::kInvalidArgument:
+    case WireError::kUnknownVerb:
+      return Status::InvalidArgument(message);
+    case WireError::kNotFound:
+      return Status::NotFound(message);
+    case WireError::kAlreadyExists:
+      // No dedicated local code; the message carries the distinction.
+      return Status::InvalidArgument(message);
+    case WireError::kResourceExhausted:
+    case WireError::kShuttingDown:
+      return Status::ResourceExhausted(message);
+    case WireError::kBadFrame:
+    case WireError::kCorruption:
+      return Status::Corruption(message);
+    case WireError::kIOError:
+      return Status::IOError(message);
+    case WireError::kUnsupported:
+      return Status::Unsupported(message);
+    case WireError::kInternal:
+      return Status::IOError("server internal error: " + message);
+  }
+  return Status::IOError("unknown wire error: " + message);
+}
+
+Status ValidateSessionName(std::string_view name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("session name must be nonempty");
+  }
+  if (name.size() > kMaxSessionNameBytes) {
+    return Status::InvalidArgument(
+        "session name exceeds " + std::to_string(kMaxSessionNameBytes) +
+        " bytes");
+  }
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '.' ||
+                    ch == '-';
+    if (!ok) {
+      return Status::InvalidArgument(
+          "session name may only contain [A-Za-z0-9_.-]");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  WireWriter writer(out);
+  writer.AppendBytes(kFrameMagic, sizeof(kFrameMagic));
+  writer.AppendU32(kProtocolVersion);
+  writer.AppendU32(static_cast<uint32_t>(type));
+  writer.AppendU64(payload.size());
+  writer.AppendBytes(payload.data(), payload.size());
+  const uint32_t crc =
+      Crc32(0, out.data() + sizeof(kFrameMagic),
+            out.size() - sizeof(kFrameMagic));
+  writer.AppendU32(crc);
+  return out;
+}
+
+Status WriteFrame(ByteSink& sink, MessageType type,
+                  std::span<const uint8_t> payload) {
+  const std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  return sink.WriteAll(frame.data(), frame.size());
+}
+
+Status ReadFrame(ByteSource& source, Frame& frame, uint64_t max_payload) {
+  uint8_t header[kFrameHeaderBytes];
+  Result<size_t> got = ReadFully(source, header, sizeof(header));
+  REPT_RETURN_NOT_OK(got.status());
+  if (got.value() == 0) {
+    // Clean hangup between frames: the normal way a connection ends.
+    return Status::NotFound("connection closed");
+  }
+  if (got.value() < sizeof(header)) {
+    return Status::Corruption("truncated frame header");
+  }
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::Corruption("bad frame magic");
+  }
+  const uint32_t version = LoadU32(header + 4);
+  if (version != kProtocolVersion) {
+    return Status::Corruption("unsupported protocol version " +
+                              std::to_string(version));
+  }
+  const uint32_t type = LoadU32(header + 8);
+  const uint64_t payload_len = LoadU64(header + 12);
+  // The length prefix is attacker-controlled until the CRC passes: cap it
+  // before sizing any buffer.
+  if (payload_len > max_payload) {
+    return Status::Corruption("frame payload length " +
+                              std::to_string(payload_len) +
+                              " exceeds limit " + std::to_string(max_payload));
+  }
+
+  std::vector<uint8_t> payload(static_cast<size_t>(payload_len));
+  if (payload_len > 0) {
+    got = ReadFully(source, payload.data(), payload.size());
+    REPT_RETURN_NOT_OK(got.status());
+    if (got.value() < payload.size()) {
+      return Status::Corruption("truncated frame payload");
+    }
+  }
+
+  uint8_t trailer[kFrameTrailerBytes];
+  got = ReadFully(source, trailer, sizeof(trailer));
+  REPT_RETURN_NOT_OK(got.status());
+  if (got.value() < sizeof(trailer)) {
+    return Status::Corruption("truncated frame trailer");
+  }
+  uint32_t crc = Crc32(0, header + sizeof(kFrameMagic),
+                       sizeof(header) - sizeof(kFrameMagic));
+  crc = Crc32(crc, payload.data(), payload.size());
+  if (crc != LoadU32(trailer)) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+
+  frame.type = type;
+  frame.payload = std::move(payload);
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeErrorFrame(WireError code,
+                                      std::string_view message) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(payload);
+  writer.AppendU32(static_cast<uint32_t>(code));
+  writer.AppendString(message);
+  return EncodeFrame(MessageType::kError, payload);
+}
+
+}  // namespace rept::net

@@ -1,0 +1,134 @@
+// The rept_server wire protocol: length-prefixed, versioned, CRC-checked
+// frames carrying session verbs, in the PR 4 checkpoint frame tradition
+// (little-endian fields, CRC-32 over every untrusted byte, lengths validated
+// against a hard cap before any allocation). docs/server_protocol.md is the
+// written spec of this layout.
+//
+// Frame layout (all integers little-endian):
+//
+//   magic        4 bytes   "RPN1"
+//   version      u32       kProtocolVersion
+//   type         u32       MessageType
+//   payload_len  u64       payload byte count (<= receiver's frame cap)
+//   payload      payload_len bytes (wire.hpp encoding, per-verb layout)
+//   crc32        u32       CRC-32 of bytes [4, 20 + payload_len): version,
+//                          type, payload_len, payload — bad magic aside,
+//                          every header or payload flip is detected
+//
+// Failure taxonomy on the read side: a damaged frame (bad magic/version/CRC,
+// oversized length, truncation mid-frame) is Corruption — the byte stream
+// can no longer be trusted and the connection must close; a clean EOF at a
+// frame boundary is NotFound (the peer hung up between requests); transport
+// errors are IOError. A structurally valid frame whose *payload* fails its
+// verb decode is recoverable: framing kept the stream in sync, so the server
+// answers with an error frame and the connection lives on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace rept::net {
+
+inline constexpr char kFrameMagic[4] = {'R', 'P', 'N', '1'};
+inline constexpr uint32_t kProtocolVersion = 1;
+/// magic + version + type + payload_len.
+inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 4 + 8;
+inline constexpr size_t kFrameTrailerBytes = 4;
+/// Default per-frame payload cap (both directions). Oversized length
+/// prefixes are rejected before any allocation happens.
+inline constexpr uint64_t kDefaultMaxFramePayload = 64ull << 20;
+/// Session names are registry keys and checkpoint file stems; see
+/// ValidateSessionName.
+inline constexpr size_t kMaxSessionNameBytes = 128;
+
+/// \brief Frame types. Requests are < 64, responses >= 64.
+enum class MessageType : uint32_t {
+  kCreateSession = 1,
+  kIngestBatch = 2,
+  kSnapshot = 3,
+  kCheckpoint = 4,
+  kRestore = 5,
+  kDropSession = 6,
+  kStats = 7,
+  kShutdown = 8,
+
+  kOk = 64,
+  kError = 65,
+  kSnapshotResult = 66,
+  kCheckpointData = 67,
+  kStatsResult = 68,
+};
+
+/// \brief Error codes carried by kError frames (u32 on the wire).
+enum class WireError : uint32_t {
+  kBadFrame = 1,
+  kUnknownVerb = 2,
+  kInvalidArgument = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kResourceExhausted = 6,
+  kCorruption = 7,
+  kIOError = 8,
+  kUnsupported = 9,
+  kShuttingDown = 10,
+  kInternal = 11,
+};
+
+const char* WireErrorName(WireError code);
+
+/// Maps a Status from the session/registry layer onto the wire.
+WireError WireErrorFromStatus(const Status& status);
+
+/// Client-side inverse: reconstructs a Status from an error frame.
+Status StatusFromWireError(WireError code, const std::string& message);
+
+/// Registry keys double as checkpoint file stems, so names are restricted to
+/// [A-Za-z0-9_.-], nonempty, at most kMaxSessionNameBytes — no separators,
+/// no traversal.
+Status ValidateSessionName(std::string_view name);
+
+/// \brief One decoded frame.
+struct Frame {
+  uint32_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// \brief Blocking byte producer (socket, in-memory buffer). Read returns
+/// the number of bytes delivered (1..max), 0 for end-of-stream, or an error
+/// Status; short reads are normal and the framing layer loops.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual Result<size_t> Read(void* dst, size_t max) = 0;
+};
+
+/// \brief Blocking byte consumer; WriteAll delivers every byte or fails.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual Status WriteAll(const void* data, size_t len) = 0;
+};
+
+/// Serializes one complete frame (header, payload, CRC).
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 std::span<const uint8_t> payload);
+
+/// Convenience: encode + WriteAll.
+Status WriteFrame(ByteSink& sink, MessageType type,
+                  std::span<const uint8_t> payload);
+
+/// Reads and verifies one frame. `max_payload` caps the length prefix
+/// before the payload allocation. NotFound on a clean EOF at a frame
+/// boundary, Corruption on any framing damage, IOError from the transport.
+Status ReadFrame(ByteSource& source, Frame& frame, uint64_t max_payload);
+
+/// A ready-to-send kError frame.
+std::vector<uint8_t> EncodeErrorFrame(WireError code,
+                                      std::string_view message);
+
+}  // namespace rept::net

@@ -1,0 +1,402 @@
+#include "net/server.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "core/rept_estimator.hpp"
+#include "net/wire.hpp"
+#include "persist/checkpoint.hpp"
+
+namespace rept::net {
+namespace {
+
+/// Fixed bytes of a kSnapshotResult before the top-k entries.
+constexpr size_t kSnapshotFixedBytes = 8 + 8 + 8 + 8 + 4;
+/// Bytes per top-k entry: u32 vertex + f64 tally.
+constexpr size_t kSnapshotEntryBytes = 4 + 8;
+
+std::vector<uint8_t> ErrorFrame(const Status& status) {
+  return EncodeErrorFrame(WireErrorFromStatus(status), status.message());
+}
+
+}  // namespace
+
+Status ReptServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  REPT_RETURN_NOT_OK(listener_.Listen(options_.host, options_.port));
+  pool_ = std::make_unique<ThreadPool>(options_.pool_threads);
+  registry_ =
+      std::make_unique<SessionRegistry>(options_.limits, pool_.get());
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ReptServer::RequestShutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  listener_.Close();
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const auto& conn : connections_) {
+    // Wake a read blocked mid-frame with EOF; queued responses still drain
+    // because the write side stays open.
+    conn->socket.ShutdownRead();
+  }
+}
+
+Status ReptServer::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return Status::OK();
+  if (stopped_.exchange(true)) return Status::OK();
+  RequestShutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    connections_.clear();
+  }
+
+  Status first_error;
+  if (!options_.checkpoint_dir.empty() && registry_ != nullptr) {
+    for (const auto& entry : registry_->List()) {
+      // Connections are drained and joined: the lock is uncontended, held
+      // only to honor the writer-side contract.
+      std::lock_guard<std::mutex> lock(entry->ingest_mutex);
+      const std::string path =
+          options_.checkpoint_dir + "/" + entry->name + ".ckpt";
+      const Status st = SaveCheckpoint(*entry->session, path);
+      if (!st.ok() && first_error.ok()) first_error = st;
+    }
+  }
+  return first_error;
+}
+
+void ReptServer::AcceptLoop() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    Result<TcpSocket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      // Closed listener (shutdown) or a fatal accept error either way the
+      // loop is done; connections in flight keep running.
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(accepted).value();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (shutdown_.load(std::memory_order_acquire)) {
+        // Lost the race with RequestShutdown's nudge sweep: refuse.
+        continue;
+      }
+      ReapConnections();
+      connections_.push_back(conn);
+    }
+    conn->thread = std::thread([this, conn] { ServeConnection(conn); });
+  }
+}
+
+void ReptServer::ReapConnections() {
+  // Caller holds connections_mutex_.
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ReptServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Frame frame;
+    const Status read_status =
+        ReadFrame(conn->socket, frame, options_.max_frame_payload);
+    if (!read_status.ok()) {
+      if (read_status.code() == StatusCode::kCorruption) {
+        // The stream is out of sync; tell the peer why (best effort) and
+        // hang up.
+        const std::vector<uint8_t> err =
+            EncodeErrorFrame(WireError::kBadFrame, read_status.message());
+        (void)conn->socket.WriteAll(err.data(), err.size());
+      }
+      break;  // Clean EOF (NotFound), transport error, or corruption.
+    }
+    frames_served_.fetch_add(1, std::memory_order_relaxed);
+    bool shutdown_after_reply = false;
+    const std::vector<uint8_t> response =
+        Dispatch(frame, shutdown_after_reply);
+    if (!conn->socket.WriteAll(response.data(), response.size()).ok()) break;
+    if (shutdown_after_reply) {
+      RequestShutdown();
+      break;
+    }
+  }
+  // Shutdown only — Close() writes fd_ and would race RequestShutdown's
+  // read-side nudge. The fd is released by the Connection destructor,
+  // which runs strictly after this thread is joined.
+  conn->socket.ShutdownBoth();
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::vector<uint8_t> ReptServer::Dispatch(const Frame& frame,
+                                          bool& shutdown_after_reply) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return EncodeErrorFrame(WireError::kShuttingDown,
+                            "server is shutting down");
+  }
+  switch (static_cast<MessageType>(frame.type)) {
+    case MessageType::kCreateSession:
+      return HandleCreate(frame);
+    case MessageType::kIngestBatch:
+      return HandleIngest(frame);
+    case MessageType::kSnapshot:
+      return HandleSnapshot(frame);
+    case MessageType::kCheckpoint:
+      return HandleCheckpoint(frame);
+    case MessageType::kRestore:
+      return HandleRestore(frame);
+    case MessageType::kDropSession:
+      return HandleDrop(frame);
+    case MessageType::kStats:
+      return HandleStats(frame);
+    case MessageType::kShutdown: {
+      shutdown_after_reply = true;
+      return EncodeFrame(MessageType::kOk, {});
+    }
+    default:
+      return EncodeErrorFrame(WireError::kUnknownVerb,
+                              "unknown message type " +
+                                  std::to_string(frame.type));
+  }
+}
+
+std::vector<uint8_t> ReptServer::HandleCreate(const Frame& frame) {
+  WireReader reader(frame.payload);
+  SessionSpec spec;
+  spec.name = reader.ReadString(kMaxSessionNameBytes);
+  spec.seed = reader.ReadU64();
+  spec.config.m = reader.ReadU32();
+  spec.config.c = reader.ReadU32();
+  const uint8_t flags = reader.ReadU8();
+  spec.config.track_local = (flags & 0x01) != 0;
+  spec.config.strict_eta_pairs = (flags & 0x02) != 0;
+  spec.options.expected_edges = reader.ReadU64();
+  const uint64_t expected_vertices = reader.ReadU64();
+  spec.memory_budget = reader.ReadU64();
+  if (!reader.ExpectEnd().ok()) return ErrorFrame(reader.status());
+  // The wire field is wider than VertexId; reject before the narrowing cast
+  // so SessionOptions::Check sees the honest value.
+  if (expected_vertices > SessionOptions::kMaxExpectedVertices) {
+    return ErrorFrame(
+        Status::InvalidArgument("expected_vertices hint is absurd: " +
+                                std::to_string(expected_vertices)));
+  }
+  spec.options.expected_vertices = static_cast<VertexId>(expected_vertices);
+
+  Result<std::shared_ptr<SessionEntry>> entry = registry_->Create(spec);
+  if (!entry.ok()) return ErrorFrame(entry.status());
+
+  std::vector<uint8_t> payload;
+  WireWriter writer(payload);
+  writer.AppendU64(entry.value()->session->StateFingerprint());
+  return EncodeFrame(MessageType::kOk, payload);
+}
+
+std::vector<uint8_t> ReptServer::HandleIngest(const Frame& frame) {
+  WireReader reader(frame.payload);
+  const std::string name = reader.ReadString(kMaxSessionNameBytes);
+  const uint64_t note_vertices = reader.ReadU64();
+  const uint64_t count = reader.ReadCount(/*min_bytes_per_element=*/8);
+  std::vector<Edge> edges;
+  if (reader.status().ok()) {
+    edges.resize(static_cast<size_t>(count));
+    for (Edge& e : edges) {
+      e.u = reader.ReadU32();
+      e.v = reader.ReadU32();
+    }
+  }
+  if (!reader.ExpectEnd().ok()) return ErrorFrame(reader.status());
+  if (note_vertices > SessionOptions::kMaxExpectedVertices) {
+    return ErrorFrame(
+        Status::InvalidArgument("num_vertices hint is absurd: " +
+                                std::to_string(note_vertices)));
+  }
+
+  Result<std::shared_ptr<SessionEntry>> found = registry_->Find(name);
+  if (!found.ok()) return ErrorFrame(found.status());
+  const std::shared_ptr<SessionEntry>& entry = found.value();
+
+  uint64_t edges_ingested;
+  uint64_t stored_edges;
+  uint64_t memory_bytes;
+  {
+    std::lock_guard<std::mutex> lock(entry->ingest_mutex);
+    if (note_vertices > 0) {
+      entry->session->NoteVertices(static_cast<VertexId>(note_vertices));
+    }
+    entry->session->Ingest(std::span<const Edge>(edges));
+    // The batch is already applied; a budget breach reports
+    // ResourceExhausted so the client stops sending, it does not undo.
+    const Status admitted = registry_->AdmitIngest(*entry);
+    if (!admitted.ok()) return ErrorFrame(admitted);
+    edges_ingested = entry->session->edges_ingested();
+    stored_edges = entry->session->StoredEdges();
+    memory_bytes = entry->memory_bytes.load(std::memory_order_relaxed);
+  }
+
+  std::vector<uint8_t> payload;
+  WireWriter writer(payload);
+  writer.AppendU64(edges_ingested);
+  writer.AppendU64(stored_edges);
+  writer.AppendU64(memory_bytes);
+  return EncodeFrame(MessageType::kOk, payload);
+}
+
+std::vector<uint8_t> ReptServer::HandleSnapshot(const Frame& frame) {
+  WireReader reader(frame.payload);
+  const std::string name = reader.ReadString(kMaxSessionNameBytes);
+  const uint32_t top_k = reader.ReadU32();
+  if (!reader.ExpectEnd().ok()) return ErrorFrame(reader.status());
+
+  Result<std::shared_ptr<SessionEntry>> found = registry_->Find(name);
+  if (!found.ok()) return ErrorFrame(found.status());
+  const std::shared_ptr<SessionEntry>& entry = found.value();
+
+  // Concurrent-reader path: no ingest lock (anytime snapshot).
+  const TriangleEstimates estimates = entry->session->Snapshot();
+  const uint64_t edges_ingested = entry->session->edges_ingested();
+  const uint64_t stored_edges = entry->session->StoredEdges();
+  const uint64_t num_vertices = entry->session->num_vertices();
+
+  // The response must fit one frame: k is capped by the payload budget (a
+  // short result, not an error — the client sees the actual k).
+  const uint64_t max_entries =
+      (options_.max_frame_payload - kSnapshotFixedBytes) /
+      kSnapshotEntryBytes;
+  size_t k = std::min<uint64_t>(top_k, estimates.local.size());
+  k = static_cast<size_t>(std::min<uint64_t>(k, max_entries));
+
+  // Top-k by tally, descending; ties resolve to the smaller vertex id so
+  // the result is deterministic.
+  std::vector<uint32_t> order(estimates.local.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](uint32_t a, uint32_t b) {
+                      if (estimates.local[a] != estimates.local[b]) {
+                        return estimates.local[a] > estimates.local[b];
+                      }
+                      return a < b;
+                    });
+
+  std::vector<uint8_t> payload;
+  payload.reserve(kSnapshotFixedBytes + k * kSnapshotEntryBytes);
+  WireWriter writer(payload);
+  writer.AppendU64(edges_ingested);
+  writer.AppendU64(stored_edges);
+  writer.AppendU64(num_vertices);
+  writer.AppendDouble(estimates.global);
+  writer.AppendU32(static_cast<uint32_t>(k));
+  for (size_t i = 0; i < k; ++i) {
+    writer.AppendU32(order[i]);
+    writer.AppendDouble(estimates.local[order[i]]);
+  }
+  return EncodeFrame(MessageType::kSnapshotResult, payload);
+}
+
+std::vector<uint8_t> ReptServer::HandleCheckpoint(const Frame& frame) {
+  WireReader reader(frame.payload);
+  const std::string name = reader.ReadString(kMaxSessionNameBytes);
+  if (!reader.ExpectEnd().ok()) return ErrorFrame(reader.status());
+
+  Result<std::shared_ptr<SessionEntry>> found = registry_->Find(name);
+  if (!found.ok()) return ErrorFrame(found.status());
+  const std::shared_ptr<SessionEntry>& entry = found.value();
+
+  std::ostringstream out;
+  {
+    std::lock_guard<std::mutex> lock(entry->ingest_mutex);
+    const Status st = WriteCheckpointStream(*entry->session, out);
+    if (!st.ok()) return ErrorFrame(st);
+  }
+  const std::string bytes = std::move(out).str();
+  if (bytes.size() > options_.max_frame_payload) {
+    return ErrorFrame(Status::ResourceExhausted(
+        "checkpoint is " + std::to_string(bytes.size()) +
+        " bytes, larger than the frame cap — raise --max-frame-mb"));
+  }
+  return EncodeFrame(
+      MessageType::kCheckpointData,
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()));
+}
+
+std::vector<uint8_t> ReptServer::HandleRestore(const Frame& frame) {
+  WireReader reader(frame.payload);
+  const std::string name = reader.ReadString(kMaxSessionNameBytes);
+  if (!reader.status().ok()) return ErrorFrame(reader.status());
+  const std::span<const uint8_t> bytes = reader.Rest();
+
+  Result<std::shared_ptr<SessionEntry>> found = registry_->Find(name);
+  if (!found.ok()) return ErrorFrame(found.status());
+  const std::shared_ptr<SessionEntry>& entry = found.value();
+
+  std::istringstream in(std::string(
+      reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  std::lock_guard<std::mutex> lock(entry->ingest_mutex);
+  const Status st =
+      ReadCheckpointStream(*entry->session, in, /*expect_stream_end=*/true);
+  if (!st.ok()) {
+    // A failed restore leaves unspecified state: put a fresh session (same
+    // config and seed, zero edges) in its place so the name stays usable.
+    Result<std::unique_ptr<StreamingEstimator>> fresh =
+        ReptEstimator(entry->config)
+            .CreateSession(entry->seed, pool_.get());
+    if (fresh.ok()) entry->session = std::move(fresh).value();
+    return ErrorFrame(st);
+  }
+  (void)registry_->AdmitIngest(*entry);  // Refresh the memory sample.
+  return EncodeFrame(MessageType::kOk, {});
+}
+
+std::vector<uint8_t> ReptServer::HandleDrop(const Frame& frame) {
+  WireReader reader(frame.payload);
+  const std::string name = reader.ReadString(kMaxSessionNameBytes);
+  if (!reader.ExpectEnd().ok()) return ErrorFrame(reader.status());
+  const Status st = registry_->Drop(name);
+  if (!st.ok()) return ErrorFrame(st);
+  return EncodeFrame(MessageType::kOk, {});
+}
+
+std::vector<uint8_t> ReptServer::HandleStats(const Frame& frame) {
+  WireReader reader(frame.payload);
+  if (!reader.ExpectEnd().ok()) return ErrorFrame(reader.status());
+
+  const std::vector<std::shared_ptr<SessionEntry>> entries =
+      registry_->List();
+  uint64_t total_memory = 0;
+  for (const auto& entry : entries) {
+    total_memory += entry->memory_bytes.load(std::memory_order_relaxed);
+  }
+
+  std::vector<uint8_t> payload;
+  WireWriter writer(payload);
+  writer.AppendU64(connections_accepted());
+  writer.AppendU64(frames_served());
+  writer.AppendU64(total_memory);
+  writer.AppendU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    writer.AppendString(entry->name);
+    writer.AppendU64(entry->session->edges_ingested());
+    writer.AppendU64(entry->session->StoredEdges());
+    writer.AppendU64(entry->session->num_vertices());
+    writer.AppendU64(entry->memory_bytes.load(std::memory_order_relaxed));
+  }
+  return EncodeFrame(MessageType::kStatsResult, payload);
+}
+
+}  // namespace rept::net

@@ -1,0 +1,143 @@
+// rept_server's engine: a blocking-socket TCP server multiplexing many
+// named estimator sessions over the framed protocol (protocol.hpp).
+//
+// Threading model: one accept thread plus one thread per live connection,
+// all sharing a single ThreadPool for ingest fan-out. A connection thread
+// runs one verb at a time (the protocol is strict request/response per
+// connection); concurrency across sessions comes from multiple connections,
+// and per-session writer serialization is the SessionEntry ingest mutex —
+// two connections may ingest into the same session, their batches
+// interleaving at batch boundaries.
+//
+// Error containment: a malformed payload in a well-framed message earns an
+// error frame and the connection continues; framing-level corruption earns
+// a best-effort error frame and the connection closes; nothing a client
+// sends can crash or wedge the process.
+//
+// Shutdown: RequestShutdown() (from a signal handler's polling loop or the
+// SHUTDOWN verb) stops the accept loop and nudges every connection's read
+// side so in-flight responses still flush; Stop() joins everything and, if
+// a checkpoint directory is configured, saves every session via the atomic
+// tmp+rename SaveCheckpoint before returning.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/session_registry.hpp"
+#include "net/socket.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rept::net {
+
+/// \brief Server configuration.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port from ReptServer::port().
+  uint16_t port = 0;
+  /// Shared ingest pool size; 0 = HardwareThreads().
+  size_t pool_threads = 0;
+  SessionLimits limits;
+  /// Per-frame payload cap, both directions.
+  uint64_t max_frame_payload = kDefaultMaxFramePayload;
+  /// When nonempty, Stop() saves every live session to
+  /// `<checkpoint_dir>/<session name>.ckpt`.
+  std::string checkpoint_dir;
+};
+
+/// \brief The multiplexing session server.
+class ReptServer {
+ public:
+  explicit ReptServer(ServerOptions options) : options_(std::move(options)) {}
+  ~ReptServer() { Stop(); }
+
+  ReptServer(const ReptServer&) = delete;
+  ReptServer& operator=(const ReptServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. IOError if the address
+  /// is unavailable.
+  Status Start();
+
+  /// Bound port (after Start); useful with ServerOptions::port == 0.
+  uint16_t port() const { return listener_.port(); }
+
+  /// Initiates shutdown without blocking: closes the listener and nudges
+  /// every connection's read side. Callable from any thread, including a
+  /// connection thread (the SHUTDOWN verb) — it never joins.
+  void RequestShutdown();
+
+  /// True once shutdown was requested (SHUTDOWN verb, RequestShutdown, or
+  /// Stop); the signal-handling mains poll this.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Full shutdown: RequestShutdown, join the accept and connection
+  /// threads, then checkpoint every session when checkpoint_dir is set.
+  /// Returns the first checkpoint error (the shutdown itself cannot fail).
+  /// Idempotent.
+  Status Stop();
+
+  SessionRegistry* registry() { return registry_.get(); }
+  ThreadPool* pool() { return pool_.get(); }
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_served() const {
+    return frames_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One live client connection; owned jointly by the connection thread
+  /// and the server's reaper/Stop paths.
+  struct Connection {
+    TcpSocket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(const std::shared_ptr<Connection>& conn);
+
+  /// Decodes and executes one request frame. Returns the fully encoded
+  /// response frame; sets `shutdown_after_reply` for the SHUTDOWN verb.
+  std::vector<uint8_t> Dispatch(const Frame& frame,
+                                bool& shutdown_after_reply);
+
+  std::vector<uint8_t> HandleCreate(const Frame& frame);
+  std::vector<uint8_t> HandleIngest(const Frame& frame);
+  std::vector<uint8_t> HandleSnapshot(const Frame& frame);
+  std::vector<uint8_t> HandleCheckpoint(const Frame& frame);
+  std::vector<uint8_t> HandleRestore(const Frame& frame);
+  std::vector<uint8_t> HandleDrop(const Frame& frame);
+  std::vector<uint8_t> HandleStats(const Frame& frame);
+
+  /// Joins finished connection threads and drops their entries.
+  void ReapConnections();
+
+  ServerOptions options_;
+  TcpListener listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<SessionRegistry> registry_;
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_served_{0};
+};
+
+}  // namespace rept::net

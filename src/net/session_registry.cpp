@@ -1,0 +1,115 @@
+#include "net/session_registry.hpp"
+
+#include <utility>
+
+#include "core/rept_estimator.hpp"
+#include "net/protocol.hpp"
+
+namespace rept::net {
+
+Result<std::shared_ptr<SessionEntry>> SessionRegistry::Create(
+    const SessionSpec& spec) {
+  REPT_RETURN_NOT_OK(ValidateSessionName(spec.name));
+
+  // Build the session outside the registry lock: estimator construction
+  // allocates c counters and may take a while for large configs.
+  Result<std::unique_ptr<StreamingEstimator>> session =
+      ReptEstimator(spec.config).CreateSession(spec.seed, pool_,
+                                               spec.options);
+  REPT_RETURN_NOT_OK(session.status());
+
+  auto entry = std::make_shared<SessionEntry>();
+  entry->name = spec.name;
+  entry->config = spec.config;
+  entry->seed = spec.seed;
+  entry->memory_budget = spec.memory_budget != 0
+                             ? spec.memory_budget
+                             : limits_.default_session_memory_budget;
+  entry->session = std::move(session).value();
+  entry->memory_bytes.store(entry->session->MemoryBytes(),
+                            std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (limits_.max_sessions != 0 && sessions_.size() >= limits_.max_sessions) {
+    return Status::ResourceExhausted(
+        "session limit reached (" + std::to_string(limits_.max_sessions) +
+        ")");
+  }
+  if (limits_.global_memory_budget != 0 &&
+      GlobalMemoryLocked() >= limits_.global_memory_budget) {
+    return Status::ResourceExhausted("global memory budget exhausted");
+  }
+  const auto [it, inserted] = sessions_.emplace(spec.name, entry);
+  if (!inserted) {
+    return Status::InvalidArgument("session '" + spec.name +
+                                   "' already exists");
+  }
+  return entry;
+}
+
+Result<std::shared_ptr<SessionEntry>> SessionRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status SessionRegistry::Drop(const std::string& name) {
+  std::shared_ptr<SessionEntry> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(name);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no session named '" + name + "'");
+    }
+    // Keep the entry alive past the lock: if this is the last reference the
+    // session destructor (potentially large frees) runs without blocking
+    // other registry calls.
+    doomed = std::move(it->second);
+    sessions_.erase(it);
+  }
+  return Status::OK();
+}
+
+std::vector<std::shared_ptr<SessionEntry>> SessionRegistry::List() const {
+  std::vector<std::shared_ptr<SessionEntry>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(sessions_.size());
+  for (const auto& [name, entry] : sessions_) out.push_back(entry);
+  return out;
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+Status SessionRegistry::AdmitIngest(SessionEntry& entry) {
+  const uint64_t bytes = entry.session->MemoryBytes();
+  entry.memory_bytes.store(bytes, std::memory_order_relaxed);
+  if (entry.memory_budget != 0 && bytes > entry.memory_budget) {
+    return Status::ResourceExhausted(
+        "session '" + entry.name + "' memory " + std::to_string(bytes) +
+        " exceeds budget " + std::to_string(entry.memory_budget));
+  }
+  if (limits_.global_memory_budget != 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (GlobalMemoryLocked() > limits_.global_memory_budget) {
+      return Status::ResourceExhausted("global memory budget exhausted");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t SessionRegistry::GlobalMemoryLocked() const {
+  uint64_t total = 0;
+  for (const auto& [name, entry] : sessions_) {
+    total += entry->memory_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace rept::net

@@ -1,0 +1,111 @@
+// The server's session table: named, long-lived ReptSession instances with
+// admission control. The registry owns creation (config validation, slot
+// and memory-budget admission), lookup, and teardown; connection handlers
+// own the per-verb work. All sessions share one ThreadPool — per-session
+// ingest is serialized by the entry's mutex while distinct sessions ingest
+// concurrently, which is exactly the StreamingEstimator single-writer
+// contract multiplied across tenants.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/rept_config.hpp"
+#include "core/streaming_estimator.hpp"
+#include "util/status.hpp"
+
+namespace rept {
+class ThreadPool;
+}  // namespace rept
+
+namespace rept::net {
+
+/// \brief Admission-control knobs. 0 disables the corresponding limit.
+struct SessionLimits {
+  /// Concurrent named sessions.
+  uint32_t max_sessions = 64;
+  /// Per-session MemoryBytes() budget applied when CREATE_SESSION does not
+  /// set its own.
+  uint64_t default_session_memory_budget = 64ull << 20;
+  /// Sum of MemoryBytes() across all sessions.
+  uint64_t global_memory_budget = 512ull << 20;
+};
+
+/// \brief Everything CREATE_SESSION specifies about a new session.
+struct SessionSpec {
+  std::string name;
+  ReptConfig config;
+  uint64_t seed = 0;
+  SessionOptions options;
+  /// 0 = use SessionLimits::default_session_memory_budget.
+  uint64_t memory_budget = 0;
+};
+
+/// \brief One live session. Verb handlers lock `ingest_mutex` around every
+/// writer-side call (Ingest, NoteVertices, Checkpoint, Restore,
+/// MemoryBytes); Snapshot and the stream-time accessors follow the
+/// estimator's concurrent-reader contract and need no lock.
+struct SessionEntry {
+  std::string name;
+  ReptConfig config;
+  uint64_t seed = 0;
+  uint64_t memory_budget = 0;
+
+  std::mutex ingest_mutex;
+  std::unique_ptr<StreamingEstimator> session;
+
+  /// MemoryBytes() sampled at the last batch boundary, readable without
+  /// the ingest mutex (STATS, global-budget accounting).
+  std::atomic<uint64_t> memory_bytes{0};
+};
+
+/// \brief Name → session map with admission control. Thread-safe; lookups
+/// hand out shared_ptr entries so a Drop can never free a session out from
+/// under a verb running on another connection.
+class SessionRegistry {
+ public:
+  SessionRegistry(SessionLimits limits, ThreadPool* pool)
+      : limits_(limits), pool_(pool) {}
+
+  /// Validates the spec (name charset, ReptConfig::Check, SessionOptions
+  /// ::Check), applies admission control (slot count, global budget), and
+  /// opens the session. AlreadyExists collides map to InvalidArgument with
+  /// an "already exists" message; admission failures are ResourceExhausted.
+  Result<std::shared_ptr<SessionEntry>> Create(const SessionSpec& spec);
+
+  /// NotFound if no such session.
+  Result<std::shared_ptr<SessionEntry>> Find(const std::string& name) const;
+
+  /// Removes the session from the table. In-flight verbs holding the entry
+  /// finish against the (now orphaned) session.
+  Status Drop(const std::string& name);
+
+  /// Snapshot of the live entries, for STATS and shutdown checkpointing.
+  std::vector<std::shared_ptr<SessionEntry>> List() const;
+
+  size_t size() const;
+
+  /// Re-samples `entry`'s MemoryBytes() and enforces the per-session and
+  /// global budgets. Called at batch boundaries with the entry's ingest
+  /// mutex held; a batch may overshoot the budget before the check sees it,
+  /// so budgets are soft by up to one batch's growth.
+  Status AdmitIngest(SessionEntry& entry);
+
+  const SessionLimits& limits() const { return limits_; }
+
+ private:
+  /// Sum of the last-published memory_bytes over all live sessions.
+  uint64_t GlobalMemoryLocked() const;
+
+  SessionLimits limits_;
+  ThreadPool* pool_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+};
+
+}  // namespace rept::net

@@ -1,0 +1,238 @@
+#include "net/socket.hpp"
+
+#include <utility>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace rept::net {
+
+#ifndef _WIN32
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Resolves host:port for stream sockets; caller frees with freeaddrinfo.
+Result<addrinfo*> Resolve(const std::string& host, uint16_t port,
+                          bool passive) {
+  addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::IOError("getaddrinfo(" + host + "): " +
+                           ::gai_strerror(rc));
+  }
+  return result;
+}
+
+}  // namespace
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port) {
+  Result<addrinfo*> resolved = Resolve(host, port, /*passive=*/false);
+  REPT_RETURN_NOT_OK(resolved.status());
+  Status last = Status::IOError("no addresses for " + host);
+  for (const addrinfo* ai = resolved.value(); ai != nullptr;
+       ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      // Request/response protocol with explicit framing: Nagle only adds
+      // latency here.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(resolved.value());
+      return TcpSocket(fd);
+    }
+    last = Errno("connect");
+    ::close(fd);
+  }
+  ::freeaddrinfo(resolved.value());
+  return last;
+}
+
+Result<size_t> TcpSocket::Read(void* dst, size_t max) {
+  if (fd_ < 0) return Status::IOError("read on closed socket");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, dst, max, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status TcpSocket::WriteAll(const void* data, size_t len) {
+  if (fd_ < 0) return Status::IOError("write on closed socket");
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, bytes + sent, len - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+void TcpSocket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void TcpSocket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() {
+  Close();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpListener::Listen(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("listener already bound");
+  Result<addrinfo*> resolved = Resolve(host, port, /*passive=*/true);
+  REPT_RETURN_NOT_OK(resolved.status());
+  Status last = Status::IOError("no addresses for " + host);
+  for (const addrinfo* ai = resolved.value(); ai != nullptr;
+       ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) < 0) {
+      last = Errno("bind");
+      ::close(fd);
+      continue;
+    }
+    if (::listen(fd, SOMAXCONN) < 0) {
+      last = Errno("listen");
+      ::close(fd);
+      continue;
+    }
+    sockaddr_storage bound = {};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+        0) {
+      if (bound.ss_family == AF_INET) {
+        port_ = ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        port_ = ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    fd_ = fd;
+    ::freeaddrinfo(resolved.value());
+    return Status::OK();
+  }
+  ::freeaddrinfo(resolved.value());
+  return last;
+}
+
+Result<TcpSocket> TcpListener::Accept() {
+  if (fd_ < 0 || closed_) {
+    return Status::IOError("accept on closed listener");
+  }
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpSocket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0 && !closed_.exchange(true)) {
+    // shutdown() wakes a concurrently blocked Accept with an error; the fd
+    // stays allocated until the destructor so that Accept can never land on
+    // a recycled descriptor number.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+#else  // _WIN32
+
+namespace {
+Status NoSockets() {
+  return Status::Unsupported("rept::net sockets require a POSIX platform");
+}
+}  // namespace
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  fd_ = std::exchange(other.fd_, -1);
+  return *this;
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string&, uint16_t) {
+  return NoSockets();
+}
+Result<size_t> TcpSocket::Read(void*, size_t) { return NoSockets(); }
+Status TcpSocket::WriteAll(const void*, size_t) { return NoSockets(); }
+void TcpSocket::ShutdownRead() {}
+void TcpSocket::ShutdownBoth() {}
+void TcpSocket::Close() { fd_ = -1; }
+
+TcpListener::~TcpListener() = default;
+Status TcpListener::Listen(const std::string&, uint16_t) {
+  return NoSockets();
+}
+Result<TcpSocket> TcpListener::Accept() { return NoSockets(); }
+void TcpListener::Close() { closed_ = true; }
+
+#endif  // _WIN32
+
+}  // namespace rept::net

@@ -1,0 +1,84 @@
+// Thin blocking TCP wrappers behind the protocol's ByteSource/ByteSink
+// interfaces. POSIX only; on other platforms every operation returns
+// Status::Unsupported so the rest of the tree still compiles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.hpp"
+#include "util/status.hpp"
+
+namespace rept::net {
+
+/// \brief A connected, blocking TCP stream. Move-only; the destructor
+/// closes the descriptor. Reads and writes retry on EINTR; writes suppress
+/// SIGPIPE so a peer hangup surfaces as Status::IOError, never a signal.
+class TcpSocket : public ByteSource, public ByteSink {
+ public:
+  TcpSocket() = default;
+  /// Takes ownership of a connected descriptor (from Accept or Connect).
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() override { Close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port (numeric or resolvable host string).
+  static Result<TcpSocket> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// ByteSource: up to `max` bytes; 0 = orderly peer shutdown.
+  Result<size_t> Read(void* dst, size_t max) override;
+  /// ByteSink: loops until every byte is on the wire or an error occurs.
+  Status WriteAll(const void* data, size_t len) override;
+
+  /// Half-close of the read side: wakes a peer (or our own reader thread)
+  /// blocked in Read with EOF while letting queued writes drain.
+  void ShutdownRead();
+  /// Full shutdown of both directions (still leaves the fd open).
+  void ShutdownBoth();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief A listening TCP socket. Accept() is blocking; Close() from any
+/// thread wakes a blocked Accept, which then returns an error — the shape
+/// the server's accept loop uses to shut down.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on host:port; port 0 picks an ephemeral port,
+  /// readable afterwards via port().
+  Status Listen(const std::string& host, uint16_t port);
+
+  bool listening() const { return fd_ >= 0 && !closed_; }
+  uint16_t port() const { return port_; }
+
+  Result<TcpSocket> Accept();
+
+  /// Safe to call from another thread while Accept blocks: shuts the socket
+  /// down, which wakes Accept with an error. The descriptor itself is only
+  /// released by the destructor, so a concurrent Accept can never race onto
+  /// a recycled fd.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  /// Written by Close() from an arbitrary thread, read by Accept's caller.
+  std::atomic<bool> closed_{false};
+  uint16_t port_ = 0;
+};
+
+}  // namespace rept::net

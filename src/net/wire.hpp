@@ -1,0 +1,164 @@
+// Payload codec for the rept_server protocol: little-endian scalar fields
+// appended to / read from a flat byte buffer, the message-granular sibling
+// of the checkpoint payload conventions (persist/checkpoint_io.hpp). The
+// reader latches the first error and returns zeros afterwards, so verb
+// handlers may decode a whole payload and check status() once — but any
+// value that sizes an allocation or a decode loop must come from
+// ReadCount/ReadString, which bound it by the bytes actually present.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace rept::net {
+
+/// \brief Appends little-endian fields to a byte buffer (the payload of one
+/// protocol frame). Infallible: the buffer grows as needed.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<uint8_t>& out) : out_(out) {}
+
+  void AppendU8(uint8_t value) { out_.push_back(value); }
+  void AppendU32(uint32_t value) { AppendLittleEndian(value); }
+  void AppendU64(uint64_t value) { AppendLittleEndian(value); }
+  /// IEEE-754 bit pattern, bit-exact on the other side.
+  void AppendDouble(double value) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    AppendU64(bits);
+  }
+  void AppendBytes(const void* data, size_t len) {
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    out_.insert(out_.end(), bytes, bytes + len);
+  }
+  /// u32 length prefix + raw bytes.
+  void AppendString(std::string_view s) {
+    AppendU32(static_cast<uint32_t>(s.size()));
+    AppendBytes(s.data(), s.size());
+  }
+
+ private:
+  template <typename T>
+  void AppendLittleEndian(T value) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t>& out_;
+};
+
+/// \brief Latched-error reader over one frame payload. The payload is
+/// borrowed, not copied — it must outlive the reader.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const uint8_t> payload) : payload_(payload) {}
+
+  uint8_t ReadU8() {
+    uint8_t value = 0;
+    ReadRaw(&value, sizeof(value));
+    return value;
+  }
+  uint32_t ReadU32() { return ReadLittleEndian<uint32_t>(); }
+  uint64_t ReadU64() { return ReadLittleEndian<uint64_t>(); }
+  double ReadDouble() {
+    const uint64_t bits = ReadU64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+  Status ReadBytes(void* dst, size_t len) {
+    ReadRaw(dst, len);
+    return status_;
+  }
+
+  /// Reads a u32-length-prefixed string, rejecting lengths beyond `max_len`
+  /// or the bytes remaining — the allocation is bounded before it happens.
+  std::string ReadString(size_t max_len) {
+    const uint32_t len = ReadU32();
+    if (!status_.ok()) return "";
+    if (len > max_len || len > Remaining()) {
+      Fail(Status::Corruption("string length " + std::to_string(len) +
+                              " exceeds limit or payload"));
+      return "";
+    }
+    std::string out(len, '\0');
+    ReadRaw(out.data(), len);
+    return out;
+  }
+
+  /// Reads a u64 element count and validates count * min_bytes_per_element
+  /// against the bytes remaining — use for any loop- or allocation-sizing
+  /// value (mirrors CheckpointReader::ReadCount).
+  uint64_t ReadCount(size_t min_bytes_per_element) {
+    const uint64_t count = ReadU64();
+    if (!status_.ok()) return 0;
+    if (min_bytes_per_element != 0 &&
+        count > Remaining() / min_bytes_per_element) {
+      Fail(Status::Corruption("element count " + std::to_string(count) +
+                              " exceeds payload bytes"));
+      return 0;
+    }
+    return count;
+  }
+
+  size_t Remaining() const { return payload_.size() - cursor_; }
+
+  /// Everything after the cursor, without consuming it — for trailing
+  /// variable-size blobs (RESTORE's checkpoint bytes).
+  std::span<const uint8_t> Rest() const { return payload_.subspan(cursor_); }
+
+  /// Corruption unless the payload was consumed exactly.
+  Status ExpectEnd() {
+    if (!status_.ok()) return status_;
+    if (Remaining() != 0) {
+      Fail(Status::Corruption(std::to_string(Remaining()) +
+                              " trailing payload byte(s)"));
+    }
+    return status_;
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  template <typename T>
+  T ReadLittleEndian() {
+    uint8_t bytes[sizeof(T)] = {};
+    ReadRaw(bytes, sizeof(T));
+    T value = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      value |= static_cast<T>(bytes[i]) << (8 * i);
+    }
+    return value;
+  }
+
+  void ReadRaw(void* dst, size_t len) {
+    if (!status_.ok() || len == 0) {
+      std::memset(dst, 0, len);
+      return;
+    }
+    if (len > Remaining()) {
+      std::memset(dst, 0, len);
+      Fail(Status::Corruption("payload read past end"));
+      return;
+    }
+    std::memcpy(dst, payload_.data() + cursor_, len);
+    cursor_ += len;
+  }
+
+  void Fail(Status status) {
+    if (status_.ok()) status_ = std::move(status);
+  }
+
+  std::span<const uint8_t> payload_;
+  size_t cursor_ = 0;
+  Status status_;
+};
+
+}  // namespace rept::net

@@ -18,6 +18,8 @@ const char* CodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

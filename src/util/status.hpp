@@ -19,6 +19,7 @@ enum class StatusCode {
   kIOError,
   kCorruption,
   kUnsupported,
+  kResourceExhausted,
 };
 
 /// \brief Lightweight success/error carrier for recoverable failures.
@@ -41,6 +42,11 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  /// An admission-control or budget limit was hit (session slots, memory
+  /// budgets). Retryable once the load subsides, unlike InvalidArgument.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

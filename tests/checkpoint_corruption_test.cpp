@@ -171,7 +171,7 @@ TEST(CheckpointCorruptionTest, EnsembleCheckpointCorruptionFails) {
   SessionOptions options;
   options.expected_edges = stream.size();
   options.expected_vertices = stream.num_vertices();
-  auto writer = system->CreateSession(5, nullptr, options);
+  auto writer = system->CreateSession(5, nullptr, options).value();
   writer->NoteVertices(stream.num_vertices());
   writer->Ingest(
       std::span<const Edge>(stream.edges().data(), stream.size() / 2));
@@ -180,7 +180,7 @@ TEST(CheckpointCorruptionTest, EnsembleCheckpointCorruptionFails) {
   const std::string bytes = buffer.str();
 
   auto restore = [&](const std::string& mutated) {
-    auto session = system->CreateSession(5, nullptr, options);
+    auto session = system->CreateSession(5, nullptr, options).value();
     std::stringstream in(mutated);
     return ReadCheckpointStream(*session, in);
   };

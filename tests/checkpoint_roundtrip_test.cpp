@@ -172,10 +172,11 @@ TEST(CheckpointRoundtripTest, EnsembleMethodsRoundtripBitIdentically) {
 
   for (Case& test_case : cases) {
     SCOPED_TRACE(test_case.name);
-    auto reference = test_case.system->CreateSession(42, &pool, options);
+    auto reference =
+        test_case.system->CreateSession(42, &pool, options).value();
     IngestRange(*reference, stream, 0, stream.size(), 111);
 
-    auto writer = test_case.system->CreateSession(42, &pool, options);
+    auto writer = test_case.system->CreateSession(42, &pool, options).value();
     const size_t boundary = (stream.size() / 111 / 2) * 111;
     IngestRange(*writer, stream, 0, boundary, 111);
     std::stringstream buffer;
@@ -183,7 +184,8 @@ TEST(CheckpointRoundtripTest, EnsembleMethodsRoundtripBitIdentically) {
 
     // Restore into a serial session (different pool "size"): baseline
     // instances are pre-seeded, so scheduling never affects state.
-    auto resumed = test_case.system->CreateSession(42, nullptr, options);
+    auto resumed =
+        test_case.system->CreateSession(42, nullptr, options).value();
     ASSERT_TRUE(ReadCheckpointStream(*resumed, buffer).ok());
     EXPECT_EQ(resumed->StoredEdges(), writer->StoredEdges());
     IngestRange(*resumed, stream, boundary, stream.size(), 111);
@@ -217,7 +219,7 @@ TEST(CheckpointRoundtripTest, FingerprintBindsConfigAndSeed) {
     EXPECT_EQ(LoadCheckpoint(other, path).code(), StatusCode::kCorruption);
   }
   {  // Different estimator type entirely.
-    auto ensemble = MakeParallelMascot(5, 6)->CreateSession(1, nullptr);
+    auto ensemble = MakeParallelMascot(5, 6)->CreateSession(1, nullptr).value();
     EXPECT_EQ(LoadCheckpoint(*ensemble, path).code(),
               StatusCode::kCorruption);
   }

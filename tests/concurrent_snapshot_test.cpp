@@ -226,7 +226,7 @@ TEST(ConcurrentSnapshotTest, EnsembleSessionToleratesConcurrentReaders) {
   SessionOptions options;
   options.expected_edges = stream.size();
   options.expected_vertices = stream.num_vertices();
-  const auto session = mascot->CreateSession(31, &pool, options);
+  const auto session = mascot->CreateSession(31, &pool, options).value();
   const uint64_t snapshots =
       HammerSnapshotsDuringIngest(*session, stream, /*chunk=*/61);
 

@@ -186,7 +186,7 @@ TEST(EdgeSourceTest, BinaryChunkRejectsOutOfRangeVertexIds) {
   auto source = BinaryFileEdgeSource::Open(path);
   ASSERT_TRUE(source.ok()) << source.status().ToString();
   const auto rept = MakeRept(5, 5);
-  auto session = rept->CreateSession(1, nullptr);
+  auto session = rept->CreateSession(1, nullptr).value();
   const auto ingested = IngestAll(**source, *session, /*chunk_edges=*/2);
   ASSERT_FALSE(ingested.ok());
   EXPECT_EQ(ingested.status().code(), StatusCode::kCorruption);
@@ -237,7 +237,7 @@ TEST(EdgeSourceTest, IngestAllDrivesSessionToRunEquivalence) {
   ASSERT_TRUE(source.ok());
   SessionOptions options;
   options.expected_edges = wholesale->size();
-  auto session = rept->CreateSession(21, &pool, options);
+  auto session = rept->CreateSession(21, &pool, options).value();
   auto ingested = IngestAll(**source, *session, /*chunk_edges=*/23);
   ASSERT_TRUE(ingested.ok());
   EXPECT_EQ(*ingested, wholesale->size());
@@ -259,14 +259,14 @@ TEST(EdgeSourceTest, PrefetchIngestIsBitIdenticalToSerialPump) {
   for (const size_t chunk : {size_t{1}, size_t{23}, size_t{4096}}) {
     auto serial_source = TextFileEdgeSource::Open(path);
     ASSERT_TRUE(serial_source.ok());
-    auto serial_session = rept->CreateSession(33, &pool);
+    auto serial_session = rept->CreateSession(33, &pool).value();
     const auto serial_count =
         IngestAll(**serial_source, *serial_session, chunk);
     ASSERT_TRUE(serial_count.ok());
 
     auto prefetch_source = TextFileEdgeSource::Open(path);
     ASSERT_TRUE(prefetch_source.ok());
-    auto prefetch_session = rept->CreateSession(33, &pool);
+    auto prefetch_session = rept->CreateSession(33, &pool).value();
     IngestOptions prefetch_options;
     prefetch_options.chunk_edges = chunk;
     prefetch_options.prefetch = true;
@@ -320,7 +320,7 @@ TEST(EdgeSourceTest, PrefetchIngestPropagatesSourceErrors) {
   auto source = TextFileEdgeSource::Open(path);
   ASSERT_TRUE(source.ok());
   const auto rept = MakeRept(5, 5);
-  auto session = rept->CreateSession(1, nullptr);
+  auto session = rept->CreateSession(1, nullptr).value();
   IngestOptions options;
   options.chunk_edges = 16;
   options.prefetch = true;

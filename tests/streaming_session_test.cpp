@@ -95,7 +95,8 @@ TEST(StreamingSessionTest, FullIngestSnapshotMatchesRunAcrossPools) {
     for (ThreadPool* pool : pools) {
       ExpectIdentical(system->Run(stream, 99, pool), reference,
                       system->Name() + " Run/pool");
-      const auto session = system->CreateSession(99, pool, OptionsFor(stream));
+      const auto session =
+          system->CreateSession(99, pool, OptionsFor(stream)).value();
       IngestChunked(*session, stream, /*chunk=*/7);
       ExpectIdentical(session->Snapshot(), reference,
                       system->Name() + " session/pool");
@@ -111,11 +112,13 @@ TEST(StreamingSessionTest, ChunkBoundariesAreInvariant) {
   ThreadPool pool(3);
 
   for (const auto& system : AllSystems()) {
-    const auto whole = system->CreateSession(7, &pool, OptionsFor(stream));
+    const auto whole =
+        system->CreateSession(7, &pool, OptionsFor(stream)).value();
     whole->Ingest(stream);
     const TriangleEstimates reference = whole->Snapshot();
     for (const size_t chunk : {size_t{1}, size_t{7}, size_t{4096}}) {
-      const auto session = system->CreateSession(7, &pool, OptionsFor(stream));
+      const auto session =
+          system->CreateSession(7, &pool, OptionsFor(stream)).value();
       IngestChunked(*session, stream, chunk);
       ExpectIdentical(session->Snapshot(), reference,
                       system->Name() + " chunk=" + std::to_string(chunk));
@@ -160,7 +163,8 @@ TEST(StreamingSessionTest, MidStreamSnapshotDoesNotPerturbFinalResult) {
 
   for (const auto& system : AllSystems()) {
     const TriangleEstimates reference = system->Run(stream, 5, &pool);
-    const auto session = system->CreateSession(5, &pool, OptionsFor(stream));
+    const auto session =
+        system->CreateSession(5, &pool, OptionsFor(stream)).value();
     session->NoteVertices(stream.num_vertices());
     const std::vector<Edge>& edges = stream.edges();
     const size_t half = edges.size() / 2;
@@ -188,7 +192,7 @@ TEST(StreamingSessionTest, MidStreamSnapshotIsUnbiasedOnPrefix) {
   const int runs = 200;
   double sum = 0.0;
   for (int r = 0; r < runs; ++r) {
-    const auto session = rept->CreateSession(seeds.SeedFor(r), nullptr);
+    const auto session = rept->CreateSession(seeds.SeedFor(r), nullptr).value();
     session->Ingest(prefix);
     sum += session->Snapshot().global;
   }
@@ -205,14 +209,14 @@ TEST(StreamingSessionTest, EnsembleBudgetsFollowExpectedEdges) {
 
   SessionOptions sized;
   sized.expected_edges = 5000;
-  auto session = triest->CreateSession(1, nullptr, sized);
+  auto session = triest->CreateSession(1, nullptr, sized).value();
   auto* ensemble = dynamic_cast<EnsembleSession*>(session.get());
   ASSERT_NE(ensemble, nullptr);
   // Paper sizing: M = |E|/m per instance.
   EXPECT_EQ(ensemble->edge_budget(), 500u);
 
   // Unknown stream length: the factory's default budget applies.
-  auto open_ended = triest->CreateSession(1, nullptr);
+  auto open_ended = triest->CreateSession(1, nullptr).value();
   auto* open_ensemble = dynamic_cast<EnsembleSession*>(open_ended.get());
   ASSERT_NE(open_ensemble, nullptr);
   EXPECT_EQ(open_ensemble->edge_budget(), uint64_t{1} << 16);
@@ -220,13 +224,40 @@ TEST(StreamingSessionTest, EnsembleBudgetsFollowExpectedEdges) {
   // REPT needs no budget: session creation with no hints is fully sized.
   const auto rept = MakeRept(5, 5);
   EXPECT_NE(dynamic_cast<ReptSession*>(
-                rept->CreateSession(1, nullptr).get()),
+                rept->CreateSession(1, nullptr).value().get()),
             nullptr);
+}
+
+TEST(StreamingSessionTest, CreateSessionRejectsAbsurdConfigsWithStatus) {
+  // The CREATE_SESSION server path feeds wire-supplied configs here; they
+  // must come back as InvalidArgument, never a process-killing check.
+  ReptConfig bad_m;
+  bad_m.m = 1;
+  EXPECT_EQ(ReptEstimator(bad_m).CreateSession(1, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ReptConfig bad_c;
+  bad_c.c = ReptConfig::kMaxProcessors + 1;
+  EXPECT_EQ(ReptEstimator(bad_c).CreateSession(1, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SessionOptions absurd;
+  absurd.expected_edges = SessionOptions::kMaxExpectedEdges + 1;
+  EXPECT_EQ(MakeRept(5, 5)->CreateSession(1, nullptr, absurd).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeParallelTriest(8, 4)
+                ->CreateSession(1, nullptr, absurd)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // The happy path still opens a session.
+  EXPECT_TRUE(MakeRept(5, 5)->CreateSession(1, nullptr).ok());
 }
 
 TEST(StreamingSessionTest, VertexBoundTracksObservedIdsWithoutHints) {
   const auto rept = MakeRept(5, 2);
-  const auto session = rept->CreateSession(3, nullptr);
+  const auto session = rept->CreateSession(3, nullptr).value();
   EXPECT_EQ(session->num_vertices(), 0u);
 
   const Edge batch[] = {{0, 9}, {4, 2}};

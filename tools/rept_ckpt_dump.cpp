@@ -90,7 +90,7 @@ int DumpDemo() {
   config.c = 13;  // c > m with a remainder group: pair registers included.
   const rept::ReptEstimator estimator(config);
   const std::unique_ptr<rept::StreamingEstimator> session =
-      estimator.CreateSession(/*seed=*/42, /*pool=*/nullptr);
+      estimator.CreateSession(/*seed=*/42, /*pool=*/nullptr).value();
   rept::UniformRandomEdgeSource source(/*num_vertices=*/512,
                                        /*num_edges=*/20000, /*seed=*/7);
   const auto ingested = rept::IngestAll(source, *session, /*chunk_edges=*/4096);

@@ -1,0 +1,209 @@
+// rept_server: the network ingest daemon. Multiplexes many named streaming
+// estimator sessions over the framed binary protocol (src/net) on one
+// shared thread pool, with admission control and checkpoint-on-shutdown.
+//
+//   rept_server --port 7700 --checkpoint-dir /var/lib/rept
+//
+// SIGINT/SIGTERM initiate a graceful drain: the listener closes, in-flight
+// requests finish, and every session is saved to
+// <checkpoint-dir>/<name>.ckpt via the atomic tmp+rename SaveCheckpoint.
+//
+// --smoke runs an in-process server + client self-exchange (create, ingest,
+// snapshot, checkpoint, restore, stats, shutdown verb) and exits nonzero on
+// any mismatch — the ctest smoke entry, and a quick install check.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rept_estimator.hpp"
+#include "gen/holme_kim.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleSignal(int sig) { g_signal = sig; }
+
+void InstallSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+/// In-process end-to-end exchange; returns 0 only if every step succeeds
+/// and the served estimates are bit-identical to a direct library session.
+int RunSmoke(rept::net::ServerOptions options) {
+  using rept::net::ReptClient;
+  using rept::net::ReptServer;
+
+  options.port = 0;  // Ephemeral.
+  ReptServer server(std::move(options));
+  rept::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "smoke: start failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("smoke: server on 127.0.0.1:%u\n", server.port());
+
+  rept::gen::HolmeKimParams params;
+  params.num_vertices = 500;
+  params.edges_per_vertex = 4;
+  params.triad_probability = 0.5;
+  const rept::EdgeStream stream = rept::gen::HolmeKim(params, /*seed=*/7);
+
+  rept::net::SessionSpec spec;
+  spec.name = "smoke";
+  spec.seed = 42;
+  spec.config.m = 5;
+  spec.config.c = 13;
+
+  ReptClient client;
+  st = client.Connect("127.0.0.1", server.port());
+  if (st.ok()) st = client.CreateSession(spec);
+  if (st.ok()) {
+    st = client
+             .Ingest(spec.name, std::span<const rept::Edge>(stream.edges()),
+                     stream.num_vertices())
+             .status();
+  }
+  auto snapshot = client.Snapshot(spec.name, /*top_k=*/5);
+  if (st.ok()) st = snapshot.status();
+  auto checkpoint = client.Checkpoint(spec.name);
+  if (st.ok()) st = checkpoint.status();
+  if (st.ok()) {
+    st = client.Restore(spec.name,
+                        std::span<const uint8_t>(checkpoint.value()));
+  }
+  auto stats = client.Stats();
+  if (st.ok()) st = stats.status();
+  if (st.ok()) st = client.Shutdown();
+  if (!st.ok()) {
+    std::fprintf(stderr, "smoke: exchange failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  // Reference: the identical stream through the library directly.
+  const auto reference = rept::ReptEstimator(spec.config)
+                             .CreateSession(spec.seed, nullptr)
+                             .value();
+  reference->Ingest(stream);
+  const rept::TriangleEstimates expected = reference->Snapshot();
+  if (snapshot.value().global != expected.global) {
+    std::fprintf(stderr, "smoke: served global %f != library %f\n",
+                 snapshot.value().global, expected.global);
+    return 1;
+  }
+  const rept::Status stop = server.Stop();
+  if (!stop.ok()) {
+    std::fprintf(stderr, "smoke: stop failed: %s\n",
+                 stop.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "smoke: ok (global=%.2f, %zu top vertices, %zu stats rows)\n",
+      snapshot.value().global, snapshot.value().top.size(),
+      stats.value().sessions.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint64_t port = 7700;
+  uint64_t threads = 0;
+  uint64_t max_sessions = 64;
+  uint64_t session_budget_mb = 64;
+  uint64_t global_budget_mb = 512;
+  uint64_t max_frame_mb = 64;
+  std::string checkpoint_dir;
+  bool smoke = false;
+
+  rept::FlagSet flags(
+      "rept_server: network ingest server multiplexing streaming "
+      "triangle-estimation sessions over a framed binary protocol.");
+  flags.AddString("host", &host, "listen address")
+      .AddUint64("port", &port, "listen port (0 = ephemeral)")
+      .AddUint64("threads", &threads,
+                 "shared ingest pool size (0 = hardware)")
+      .AddUint64("max-sessions", &max_sessions,
+                 "concurrent session limit (0 = unlimited)")
+      .AddUint64("session-budget-mb", &session_budget_mb,
+                 "default per-session memory budget in MiB (0 = unlimited)")
+      .AddUint64("global-budget-mb", &global_budget_mb,
+                 "total memory budget across sessions in MiB "
+                 "(0 = unlimited)")
+      .AddUint64("max-frame-mb", &max_frame_mb,
+                 "per-frame payload cap in MiB")
+      .AddString("checkpoint-dir", &checkpoint_dir,
+                 "directory for shutdown checkpoints (empty = disabled)")
+      .AddBool("smoke", &smoke,
+               "run an in-process client self-exchange and exit");
+  const rept::Status parsed = flags.Parse(argc, argv);
+  if (parsed.code() == rept::StatusCode::kNotFound) return 0;  // --help
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+
+  rept::net::ServerOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  options.pool_threads = static_cast<size_t>(threads);
+  options.limits.max_sessions = static_cast<uint32_t>(max_sessions);
+  options.limits.default_session_memory_budget = session_budget_mb << 20;
+  options.limits.global_memory_budget = global_budget_mb << 20;
+  options.max_frame_payload = max_frame_mb << 20;
+  options.checkpoint_dir = checkpoint_dir;
+
+  if (smoke) return RunSmoke(std::move(options));
+
+  InstallSignalHandlers();
+  rept::net::ReptServer server(std::move(options));
+  const rept::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "rept_server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("rept_server: listening on %s:%u (pool=%zu, sessions<=%u)\n",
+              host.c_str(), server.port(), server.pool()->num_threads(),
+              server.registry()->limits().max_sessions);
+  if (!checkpoint_dir.empty()) {
+    std::printf("rept_server: will checkpoint to %s/<name>.ckpt on "
+                "shutdown\n",
+                checkpoint_dir.c_str());
+  }
+  std::fflush(stdout);
+
+  // Serve until a signal or the SHUTDOWN verb flips the flag.
+  while (g_signal == 0 && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  if (g_signal != 0) {
+    std::printf("rept_server: signal %d, draining\n",
+                static_cast<int>(g_signal));
+  }
+  const rept::Status stopped = server.Stop();
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "rept_server: shutdown checkpoint failed: %s\n",
+                 stopped.ToString().c_str());
+    return 1;
+  }
+  std::printf("rept_server: drained after %llu connection(s), %llu "
+              "frame(s)\n",
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(server.frames_served()));
+  return 0;
+}
