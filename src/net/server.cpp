@@ -51,13 +51,19 @@ Status ReptServer::Stop() {
   if (stopped_.exchange(true)) return Status::OK();
   RequestShutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Join outside the lock: a connection thread that raced us into
+  // RequestShutdown may be blocked on connections_mutex_, and joining it
+  // while holding that mutex would deadlock. The accept thread is already
+  // joined, so nothing repopulates the vector after the swap.
+  std::vector<std::shared_ptr<Connection>> draining;
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (const auto& conn : connections_) {
-      if (conn->thread.joinable()) conn->thread.join();
-    }
-    connections_.clear();
+    draining.swap(connections_);
   }
+  for (const auto& conn : draining) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  draining.clear();
 
   Status first_error;
   if (!options_.checkpoint_dir.empty() && registry_ != nullptr) {
@@ -67,7 +73,7 @@ Status ReptServer::Stop() {
       std::lock_guard<std::mutex> lock(entry->ingest_mutex);
       const std::string path =
           options_.checkpoint_dir + "/" + entry->name + ".ckpt";
-      const Status st = SaveCheckpoint(*entry->session, path);
+      const Status st = SaveCheckpoint(*entry->session(), path);
       if (!st.ok() && first_error.ok()) first_error = st;
     }
   }
@@ -93,8 +99,12 @@ void ReptServer::AcceptLoop() {
       }
       ReapConnections();
       connections_.push_back(conn);
+      // Start the thread before releasing the mutex: Stop() swaps the
+      // vector under this lock and joins what it got, so a published
+      // Connection must already have its joinable thread or the serve
+      // thread could outlive the server.
+      conn->thread = std::thread([this, conn] { ServeConnection(conn); });
     }
-    conn->thread = std::thread([this, conn] { ServeConnection(conn); });
   }
 }
 
@@ -203,7 +213,7 @@ std::vector<uint8_t> ReptServer::HandleCreate(const Frame& frame) {
 
   std::vector<uint8_t> payload;
   WireWriter writer(payload);
-  writer.AppendU64(entry.value()->session->StateFingerprint());
+  writer.AppendU64(entry.value()->session()->StateFingerprint());
   return EncodeFrame(MessageType::kOk, payload);
 }
 
@@ -236,16 +246,17 @@ std::vector<uint8_t> ReptServer::HandleIngest(const Frame& frame) {
   uint64_t memory_bytes;
   {
     std::lock_guard<std::mutex> lock(entry->ingest_mutex);
+    const std::shared_ptr<StreamingEstimator> session = entry->session();
     if (note_vertices > 0) {
-      entry->session->NoteVertices(static_cast<VertexId>(note_vertices));
+      session->NoteVertices(static_cast<VertexId>(note_vertices));
     }
-    entry->session->Ingest(std::span<const Edge>(edges));
+    session->Ingest(std::span<const Edge>(edges));
     // The batch is already applied; a budget breach reports
     // ResourceExhausted so the client stops sending, it does not undo.
     const Status admitted = registry_->AdmitIngest(*entry);
     if (!admitted.ok()) return ErrorFrame(admitted);
-    edges_ingested = entry->session->edges_ingested();
-    stored_edges = entry->session->StoredEdges();
+    edges_ingested = session->edges_ingested();
+    stored_edges = session->StoredEdges();
     memory_bytes = entry->memory_bytes.load(std::memory_order_relaxed);
   }
 
@@ -267,17 +278,24 @@ std::vector<uint8_t> ReptServer::HandleSnapshot(const Frame& frame) {
   if (!found.ok()) return ErrorFrame(found.status());
   const std::shared_ptr<SessionEntry>& entry = found.value();
 
-  // Concurrent-reader path: no ingest lock (anytime snapshot).
-  const TriangleEstimates estimates = entry->session->Snapshot();
-  const uint64_t edges_ingested = entry->session->edges_ingested();
-  const uint64_t stored_edges = entry->session->StoredEdges();
-  const uint64_t num_vertices = entry->session->num_vertices();
+  // Concurrent-reader path: no ingest lock (anytime snapshot). The pinned
+  // shared_ptr keeps this generation of the session alive even if a
+  // RESTORE swaps in a replacement mid-read.
+  const std::shared_ptr<StreamingEstimator> session = entry->session();
+  const TriangleEstimates estimates = session->Snapshot();
+  const uint64_t edges_ingested = session->edges_ingested();
+  const uint64_t stored_edges = session->StoredEdges();
+  const uint64_t num_vertices = session->num_vertices();
 
   // The response must fit one frame: k is capped by the payload budget (a
-  // short result, not an error — the client sees the actual k).
+  // short result, not an error — the client sees the actual k). Guard the
+  // subtraction: a frame cap below the fixed header would otherwise
+  // underflow to an effectively unbounded cap.
   const uint64_t max_entries =
-      (options_.max_frame_payload - kSnapshotFixedBytes) /
-      kSnapshotEntryBytes;
+      options_.max_frame_payload <= kSnapshotFixedBytes
+          ? 0
+          : (options_.max_frame_payload - kSnapshotFixedBytes) /
+                kSnapshotEntryBytes;
   size_t k = std::min<uint64_t>(top_k, estimates.local.size());
   k = static_cast<size_t>(std::min<uint64_t>(k, max_entries));
 
@@ -320,7 +338,7 @@ std::vector<uint8_t> ReptServer::HandleCheckpoint(const Frame& frame) {
   std::ostringstream out;
   {
     std::lock_guard<std::mutex> lock(entry->ingest_mutex);
-    const Status st = WriteCheckpointStream(*entry->session, out);
+    const Status st = WriteCheckpointStream(*entry->session(), out);
     if (!st.ok()) return ErrorFrame(st);
   }
   const std::string bytes = std::move(out).str();
@@ -345,21 +363,27 @@ std::vector<uint8_t> ReptServer::HandleRestore(const Frame& frame) {
   if (!found.ok()) return ErrorFrame(found.status());
   const std::shared_ptr<SessionEntry>& entry = found.value();
 
+  // Restore into a scratch session (same config and seed, so the same
+  // fingerprint gate) off to the side: the live session is never mutated
+  // in place, so concurrent SNAPSHOT/STATS readers stay on the old
+  // generation until the atomic pointer swap below, and a failed restore
+  // leaves the session exactly as it was.
+  Result<std::unique_ptr<StreamingEstimator>> scratch =
+      ReptEstimator(entry->config).CreateSession(entry->seed, pool_.get());
+  if (!scratch.ok()) return ErrorFrame(scratch.status());
   std::istringstream in(std::string(
       reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  const Status st = ReadCheckpointStream(*scratch.value(), in,
+                                         /*expect_stream_end=*/true);
+  if (!st.ok()) return ErrorFrame(st);
+
   std::lock_guard<std::mutex> lock(entry->ingest_mutex);
-  const Status st =
-      ReadCheckpointStream(*entry->session, in, /*expect_stream_end=*/true);
-  if (!st.ok()) {
-    // A failed restore leaves unspecified state: put a fresh session (same
-    // config and seed, zero edges) in its place so the name stays usable.
-    Result<std::unique_ptr<StreamingEstimator>> fresh =
-        ReptEstimator(entry->config)
-            .CreateSession(entry->seed, pool_.get());
-    if (fresh.ok()) entry->session = std::move(fresh).value();
-    return ErrorFrame(st);
-  }
-  (void)registry_->AdmitIngest(*entry);  // Refresh the memory sample.
+  entry->ReplaceSession(std::move(scratch).value());
+  // The restored state is already live; a budget breach reports
+  // ResourceExhausted (mirroring the ingest path's report-don't-undo
+  // semantics) so the client knows the session is over budget.
+  const Status admitted = registry_->AdmitIngest(*entry);
+  if (!admitted.ok()) return ErrorFrame(admitted);
   return EncodeFrame(MessageType::kOk, {});
 }
 
@@ -390,10 +414,11 @@ std::vector<uint8_t> ReptServer::HandleStats(const Frame& frame) {
   writer.AppendU64(total_memory);
   writer.AppendU32(static_cast<uint32_t>(entries.size()));
   for (const auto& entry : entries) {
+    const std::shared_ptr<StreamingEstimator> session = entry->session();
     writer.AppendString(entry->name);
-    writer.AppendU64(entry->session->edges_ingested());
-    writer.AppendU64(entry->session->StoredEdges());
-    writer.AppendU64(entry->session->num_vertices());
+    writer.AppendU64(session->edges_ingested());
+    writer.AppendU64(session->StoredEdges());
+    writer.AppendU64(session->num_vertices());
     writer.AppendU64(entry->memory_bytes.load(std::memory_order_relaxed));
   }
   return EncodeFrame(MessageType::kStatsResult, payload);

@@ -25,9 +25,9 @@ Result<std::shared_ptr<SessionEntry>> SessionRegistry::Create(
   entry->memory_budget = spec.memory_budget != 0
                              ? spec.memory_budget
                              : limits_.default_session_memory_budget;
-  entry->session = std::move(session).value();
-  entry->memory_bytes.store(entry->session->MemoryBytes(),
+  entry->memory_bytes.store(session.value()->MemoryBytes(),
                             std::memory_order_relaxed);
+  entry->ReplaceSession(std::move(session).value());
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (limits_.max_sessions != 0 && sessions_.size() >= limits_.max_sessions) {
@@ -88,7 +88,7 @@ size_t SessionRegistry::size() const {
 }
 
 Status SessionRegistry::AdmitIngest(SessionEntry& entry) {
-  const uint64_t bytes = entry.session->MemoryBytes();
+  const uint64_t bytes = entry.session()->MemoryBytes();
   entry.memory_bytes.store(bytes, std::memory_order_relaxed);
   if (entry.memory_budget != 0 && bytes > entry.memory_budget) {
     return Status::ResourceExhausted(

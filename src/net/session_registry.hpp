@@ -47,9 +47,12 @@ struct SessionSpec {
 };
 
 /// \brief One live session. Verb handlers lock `ingest_mutex` around every
-/// writer-side call (Ingest, NoteVertices, Checkpoint, Restore,
-/// MemoryBytes); Snapshot and the stream-time accessors follow the
-/// estimator's concurrent-reader contract and need no lock.
+/// writer-side call (Ingest, NoteVertices, Checkpoint, MemoryBytes);
+/// Snapshot and the stream-time accessors follow the estimator's
+/// concurrent-reader contract and need no lock — but because RESTORE swaps
+/// the session pointer, every access goes through session(), which hands
+/// out a shared_ptr that keeps the estimator alive for the duration of the
+/// read even if a swap lands mid-verb.
 struct SessionEntry {
   std::string name;
   ReptConfig config;
@@ -57,11 +60,31 @@ struct SessionEntry {
   uint64_t memory_budget = 0;
 
   std::mutex ingest_mutex;
-  std::unique_ptr<StreamingEstimator> session;
 
   /// MemoryBytes() sampled at the last batch boundary, readable without
   /// the ingest mutex (STATS, global-budget accounting).
   std::atomic<uint64_t> memory_bytes{0};
+
+  /// The live estimator. Take one copy per verb and use it for every call:
+  /// a concurrent RESTORE may publish a replacement, and the copy pins the
+  /// generation this verb started against.
+  std::shared_ptr<StreamingEstimator> session() const {
+    std::lock_guard<std::mutex> lock(session_ptr_mutex_);
+    return session_;
+  }
+
+  /// Publishes a replacement estimator (session creation, RESTORE). The
+  /// caller holds `ingest_mutex` so the swap is serialized against writers;
+  /// the pointer mutex makes it safe against lock-free readers. The old
+  /// estimator dies when the last in-flight reader drops its copy.
+  void ReplaceSession(std::shared_ptr<StreamingEstimator> fresh) {
+    std::lock_guard<std::mutex> lock(session_ptr_mutex_);
+    session_ = std::move(fresh);
+  }
+
+ private:
+  mutable std::mutex session_ptr_mutex_;
+  std::shared_ptr<StreamingEstimator> session_;
 };
 
 /// \brief Name → session map with admission control. Thread-safe; lookups

@@ -8,6 +8,7 @@
 // compares it byte for byte against WriteCheckpointStream of a local
 // session fed the same edges — across concurrent client threads, chunked
 // ingest, restore-and-continue, and checkpoint-on-shutdown.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -216,6 +217,76 @@ TEST(ServerLoopbackTest, RestoreOverWireResumesBitIdentically) {
                    .Restore(other.name,
                             std::span<const uint8_t>(mid.value()))
                    .ok());
+  EXPECT_TRUE(server.Stop().ok());
+}
+
+TEST(ServerLoopbackTest, ConcurrentSnapshotsSurviveRestoreSwaps) {
+  ServerOptions options;
+  options.pool_threads = 2;
+  ReptServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const EdgeStream stream = StreamForSession(2);
+  SessionSpec spec;
+  spec.name = "swap";
+  spec.seed = 21;
+  spec.config = ConfigForSession(2);
+
+  ReptClient writer;
+  ASSERT_TRUE(writer.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(writer.CreateSession(spec).ok());
+  ASSERT_TRUE(writer
+                  .Ingest(spec.name, std::span<const Edge>(stream.edges()),
+                          stream.num_vertices())
+                  .ok());
+  auto ckpt = writer.Checkpoint(spec.name);
+  ASSERT_TRUE(ckpt.ok());
+
+  // Readers hammer SNAPSHOT and STATS on their own connections while the
+  // writer keeps swapping the session's estimator via RESTORE (valid
+  // bytes) interleaved with garbage bytes (failed restore). TSan
+  // regression for the reader-versus-swap race. Every successful restore
+  // republishes the full-stream checkpoint and a failed one must change
+  // nothing, so a reader can never observe anything but the complete
+  // state.
+  std::atomic<bool> done{false};
+  std::vector<std::string> failures(2);
+  std::vector<std::thread> readers;
+  for (size_t i = 0; i < failures.size(); ++i) {
+    readers.emplace_back([&, i] {
+      ReptClient reader;
+      if (!reader.Connect("127.0.0.1", server.port()).ok()) {
+        failures[i] = "connect";
+        return;
+      }
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = reader.Snapshot(spec.name, /*top_k=*/8);
+        if (!snap.ok()) {
+          failures[i] = "snapshot: " + snap.status().message();
+          return;
+        }
+        if (snap.value().edges_ingested != stream.size()) {
+          failures[i] = "snapshot saw a partially restored session";
+          return;
+        }
+        if (!reader.Stats().ok()) {
+          failures[i] = "stats";
+          return;
+        }
+      }
+    });
+  }
+
+  const std::vector<uint8_t> junk(48, 0xA5);
+  for (int round = 0; round < 25; ++round) {
+    ASSERT_TRUE(
+        writer.Restore(spec.name, std::span<const uint8_t>(ckpt.value()))
+            .ok());
+    EXPECT_FALSE(writer.Restore(spec.name, junk).ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
   EXPECT_TRUE(server.Stop().ok());
 }
 

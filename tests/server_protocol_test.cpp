@@ -391,11 +391,17 @@ TEST_F(ServerFixture, ProtocolErrorsComeBackAsTypedStatuses) {
   EXPECT_EQ(client.CreateSession(extra).code(),
             StatusCode::kResourceExhausted);
 
-  // Restore with garbage checkpoint bytes: typed error, session survives
-  // (recreated fresh server-side) and still answers.
+  // Restore with garbage checkpoint bytes: typed error, and the session's
+  // prior state is untouched (the restore happens into a scratch session
+  // that is only swapped in on success).
+  const std::vector<Edge> seed_edges = {{0, 1}, {1, 2}, {2, 0}};
+  ASSERT_TRUE(
+      client.Ingest("dup", std::span<const Edge>(seed_edges)).ok());
   const std::vector<uint8_t> junk(64, 0xCD);
   EXPECT_FALSE(client.Restore("dup", junk).ok());
-  EXPECT_TRUE(client.Snapshot("dup", 0).ok());
+  const Result<SnapshotReply> after = client.Snapshot("dup", 0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().edges_ingested, seed_edges.size());
 }
 
 TEST_F(ServerFixture, PartialFrameThenDisconnectLeavesServerHealthy) {
