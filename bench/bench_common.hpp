@@ -138,6 +138,12 @@ inline std::string Sci(double v) { return TablePrinter::FormatSci(v, 2); }
 /// trajectory with one parser. `name` identifies the measured
 /// configuration, `dataset` the input, and `edges_per_sec` the primary
 /// throughput metric; everything else rides in the extras.
+///
+/// Extras naming convention: a `seconds` extra is a wall-clock interval of
+/// the measured region. Fields named `*_task_seconds` are *summed task
+/// time* — per-stage work totaled across pool workers — and may exceed the
+/// row's wall `seconds` whenever stages overlap (pipelined routed ingest)
+/// or workers oversubscribe cores; never add wall and task fields together.
 class BenchJsonWriter {
  public:
   explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}

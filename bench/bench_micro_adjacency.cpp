@@ -15,16 +15,28 @@
 //   intersect-sparse  common-neighbor queries over random pairs against a
 //                     sampled-density (inline-list) subgraph
 //   intersect-dense   the same against a degree-~40 subgraph, where the
-//                     sorted-merge dominates and the map choice matters
-//                     least (kept honest: expect parity, not a win)
+//                     sorted merge itself dominates — since the SIMD kernel
+//                     layer (src/simd/) this is the dispatched block-compare
+//                     kernel's row, and the flat side is expected to win
+//   intersect-hub     skewed queries (degree-~4 leaf vs degree-~5000 hub)
+//                     against a dense-hub graph: the SIMD-galloping kernel's
+//                     row
 //   churn             reservoir steady state: erase one edge, insert another
+//
+// A second section re-times the kernel-bound workloads (dense, hub, and
+// the stage-1 batch hash) at *every* dispatch level the CPU supports via
+// simd::ForceIsaLevel, emitting one row per (kernel, isa) with the
+// checksum cross-checked across levels — the bench-level form of the
+// bit-identical-estimates guarantee. CI's bench-smoke job runs this under
+// both the best ISA and REPT_FORCE_SCALAR=1; any cross-level checksum
+// divergence exits nonzero.
 //
 // Results go to BENCH_adjacency.json in the standardized bench schema plus
 // a per-workload speedup column. --smoke shrinks everything to a
 // CI-friendly second; exit is nonzero if the two implementations disagree
-// on results, or if any workload that is supposed to win falls below 0.9x
-// (a noise margin for shared CI runners — a real structural regression
-// lands far lower). intersect-dense is parity-by-design and exempt.
+// on results, if any dispatch level disagrees with another, or if any
+// workload that is supposed to win falls below 0.9x (a noise margin for
+// shared CI runners — a real structural regression lands far lower).
 //
 //   build/bench/bench_micro_adjacency [--smoke] [--reps 5]
 //       [--out BENCH_adjacency.json]
@@ -38,6 +50,7 @@
 #include "bench_common.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "graph/sampled_graph.hpp"
+#include "simd/dispatch.hpp"
 #include "util/flags.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
@@ -201,6 +214,43 @@ uint64_t RunChurn(const EdgeStream& stream, uint64_t ops) {
   return g.num_edges();
 }
 
+template <typename Graph>
+uint64_t RunHubIntersect(const EdgeStream& stream, VertexId hubs, VertexId n,
+                         uint64_t queries) {
+  // Skewed queries: one degree-~4 leaf against one degree-~thousands hub.
+  // The >= 8x degree ratio puts every query on the galloping intersection
+  // path (scalar lower_bound on the node side, the SIMD-galloping kernel on
+  // the flat side).
+  Graph g;
+  for (const Edge& e : stream) g.Insert(e.u, e.v);
+  Rng rng(5);
+  uint64_t total = 0;
+  for (uint64_t q = 0; q < queries; ++q) {
+    const VertexId leaf =
+        hubs + static_cast<VertexId>(rng.Below(uint64_t{n} - hubs));
+    const VertexId hub = static_cast<VertexId>(rng.Below(hubs));
+    total += g.CountCommonNeighbors(leaf, hub);
+  }
+  return total;
+}
+
+uint64_t RunHashKernel(const std::vector<Edge>& batch, uint64_t iters,
+                       uint32_t num_buckets) {
+  // The stage-1 BatchRouter loop in isolation: the dispatched batch hash
+  // kernel over one sub-batch, repeated. The bucket sum doubles as the
+  // cross-level divergence check.
+  const simd::KernelTable& kernels = simd::ActiveKernels();
+  std::vector<uint32_t> buckets(batch.size());
+  uint64_t checksum = 0;
+  for (uint64_t it = 0; it < iters; ++it) {
+    kernels.hash_buckets(batch.data(), batch.size(),
+                         /*seed_offset=*/uint64_t{0x9E3779B97F4A7C15},
+                         num_buckets, buckets.data());
+    for (const uint32_t b : buckets) checksum += b;
+  }
+  return checksum;
+}
+
 struct WorkloadResult {
   uint64_t checksum = 0;
   double best_seconds = 0.0;  // min over reps (least-noise estimator)
@@ -250,6 +300,10 @@ int Main(int argc, char** argv) {
   const uint32_t e_dense = smoke ? 8000 : 40000;
   const uint64_t queries = smoke ? 100000 : 2000000;
   const uint64_t churn_ops = smoke ? 100000 : 1000000;
+  const VertexId hub_count = 8;
+  const VertexId n_hub = smoke ? 2008 : 20008;
+  const uint64_t hub_queries = smoke ? 50000 : 500000;
+  const uint64_t hash_iters = smoke ? 500 : 4000;
 
   const EdgeStream sparse = gen::ErdosRenyi(
       {.num_vertices = n_insert, .num_edges = e_insert}, /*seed=*/7);
@@ -266,6 +320,21 @@ int Main(int argc, char** argv) {
   }();
   const EdgeStream dense = gen::ErdosRenyi(
       {.num_vertices = n_dense, .num_edges = e_dense}, /*seed=*/7);
+  // Dense-hub graph: `hub_count` hubs each adjacent to ~2/hub_count of the
+  // leaves (degree in the thousands), leaves at degree ~4 — the skewed
+  // shape that drives the galloping intersection path.
+  const EdgeStream hub = [&] {
+    std::vector<Edge> edges;
+    Rng rng(11);
+    for (VertexId leaf = hub_count; leaf < n_hub; ++leaf) {
+      edges.emplace_back(leaf, static_cast<VertexId>(rng.Below(hub_count)));
+      edges.emplace_back(leaf, static_cast<VertexId>(rng.Below(hub_count)));
+      edges.emplace_back(
+          leaf, hub_count + static_cast<VertexId>(
+                                rng.Below(uint64_t{n_hub} - hub_count)));
+    }
+    return EdgeStream("dense-hub", n_hub, std::move(edges));
+  }();
 
   struct Row {
     std::string workload;
@@ -314,17 +383,71 @@ int Main(int argc, char** argv) {
                [&] { return RunIntersect<SampledGraph>(dense, n_dense,
                                                        queries); })});
   rows.push_back(
+      {"intersect-hub", hub.name(), hub_queries,
+       Measure(reps,
+               [&] {
+                 return RunHubIntersect<NodeSampledGraph>(hub, hub_count,
+                                                          n_hub, hub_queries);
+               }),
+       Measure(reps,
+               [&] {
+                 return RunHubIntersect<SampledGraph>(hub, hub_count, n_hub,
+                                                      hub_queries);
+               })});
+  rows.push_back(
       {"churn", dense.name(), churn_ops,
        Measure(reps,
                [&] { return RunChurn<NodeSampledGraph>(dense, churn_ops); }),
        Measure(reps,
                [&] { return RunChurn<SampledGraph>(dense, churn_ops); })});
 
+  // ------------------------------------------------------------------
+  // Per-kernel dispatch breakdown: the three dispatched kernels (dense
+  // block-compare, gallop, batch hash) at every ISA level this CPU
+  // supports. ForceIsaLevel takes precedence over REPT_FORCE_SCALAR, so the
+  // forced-scalar CI leg still times every level here; the checksums must
+  // agree across levels (the bench-level bit-identity gate).
+  struct KernelRow {
+    std::string kernel;
+    std::string dataset;
+    std::string isa;
+    uint64_t items;
+    WorkloadResult result;
+  };
+  const std::vector<Edge> hash_batch(arrival_stream.begin(),
+                                     arrival_stream.begin() + 4096);
+  std::vector<KernelRow> kernel_rows;
+  for (const simd::IsaLevel level : simd::SupportedLevels()) {
+    simd::ForceIsaLevel(level);
+    const std::string isa = simd::IsaName(level);
+    kernel_rows.push_back(
+        {"intersect-dense", dense.name(), isa, queries,
+         Measure(reps, [&] {
+           return RunIntersect<SampledGraph>(dense, n_dense, queries);
+         })});
+    kernel_rows.push_back(
+        {"intersect-gallop", hub.name(), isa, hub_queries,
+         Measure(reps, [&] {
+           return RunHubIntersect<SampledGraph>(hub, hub_count, n_hub,
+                                                hub_queries);
+         })});
+    kernel_rows.push_back(
+        {"hash-buckets", arrival_stream.name(), isa,
+         hash_iters * hash_batch.size(), Measure(reps, [&] {
+           return RunHashKernel(hash_batch, hash_iters, /*num_buckets=*/977);
+         })});
+  }
+  simd::ClearForcedIsaLevel();
+
   TablePrinter table({"workload", "items", "node ops/s", "flat ops/s",
                       "speedup"});
   BenchJsonWriter json("micro_adjacency");
   json.Meta("smoke", smoke ? "true" : "false");
   json.Meta("reps", BenchJsonWriter::NumU(reps));
+  // The level the main (non-breakdown) rows ran at: the CPU's best
+  // supported ISA, or scalar under REPT_FORCE_SCALAR.
+  json.Meta("dispatch_level",
+            BenchJsonWriter::Str(simd::IsaName(simd::ActiveLevel())));
   bool ok = true;
   for (const Row& row : rows) {
     if (row.node.checksum != row.flat.checksum) {
@@ -341,8 +464,10 @@ int Main(int argc, char** argv) {
     const double speedup = flat_rate / node_rate;
     // Perf-harness canary with a noise margin for shared CI runners: a
     // real regression of the flat structures lands well below 0.9x. The
-    // merge-bound dense row sits at parity by design and is exempt (it
-    // would flap on noise alone); checksum agreement above stays strict.
+    // merge-bound dense row is exempt: it only wins through the SIMD
+    // kernels, and the forced-scalar CI leg legitimately sits at parity
+    // with the node merge (it would flap on noise alone there); checksum
+    // agreement above stays strict.
     if (speedup < 0.9 && row.workload != "intersect-dense") ok = false;
     table.AddRow({row.workload, std::to_string(row.items), Sci(node_rate),
                   Sci(flat_rate), Fmt(speedup, 2)});
@@ -352,11 +477,43 @@ int Main(int argc, char** argv) {
                  {"items", BenchJsonWriter::NumU(row.items)}});
   }
   table.Print();
+
+  TablePrinter kernel_table({"kernel", "isa", "items", "ops/s"});
+  for (const KernelRow& row : kernel_rows) {
+    const double rate =
+        static_cast<double>(row.items) / row.result.best_seconds;
+    kernel_table.AddRow({row.kernel, row.isa, std::to_string(row.items),
+                         Sci(rate)});
+    json.Result("kernel:" + row.kernel + "@" + row.isa, row.dataset,
+                /*threads=*/1, rate,
+                {{"kernel", BenchJsonWriter::Str(row.kernel)},
+                 {"isa", BenchJsonWriter::Str(row.isa)},
+                 {"items", BenchJsonWriter::NumU(row.items)},
+                 {"checksum", BenchJsonWriter::NumU(row.result.checksum)}});
+    // Every level of a kernel saw identical inputs, so the checksums must
+    // be bit-equal — the divergence gate the CI bench-smoke legs rely on.
+    for (const KernelRow& other : kernel_rows) {
+      if (&other == &row) break;
+      if (other.kernel == row.kernel &&
+          other.result.checksum != row.result.checksum) {
+        std::fprintf(stderr,
+                     "%s: checksum diverges between %s (%llu) and %s "
+                     "(%llu)\n",
+                     row.kernel.c_str(), other.isa.c_str(),
+                     static_cast<unsigned long long>(other.result.checksum),
+                     row.isa.c_str(),
+                     static_cast<unsigned long long>(row.result.checksum));
+        ok = false;
+      }
+    }
+  }
+  kernel_table.Print();
+
   if (!json.WriteTo(out)) return 2;
   if (!ok) {
     std::fprintf(stderr,
-                 "FAIL: checksum mismatch or flat slower than the node "
-                 "baseline\n");
+                 "FAIL: checksum mismatch across implementations or "
+                 "dispatch levels, or flat slower than the node baseline\n");
     return 1;
   }
   return 0;

@@ -11,9 +11,14 @@ VertexId* Arena::AllocateIds(uint32_t capacity) {
     return reinterpret_cast<VertexId*>(node);
   }
   const size_t bytes = size_t{capacity} * sizeof(VertexId);
+  // The bump check reserves the overread pad but the cursor only advances
+  // by the payload: the pad is either the next allocation's storage or the
+  // block's reserved tail, so every array stays readable kOverreadPadIds
+  // past its end for the lifetime of the block.
+  constexpr size_t kPadBytes = size_t{kOverreadPadIds} * sizeof(VertexId);
   static_assert(sizeof(FreeNode) <= kMinArrayCapacity * sizeof(VertexId));
-  if (cursor_ + bytes > block_capacity_) {
-    const size_t block_bytes = std::max(next_block_bytes_, bytes);
+  if (cursor_ + bytes + kPadBytes > block_capacity_) {
+    const size_t block_bytes = std::max(next_block_bytes_, bytes + kPadBytes);
     blocks_.push_back(std::make_unique<std::byte[]>(block_bytes));
     total_block_bytes_ += block_bytes;
     block_capacity_ = block_bytes;

@@ -35,6 +35,15 @@ class Arena {
   /// Smallest array the arena hands out (must hold a free-list pointer).
   static constexpr uint32_t kMinArrayCapacity = 8;
 
+  /// Every array AllocateIds returns has at least this many ids readable
+  /// (same block, unspecified values) past its end: AllocateIds reserves a
+  /// tail pad when it opens or bumps a block, and recycled arrays inherit
+  /// the guarantee from their original allocation. The SIMD gallop kernels
+  /// (simd/intersect_kernels.*) rely on this to load a full vector spanning
+  /// a spilled NeighborList's end(); inline lists never need it because the
+  /// dense kernels only load full in-bounds vectors.
+  static constexpr uint32_t kOverreadPadIds = 8;
+
   Arena() = default;
   // Manual moves: the moved-from arena must forget its bump cursor and
   // free lists (they reference storage the destination now owns), so it is

@@ -9,6 +9,14 @@
 // rehashes and backward-shift deletions with plain assignment. Every
 // mutating call that can grow takes the Arena explicitly; Release() hands
 // spilled storage back to the arena's free list (map-erase path).
+//
+// SIMD overread contract: view() is always a legal input to the Padded
+// intersection entry points (sorted_intersect.hpp). Lists of size >=
+// kGallopSkew are necessarily spilled (kInlineCapacity < kGallopSkew), and
+// every arena array carries Arena::kOverreadPadIds of readable tail — the
+// only storage the gallop kernels may overread. Inline lists are only ever
+// the *smaller* side of a vector-width block compare, which loads full
+// in-bounds vectors, so the 4-id inline buffer needs no padding.
 #pragma once
 
 #include <algorithm>

@@ -1,18 +1,32 @@
 // Adaptive intersection of two sorted VertexId ranges — the innermost loop
 // of every estimator (|N_u ∩ N_v| per arriving edge, paper §III-C).
 //
-// Kernel selection: a branch-reduced linear merge when the degrees are
-// balanced, galloping (exponential probe + binary search) from the smaller
-// side when they are skewed by kGallopSkew or more. Sampled subgraphs are
-// heavy-tailed (a few hubs, many degree-<=4 vertices), so the skewed case is
-// common and the gallop turns O(|a| + |b|) into O(|a| log |b|).
+// Three entry points:
+//  * IntersectSorted(a, b, fn)        — safe for arbitrary spans; scalar
+//    adaptive kernel (branch-reduced merge / gallop under >= kGallopSkew
+//    skew).
+//  * IntersectSortedPadded(a, b, fn)  — same callback contract, but routes
+//    large inputs through the runtime-dispatched SIMD kernels
+//    (simd/dispatch.hpp). Spans of size >= kGallopSkew must obey the Arena
+//    overread contract (Arena::kOverreadPadIds readable past end()), which
+//    every NeighborList view does — these are the SampledGraph hot paths.
+//  * IntersectCountPadded(a, b)       — count-only |a ∩ b| for callers that
+//    never enumerate matches (global-only sessions); lets the SIMD side use
+//    movemask+popcount without materializing anything.
+//
+// All three return identical match sets in ascending order; the dispatched
+// kernels are differentially fuzzed against the scalar path at every ISA
+// level (tests/simd_intersect_fuzz_test.cpp).
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "graph/types.hpp"
+#include "simd/dispatch.hpp"
 
 namespace rept {
 
@@ -35,15 +49,27 @@ inline const VertexId* GallopLowerBound(const VertexId* first,
   return std::lower_bound(first + lo, first + std::min(hi + 1, n), x);
 }
 
+/// Orders (a, b) by size and rejects the trivial cases every entry point
+/// shares: empty inputs and disjoint ranges (a hub-vs-leaf arrival whose
+/// lists don't overlap at all is common, and the precheck is two compares
+/// against walking the merge loop). Returns false when the intersection is
+/// provably empty.
+inline bool PrepareIntersect(std::span<const VertexId>& a,
+                             std::span<const VertexId>& b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return false;
+  if (a.back() < b.front() || b.back() < a.front()) return false;
+  return true;
+}
+
 }  // namespace internal
 
 /// Calls fn(w) for every w present in both sorted ranges, in ascending
-/// order.
+/// order. Safe for arbitrary storage (scalar kernel only).
 template <typename Fn>
 inline void IntersectSorted(std::span<const VertexId> a,
                             std::span<const VertexId> b, Fn&& fn) {
-  if (a.size() > b.size()) std::swap(a, b);
-  if (a.empty()) return;
+  if (!internal::PrepareIntersect(a, b)) return;
 
   // Short-circuit on b's size first: sampled-density lists are almost
   // always < kGallopSkew long, skipping the multiply entirely.
@@ -81,6 +107,67 @@ inline void IntersectSorted(std::span<const VertexId> a,
       pb += y < x;
     }
   }
+}
+
+/// Count-only |a ∩ b| through the dispatched kernels. Spans of size >=
+/// kGallopSkew must obey the Arena overread contract (NeighborList views
+/// always do). Tiny inputs stay on an inline merge — below a vector there
+/// is nothing to vectorize and the indirect call would dominate.
+inline uint32_t IntersectCountPadded(std::span<const VertexId> a,
+                                     std::span<const VertexId> b) {
+  if (!internal::PrepareIntersect(a, b)) return 0;
+  if (b.size() < kGallopSkew) {
+    const VertexId* pa = a.data();
+    const VertexId* pb = b.data();
+    const VertexId* const a_end = pa + a.size();
+    const VertexId* const b_end = pb + b.size();
+    uint32_t count = 0;
+    while (pa != a_end && pb != b_end) {
+      const VertexId x = *pa;
+      const VertexId y = *pb;
+      count += x == y;
+      pa += x <= y;
+      pb += y <= x;
+    }
+    return count;
+  }
+  return simd::ActiveKernels().intersect_count(a.data(), a.size(), b.data(),
+                                               b.size());
+}
+
+/// IntersectSorted through the dispatched kernels (same padding contract as
+/// IntersectCountPadded). Matches are buffered per thread and replayed to
+/// `fn` in ascending order — the write kernels return a packed match array,
+/// which also keeps fn out of the vector loop.
+template <typename Fn>
+inline void IntersectSortedPadded(std::span<const VertexId> a,
+                                  std::span<const VertexId> b, Fn&& fn) {
+  if (!internal::PrepareIntersect(a, b)) return;
+  if (b.size() < kGallopSkew) {
+    const VertexId* pa = a.data();
+    const VertexId* pb = b.data();
+    const VertexId* const a_end = pa + a.size();
+    const VertexId* const b_end = pb + b.size();
+    while (pa != a_end && pb != b_end) {
+      const VertexId x = *pa;
+      const VertexId y = *pb;
+      if (x == y) {
+        fn(x);
+        ++pa;
+        ++pb;
+      } else {
+        pa += x < y;
+        pb += y < x;
+      }
+    }
+    return;
+  }
+  // The match set is at most |a| ids; steady state never reallocates.
+  thread_local std::vector<VertexId> matches;
+  if (matches.size() < a.size()) matches.resize(a.size());
+  const uint32_t count = simd::ActiveKernels().intersect_write(
+      a.data(), a.size(), b.data(), b.size(), matches.data());
+  for (uint32_t i = 0; i < count; ++i) fn(matches[i]);
 }
 
 }  // namespace rept

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "simd/dispatch.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -41,11 +42,10 @@ void BatchRouter::RouteGroup(size_t g) {
   GroupState& group = groups_[g];
   const size_t n = batch_.size();
   group.buckets.resize(n);
-  const MixEdgeHasher hasher = group.spec.hasher;
-  const uint32_t m = group.spec.num_buckets;
-  for (size_t t = 0; t < n; ++t) {
-    group.buckets[t] = hasher.Bucket(batch_[t].u, batch_[t].v, m);
-  }
+  simd::ActiveKernels().hash_buckets(batch_.data(), n,
+                                     group.spec.hasher.seed_offset(),
+                                     group.spec.num_buckets,
+                                     group.buckets.data());
   ScatterGroup(g);
 }
 
@@ -88,19 +88,21 @@ void BatchRouter::Route(std::span<const Edge> edges, ThreadPool* pool) {
 
   // Pass A — hashing, the per-edge hot loop. The flattened work space is
   // num_groups x n edge slots, claimed as (group, edge-range) tiles; each
-  // tile writes a disjoint slice of one group's bucket scratch.
+  // tile runs the dispatched batch hash kernel over a disjoint slice of one
+  // group's bucket scratch (per-edge results are independent, so tiling
+  // does not affect them).
   for (GroupState& group : groups_) group.buckets.resize(n);
-  auto hash_range = [this, edges, n](size_t begin, size_t end) {
+  const simd::KernelTable& kernels = simd::ActiveKernels();
+  auto hash_range = [this, edges, n, &kernels](size_t begin, size_t end) {
     while (begin < end) {
       const size_t g = begin / n;
       const size_t first = begin % n;
       const size_t last = std::min(n, first + (end - begin));
       GroupState& group = groups_[g];
-      const MixEdgeHasher hasher = group.spec.hasher;
-      const uint32_t m = group.spec.num_buckets;
-      for (size_t t = first; t < last; ++t) {
-        group.buckets[t] = hasher.Bucket(edges[t].u, edges[t].v, m);
-      }
+      kernels.hash_buckets(edges.data() + first, last - first,
+                           group.spec.hasher.seed_offset(),
+                           group.spec.num_buckets,
+                           group.buckets.data() + first);
       begin += last - first;
     }
   };

@@ -147,6 +147,23 @@ class SemiTriangleCounter {
   /// intersection.
   template <bool kCacheProbe>
   uint32_t CountArrivalImpl(VertexId u, VertexId v) {
+    if (!options_.track_local && !options_.track_pairs) {
+      // Count-only sessions (global-only tallies) never read the completion
+      // set, so the arrival runs the count kernel and skips materializing
+      // scratch_ entirely. `global_ += completions` is the exact arithmetic
+      // TallyCompletions performs, so estimates stay bit-identical.
+      uint32_t completions;
+      if constexpr (kCacheProbe) {
+        last_probe_ = sample_.ProbeCountCommonNeighbors(u, v, &completions);
+        last_completions_ = completions;
+        last_valid_ = true;
+      } else {
+        completions = sample_.CountCommonNeighbors(u, v);
+        last_valid_ = false;
+      }
+      if (completions > 0) global_ += completions;
+      return completions;
+    }
     scratch_.clear();
     if constexpr (kCacheProbe) {
       last_probe_ = sample_.ProbeCommonNeighbors(

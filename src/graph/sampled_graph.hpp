@@ -68,7 +68,8 @@ class SampledGraph {
 
   /// Calls fn(w) for every w adjacent to both u and v (ascending order of w).
   /// This is |N_u ∩ N_v| enumeration — the semi-triangle completion set of
-  /// an arriving edge (u, v).
+  /// an arriving edge (u, v). NeighborList views satisfy the arena overread
+  /// contract, so the dispatched (SIMD) kernels are always legal here.
   template <typename Fn>
   void ForEachCommonNeighbor(VertexId u, VertexId v, Fn&& fn) const {
     adjacency_.Prefetch(u);
@@ -77,14 +78,20 @@ class SampledGraph {
     if (nu == nullptr) return;
     const NeighborList* nv = adjacency_.Find(v);
     if (nv == nullptr) return;
-    IntersectSorted(nu->view(), nv->view(), std::forward<Fn>(fn));
+    IntersectSortedPadded(nu->view(), nv->view(), std::forward<Fn>(fn));
   }
 
-  /// |N_u ∩ N_v| without enumeration.
+  /// |N_u ∩ N_v| without enumeration — the count-only kernel, which skips
+  /// materializing the matches entirely (movemask+popcount on the SIMD
+  /// levels).
   uint32_t CountCommonNeighbors(VertexId u, VertexId v) const {
-    uint32_t count = 0;
-    ForEachCommonNeighbor(u, v, [&count](VertexId) { ++count; });
-    return count;
+    adjacency_.Prefetch(u);
+    adjacency_.Prefetch(v);
+    const NeighborList* nu = adjacency_.Find(u);
+    if (nu == nullptr) return 0;
+    const NeighborList* nv = adjacency_.Find(v);
+    if (nv == nullptr) return 0;
+    return IntersectCountPadded(nu->view(), nv->view());
   }
 
   // -------------------------------------------------------------------
@@ -119,10 +126,30 @@ class SampledGraph {
     probe.pu = adjacency_.FindProbe(u);
     probe.pv = adjacency_.FindProbe(v);
     if (probe.pu.found && probe.pv.found) {
-      IntersectSorted(adjacency_.slot_value(probe.pu.slot).view(),
-                      adjacency_.slot_value(probe.pv.slot).view(),
-                      std::forward<Fn>(fn));
+      IntersectSortedPadded(adjacency_.slot_value(probe.pu.slot).view(),
+                            adjacency_.slot_value(probe.pv.slot).view(),
+                            std::forward<Fn>(fn));
     }
+    return probe;
+  }
+
+  /// ProbeCommonNeighbors for callers that only need |N_u ∩ N_v| (count-only
+  /// sessions): same probes, count kernel instead of enumeration.
+  ArrivalProbe ProbeCountCommonNeighbors(VertexId u, VertexId v,
+                                         uint32_t* count) const {
+    adjacency_.Prefetch(u);
+    adjacency_.Prefetch(v);
+    ArrivalProbe probe;
+    probe.u = u;
+    probe.v = v;
+    probe.generation = adjacency_.generation();
+    probe.pu = adjacency_.FindProbe(u);
+    probe.pv = adjacency_.FindProbe(v);
+    *count = probe.pu.found && probe.pv.found
+                 ? IntersectCountPadded(
+                       adjacency_.slot_value(probe.pu.slot).view(),
+                       adjacency_.slot_value(probe.pv.slot).view())
+                 : 0;
     return probe;
   }
 

@@ -1,0 +1,109 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "simd/hash_kernels.hpp"
+#include "simd/intersect_kernels.hpp"
+#include "util/check.hpp"
+
+namespace rept::simd {
+
+namespace {
+
+constexpr KernelTable kScalarTable = {IntersectCountScalar,
+                                      IntersectWriteScalar, HashBucketsScalar,
+                                      IsaLevel::kScalar};
+
+#if defined(REPT_SIMD_X86)
+constexpr KernelTable kSse2Table = {IntersectCountSse2, IntersectWriteSse2,
+                                    HashBucketsSse2, IsaLevel::kSse2};
+constexpr KernelTable kAvx2Table = {IntersectCountAvx2, IntersectWriteAvx2,
+                                    HashBucketsAvx2, IsaLevel::kAvx2};
+#endif
+
+/// REPT_FORCE_SCALAR pins the scalar reference when set to anything but ""
+/// or "0" (CI sets "1"; an empty value means unset so matrix legs can pass
+/// it through unconditionally).
+bool ForceScalarFromEnv() {
+  const char* value = std::getenv("REPT_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+const KernelTable* DefaultTable() {
+  static const KernelTable* const table =
+      ForceScalarFromEnv() ? &kScalarTable : &KernelsFor(BestLevel());
+  return table;
+}
+
+/// Test/bench override; null means "env + detection". The benign race of
+/// two first-use readers resolving the same default is avoided by keeping
+/// the default in a function-local static instead.
+std::atomic<const KernelTable*> g_forced{nullptr};
+
+}  // namespace
+
+const char* IsaName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kSse2:
+      return "sse2";
+    case IsaLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+IsaLevel BestLevel() {
+#if defined(REPT_SIMD_X86)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return IsaLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return IsaLevel::kSse2;
+#endif
+  return IsaLevel::kScalar;
+}
+
+std::vector<IsaLevel> SupportedLevels() {
+  std::vector<IsaLevel> levels = {IsaLevel::kScalar};
+#if defined(REPT_SIMD_X86)
+  const IsaLevel best = BestLevel();
+  if (best >= IsaLevel::kSse2) levels.push_back(IsaLevel::kSse2);
+  if (best >= IsaLevel::kAvx2) levels.push_back(IsaLevel::kAvx2);
+#endif
+  return levels;
+}
+
+const KernelTable& KernelsFor(IsaLevel level) {
+  REPT_CHECK(level <= BestLevel());
+  switch (level) {
+    case IsaLevel::kScalar:
+      break;
+#if defined(REPT_SIMD_X86)
+    case IsaLevel::kSse2:
+      return kSse2Table;
+    case IsaLevel::kAvx2:
+      return kAvx2Table;
+#else
+    default:
+      break;
+#endif
+  }
+  return kScalarTable;
+}
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* forced = g_forced.load(std::memory_order_acquire);
+  return forced != nullptr ? *forced : *DefaultTable();
+}
+
+void ForceIsaLevel(IsaLevel level) {
+  g_forced.store(&KernelsFor(level), std::memory_order_release);
+}
+
+void ClearForcedIsaLevel() {
+  g_forced.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace rept::simd

@@ -1,0 +1,90 @@
+// Runtime ISA dispatch for the ingest hot-path kernels.
+//
+// The three kernel families (sorted-intersection count, sorted-intersection
+// match-write, batched edge-hash bucketing) each exist in scalar, SSE2, and
+// AVX2 flavors (src/simd/intersect_kernels.*, src/simd/hash_kernels.*). At
+// first use the best level the CPU supports is detected and a KernelTable of
+// function pointers is published; the hot paths (sorted_intersect.hpp,
+// BatchRouter) call through it. Every flavor computes bit-identical results
+// — the SIMD kernels are drop-in replacements for the scalar reference, and
+// the golden suites (seed_stability_test, checkpoint_roundtrip_test) pin
+// that at every level.
+//
+// Overrides, in precedence order:
+//  1. ForceIsaLevel() — programmatic, used by simd_intersect_fuzz_test and
+//     the bench breakdowns to exercise a specific level.
+//  2. REPT_FORCE_SCALAR env var (set, non-empty, not "0") — pins the scalar
+//     reference, so the fallback path stays testable on any box (CI runs a
+//     forced-scalar Release leg).
+//  3. CPU detection (__builtin_cpu_supports on x86; scalar elsewhere).
+//
+// NEON is deliberately absent: this tree has no aarch64 toolchain to even
+// compile-check a NEON body against, and shipping unverifiable intrinsics
+// is worse than the scalar fallback non-x86 targets get today.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace rept::simd {
+
+/// Dispatch levels, ascending. SSE2 is the x86-64 baseline; AVX2 is the
+/// widest level with a kernel (AVX-512 downclocking is not worth it for
+/// lists this short).
+enum class IsaLevel : uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Human-readable level name ("scalar" / "sse2" / "avx2"), used by bench
+/// JSON extras and CI logs.
+const char* IsaName(IsaLevel level);
+
+/// \brief Count-only |a ∩ b| of two sorted duplicate-free ranges.
+/// Spans of size >= 8 must obey the Arena overread contract
+/// (Arena::kOverreadPadIds readable past the end — see intersect_kernels).
+using IntersectCountFn = uint32_t (*)(const VertexId* a, size_t na,
+                                      const VertexId* b, size_t nb);
+
+/// \brief Writes a ∩ b to `out` in ascending order, returns the match
+/// count. `out` must hold min(na, nb) ids. Same padding contract.
+using IntersectWriteFn = uint32_t (*)(const VertexId* a, size_t na,
+                                      const VertexId* b, size_t nb,
+                                      VertexId* out);
+
+/// \brief out[i] = FastRange(Mix64(EdgeKey(edges[i]) ^ seed_offset), m) for
+/// every edge — the MixEdgeHasher bucket, batched. No padding needed.
+using HashBucketsFn = void (*)(const Edge* edges, size_t n,
+                               uint64_t seed_offset, uint32_t m,
+                               uint32_t* out);
+
+struct KernelTable {
+  IntersectCountFn intersect_count;
+  IntersectWriteFn intersect_write;
+  HashBucketsFn hash_buckets;
+  IsaLevel level;
+};
+
+/// Best level this CPU supports (independent of any override).
+IsaLevel BestLevel();
+
+/// Levels with a usable kernel table on this CPU, ascending from kScalar.
+std::vector<IsaLevel> SupportedLevels();
+
+/// Kernel table of a specific level; `level` must be in SupportedLevels()
+/// (checked). For differential tests and per-level bench rows.
+const KernelTable& KernelsFor(IsaLevel level);
+
+/// The table the hot paths dispatch through, after overrides.
+const KernelTable& ActiveKernels();
+
+/// Level of ActiveKernels().
+inline IsaLevel ActiveLevel() { return ActiveKernels().level; }
+
+/// Pins dispatch to `level` (must be supported) until
+/// ClearForcedIsaLevel(). Test/bench hook: not for use while another thread
+/// is inside a kernel.
+void ForceIsaLevel(IsaLevel level);
+void ClearForcedIsaLevel();
+
+}  // namespace rept::simd

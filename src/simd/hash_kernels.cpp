@@ -1,0 +1,162 @@
+#include "simd/hash_kernels.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/edge_hash.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace rept::simd {
+
+void HashBucketsScalar(const Edge* edges, size_t n, uint64_t seed_offset,
+                       uint32_t m, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] =
+        FastRange(Mix64(EdgeKey(edges[i].u, edges[i].v) ^ seed_offset), m);
+  }
+}
+
+#if defined(__x86_64__)
+
+namespace {
+
+// Mix64 multiplier/increment constants (util/random.hpp), lane-replicated.
+constexpr int64_t kMixAdd = static_cast<int64_t>(0x9e3779b97f4a7c15ULL);
+constexpr int64_t kMixMul1 = static_cast<int64_t>(0xbf58476d1ce4e5b9ULL);
+constexpr int64_t kMixMul2 = static_cast<int64_t>(0x94d049bb133111ebULL);
+
+// ---------------------------------------------------------------------------
+// SSE2: two edges per vector. An Edge is two packed u32 (static_assert in
+// the kernels below), so a 16-byte load is two edges; the canonical key
+// (min << 32) | max is built with an unsigned min/max (sign-bias compare)
+// and a dword blend, then Mix64 and the multiply-shift reduction run in
+// 64-bit lanes (64x64 low multiply from three 32x32 widening multiplies;
+// FastRange's 128-bit product high word from two widening multiplies, exact
+// because zhi*m + (zlo*m >> 32) < 2^64 for 32-bit m).
+
+/// 64x64 -> low 64 multiply per lane, b from memory-invariant constants.
+inline __m128i Mul64Sse2(__m128i a, __m128i b) {
+  const __m128i cross = _mm_add_epi64(
+      _mm_mul_epu32(a, _mm_srli_epi64(b, 32)),
+      _mm_mul_epu32(_mm_srli_epi64(a, 32), b));
+  return _mm_add_epi64(_mm_mul_epu32(a, b), _mm_slli_epi64(cross, 32));
+}
+
+/// Buckets of edges[0..1]: result dwords [b0, b1, b0, b1].
+inline __m128i Bucket2Sse2(const Edge* edges, __m128i offset, __m128i mvec) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i v =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(edges));
+  const __m128i sw = _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1));
+  const __m128i gt = _mm_cmpgt_epi32(_mm_xor_si128(v, bias),
+                                     _mm_xor_si128(sw, bias));  // v > sw
+  const __m128i mn =
+      _mm_or_si128(_mm_and_si128(gt, sw), _mm_andnot_si128(gt, v));
+  const __m128i mx =
+      _mm_or_si128(_mm_and_si128(gt, v), _mm_andnot_si128(gt, sw));
+  // Key lane = (min << 32) | max: odd dwords (high halves) from mn.
+  const __m128i odd = _mm_set_epi32(-1, 0, -1, 0);
+  __m128i z = _mm_or_si128(_mm_and_si128(odd, mn), _mm_andnot_si128(odd, mx));
+  z = _mm_xor_si128(z, offset);
+  z = _mm_add_epi64(z, _mm_set1_epi64x(kMixAdd));
+  z = Mul64Sse2(_mm_xor_si128(z, _mm_srli_epi64(z, 30)),
+                _mm_set1_epi64x(kMixMul1));
+  z = Mul64Sse2(_mm_xor_si128(z, _mm_srli_epi64(z, 27)),
+                _mm_set1_epi64x(kMixMul2));
+  z = _mm_xor_si128(z, _mm_srli_epi64(z, 31));
+  const __m128i sum = _mm_add_epi64(
+      _mm_mul_epu32(_mm_srli_epi64(z, 32), mvec),
+      _mm_srli_epi64(_mm_mul_epu32(z, mvec), 32));
+  return _mm_shuffle_epi32(_mm_srli_epi64(sum, 32), _MM_SHUFFLE(2, 0, 2, 0));
+}
+
+// ---------------------------------------------------------------------------
+// AVX2: four edges per vector, eight per iteration (two chains for ILP).
+
+__attribute__((target("avx2"))) inline __m256i Mul64Avx2(__m256i a,
+                                                         __m256i b) {
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b),
+                          _mm256_slli_epi64(cross, 32));
+}
+
+/// Buckets of edges[0..3], packed into the low 4 dwords.
+__attribute__((target("avx2"))) inline __m128i Bucket4Avx2(const Edge* edges,
+                                                           __m256i offset,
+                                                           __m256i mvec) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(edges));
+  const __m256i sw = _mm256_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1));
+  const __m256i mn = _mm256_min_epu32(v, sw);
+  const __m256i mx = _mm256_max_epu32(v, sw);
+  __m256i z = _mm256_blend_epi32(mx, mn, 0xAA);  // odd dwords from mn
+  z = _mm256_xor_si256(z, offset);
+  z = _mm256_add_epi64(z, _mm256_set1_epi64x(kMixAdd));
+  z = Mul64Avx2(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+                _mm256_set1_epi64x(kMixMul1));
+  z = Mul64Avx2(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+                _mm256_set1_epi64x(kMixMul2));
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+  const __m256i sum = _mm256_add_epi64(
+      _mm256_mul_epu32(_mm256_srli_epi64(z, 32), mvec),
+      _mm256_srli_epi64(_mm256_mul_epu32(z, mvec), 32));
+  const __m256i buckets = _mm256_srli_epi64(sum, 32);
+  const __m256i pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  return _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(buckets, pack));
+}
+
+}  // namespace
+
+void HashBucketsSse2(const Edge* edges, size_t n, uint64_t seed_offset,
+                     uint32_t m, uint32_t* out) {
+  static_assert(sizeof(Edge) == 2 * sizeof(VertexId),
+                "vector loads treat an Edge as two packed u32");
+  const __m128i offset =
+      _mm_set1_epi64x(static_cast<int64_t>(seed_offset));
+  const __m128i mvec = _mm_set1_epi64x(static_cast<int64_t>(m));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i b01 = Bucket2Sse2(edges + i, offset, mvec);
+    const __m128i b23 = Bucket2Sse2(edges + i + 2, offset, mvec);
+    const __m128i b45 = Bucket2Sse2(edges + i + 4, offset, mvec);
+    const __m128i b67 = Bucket2Sse2(edges + i + 6, offset, mvec);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_unpacklo_epi64(b01, b23));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4),
+                     _mm_unpacklo_epi64(b45, b67));
+  }
+  HashBucketsScalar(edges + i, n - i, seed_offset, m, out + i);
+}
+
+__attribute__((target("avx2"))) void HashBucketsAvx2(const Edge* edges,
+                                                     size_t n,
+                                                     uint64_t seed_offset,
+                                                     uint32_t m,
+                                                     uint32_t* out) {
+  static_assert(sizeof(Edge) == 2 * sizeof(VertexId),
+                "vector loads treat an Edge as two packed u32");
+  const __m256i offset =
+      _mm256_set1_epi64x(static_cast<int64_t>(seed_offset));
+  const __m256i mvec = _mm256_set1_epi64x(static_cast<int64_t>(m));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i lo = Bucket4Avx2(edges + i, offset, mvec);
+    const __m128i hi = Bucket4Avx2(edges + i + 4, offset, mvec);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), lo);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4), hi);
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     Bucket4Avx2(edges + i, offset, mvec));
+  }
+  HashBucketsScalar(edges + i, n - i, seed_offset, m, out + i);
+}
+
+#endif  // x86-64
+
+}  // namespace rept::simd

@@ -1,0 +1,31 @@
+// Batched MixEdgeHasher bucket evaluation — the per-edge fixed cost of
+// BatchRouter's stage-1 hash pass, vectorized 8 edges per iteration.
+//
+// Each kernel computes, for every edge, exactly
+//   FastRange(Mix64(EdgeKey(u, v) ^ seed_offset), m)
+// (hash/edge_hash.hpp): canonical min/max pairing into the 64-bit edge key,
+// the SplitMix64 finalizer, and the multiply-shift bucket reduction, all in
+// integer lanes — so the routed sublists, and therefore the estimates, are
+// bit-identical to the scalar hasher at every dispatch level.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace rept::simd {
+
+void HashBucketsScalar(const Edge* edges, size_t n, uint64_t seed_offset,
+                       uint32_t m, uint32_t* out);
+
+#if defined(__x86_64__)
+
+void HashBucketsSse2(const Edge* edges, size_t n, uint64_t seed_offset,
+                     uint32_t m, uint32_t* out);
+void HashBucketsAvx2(const Edge* edges, size_t n, uint64_t seed_offset,
+                     uint32_t m, uint32_t* out);
+
+#endif  // x86-64
+
+}  // namespace rept::simd

@@ -1,0 +1,464 @@
+#include "simd/intersect_kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "container/arena.hpp"
+#include "container/sorted_intersect.hpp"
+
+#if defined(REPT_SIMD_X86)
+#include <immintrin.h>
+#endif
+
+namespace rept::simd {
+
+static_assert(Arena::kOverreadPadIds >= kOverreadPadIds,
+              "gallop kernels load a full vector spanning end(); the arena "
+              "must pad every spilled list by at least that much");
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference pieces. MergeCount/MergeWrite are also the tail of every
+// dense block kernel: when fewer than a vector remains on either side the
+// block loop hands its cursors here, which is correct because block advances
+// never skip an uncounted match and never leave a counted one in both
+// suffixes (see the invariant note at DenseCountSse2).
+
+uint32_t MergeCount(const VertexId* pa, const VertexId* a_end,
+                    const VertexId* pb, const VertexId* b_end) {
+  uint32_t count = 0;
+  while (pa != a_end && pb != b_end) {
+    const VertexId x = *pa;
+    const VertexId y = *pb;
+    count += x == y;
+    pa += x <= y;
+    pb += y <= x;
+  }
+  return count;
+}
+
+uint32_t MergeWrite(const VertexId* pa, const VertexId* a_end,
+                    const VertexId* pb, const VertexId* b_end, VertexId* out,
+                    uint32_t count) {
+  while (pa != a_end && pb != b_end) {
+    const VertexId x = *pa;
+    const VertexId y = *pb;
+    if (x == y) out[count++] = x;
+    pa += x <= y;
+    pb += y <= x;
+  }
+  return count;
+}
+
+uint32_t GallopCountScalar(const VertexId* a, size_t na, const VertexId* b,
+                           size_t nb) {
+  uint32_t count = 0;
+  const VertexId* cursor = b;
+  const VertexId* const b_end = b + nb;
+  for (size_t i = 0; i < na; ++i) {
+    const VertexId x = a[i];
+    cursor = internal::GallopLowerBound(cursor, b_end, x);
+    if (cursor == b_end) break;
+    if (*cursor == x) {
+      ++count;
+      if (++cursor == b_end) break;
+    }
+  }
+  return count;
+}
+
+uint32_t GallopWriteScalar(const VertexId* a, size_t na, const VertexId* b,
+                           size_t nb, VertexId* out) {
+  uint32_t count = 0;
+  const VertexId* cursor = b;
+  const VertexId* const b_end = b + nb;
+  for (size_t i = 0; i < na; ++i) {
+    const VertexId x = a[i];
+    cursor = internal::GallopLowerBound(cursor, b_end, x);
+    if (cursor == b_end) break;
+    if (*cursor == x) {
+      out[count++] = x;
+      if (++cursor == b_end) break;
+    }
+  }
+  return count;
+}
+
+/// Shared adaptive split: true when (na, nb) should gallop (nb is the
+/// larger side). Must match sorted_intersect.hpp's selection exactly so the
+/// scalar kernel is the reference implementation of the template.
+bool UseGallop(size_t na, size_t nb) {
+  return nb >= kGallopSkew && nb >= kGallopSkew * na;
+}
+
+}  // namespace
+
+uint32_t IntersectCountScalar(const VertexId* a, size_t na, const VertexId* b,
+                              size_t nb) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  if (UseGallop(na, nb)) return GallopCountScalar(a, na, b, nb);
+  return MergeCount(a, a + na, b, b + nb);
+}
+
+uint32_t IntersectWriteScalar(const VertexId* a, size_t na, const VertexId* b,
+                              size_t nb, VertexId* out) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  if (UseGallop(na, nb)) return GallopWriteScalar(a, na, b, nb, out);
+  return MergeWrite(a, a + na, b, b + nb, out, 0);
+}
+
+#if defined(REPT_SIMD_X86)
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SSE2 kernels (x86-64 baseline).
+//
+// Dense path: compare a 4-lane block of A against all 4 rotations of a
+// 4-lane block of B; lane i of the OR-ed compare mask says a[i] is present
+// in B's block (B is duplicate-free, so at most one rotation hits). Advance
+// the block whose max is smaller (both on a tie). Invariant: each (A-block,
+// B-block) pair is compared at most once before one of them is advanced
+// past, every match's blocks are both current when it is counted, and after
+// any exit every remaining match lies in both suffixes — so chaining a
+// narrower block loop or the scalar merge from the cursors is exact.
+
+uint32_t DenseCountSse2(const VertexId* pa, const VertexId* a_end,
+                        const VertexId* pb, const VertexId* b_end) {
+  uint32_t count = 0;
+  while (pa + 4 <= a_end && pb + 4 <= b_end) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb));
+    __m128i eq = _mm_cmpeq_epi32(va, vb);
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    count += static_cast<uint32_t>(
+        std::popcount(static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(eq)))));
+    const VertexId amax = pa[3];
+    const VertexId bmax = pb[3];
+    if (amax <= bmax) pa += 4;
+    if (bmax <= amax) pb += 4;
+  }
+  return count + MergeCount(pa, a_end, pb, b_end);
+}
+
+uint32_t DenseWriteSse2(const VertexId* pa, const VertexId* a_end,
+                        const VertexId* pb, const VertexId* b_end,
+                        VertexId* out) {
+  uint32_t count = 0;
+  while (pa + 4 <= a_end && pb + 4 <= b_end) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb));
+    __m128i eq = _mm_cmpeq_epi32(va, vb);
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    eq = _mm_or_si128(
+        eq, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    uint32_t mask =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(eq)));
+    while (mask != 0) {
+      // A lanes ascending == ascending values; across iterations matches
+      // from a later B block are strictly larger, so emission stays sorted.
+      out[count++] = pa[std::countr_zero(mask)];
+      mask &= mask - 1;
+    }
+    const VertexId amax = pa[3];
+    const VertexId bmax = pb[3];
+    if (amax <= bmax) pa += 4;
+    if (bmax <= amax) pb += 4;
+  }
+  return MergeWrite(pa, a_end, pb, b_end, out, count);
+}
+
+/// Index of the first element >= x in [p, p + n), n >= 1: a one-vector scan
+/// of the head (the common case — gallop cursors advance in small steps),
+/// then exponential probe + binary search down to one vector. May read up
+/// to 4 lanes past p + n (arena pad); garbage lanes are clamped away via
+/// min() against the valid window.
+size_t LowerBoundSse2(const VertexId* p, size_t n, VertexId x) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i vx = _mm_set1_epi32(static_cast<int>(x ^ 0x80000000u));
+  __m128i blk = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)), bias);
+  uint32_t lt = static_cast<uint32_t>(
+      _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(vx, blk))));
+  if (lt != 0xF) return std::min<size_t>(std::countr_one(lt), n);
+  if (n <= 4) return n;
+
+  size_t hi = 8;
+  while (hi < n && p[hi - 1] < x) hi <<= 1;
+  size_t first = (hi >> 1);  // p[first - 1] < x
+  size_t last = std::min(hi, n);
+  while (last - first > 4) {
+    const size_t mid = first + (last - first) / 2;
+    if (p[mid] < x) {
+      first = mid + 1;
+    } else {
+      last = mid;
+    }
+  }
+  if (first == last) return first;
+  blk = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + first)), bias);
+  lt = static_cast<uint32_t>(
+      _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(vx, blk))));
+  return first + std::min<size_t>(std::countr_one(lt), last - first);
+}
+
+uint32_t GallopCountSse2(const VertexId* a, size_t na, const VertexId* b,
+                         size_t nb) {
+  uint32_t count = 0;
+  size_t pos = 0;
+  for (size_t i = 0; i < na; ++i) {
+    const VertexId x = a[i];
+    pos += LowerBoundSse2(b + pos, nb - pos, x);
+    if (pos == nb) break;
+    if (b[pos] == x) {
+      ++count;
+      if (++pos == nb) break;
+    }
+  }
+  return count;
+}
+
+uint32_t GallopWriteSse2(const VertexId* a, size_t na, const VertexId* b,
+                         size_t nb, VertexId* out) {
+  uint32_t count = 0;
+  size_t pos = 0;
+  for (size_t i = 0; i < na; ++i) {
+    const VertexId x = a[i];
+    pos += LowerBoundSse2(b + pos, nb - pos, x);
+    if (pos == nb) break;
+    if (b[pos] == x) {
+      out[count++] = x;
+      if (++pos == nb) break;
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Same structure, 8 lanes: the 8 alignments of B's block are
+// the 4 in-lane rotations of the block plus the 4 of its half-swapped
+// (permute2x128) copy. The dense loop drops to the SSE2 4-lane loop, then
+// scalar, when fewer than 8 remain on either side.
+
+__attribute__((target("avx2"))) uint32_t DenseCountAvx2(
+    const VertexId* pa, const VertexId* a_end, const VertexId* pb,
+    const VertexId* b_end) {
+  uint32_t count = 0;
+  while (pa + 8 <= a_end && pb + 8 <= b_end) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    const __m256i vbs = _mm256_permute2x128_si256(vb, vb, 1);
+    __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vbs));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vbs, _MM_SHUFFLE(0, 3, 2, 1))));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vbs, _MM_SHUFFLE(1, 0, 3, 2))));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vbs, _MM_SHUFFLE(2, 1, 0, 3))));
+    count += static_cast<uint32_t>(std::popcount(static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)))));
+    const VertexId amax = pa[7];
+    const VertexId bmax = pb[7];
+    if (amax <= bmax) pa += 8;
+    if (bmax <= amax) pb += 8;
+  }
+  return count + DenseCountSse2(pa, a_end, pb, b_end);
+}
+
+__attribute__((target("avx2"))) uint32_t DenseWriteAvx2(
+    const VertexId* pa, const VertexId* a_end, const VertexId* pb,
+    const VertexId* b_end, VertexId* out) {
+  uint32_t count = 0;
+  while (pa + 8 <= a_end && pb + 8 <= b_end) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    const __m256i vbs = _mm256_permute2x128_si256(vb, vb, 1);
+    __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vbs));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vbs, _MM_SHUFFLE(0, 3, 2, 1))));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vbs, _MM_SHUFFLE(1, 0, 3, 2))));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi32(
+                va, _mm256_shuffle_epi32(vbs, _MM_SHUFFLE(2, 1, 0, 3))));
+    uint32_t mask = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    while (mask != 0) {
+      out[count++] = pa[std::countr_zero(mask)];
+      mask &= mask - 1;
+    }
+    const VertexId amax = pa[7];
+    const VertexId bmax = pb[7];
+    if (amax <= bmax) pa += 8;
+    if (bmax <= amax) pb += 8;
+  }
+  return DenseWriteSse2(pa, a_end, pb, b_end, out + count) + count;
+}
+
+/// 8-lane LowerBoundSse2; may read up to 8 lanes past p + n (arena pad).
+__attribute__((target("avx2"))) size_t LowerBoundAvx2(const VertexId* p,
+                                                      size_t n, VertexId x) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i vx = _mm256_set1_epi32(static_cast<int>(x ^ 0x80000000u));
+  __m256i blk = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)), bias);
+  uint32_t lt = static_cast<uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(vx, blk))));
+  if (lt != 0xFF) return std::min<size_t>(std::countr_one(lt), n);
+  if (n <= 8) return n;
+
+  size_t hi = 16;
+  while (hi < n && p[hi - 1] < x) hi <<= 1;
+  size_t first = (hi >> 1);  // p[first - 1] < x
+  size_t last = std::min(hi, n);
+  while (last - first > 8) {
+    const size_t mid = first + (last - first) / 2;
+    if (p[mid] < x) {
+      first = mid + 1;
+    } else {
+      last = mid;
+    }
+  }
+  if (first == last) return first;
+  blk = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + first)), bias);
+  lt = static_cast<uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(vx, blk))));
+  return first + std::min<size_t>(std::countr_one(lt), last - first);
+}
+
+__attribute__((target("avx2"))) uint32_t GallopCountAvx2(const VertexId* a,
+                                                         size_t na,
+                                                         const VertexId* b,
+                                                         size_t nb) {
+  uint32_t count = 0;
+  size_t pos = 0;
+  for (size_t i = 0; i < na; ++i) {
+    const VertexId x = a[i];
+    pos += LowerBoundAvx2(b + pos, nb - pos, x);
+    if (pos == nb) break;
+    if (b[pos] == x) {
+      ++count;
+      if (++pos == nb) break;
+    }
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) uint32_t GallopWriteAvx2(const VertexId* a,
+                                                         size_t na,
+                                                         const VertexId* b,
+                                                         size_t nb,
+                                                         VertexId* out) {
+  uint32_t count = 0;
+  size_t pos = 0;
+  for (size_t i = 0; i < na; ++i) {
+    const VertexId x = a[i];
+    pos += LowerBoundAvx2(b + pos, nb - pos, x);
+    if (pos == nb) break;
+    if (b[pos] == x) {
+      out[count++] = x;
+      if (++pos == nb) break;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+uint32_t IntersectCountSse2(const VertexId* a, size_t na, const VertexId* b,
+                            size_t nb) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  if (UseGallop(na, nb)) return GallopCountSse2(a, na, b, nb);
+  return DenseCountSse2(a, a + na, b, b + nb);
+}
+
+uint32_t IntersectWriteSse2(const VertexId* a, size_t na, const VertexId* b,
+                            size_t nb, VertexId* out) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  if (UseGallop(na, nb)) return GallopWriteSse2(a, na, b, nb, out);
+  return DenseWriteSse2(a, a + na, b, b + nb, out);
+}
+
+uint32_t IntersectCountAvx2(const VertexId* a, size_t na, const VertexId* b,
+                            size_t nb) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  if (UseGallop(na, nb)) return GallopCountAvx2(a, na, b, nb);
+  return DenseCountAvx2(a, a + na, b, b + nb);
+}
+
+uint32_t IntersectWriteAvx2(const VertexId* a, size_t na, const VertexId* b,
+                            size_t nb, VertexId* out) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  if (UseGallop(na, nb)) return GallopWriteAvx2(a, na, b, nb, out);
+  return DenseWriteAvx2(a, a + na, b, b + nb, out);
+}
+
+#endif  // REPT_SIMD_X86
+
+}  // namespace rept::simd

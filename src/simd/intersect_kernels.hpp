@@ -1,0 +1,53 @@
+// Per-ISA sorted-intersection kernels behind simd::KernelTable. Call these
+// directly only from differential tests and benches; hot paths go through
+// dispatch (simd/dispatch.hpp) or the wrappers in
+// container/sorted_intersect.hpp.
+//
+// Every kernel implements the same adaptive split as the scalar reference:
+// a block compare for balanced degrees, galloping from the smaller side
+// under >= kGallopSkew skew. Inputs are sorted and duplicate-free; outputs
+// are bit-identical across ISAs (the match *set* is fully determined by the
+// inputs, and write kernels emit it in ascending order).
+//
+// Overread contract: the galloping search loads full vectors that may span
+// end() of the *larger* range, reading at most kOverreadPadIds - 1 ids past
+// it. Ranges of size >= kGallopSkew must therefore sit in storage with
+// Arena::kOverreadPadIds ids readable past the end — which every spilled
+// NeighborList gets from the arena. The dense block path only loads full
+// in-bounds vectors, so small (inline) lists need no padding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace rept::simd {
+
+/// Ids the gallop kernels may read past the end of a size >= kGallopSkew
+/// range. Arena::kOverreadPadIds guarantees exactly this.
+inline constexpr uint32_t kOverreadPadIds = 8;
+
+uint32_t IntersectCountScalar(const VertexId* a, size_t na, const VertexId* b,
+                              size_t nb);
+uint32_t IntersectWriteScalar(const VertexId* a, size_t na, const VertexId* b,
+                              size_t nb, VertexId* out);
+
+// x86-64 only: SSE2 is baseline there, so the SSE2 bodies need no target
+// attributes and the only attributed functions are the AVX2 ones.
+#if defined(__x86_64__)
+#define REPT_SIMD_X86 1
+
+uint32_t IntersectCountSse2(const VertexId* a, size_t na, const VertexId* b,
+                            size_t nb);
+uint32_t IntersectWriteSse2(const VertexId* a, size_t na, const VertexId* b,
+                            size_t nb, VertexId* out);
+
+uint32_t IntersectCountAvx2(const VertexId* a, size_t na, const VertexId* b,
+                            size_t nb);
+uint32_t IntersectWriteAvx2(const VertexId* a, size_t na, const VertexId* b,
+                            size_t nb, VertexId* out);
+
+#endif  // x86
+
+}  // namespace rept::simd

@@ -1,0 +1,237 @@
+// Differential fuzzing of the SIMD kernel layer: every kernel (intersect
+// count, intersect write, batched hash bucketing) at every dispatch level
+// this CPU supports — plus the forced-scalar override — against scalar
+// references (std::set_intersection for the intersections, MixEdgeHasher
+// for the buckets). Covers the adversarial shapes the block/gallop split
+// cares about: lengths 0/1/vector-width±1, all-match/no-match/alternating
+// patterns, heavy skew, duplicate-free sorted runs with values up to
+// UINT32_MAX (the unsigned-compare sign-bias trick), and the padded wrapper
+// entry points of sorted_intersect.hpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "container/sorted_intersect.hpp"
+#include "graph/types.hpp"
+#include "hash/edge_hash.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/intersect_kernels.hpp"
+#include "util/random.hpp"
+
+namespace rept {
+namespace {
+
+/// Sorted duplicate-free ids in storage with simd::kOverreadPadIds of
+/// readable tail — the arena contract the gallop kernels rely on. The pad
+/// is filled with a poison value so a kernel that *uses* (not just loads)
+/// lanes past end() diverges from the reference instead of passing by luck.
+class PaddedList {
+ public:
+  explicit PaddedList(std::vector<VertexId> ids) : size_(ids.size()) {
+    storage_ = std::move(ids);
+    storage_.resize(size_ + simd::kOverreadPadIds, 0xDEADBEEFu);
+  }
+
+  std::span<const VertexId> view() const {
+    return std::span<const VertexId>(storage_.data(), size_);
+  }
+  const VertexId* data() const { return storage_.data(); }
+  size_t size() const { return size_; }
+
+ private:
+  std::vector<VertexId> storage_;
+  size_t size_;
+};
+
+std::vector<VertexId> Reference(const PaddedList& a, const PaddedList& b) {
+  std::vector<VertexId> out;
+  std::set_intersection(a.view().begin(), a.view().end(), b.view().begin(),
+                        b.view().end(), std::back_inserter(out));
+  return out;
+}
+
+/// Sorted duplicate-free run: `size` values starting near `base` with
+/// random gaps in [1, max_gap].
+std::vector<VertexId> MakeRun(Rng& rng, size_t size, VertexId base,
+                              uint32_t max_gap) {
+  std::vector<VertexId> ids;
+  ids.reserve(size);
+  uint64_t value = base;
+  for (size_t i = 0; i < size; ++i) {
+    value += 1 + rng.Below(max_gap);
+    if (value > std::numeric_limits<uint32_t>::max()) break;
+    ids.push_back(static_cast<VertexId>(value));
+  }
+  return ids;
+}
+
+/// Runs every (count, write) kernel of every supported level on (a, b) and
+/// both argument orders, expecting the std::set_intersection reference.
+void CheckAllKernels(const PaddedList& a, const PaddedList& b,
+                     const char* label) {
+  const std::vector<VertexId> expected = Reference(a, b);
+  std::vector<VertexId> out(std::max<size_t>(
+      1, std::min(a.size(), b.size())));
+  for (const simd::IsaLevel level : simd::SupportedLevels()) {
+    const simd::KernelTable& kernels = simd::KernelsFor(level);
+    SCOPED_TRACE(testing::Message()
+                 << label << " isa=" << simd::IsaName(level)
+                 << " |a|=" << a.size() << " |b|=" << b.size());
+    EXPECT_EQ(kernels.intersect_count(a.data(), a.size(), b.data(), b.size()),
+              expected.size());
+    EXPECT_EQ(kernels.intersect_count(b.data(), b.size(), a.data(), a.size()),
+              expected.size());
+    const uint32_t written =
+        kernels.intersect_write(a.data(), a.size(), b.data(), b.size(),
+                                out.data());
+    ASSERT_EQ(written, expected.size());
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), out.begin()));
+    const uint32_t written_swapped =
+        kernels.intersect_write(b.data(), b.size(), a.data(), a.size(),
+                                out.data());
+    ASSERT_EQ(written_swapped, expected.size());
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), out.begin()));
+  }
+}
+
+TEST(SimdDispatchTest, SupportedLevelsAndOverrides) {
+  const std::vector<simd::IsaLevel> levels = simd::SupportedLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::IsaLevel::kScalar);
+  EXPECT_EQ(levels.back(), simd::BestLevel());
+  for (const simd::IsaLevel level : levels) {
+    EXPECT_EQ(simd::KernelsFor(level).level, level);
+    simd::ForceIsaLevel(level);
+    EXPECT_EQ(simd::ActiveLevel(), level);
+    simd::ClearForcedIsaLevel();
+  }
+  // Without a forced level the active table is scalar under
+  // REPT_FORCE_SCALAR (the CI leg), best-supported otherwise.
+  const bool env_scalar = []() {
+    const char* value = std::getenv("REPT_FORCE_SCALAR");
+    return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+  }();
+  EXPECT_EQ(simd::ActiveLevel(),
+            env_scalar ? simd::IsaLevel::kScalar : simd::BestLevel());
+}
+
+TEST(SimdIntersectFuzzTest, AdversarialLengths) {
+  // Every (|a|, |b|) pair around the vector widths, in three densities:
+  // near-total overlap, half, and none.
+  const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33};
+  Rng rng(2024);
+  for (const size_t na : kSizes) {
+    for (const size_t nb : kSizes) {
+      // All-match prefix: a == b on the shorter length.
+      const std::vector<VertexId> big = MakeRun(rng, std::max(na, nb), 10, 5);
+      PaddedList a(std::vector<VertexId>(big.begin(), big.begin() + na));
+      PaddedList b(std::vector<VertexId>(big.begin(), big.begin() + nb));
+      CheckAllKernels(a, b, "all-match");
+
+      // Alternating: a takes even positions, b odd — zero matches but
+      // maximally interleaved values.
+      std::vector<VertexId> evens, odds;
+      const std::vector<VertexId> merged =
+          MakeRun(rng, na + nb, 100, 3);
+      for (size_t i = 0; i < merged.size(); ++i) {
+        ((i % 2 == 0) ? evens : odds).push_back(merged[i]);
+      }
+      evens.resize(std::min(evens.size(), na));
+      odds.resize(std::min(odds.size(), nb));
+      CheckAllKernels(PaddedList(evens), PaddedList(odds), "alternating");
+
+      // Disjoint ranges (every value of a below every value of b).
+      CheckAllKernels(PaddedList(MakeRun(rng, na, 0, 4)),
+                      PaddedList(MakeRun(rng, nb, 1u << 20, 4)), "no-match");
+    }
+  }
+}
+
+TEST(SimdIntersectFuzzTest, RandomRunsIncludingSkewAndHighValues) {
+  Rng rng(7);
+  for (int round = 0; round < 400; ++round) {
+    const size_t na = 1 + rng.Below(64);
+    // Mix balanced and heavily skewed shapes so both the block-compare and
+    // the gallop paths run; occasionally push values near UINT32_MAX to
+    // exercise the sign-bias unsigned compares.
+    const size_t nb =
+        round % 3 == 0 ? na + rng.Below(16) : na * (1 + rng.Below(200));
+    const VertexId base = round % 5 == 0
+                              ? std::numeric_limits<VertexId>::max() - 70000
+                              : static_cast<VertexId>(rng.Below(1000));
+    // Draw both runs from one overlapping id range so matches happen.
+    std::vector<VertexId> a = MakeRun(rng, na, base, 30);
+    std::vector<VertexId> b = MakeRun(rng, nb, base, 8);
+    CheckAllKernels(PaddedList(std::move(a)), PaddedList(std::move(b)),
+                    "random");
+  }
+}
+
+TEST(SimdIntersectFuzzTest, PaddedWrappersMatchGenericAtEveryLevel) {
+  // The wrapper entry points (the SampledGraph hot path) under ForceIsaLevel
+  // must agree with the scalar template for every level, callback order
+  // included.
+  Rng rng(13);
+  for (int round = 0; round < 200; ++round) {
+    const size_t na = rng.Below(40);
+    const size_t nb = rng.Below(40) * (1 + rng.Below(30));
+    const PaddedList a(MakeRun(rng, na, 5, 6));
+    const PaddedList b(MakeRun(rng, nb, 5, 6));
+    std::vector<VertexId> expected;
+    IntersectSorted(a.view(), b.view(),
+                    [&](VertexId w) { expected.push_back(w); });
+    for (const simd::IsaLevel level : simd::SupportedLevels()) {
+      SCOPED_TRACE(simd::IsaName(level));
+      simd::ForceIsaLevel(level);
+      std::vector<VertexId> got;
+      IntersectSortedPadded(a.view(), b.view(),
+                            [&](VertexId w) { got.push_back(w); });
+      EXPECT_EQ(got, expected);
+      EXPECT_EQ(IntersectCountPadded(a.view(), b.view()), expected.size());
+      simd::ClearForcedIsaLevel();
+    }
+  }
+}
+
+TEST(SimdHashFuzzTest, BucketsMatchMixEdgeHasherAtEveryLevel) {
+  Rng rng(42);
+  const uint32_t kBucketCounts[] = {1,  2,  3,   7,   10,
+                                    20, 97, 256, 1000, 0x7fffffffu};
+  for (const uint32_t m : kBucketCounts) {
+    for (const size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 256u}) {
+      const uint64_t seed = rng.Next();
+      const MixEdgeHasher hasher(seed);
+      std::vector<Edge> edges(n);
+      for (Edge& e : edges) {
+        // Orientation and self-loops included: the kernel canonicalizes
+        // via min/max exactly like EdgeKey.
+        e.u = static_cast<VertexId>(rng.Next());
+        e.v = rng.Below(8) == 0 ? e.u : static_cast<VertexId>(rng.Next());
+      }
+      std::vector<uint32_t> expected(n);
+      for (size_t i = 0; i < n; ++i) {
+        expected[i] = hasher.Bucket(edges[i].u, edges[i].v, m);
+      }
+      for (const simd::IsaLevel level : simd::SupportedLevels()) {
+        SCOPED_TRACE(testing::Message() << simd::IsaName(level) << " m=" << m
+                                        << " n=" << n);
+        std::vector<uint32_t> got(n, 0xffffffffu);
+        simd::KernelsFor(level).hash_buckets(edges.data(), n,
+                                             hasher.seed_offset(), m,
+                                             got.data());
+        EXPECT_EQ(got, expected);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rept
