@@ -37,6 +37,7 @@
 #include "core/rept_session.hpp"
 #include "core/streaming_estimator.hpp"
 #include "graph/edge_source.hpp"
+#include "obs/metrics.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -83,6 +84,7 @@ int main(int argc, char** argv) {
   std::string chunk_list = "1024,65536,1048576";
   std::string thread_list = "1,2,4,0";
   std::string out = "BENCH_ingest.json";
+  std::string metrics_out;
   rept::FlagSet flags(
       "batch vs session ingest + broadcast vs routed dispatch sweep "
       "(BENCH_ingest.json)");
@@ -102,13 +104,19 @@ int main(int argc, char** argv) {
                   "comma-separated worker counts for the dispatch sweep "
                   "(0 = hardware concurrency)");
   flags.AddString("out", &out, "output JSON path");
+  flags.AddString("metrics-out", &metrics_out,
+                  "also dump the process obs-metrics registry as JSON "
+                  "(empty = off)");
   rept::bench::ParseOrDie(flags, argc, argv);
   if (smoke) {
     num_vertices = 20000;
     num_edges = 200000;
     chunk_list = "65536";
     thread_list = "1,2";
-    out = "/dev/null";
+    // The CI overhead gate runs --smoke with an explicit --out and diffs
+    // the throughput against a REPT_OBS=OFF build; only the default path
+    // is discarded.
+    if (out == "BENCH_ingest.json") out = "/dev/null";
   }
 
   // The stream comes from the generator-backed source (fixed memory), then
@@ -269,6 +277,12 @@ int main(int argc, char** argv) {
          {"global_estimate", BenchJsonWriter::Num(r.global_estimate)}});
   }
   if (!json.WriteTo(out)) return 2;
+  if (!metrics_out.empty() &&
+      !rept::obs::WriteMetricsJson(metrics_out).ok()) {
+    std::fprintf(stderr, "failed to write --metrics-out %s\n",
+                 metrics_out.c_str());
+    return 2;
+  }
 
   if (smoke) {
     // Gate 1: determinism. Every sweep cell of one dispatch mode saw the

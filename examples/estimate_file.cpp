@@ -23,6 +23,8 @@
 #include "gen/dataset_suite.hpp"
 #include "graph/edge_source.hpp"
 #include "graph/stream_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/checkpoint.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
@@ -42,6 +44,8 @@ int main(int argc, char** argv) {
   bool exact = false;
   bool keep_duplicates = false;
   bool prefetch = false;
+  std::string metrics_out;
+  std::string trace_out;
   rept::FlagSet flags("estimate triangle counts of an edge-list file");
   flags.AddString("input", &input,
                   "edge list path (empty: generate a demo file)");
@@ -65,6 +69,12 @@ int main(int argc, char** argv) {
                 "skip edge dedup (O(chunk) reader memory for huge files)");
   flags.AddBool("prefetch", &prefetch,
                 "decode the next chunk while the current one is estimated");
+  flags.AddString("metrics-out", &metrics_out,
+                  "dump the process obs-metrics registry as JSON on exit "
+                  "(empty = off)");
+  flags.AddString("trace-out", &trace_out,
+                  "record the ingest as chrome://tracing JSON (open at "
+                  "chrome://tracing or ui.perfetto.dev; empty = off)");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
     if (st.code() == rept::StatusCode::kNotFound) return 0;  // --help
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -150,7 +160,16 @@ int main(int argc, char** argv) {
     std::printf("checkpointing every %" PRIu64 " edges to %s\n",
                 checkpoint_every, ingest_options.checkpoint.path.c_str());
   }
+  if (!trace_out.empty()) rept::obs::StartTracing();
   const auto ingested = rept::IngestAll(**source, *session, ingest_options);
+  if (!trace_out.empty()) {
+    if (const rept::Status st = rept::obs::StopTracingToFile(trace_out);
+        !st.ok()) {
+      std::fprintf(stderr, "--trace-out: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote ingest trace to %s\n", trace_out.c_str());
+  }
   if (!ingested.ok()) {
     std::fprintf(stderr, "%s\n", ingested.status().ToString().c_str());
     return 2;
@@ -196,6 +215,14 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < k; ++i) {
       std::printf("  node %-8u est %10.0f\n", ids[i], est.local[ids[i]]);
     }
+  }
+  if (!metrics_out.empty()) {
+    if (const rept::Status st = rept::obs::WriteMetricsJson(metrics_out);
+        !st.ok()) {
+      std::fprintf(stderr, "--metrics-out: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote obs metrics to %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -30,6 +30,7 @@
 #include "gen/planted.hpp"
 #include "gen/rmat.hpp"
 #include "graph/permutation.hpp"
+#include "obs/metrics.hpp"
 #include "persist/checkpoint.hpp"
 #include "util/flags.hpp"
 #include "util/random.hpp"
@@ -108,6 +109,7 @@ int main(int argc, char** argv) {
   uint64_t checkpoint_every = 0;
   std::string checkpoint_path = "/tmp/rept_interval_monitor.ckpt";
   std::string resume;
+  std::string metrics_out;
   double threshold = 2.0;
   rept::FlagSet flags("per-interval triangle monitoring (paper §II use case)");
   flags.AddUint64("intervals", &intervals, "number of time intervals");
@@ -124,6 +126,9 @@ int main(int argc, char** argv) {
                   "monitoring after the intervals it already ingested");
   flags.AddDouble("threshold", &threshold,
                   "flag intervals this many times above the running median");
+  flags.AddString("metrics-out", &metrics_out,
+                  "dump the process obs-metrics registry as JSON on exit "
+                  "(empty = off)");
   if (const rept::Status st = flags.Parse(argc, argv); !st.ok()) {
     if (st.code() == rept::StatusCode::kNotFound) return 0;  // --help
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -263,6 +268,14 @@ int main(int argc, char** argv) {
               "the stream each)\n",
               flagged, session->edges_ingested(), session->StoredEdges(),
               static_cast<uint32_t>(c), static_cast<int>(m));
+  if (!metrics_out.empty()) {
+    if (const rept::Status st = rept::obs::WriteMetricsJson(metrics_out);
+        !st.ok()) {
+      std::fprintf(stderr, "--metrics-out: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote obs metrics to %s\n", metrics_out.c_str());
+  }
   if (missed_attacks > 0) {
     std::fprintf(stderr, "FAILED: %d attack interval(s) not flagged\n",
                  missed_attacks);

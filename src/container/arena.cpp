@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace rept {
+
+namespace {
+
+/// Block-grain only: per-array allocations ride the bump cursor and are
+/// far too hot to count individually. Bytes here are capacity owned, not
+/// live payload (free-listed arrays stay resident by design).
+struct ArenaMetrics {
+  obs::Counter blocks = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_arena_blocks_total", "Arena block allocations (all arenas)");
+  obs::Counter block_bytes = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_arena_block_bytes_total",
+      "Bytes of arena block storage ever allocated (all arenas)");
+};
+
+const ArenaMetrics& Metrics() {
+  static const ArenaMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 VertexId* Arena::AllocateIds(uint32_t capacity) {
   const uint32_t size_class = ClassOf(capacity);
@@ -20,6 +42,8 @@ VertexId* Arena::AllocateIds(uint32_t capacity) {
   if (cursor_ + bytes + kPadBytes > block_capacity_) {
     const size_t block_bytes = std::max(next_block_bytes_, bytes + kPadBytes);
     blocks_.push_back(std::make_unique<std::byte[]>(block_bytes));
+    Metrics().blocks.Increment();
+    Metrics().block_bytes.Increment(block_bytes);
     total_block_bytes_ += block_bytes;
     block_capacity_ = block_bytes;
     cursor_ = 0;

@@ -25,9 +25,39 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace rept {
+
+namespace internal {
+
+/// Shared across every FlatHashMap instantiation: the probe-length
+/// distribution is the map's health signal (long tails mean clustering —
+/// check the hash or the load factor before blaming the kernels), and the
+/// rehash count exposes reserve() gaps in the ingest path.
+struct FlatMapMetrics {
+  obs::Histogram probe_length;
+  obs::Counter rehashes;
+
+  FlatMapMetrics()
+      : probe_length([] {
+          static const double bounds[] = {0, 1, 2, 4, 8, 16, 32, 64};
+          return obs::MetricsRegistry::Global().RegisterHistogram(
+              "rept_flatmap_insert_probe_length",
+              "Slots walked past home on each FlatHashMap insert", bounds);
+        }()),
+        rehashes(obs::MetricsRegistry::Global().RegisterCounter(
+            "rept_flatmap_rehashes_total",
+            "FlatHashMap slot-array growth events")) {}
+};
+
+inline const FlatMapMetrics& MapMetrics() {
+  static const FlatMapMetrics metrics;
+  return metrics;
+}
+
+}  // namespace internal
 
 /// \brief Flat open-addressing map from an unsigned integer key to a
 /// relocatable value. Not thread-safe (single-writer per instance, like
@@ -292,6 +322,8 @@ class FlatHashMap {
 
   V& OccupySlot(size_t slot, K key) {
     REPT_DCHECK(!slots_[slot].state);
+    internal::MapMetrics().probe_length.Observe(
+        static_cast<double>((slot - IndexFor(key)) & (capacity_ - 1)));
     Slot& s = slots_[slot];
     s.state = 1;
     s.key = key;
@@ -302,6 +334,7 @@ class FlatHashMap {
 
   void Rehash(size_t new_capacity) {
     REPT_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    internal::MapMetrics().rehashes.Increment();
     std::unique_ptr<Slot[]> old_slots = std::move(slots_);
     const size_t old_capacity = capacity_;
 

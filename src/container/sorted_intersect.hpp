@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "obs/metrics.hpp"
 #include "simd/dispatch.hpp"
 
 namespace rept {
@@ -60,6 +61,25 @@ inline bool PrepareIntersect(std::span<const VertexId>& a,
   if (a.empty()) return false;
   if (a.back() < b.front() || b.back() < a.front()) return false;
   return true;
+}
+
+/// Dispatched-kernel invocation counters. Only the SIMD-eligible branches
+/// count (the tiny-input inline merges stay untouched — they are the
+/// per-edge common case and the counter would be the whole branch cost);
+/// the ratio against rept_ingest_edges_total says how often lists are long
+/// enough to vectorize.
+struct IntersectKernelMetrics {
+  obs::Counter count_calls = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_simd_intersect_count_calls_total",
+      "Dispatched intersect_count kernel invocations");
+  obs::Counter write_calls = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_simd_intersect_write_calls_total",
+      "Dispatched intersect_write kernel invocations");
+};
+
+inline const IntersectKernelMetrics& KernelMetrics() {
+  static const IntersectKernelMetrics metrics;
+  return metrics;
 }
 
 }  // namespace internal
@@ -131,6 +151,7 @@ inline uint32_t IntersectCountPadded(std::span<const VertexId> a,
     }
     return count;
   }
+  internal::KernelMetrics().count_calls.Increment();
   return simd::ActiveKernels().intersect_count(a.data(), a.size(), b.data(),
                                                b.size());
 }
@@ -163,6 +184,7 @@ inline void IntersectSortedPadded(std::span<const VertexId> a,
     return;
   }
   // The match set is at most |a| ids; steady state never reallocates.
+  internal::KernelMetrics().write_calls.Increment();
   thread_local std::vector<VertexId> matches;
   if (matches.size() < a.size()) matches.resize(a.size());
   const uint32_t count = simd::ActiveKernels().intersect_write(

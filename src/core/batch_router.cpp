@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "simd/dispatch.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -15,6 +16,22 @@ namespace {
 /// claim (one relaxed atomic op) is noise, small enough that a typical chunk
 /// still splits across workers.
 constexpr size_t kRouteTileEdges = 4096;
+
+/// One increment per hash_buckets kernel call (a call covers up to a whole
+/// tile of edges; rept_router_edges_hashed_total carries the edge volume).
+struct RouterMetrics {
+  obs::Counter hash_calls = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_simd_hash_buckets_calls_total",
+      "Dispatched hash_buckets kernel invocations");
+  obs::Counter edges_hashed = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_router_edges_hashed_total",
+      "Edge-group pairs pushed through the batch hash kernel");
+};
+
+const RouterMetrics& Metrics() {
+  static const RouterMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -42,6 +59,8 @@ void BatchRouter::RouteGroup(size_t g) {
   GroupState& group = groups_[g];
   const size_t n = batch_.size();
   group.buckets.resize(n);
+  Metrics().hash_calls.Increment();
+  Metrics().edges_hashed.Increment(n);
   simd::ActiveKernels().hash_buckets(batch_.data(), n,
                                      group.spec.hasher.seed_offset(),
                                      group.spec.num_buckets,
@@ -99,6 +118,8 @@ void BatchRouter::Route(std::span<const Edge> edges, ThreadPool* pool) {
       const size_t first = begin % n;
       const size_t last = std::min(n, first + (end - begin));
       GroupState& group = groups_[g];
+      Metrics().hash_calls.Increment();
+      Metrics().edges_hashed.Increment(last - first);
       kernels.hash_buckets(edges.data() + first, last - first,
                            group.spec.hasher.seed_offset(),
                            group.spec.num_buckets,

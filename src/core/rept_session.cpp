@@ -6,6 +6,8 @@
 
 #include "core/combiner.hpp"
 #include "hash/hash_family.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/checkpoint_io.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -13,6 +15,34 @@
 namespace rept {
 
 namespace {
+
+/// Process-wide ingest counters (all REPT sessions summed; per-session
+/// splits come from the STATS/METRICS server surface, which reads each
+/// session's published IngestStats at scrape time instead of burning
+/// per-session registry cardinality).
+struct SessionMetrics {
+  obs::Counter batches = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_ingest_batches_total", "Ingest() calls completed");
+  obs::Counter edges = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_ingest_edges_total", "Edges ingested across all sessions");
+  obs::Counter sub_batches = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_ingest_sub_batches_total",
+      "Routed sub-batches processed (TallyBoard publishes from ingest)");
+  obs::Counter routed_entries = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_ingest_routed_entries_total",
+      "Routed-sublist entries built by stage 1");
+  obs::Counter route_micros = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_ingest_route_task_micros_total",
+      "Stage-1 (hash+scatter) summed task time, microseconds");
+  obs::Counter replay_micros = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_ingest_replay_task_micros_total",
+      "Stage-2 (replay/estimate) summed task time, microseconds");
+};
+
+const SessionMetrics& Metrics() {
+  static const SessionMetrics metrics;
+  return metrics;
+}
 
 // The fused hash-group layout: one shared hash per group of m processors (a
 // single group of c live buckets when c <= m, c1 full groups plus a c % m
@@ -184,7 +214,9 @@ std::string ReptSession::Name() const {
 void ReptSession::Ingest(std::span<const Edge> edges) {
   RecordBatch(edges);
   if (edges.empty()) return;
+  obs::TraceSpan span("ingest_batch");
   std::lock_guard<std::mutex> lock(ingest_mutex_);
+  const IngestStats before = stats_;
   switch (config_.dispatch) {
     case DispatchMode::kRouted:
       IngestRouted(edges);
@@ -199,6 +231,22 @@ void ReptSession::Ingest(std::span<const Edge> edges) {
       break;
   }
   ++stats_.batches;
+  last_batch_.batches = stats_.batches - before.batches;
+  last_batch_.sub_batches = stats_.sub_batches - before.sub_batches;
+  last_batch_.routed_entries = stats_.routed_entries - before.routed_entries;
+  last_batch_.route_seconds = stats_.route_seconds - before.route_seconds;
+  last_batch_.estimate_seconds =
+      stats_.estimate_seconds - before.estimate_seconds;
+  PublishIngestStats();
+
+  Metrics().batches.Increment();
+  Metrics().edges.Increment(edges.size());
+  Metrics().sub_batches.Increment(last_batch_.sub_batches);
+  Metrics().routed_entries.Increment(last_batch_.routed_entries);
+  Metrics().route_micros.Increment(
+      static_cast<uint64_t>(last_batch_.route_seconds * 1e6));
+  Metrics().replay_micros.Increment(
+      static_cast<uint64_t>(last_batch_.estimate_seconds * 1e6));
 }
 
 void ReptSession::ReplayInstance(const BatchRouter& router, size_t i,
@@ -228,18 +276,24 @@ void ReptSession::IngestRouted(std::span<const Edge> edges) {
 
     // Stage 1 — DISPATCH/ROUTE: one hash evaluation per (group, edge);
     // builds the per-instance routed sublists.
-    WallTimer route_timer;
-    routers_[0].Route(batch, pool_);
-    stats_.route_seconds += route_timer.Seconds();
+    {
+      obs::TraceSpan route_span("route_subbatch");
+      WallTimer route_timer;
+      routers_[0].Route(batch, pool_);
+      stats_.route_seconds += route_timer.Seconds();
+    }
     stats_.routed_entries += routers_[0].routed_entries();
 
     // Stage 2 — ESTIMATE: every instance replays the batch from its
     // sublist with zero hash evaluations.
-    WallTimer estimate_timer;
-    for (size_t i = 0; i < instances_.size(); ++i) {
-      ReplayInstance(routers_[0], i, batch);
+    {
+      obs::TraceSpan replay_span("replay_subbatch");
+      WallTimer estimate_timer;
+      for (size_t i = 0; i < instances_.size(); ++i) {
+        ReplayInstance(routers_[0], i, batch);
+      }
+      stats_.estimate_seconds += estimate_timer.Seconds();
     }
-    stats_.estimate_seconds += estimate_timer.Seconds();
     ++stats_.sub_batches;
     PublishTallies();
   }
@@ -257,6 +311,7 @@ void ReptSession::IngestRoutedPipelined(std::span<const Edge> edges) {
   // Prologue: route sub-batch 0 alone (nothing to overlap it with yet),
   // fanned across the pool as fine-grained (group, edge-range) tiles.
   {
+    obs::TraceSpan route_span("route_subbatch");
     WallTimer route_timer;
     routers_[0].Route(sub_batch(0), pool_);
     stats_.route_seconds += route_timer.Seconds();
@@ -289,11 +344,13 @@ void ReptSession::IngestRoutedPipelined(std::span<const Edge> edges) {
         if (t >= total_items) return;
         WallTimer item_timer;
         if (t < route_items) {
+          obs::TraceSpan item_span("route_group");
           next_router.RouteGroup(t);
           route_nanos.fetch_add(
               static_cast<uint64_t>(item_timer.Seconds() * 1e9),
               std::memory_order_relaxed);
         } else {
+          obs::TraceSpan item_span("replay_instance");
           ReplayInstance(current, t - route_items, batch);
           replay_nanos.fetch_add(
               static_cast<uint64_t>(item_timer.Seconds() * 1e9),
@@ -485,9 +542,45 @@ Status ReptSession::Restore(CheckpointReader& reader) {
   }
 
   RestoreStreamAccounting(static_cast<VertexId>(vertices), edges);
-  stats_ = IngestStats{};
+  // Cumulative stats survive the restore (a server session reloaded from a
+  // checkpoint keeps its lifetime history); only the last-batch delta is
+  // meaningless across the boundary and resets.
+  last_batch_ = IngestStats{};
+  PublishIngestStats();
   PublishTallies();
   return Status::OK();
+}
+
+void ReptSession::PublishIngestStats() {
+  const auto publish = [](PublishedStats& out, const IngestStats& in) {
+    out.batches.store(in.batches, std::memory_order_relaxed);
+    out.sub_batches.store(in.sub_batches, std::memory_order_relaxed);
+    out.routed_entries.store(in.routed_entries, std::memory_order_relaxed);
+    out.route_nanos.store(static_cast<uint64_t>(in.route_seconds * 1e9),
+                          std::memory_order_relaxed);
+    out.estimate_nanos.store(static_cast<uint64_t>(in.estimate_seconds * 1e9),
+                             std::memory_order_relaxed);
+  };
+  publish(published_cumulative_, stats_);
+  publish(published_last_, last_batch_);
+}
+
+bool ReptSession::ReadIngestStats(IngestStatsView* cumulative,
+                                  IngestStatsView* last_batch) const {
+  const auto read = [](const PublishedStats& in, IngestStatsView* out) {
+    out->batches = in.batches.load(std::memory_order_relaxed);
+    out->sub_batches = in.sub_batches.load(std::memory_order_relaxed);
+    out->routed_entries = in.routed_entries.load(std::memory_order_relaxed);
+    out->route_seconds =
+        static_cast<double>(in.route_nanos.load(std::memory_order_relaxed)) *
+        1e-9;
+    out->estimate_seconds = static_cast<double>(in.estimate_nanos.load(
+                                std::memory_order_relaxed)) *
+                            1e-9;
+  };
+  if (cumulative != nullptr) read(published_cumulative_, cumulative);
+  if (last_batch != nullptr) read(published_last_, last_batch);
+  return true;
 }
 
 ReptEstimator::RunDetail ReptSession::SnapshotDetailed() const {

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -110,8 +111,20 @@ class ReptSession : public StreamingEstimator {
   };
 
   /// Writer-side statistic: read it from the ingesting thread (or after
-  /// ingest quiesces), not concurrently with Ingest().
+  /// ingest quiesces), not concurrently with Ingest(). Cumulative over the
+  /// session's lifetime — Restore() preserves it (a long-lived server
+  /// session keeps its history across checkpoint reloads).
   const IngestStats& ingest_stats() const { return stats_; }
+
+  /// Writer-side: the delta attributable to the most recent Ingest() call
+  /// (zeroed by Restore()). Same access rules as ingest_stats().
+  const IngestStats& last_batch_stats() const { return last_batch_; }
+
+  /// Reader-safe views of ingest_stats()/last_batch_stats(), published at
+  /// batch boundaries through relaxed atomics (a concurrent reader may see
+  /// a consistent earlier boundary, never torn values).
+  bool ReadIngestStats(IngestStatsView* cumulative,
+                       IngestStatsView* last_batch) const override;
 
   const ReptConfig& config() const { return config_; }
 
@@ -140,6 +153,9 @@ class ReptSession : public StreamingEstimator {
   ReptEstimator::RunDetail SnapshotFromCounters() const;
   /// Global-only snapshot from a published TallyBoard view (wait-free path).
   ReptEstimator::RunDetail SnapshotFromBoard() const;
+  /// Copies stats_/last_batch_ into the published atomic image. Caller
+  /// holds ingest_mutex_.
+  void PublishIngestStats();
 
   ReptConfig config_;
   /// Master seed the instance layout was derived from (checkpoint identity).
@@ -165,6 +181,20 @@ class ReptSession : public StreamingEstimator {
   mutable std::mutex ingest_mutex_;
 
   IngestStats stats_;
+  IngestStats last_batch_;
+  /// Published image of stats_/last_batch_ for concurrent readers (STATS
+  /// while ingest is in flight). Written under ingest_mutex_, read
+  /// lock-free; seconds travel as integer nanos so every field is one
+  /// untearable relaxed atomic.
+  struct PublishedStats {
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> sub_batches{0};
+    std::atomic<uint64_t> routed_entries{0};
+    std::atomic<uint64_t> route_nanos{0};
+    std::atomic<uint64_t> estimate_nanos{0};
+  };
+  PublishedStats published_cumulative_;
+  PublishedStats published_last_;
   /// Publish scratch, reused every batch.
   std::vector<double> publish_global_;
   std::vector<double> publish_eta_;

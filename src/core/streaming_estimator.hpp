@@ -104,6 +104,28 @@ class StreamingEstimator {
     return edges_ingested_.load(std::memory_order_relaxed);
   }
 
+  /// \brief Reader-safe view of a session's ingest-path accounting, exposed
+  /// both cumulatively (over the session lifetime, surviving Restore) and
+  /// for the most recent Ingest() call.
+  struct IngestStatsView {
+    uint64_t batches = 0;
+    uint64_t sub_batches = 0;
+    uint64_t routed_entries = 0;
+    double route_seconds = 0.0;
+    double estimate_seconds = 0.0;
+  };
+
+  /// Fills the requested views (either pointer may be null) from state the
+  /// writer publishes at batch boundaries; safe to call concurrently with
+  /// Ingest() like Snapshot(). Returns false when the session does not
+  /// track ingest stats (the views are untouched).
+  virtual bool ReadIngestStats(IngestStatsView* cumulative,
+                               IngestStatsView* last_batch) const {
+    (void)cumulative;
+    (void)last_batch;
+    return false;
+  }
+
   // -------------------------------------------------------------------------
   // Durability (src/persist). A session taken at a batch boundary can be
   // serialized and later restored into a session created with the same

@@ -176,11 +176,21 @@ Result<ServerStats> ReptClient::Stats() {
   out.frames_served = reader.ReadU64();
   out.total_memory_bytes = reader.ReadU64();
   const uint32_t n = reader.ReadU32();
-  // Each row is at least a name length prefix plus four u64 fields.
-  if (reader.status().ok() && n > reader.Remaining() / (4 + 32)) {
+  // Each row is at least a name length prefix, four u64 fields, and the two
+  // 40-byte ingest-stats blocks (v2 layout).
+  if (reader.status().ok() && n > reader.Remaining() / (4 + 32 + 80)) {
     return Status::Corruption("stats row count exceeds payload");
   }
   out.sessions.reserve(n);
+  const auto read_ingest_stats = [&reader]() {
+    ServerStats::IngestStatsRow block;
+    block.batches = reader.ReadU64();
+    block.sub_batches = reader.ReadU64();
+    block.routed_entries = reader.ReadU64();
+    block.route_seconds = reader.ReadDouble();
+    block.estimate_seconds = reader.ReadDouble();
+    return block;
+  };
   for (uint32_t i = 0; i < n; ++i) {
     ServerStats::SessionRow row;
     row.name = reader.ReadString(kMaxSessionNameBytes);
@@ -188,10 +198,22 @@ Result<ServerStats> ReptClient::Stats() {
     row.stored_edges = reader.ReadU64();
     row.num_vertices = reader.ReadU64();
     row.memory_bytes = reader.ReadU64();
+    row.cumulative = read_ingest_stats();
+    row.last_batch = read_ingest_stats();
     out.sessions.push_back(std::move(row));
   }
   REPT_RETURN_NOT_OK(reader.ExpectEnd());
   return out;
+}
+
+Result<std::string> ReptClient::Metrics() {
+  Result<Frame> reply =
+      Roundtrip(MessageType::kMetrics, {}, MessageType::kMetricsResult);
+  REPT_RETURN_NOT_OK(reply.status());
+  const std::vector<uint8_t>& bytes = reply.value().payload;
+  if (bytes.empty()) return std::string();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
 }
 
 Status ReptClient::Shutdown() {

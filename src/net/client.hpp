@@ -34,12 +34,25 @@ struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t frames_served = 0;
   uint64_t total_memory_bytes = 0;
+  /// Ingest-path accounting of one session, as published by the server at
+  /// batch boundaries (all zero for sessions that do not track it).
+  struct IngestStatsRow {
+    uint64_t batches = 0;
+    uint64_t sub_batches = 0;
+    uint64_t routed_entries = 0;
+    double route_seconds = 0.0;
+    double estimate_seconds = 0.0;
+  };
   struct SessionRow {
     std::string name;
     uint64_t edges_ingested = 0;
     uint64_t stored_edges = 0;
     uint64_t num_vertices = 0;
     uint64_t memory_bytes = 0;
+    /// Over the session's lifetime (survives RESTORE).
+    IngestStatsRow cumulative;
+    /// The most recent Ingest() call only.
+    IngestStatsRow last_batch;
   };
   std::vector<SessionRow> sessions;
 };
@@ -92,6 +105,11 @@ class ReptClient {
   Status DropSession(const std::string& name);
 
   Result<ServerStats> Stats();
+
+  /// The server's metrics snapshot as Prometheus text exposition: the
+  /// process-wide registry plus per-session `rept_session_*` gauges. See
+  /// docs/server_protocol.md (METRICS) and docs/observability.md.
+  Result<std::string> Metrics();
 
   /// Asks the server to drain and exit. The connection is unusable after.
   Status Shutdown();

@@ -35,7 +35,11 @@
 namespace rept::net {
 
 inline constexpr char kFrameMagic[4] = {'R', 'P', 'N', '1'};
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: added the METRICS verb (kMetrics/kMetricsResult) and appended the
+/// cumulative/last-batch ingest-stats blocks to each kStatsResult session
+/// row. New verbs alone would be additive, but the widened STATS row is a
+/// layout change, hence the bump; v1 peers are refused at the frame layer.
+inline constexpr uint32_t kProtocolVersion = 2;
 /// magic + version + type + payload_len.
 inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 4 + 8;
 inline constexpr size_t kFrameTrailerBytes = 4;
@@ -56,12 +60,14 @@ enum class MessageType : uint32_t {
   kDropSession = 6,
   kStats = 7,
   kShutdown = 8,
+  kMetrics = 9,
 
   kOk = 64,
   kError = 65,
   kSnapshotResult = 66,
   kCheckpointData = 67,
   kStatsResult = 68,
+  kMetricsResult = 69,
 };
 
 /// \brief Error codes carried by kError frames (u32 on the wire).

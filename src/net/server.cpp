@@ -1,13 +1,17 @@
 #include "net/server.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <iterator>
 #include <numeric>
 #include <sstream>
 #include <utility>
 
 #include "core/rept_estimator.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
 #include "persist/checkpoint.hpp"
+#include "util/logging.hpp"
 
 namespace rept::net {
 namespace {
@@ -17,8 +21,48 @@ constexpr size_t kSnapshotFixedBytes = 8 + 8 + 8 + 8 + 4;
 /// Bytes per top-k entry: u32 vertex + f64 tally.
 constexpr size_t kSnapshotEntryBytes = 4 + 8;
 
+struct ServerMetrics {
+  obs::Counter connections = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_connections_accepted_total",
+      "TCP connections accepted by the server");
+  obs::Counter frames = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_frames_total", "Well-framed request frames served");
+  obs::Counter error_frames = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_error_frames_total", "Error frames sent back to clients");
+  obs::Counter ingest_frames = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_ingest_frames_total", "INGEST requests applied");
+  obs::Counter ingest_edges = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_ingest_edges_total", "Edges ingested via INGEST frames");
+  obs::Counter ingest_bytes = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_ingest_bytes_total",
+      "INGEST frame payload bytes accepted");
+};
+
+const ServerMetrics& Metrics() {
+  static const ServerMetrics metrics;
+  return metrics;
+}
+
 std::vector<uint8_t> ErrorFrame(const Status& status) {
+  Metrics().error_frames.Increment();
   return EncodeErrorFrame(WireErrorFromStatus(status), status.message());
+}
+
+/// Appends both IngestStatsView blocks of one STATS session row (v2 layout):
+/// u64 batches/sub_batches/routed_entries + f64 route/estimate seconds,
+/// cumulative first, then the last-batch delta. All-zero when the session
+/// does not track ingest stats.
+void AppendIngestStats(WireWriter& writer, const StreamingEstimator& session) {
+  StreamingEstimator::IngestStatsView cumulative;
+  StreamingEstimator::IngestStatsView last_batch;
+  session.ReadIngestStats(&cumulative, &last_batch);
+  for (const auto* view : {&cumulative, &last_batch}) {
+    writer.AppendU64(view->batches);
+    writer.AppendU64(view->sub_batches);
+    writer.AppendU64(view->routed_entries);
+    writer.AppendDouble(view->route_seconds);
+    writer.AppendDouble(view->estimate_seconds);
+  }
 }
 
 }  // namespace
@@ -32,6 +76,8 @@ Status ReptServer::Start() {
   registry_ =
       std::make_unique<SessionRegistry>(options_.limits, pool_.get());
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  REPT_LOG(kInfo) << "rept_server listening on " << options_.host << ":"
+                  << port();
   return Status::OK();
 }
 
@@ -64,6 +110,9 @@ Status ReptServer::Stop() {
     if (conn->thread.joinable()) conn->thread.join();
   }
   draining.clear();
+  REPT_LOG(kInfo) << "rept_server stopped after "
+                  << connections_accepted() << " connections, "
+                  << frames_served() << " frames";
 
   Status first_error;
   if (!options_.checkpoint_dir.empty() && registry_ != nullptr) {
@@ -89,6 +138,9 @@ void ReptServer::AcceptLoop() {
       break;
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().connections.Increment();
+    REPT_LOG(kDebug) << "connection accepted (#" << connections_accepted()
+                     << ")";
     auto conn = std::make_shared<Connection>();
     conn->socket = std::move(accepted).value();
     {
@@ -130,6 +182,9 @@ void ReptServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
       if (read_status.code() == StatusCode::kCorruption) {
         // The stream is out of sync; tell the peer why (best effort) and
         // hang up.
+        REPT_LOG(kWarn) << "closing connection on framing corruption: "
+                        << read_status.message();
+        Metrics().error_frames.Increment();
         const std::vector<uint8_t> err =
             EncodeErrorFrame(WireError::kBadFrame, read_status.message());
         (void)conn->socket.WriteAll(err.data(), err.size());
@@ -137,6 +192,7 @@ void ReptServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
       break;  // Clean EOF (NotFound), transport error, or corruption.
     }
     frames_served_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().frames.Increment();
     bool shutdown_after_reply = false;
     const std::vector<uint8_t> response =
         Dispatch(frame, shutdown_after_reply);
@@ -149,6 +205,7 @@ void ReptServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
   // Shutdown only — Close() writes fd_ and would race RequestShutdown's
   // read-side nudge. The fd is released by the Connection destructor,
   // which runs strictly after this thread is joined.
+  REPT_LOG(kDebug) << "connection closed";
   conn->socket.ShutdownBoth();
   conn->done.store(true, std::memory_order_release);
 }
@@ -174,6 +231,8 @@ std::vector<uint8_t> ReptServer::Dispatch(const Frame& frame,
       return HandleDrop(frame);
     case MessageType::kStats:
       return HandleStats(frame);
+    case MessageType::kMetrics:
+      return HandleMetrics(frame);
     case MessageType::kShutdown: {
       shutdown_after_reply = true;
       return EncodeFrame(MessageType::kOk, {});
@@ -259,6 +318,9 @@ std::vector<uint8_t> ReptServer::HandleIngest(const Frame& frame) {
     stored_edges = session->StoredEdges();
     memory_bytes = entry->memory_bytes.load(std::memory_order_relaxed);
   }
+  Metrics().ingest_frames.Increment();
+  Metrics().ingest_edges.Increment(edges.size());
+  Metrics().ingest_bytes.Increment(frame.payload.size());
 
   std::vector<uint8_t> payload;
   WireWriter writer(payload);
@@ -420,8 +482,90 @@ std::vector<uint8_t> ReptServer::HandleStats(const Frame& frame) {
     writer.AppendU64(session->StoredEdges());
     writer.AppendU64(session->num_vertices());
     writer.AppendU64(entry->memory_bytes.load(std::memory_order_relaxed));
+    AppendIngestStats(writer, *session);
   }
   return EncodeFrame(MessageType::kStatsResult, payload);
+}
+
+std::vector<uint8_t> ReptServer::HandleMetrics(const Frame& frame) {
+  WireReader reader(frame.payload);
+  if (!reader.ExpectEnd().ok()) return ErrorFrame(reader.status());
+
+  std::string text = obs::MetricsRegistry::Global().RenderPrometheus();
+
+  // Per-session gauges, synthesized at scrape time from the registry's
+  // reader-safe surfaces. Session names become labels only in this reply,
+  // never metric-registry entries, so a churning create/drop workload cannot
+  // grow process state (the cardinality rule in docs/observability.md).
+  const std::vector<std::shared_ptr<SessionEntry>> entries =
+      registry_->List();
+  struct PerSession {
+    const char* name;
+    const char* help;
+    const char* type;
+  };
+  static constexpr PerSession kFamilies[] = {
+      {"rept_session_edges_ingested", "Stream time t of the session",
+       "gauge"},
+      {"rept_session_stored_edges", "Edges stored across the c instances",
+       "gauge"},
+      {"rept_session_num_vertices", "Vertex-id-space bound", "gauge"},
+      {"rept_session_memory_bytes", "Resident bytes of sampled state",
+       "gauge"},
+      {"rept_session_route_seconds", "Cumulative stage-1 task time",
+       "gauge"},
+      {"rept_session_estimate_seconds", "Cumulative stage-2 task time",
+       "gauge"},
+  };
+  std::ostringstream out;
+  out << text;
+  for (size_t f = 0; f < std::size(kFamilies); ++f) {
+    if (entries.empty()) break;
+    out << "# HELP " << kFamilies[f].name << " " << kFamilies[f].help
+        << "\n# TYPE " << kFamilies[f].name << " " << kFamilies[f].type
+        << "\n";
+    for (const auto& entry : entries) {
+      const std::shared_ptr<StreamingEstimator> session = entry->session();
+      StreamingEstimator::IngestStatsView cumulative;
+      session->ReadIngestStats(&cumulative, nullptr);
+      double value = 0.0;
+      switch (f) {
+        case 0:
+          value = static_cast<double>(session->edges_ingested());
+          break;
+        case 1:
+          value = static_cast<double>(session->StoredEdges());
+          break;
+        case 2:
+          value = static_cast<double>(session->num_vertices());
+          break;
+        case 3:
+          value = static_cast<double>(
+              entry->memory_bytes.load(std::memory_order_relaxed));
+          break;
+        case 4:
+          value = cumulative.route_seconds;
+          break;
+        case 5:
+          value = cumulative.estimate_seconds;
+          break;
+      }
+      char buf[64];
+      snprintf(buf, sizeof(buf), "%.9g", value);
+      out << kFamilies[f].name << "{session=\"" << entry->name << "\"} "
+          << buf << "\n";
+    }
+  }
+  const std::string body = std::move(out).str();
+  if (body.size() > options_.max_frame_payload) {
+    return ErrorFrame(Status::ResourceExhausted(
+        "metrics reply is " + std::to_string(body.size()) +
+        " bytes, larger than the frame cap — raise --max-frame-mb"));
+  }
+  return EncodeFrame(
+      MessageType::kMetricsResult,
+      std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(body.data()), body.size()));
 }
 
 }  // namespace rept::net

@@ -119,6 +119,10 @@ class ReptServer {
   std::vector<uint8_t> HandleRestore(const Frame& frame);
   std::vector<uint8_t> HandleDrop(const Frame& frame);
   std::vector<uint8_t> HandleStats(const Frame& frame);
+  /// The process-wide obs::MetricsRegistry rendered as Prometheus text,
+  /// plus per-session gauges synthesized at scrape time (so session names
+  /// never enter the static registry as label cardinality).
+  std::vector<uint8_t> HandleMetrics(const Frame& frame);
 
   /// Joins finished connection threads and drops their entries.
   void ReapConnections();

@@ -4,8 +4,30 @@
 
 #include "core/rept_estimator.hpp"
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
 
 namespace rept::net {
+
+namespace {
+
+struct RegistryMetrics {
+  obs::Counter created = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_sessions_created_total",
+      "Sessions admitted to the registry");
+  obs::Counter dropped = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_sessions_dropped_total", "Sessions removed via DROP");
+  obs::Counter rejections = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_admission_rejections_total",
+      "Create/ingest admissions refused over a memory or session budget");
+};
+
+const RegistryMetrics& Metrics() {
+  static const RegistryMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Result<std::shared_ptr<SessionEntry>> SessionRegistry::Create(
     const SessionSpec& spec) {
@@ -31,12 +53,19 @@ Result<std::shared_ptr<SessionEntry>> SessionRegistry::Create(
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (limits_.max_sessions != 0 && sessions_.size() >= limits_.max_sessions) {
+    Metrics().rejections.Increment();
+    REPT_LOG(kWarn) << "refusing session '" << spec.name
+                    << "': session limit " << limits_.max_sessions
+                    << " reached";
     return Status::ResourceExhausted(
         "session limit reached (" + std::to_string(limits_.max_sessions) +
         ")");
   }
   if (limits_.global_memory_budget != 0 &&
       GlobalMemoryLocked() >= limits_.global_memory_budget) {
+    Metrics().rejections.Increment();
+    REPT_LOG(kWarn) << "refusing session '" << spec.name
+                    << "': global memory budget exhausted";
     return Status::ResourceExhausted("global memory budget exhausted");
   }
   const auto [it, inserted] = sessions_.emplace(spec.name, entry);
@@ -44,6 +73,9 @@ Result<std::shared_ptr<SessionEntry>> SessionRegistry::Create(
     return Status::InvalidArgument("session '" + spec.name +
                                    "' already exists");
   }
+  Metrics().created.Increment();
+  REPT_LOG(kInfo) << "session '" << spec.name << "' created (m="
+                  << spec.config.m << ", c=" << spec.config.c << ")";
   return entry;
 }
 
@@ -71,6 +103,8 @@ Status SessionRegistry::Drop(const std::string& name) {
     doomed = std::move(it->second);
     sessions_.erase(it);
   }
+  Metrics().dropped.Increment();
+  REPT_LOG(kInfo) << "session '" << name << "' dropped";
   return Status::OK();
 }
 
@@ -91,6 +125,9 @@ Status SessionRegistry::AdmitIngest(SessionEntry& entry) {
   const uint64_t bytes = entry.session()->MemoryBytes();
   entry.memory_bytes.store(bytes, std::memory_order_relaxed);
   if (entry.memory_budget != 0 && bytes > entry.memory_budget) {
+    Metrics().rejections.Increment();
+    REPT_LOG(kWarn) << "session '" << entry.name << "' over budget: "
+                    << bytes << " > " << entry.memory_budget << " bytes";
     return Status::ResourceExhausted(
         "session '" + entry.name + "' memory " + std::to_string(bytes) +
         " exceeds budget " + std::to_string(entry.memory_budget));
@@ -98,6 +135,9 @@ Status SessionRegistry::AdmitIngest(SessionEntry& entry) {
   if (limits_.global_memory_budget != 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (GlobalMemoryLocked() > limits_.global_memory_budget) {
+      Metrics().rejections.Increment();
+      REPT_LOG(kWarn) << "ingest into '" << entry.name
+                      << "' breached the global memory budget";
       return Status::ResourceExhausted("global memory budget exhausted");
     }
   }

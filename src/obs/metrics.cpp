@@ -1,0 +1,345 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rept::obs {
+
+#if !defined(REPT_OBS_DISABLED)
+
+namespace {
+
+constexpr size_t kMaxGauges = 256;
+
+struct MetricInfo {
+  MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+  std::string name;
+  std::string help;
+  /// Counter/histogram: first shard slot. Gauge: index into gauges.
+  uint32_t slot = 0;
+  /// Histogram bucket upper bounds (empty otherwise). unique_ptr keeps the
+  /// array address stable across registrations so handles can point at it.
+  std::unique_ptr<double[]> bounds;
+  uint32_t num_bounds = 0;
+};
+
+struct RegistryState {
+  mutable std::mutex mutex;
+  std::vector<MetricInfo> metrics;
+  std::map<std::string, size_t, std::less<>> by_name;
+  uint32_t next_slot = 0;
+  uint32_t next_gauge = 0;
+  /// Shards live until process exit: a thread's counts outlive the thread.
+  std::vector<std::unique_ptr<internal::Shard>> shards;
+  /// Gauge cells are a fixed array so handles hold stable pointers.
+  std::atomic<int64_t> gauges[kMaxGauges] = {};
+};
+
+RegistryState& State() {
+  // Leaked on purpose: worker threads (and their shard writes) may outlive
+  // every static destructor, and telemetry must never order process exit.
+  static RegistryState* const state = new RegistryState();
+  return *state;
+}
+
+/// Sums `slot` across every shard (registry mutex held).
+uint64_t SumSlot(const RegistryState& state, uint32_t slot) {
+  uint64_t total = 0;
+  for (const auto& shard : state.shards) {
+    total += shard->slots[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double SumSlotDouble(const RegistryState& state, uint32_t slot) {
+  double total = 0.0;
+  for (const auto& shard : state.shards) {
+    total += std::bit_cast<double>(
+        shard->slots[slot].load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+/// Finds an existing metric or appends a new one; returns its index. The
+/// caller fills slot/bounds for a fresh entry (found == false).
+size_t FindOrAppend(RegistryState& state, const std::string& name,
+                    const std::string& help, MetricSnapshot::Kind kind,
+                    bool* found) {
+  const auto it = state.by_name.find(name);
+  if (it != state.by_name.end()) {
+    const MetricInfo& existing = state.metrics[it->second];
+    REPT_CHECK(existing.kind == kind);
+    *found = true;
+    return it->second;
+  }
+  MetricInfo info;
+  info.kind = kind;
+  info.name = name;
+  info.help = help;
+  state.metrics.push_back(std::move(info));
+  state.by_name.emplace(name, state.metrics.size() - 1);
+  *found = false;
+  return state.metrics.size() - 1;
+}
+
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+}  // namespace
+
+namespace internal {
+
+Shard* CreateShardSlow() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.shards.push_back(std::make_unique<Shard>());
+  return state.shards.back().get();
+}
+
+}  // namespace internal
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter MetricsRegistry::RegisterCounter(const std::string& name,
+                                         const std::string& help) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  bool found = false;
+  const size_t index =
+      FindOrAppend(state, name, help, MetricSnapshot::Kind::kCounter, &found);
+  if (!found) {
+    REPT_CHECK(state.next_slot + 1 <= internal::kMaxSlots);
+    state.metrics[index].slot = state.next_slot++;
+  }
+  return Counter(state.metrics[index].slot);
+}
+
+Gauge MetricsRegistry::RegisterGauge(const std::string& name,
+                                     const std::string& help) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  bool found = false;
+  const size_t index =
+      FindOrAppend(state, name, help, MetricSnapshot::Kind::kGauge, &found);
+  if (!found) {
+    REPT_CHECK(state.next_gauge + 1 <= kMaxGauges);
+    state.metrics[index].slot = state.next_gauge++;
+  }
+  return Gauge(&state.gauges[state.metrics[index].slot]);
+}
+
+Histogram MetricsRegistry::RegisterHistogram(const std::string& name,
+                                             const std::string& help,
+                                             std::span<const double> bounds) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  bool found = false;
+  const size_t index = FindOrAppend(state, name, help,
+                                    MetricSnapshot::Kind::kHistogram, &found);
+  MetricInfo& info = state.metrics[index];
+  if (!found) {
+    // Buckets + overflow + sum.
+    const uint32_t slots = static_cast<uint32_t>(bounds.size()) + 2;
+    REPT_CHECK(state.next_slot + slots <= internal::kMaxSlots);
+    info.slot = state.next_slot;
+    state.next_slot += slots;
+    info.num_bounds = static_cast<uint32_t>(bounds.size());
+    info.bounds = std::make_unique<double[]>(bounds.size());
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      REPT_CHECK(i == 0 || bounds[i] > bounds[i - 1]);
+      info.bounds[i] = bounds[i];
+    }
+  }
+  REPT_CHECK(info.num_bounds == bounds.size());
+  return Histogram(info.slot, info.bounds.get(), info.num_bounds);
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<MetricSnapshot> out;
+  out.reserve(state.metrics.size());
+  for (const MetricInfo& info : state.metrics) {
+    MetricSnapshot snap;
+    snap.name = info.name;
+    snap.help = info.help;
+    snap.kind = info.kind;
+    switch (info.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        snap.counter_value = SumSlot(state, info.slot);
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        snap.gauge_value =
+            state.gauges[info.slot].load(std::memory_order_relaxed);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        snap.bounds.assign(info.bounds.get(),
+                           info.bounds.get() + info.num_bounds);
+        snap.bucket_counts.resize(info.num_bounds + 1);
+        for (uint32_t b = 0; b <= info.num_bounds; ++b) {
+          snap.bucket_counts[b] = SumSlot(state, info.slot + b);
+          snap.count += snap.bucket_counts[b];
+        }
+        snap.sum = SumSlotDouble(state, info.slot + info.num_bounds + 1);
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  for (const MetricSnapshot& snap : Snapshot()) {
+    out += "# HELP " + snap.name + " " + snap.help + "\n";
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += "# TYPE " + snap.name + " counter\n";
+        out += snap.name + " " + std::to_string(snap.counter_value) + "\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += "# TYPE " + snap.name + " gauge\n";
+        out += snap.name + " " + std::to_string(snap.gauge_value) + "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out += "# TYPE " + snap.name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < snap.bounds.size(); ++b) {
+          cumulative += snap.bucket_counts[b];
+          out += snap.name + "_bucket{le=\"" + FormatDouble(snap.bounds[b]) +
+                 "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += snap.name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(snap.count) + "\n";
+        out += snap.name + "_sum " + FormatDouble(snap.sum) + "\n";
+        out += snap.name + "_count " + std::to_string(snap.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const MetricSnapshot& snap : Snapshot()) {
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        if (!counters.empty()) counters += ", ";
+        counters +=
+            "\"" + snap.name + "\": " + std::to_string(snap.counter_value);
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        if (!gauges.empty()) gauges += ", ";
+        gauges += "\"" + snap.name + "\": " + std::to_string(snap.gauge_value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ", ";
+        histograms += "\"" + snap.name + "\": {\"buckets\": [";
+        for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+          if (b > 0) histograms += ", ";
+          const std::string le = b < snap.bounds.size()
+                                     ? FormatDouble(snap.bounds[b])
+                                     : std::string("\"+Inf\"");
+          histograms += "[" + le + ", " +
+                        std::to_string(snap.bucket_counts[b]) + "]";
+        }
+        histograms += "], \"sum\": " + FormatDouble(snap.sum) +
+                      ", \"count\": " + std::to_string(snap.count) + "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+#else  // REPT_OBS_DISABLED
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter MetricsRegistry::RegisterCounter(const std::string&,
+                                         const std::string&) {
+  return Counter();
+}
+
+Gauge MetricsRegistry::RegisterGauge(const std::string&, const std::string&) {
+  return Gauge();
+}
+
+Histogram MetricsRegistry::RegisterHistogram(const std::string&,
+                                             const std::string&,
+                                             std::span<const double>) {
+  return Histogram();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const { return {}; }
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  return "# rept metrics compiled out (REPT_OBS=OFF)\n";
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  return "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}";
+}
+
+#endif  // REPT_OBS_DISABLED
+
+Status WriteMetricsJson(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IOError("cannot write metrics to " + path);
+  }
+  const std::string json = MetricsRegistry::Global().RenderJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), out);
+  const bool newline_ok = std::fputc('\n', out) != EOF;
+  if (std::fclose(out) != 0 || written != json.size() || !newline_ok) {
+    return Status::IOError("short write of metrics to " + path);
+  }
+  return Status::OK();
+}
+
+bool FindPrometheusValue(std::string_view text, std::string_view name,
+                         double* value) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // The metric id is everything before the first space (labels included,
+    // so a caller can match `name{session="x"}` exactly).
+    const size_t space = line.find(' ');
+    if (space == std::string_view::npos) continue;
+    if (line.substr(0, space) != name) continue;
+    const std::string number(line.substr(space + 1));
+    char* parsed_end = nullptr;
+    const double v = std::strtod(number.c_str(), &parsed_end);
+    if (parsed_end == number.c_str()) return false;
+    if (value != nullptr) *value = v;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rept::obs

@@ -1,0 +1,213 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// with wait-free hot-path writes, aggregated on read — the TallyBoard
+// philosophy applied to operational telemetry.
+//
+// Write side: every thread owns one Shard (an array of relaxed-atomic u64
+// slots, created lazily on the thread's first increment and never freed, so
+// counts survive thread exit). A Counter::Increment is a single-writer
+// load+store on the caller's own shard slot — no RMW, no lock prefix, no
+// contention — which is what lets the SIMD kernels and the routed ingest
+// loop carry live counters inside the 3% overhead budget the CI bench gate
+// enforces. Histograms burn one slot per bucket plus a bit-cast double sum
+// slot on the same shard machinery.
+//
+// Read side: Snapshot()/RenderPrometheus()/RenderJson() sum the slots across
+// all shards under the registry mutex. Readers may observe a prefix of a
+// concurrent increment burst (each slot is individually untorn and
+// per-shard monotone, so aggregated counters never go backwards between two
+// reads that each observe all prior batches — the METRICS loopback test
+// pins this).
+//
+// Registration is idempotent by name (re-registering returns the existing
+// handle; kind mismatches are a programming error). Handles are trivially
+// copyable and cheap to cache in function-local statics:
+//
+//   static const obs::Counter& c = [] -> const obs::Counter& {
+//     static const obs::Counter counter =
+//         obs::MetricsRegistry::Global().RegisterCounter("rept_x_total", "…");
+//     return counter;
+//   }();
+//
+// Compiled-out mode: -DREPT_OBS_DISABLED (the REPT_OBS=OFF CMake option)
+// turns every handle method into an empty inline — call sites survive
+// unchanged and the optimizer deletes the surrounding bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace rept::obs {
+
+/// \brief One metric's aggregated state at read time.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  /// Counter value (sum over shards).
+  uint64_t counter_value = 0;
+  /// Gauge value.
+  int64_t gauge_value = 0;
+  /// Histogram bucket upper bounds; bucket_counts has one extra trailing
+  /// +Inf bucket. Non-cumulative (RenderPrometheus accumulates).
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;
+  double sum = 0.0;
+  uint64_t count = 0;
+};
+
+#if defined(REPT_OBS_DISABLED)
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) const { (void)n; }
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) const { (void)v; }
+  void Add(int64_t v) const { (void)v; }
+};
+
+class Histogram {
+ public:
+  void Observe(double v) const { (void)v; }
+};
+
+#else  // metrics enabled
+
+namespace internal {
+
+/// Slot budget per shard; registration fails a REPT_CHECK past it. 4096
+/// u64 slots = one 32 KiB shard per participating thread.
+inline constexpr size_t kMaxSlots = 4096;
+
+struct alignas(64) Shard {
+  std::atomic<uint64_t> slots[kMaxSlots];
+};
+
+/// Registers a fresh zeroed shard with the global registry (mutex-guarded,
+/// once per thread).
+Shard* CreateShardSlow();
+
+inline Shard& LocalShard() {
+  thread_local Shard* shard = CreateShardSlow();
+  return *shard;
+}
+
+/// Single-writer add: the slot belongs to this thread's shard, so a relaxed
+/// load+store is race-free against every other writer and merely "stale at
+/// worst" against concurrent aggregating readers.
+inline void AddSlot(uint32_t slot, uint64_t n) {
+  std::atomic<uint64_t>& s = LocalShard().slots[slot];
+  s.store(s.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+/// Same, accumulating a double through its bit pattern (histogram sums).
+inline void AddSlotDouble(uint32_t slot, double v) {
+  std::atomic<uint64_t>& s = LocalShard().slots[slot];
+  const double current =
+      std::bit_cast<double>(s.load(std::memory_order_relaxed));
+  s.store(std::bit_cast<uint64_t>(current + v), std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+class MetricsRegistry;
+
+/// \brief Wait-free monotone counter handle.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) const { internal::AddSlot(slot_, n); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(uint32_t slot) : slot_(slot) {}
+  uint32_t slot_;
+};
+
+/// \brief Point-in-time gauge; Set/Add hit one shared relaxed atomic (gauges
+/// are set at coarse boundaries, not in per-edge loops).
+class Gauge {
+ public:
+  void Set(int64_t v) const { cell_->store(v, std::memory_order_relaxed); }
+  void Add(int64_t v) const {
+    cell_->fetch_add(v, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<int64_t>* cell) : cell_(cell) {}
+  std::atomic<int64_t>* cell_;
+};
+
+/// \brief Fixed-bucket histogram handle; Observe is two shard writes.
+class Histogram {
+ public:
+  void Observe(double v) const {
+    uint32_t b = 0;
+    while (b < num_bounds_ && v > bounds_[b]) ++b;
+    internal::AddSlot(first_slot_ + b, 1);
+    internal::AddSlotDouble(first_slot_ + num_bounds_ + 1, v);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(uint32_t first_slot, const double* bounds, uint32_t num_bounds)
+      : first_slot_(first_slot), bounds_(bounds), num_bounds_(num_bounds) {}
+  /// Slot layout: [first_slot_, first_slot_ + num_bounds_] inclusive are
+  /// the bucket counts (last = +Inf overflow); the next slot is the sum.
+  uint32_t first_slot_;
+  const double* bounds_;
+  uint32_t num_bounds_;
+};
+
+#endif  // REPT_OBS_DISABLED
+
+/// \brief The process-wide registry. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Idempotent by name: a second registration of the same name (and, for
+  /// histograms, the same bucket count) returns the original handle; a kind
+  /// mismatch is a checked programming error.
+  Counter RegisterCounter(const std::string& name, const std::string& help);
+  Gauge RegisterGauge(const std::string& name, const std::string& help);
+  Histogram RegisterHistogram(const std::string& name,
+                              const std::string& help,
+                              std::span<const double> bounds);
+
+  /// Aggregated values of every registered metric, in registration order.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Prometheus text exposition (HELP/TYPE comments, cumulative histogram
+  /// buckets). The compiled-out build returns a single comment line.
+  std::string RenderPrometheus() const;
+
+  /// Compact JSON object {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} for --metrics-out dumps and BENCH_*.json rows.
+  std::string RenderJson() const;
+
+ private:
+  MetricsRegistry() = default;
+};
+
+/// Writes RenderJson() to `path` (--metrics-out plumbing).
+Status WriteMetricsJson(const std::string& path);
+
+/// Finds `name` in a Prometheus text exposition and parses its value.
+/// `name` must match the full label part too when the line carries one
+/// (e.g. `rept_session_edges_ingested{session="x"}`). Returns false when
+/// the metric is absent.
+bool FindPrometheusValue(std::string_view text, std::string_view name,
+                         double* value);
+
+}  // namespace rept::obs

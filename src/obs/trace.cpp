@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace rept::obs {
+
+#if !defined(REPT_OBS_DISABLED)
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_nanos;
+  uint64_t end_nanos;
+  uint32_t tid;
+};
+
+std::mutex g_trace_mutex;
+std::vector<TraceEvent>& Events() {
+  static std::vector<TraceEvent>* const events = new std::vector<TraceEvent>();
+  return *events;
+}
+
+uint32_t LocalTraceTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+uint64_t TraceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RecordSpan(const char* name, uint64_t start_nanos, uint64_t end_nanos) {
+  const uint32_t tid = LocalTraceTid();
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  Events().push_back(TraceEvent{name, start_nanos, end_nanos, tid});
+}
+
+}  // namespace internal
+
+void StartTracing() {
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  Events().clear();
+  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+Status StopTracingToFile(const std::string& path) {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(g_trace_mutex);
+    internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+    events.swap(Events());
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IOError("cannot write trace to " + path);
+  }
+  // Rebase timestamps so the capture starts near t=0; chrome://tracing
+  // expects microseconds.
+  uint64_t base = ~uint64_t{0};
+  for (const TraceEvent& e : events) {
+    if (e.start_nanos < base) base = e.start_nanos;
+  }
+  std::fprintf(out, "{\"traceEvents\": [");
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const double ts = static_cast<double>(e.start_nanos - base) / 1e3;
+    const double dur = static_cast<double>(e.end_nanos - e.start_nanos) / 1e3;
+    std::fprintf(out,
+                 "%s\n  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, "
+                 "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+                 i == 0 ? "" : ",", e.name, e.tid, ts, dur);
+  }
+  std::fprintf(out, "\n]}\n");
+  if (std::fclose(out) != 0) {
+    return Status::IOError("short write of trace to " + path);
+  }
+  return Status::OK();
+}
+
+#else  // REPT_OBS_DISABLED
+
+Status StopTracingToFile(const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IOError("cannot write trace to " + path);
+  }
+  std::fprintf(out, "{\"traceEvents\": []}\n");
+  if (std::fclose(out) != 0) {
+    return Status::IOError("short write of trace to " + path);
+  }
+  return Status::OK();
+}
+
+#endif  // REPT_OBS_DISABLED
+
+}  // namespace rept::obs

@@ -1,0 +1,94 @@
+// Lightweight trace spans emitting chrome://tracing JSON.
+//
+// A TraceSpan is a scoped RAII timer: when tracing is off (the default) its
+// constructor is one relaxed atomic load and nothing else, so spans can sit
+// permanently on the sub-batch task boundaries of the routed pipeline. When
+// StartTracing() has been called, each span records {name, start, duration,
+// thread} and the destructor appends the completed event to a global buffer
+// under a mutex — the lock is taken once per *span*, not per edge, and span
+// granularity is a pipeline task, so contention is negligible next to the
+// work being timed.
+//
+// StopTracingToFile() disables collection and writes the buffered events as
+// a chrome://tracing / Perfetto "traceEvents" array ("X" complete events,
+// microsecond timestamps). Load the file via chrome://tracing or
+// https://ui.perfetto.dev to see stage-1/stage-2 overlap across pool
+// workers (docs/observability.md has a committed capture).
+//
+// With -DREPT_OBS_DISABLED the span is an empty struct and the file writer
+// emits an empty trace, keeping call sites unconditional.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace rept::obs {
+
+#if defined(REPT_OBS_DISABLED)
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) { (void)name; }
+};
+
+inline bool TracingEnabled() { return false; }
+inline void StartTracing() {}
+
+#else  // tracing enabled
+
+namespace internal {
+
+extern std::atomic<bool> g_tracing_enabled;
+
+/// Monotonic nanoseconds (steady clock).
+uint64_t TraceNowNanos();
+
+/// Records one completed span (cold path; takes the trace buffer mutex).
+void RecordSpan(const char* name, uint64_t start_nanos, uint64_t end_nanos);
+
+}  // namespace internal
+
+/// \brief True between StartTracing() and StopTracingToFile().
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// \brief Begins buffering spans (clears any previous capture).
+void StartTracing();
+
+/// \brief Scoped span: times its own lifetime under `name`. `name` must be
+/// a string literal (the pointer is kept until the trace is written).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_nanos_ = internal::TraceNowNanos();
+    }
+  }
+
+  ~TraceSpan() {
+    if (name_ != nullptr && TracingEnabled()) {
+      internal::RecordSpan(name_, start_nanos_, internal::TraceNowNanos());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_nanos_ = 0;
+};
+
+#endif  // REPT_OBS_DISABLED
+
+/// Stops tracing and writes the buffered spans to `path` as a
+/// chrome://tracing JSON document. Writes an empty trace when tracing was
+/// never started (or the build compiled it out).
+Status StopTracingToFile(const std::string& path);
+
+}  // namespace rept::obs

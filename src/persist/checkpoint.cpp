@@ -10,11 +10,40 @@
 #endif
 
 #include "core/streaming_estimator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/checkpoint_io.hpp"
+#include "util/timer.hpp"
 
 namespace rept {
 
 namespace {
+
+struct CheckpointMetrics {
+  obs::Counter saves = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_checkpoint_saves_total", "Checkpoint streams written");
+  obs::Counter loads = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_checkpoint_loads_total", "Checkpoint streams restored");
+  obs::Counter save_bytes = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_checkpoint_save_bytes_total", "Bytes written by checkpoint saves");
+  obs::Counter load_bytes = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_checkpoint_load_bytes_total", "Bytes consumed by restores");
+  obs::Counter save_micros = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_checkpoint_save_micros_total",
+      "Wall time spent encoding checkpoint streams, microseconds");
+  obs::Counter load_micros = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_checkpoint_load_micros_total",
+      "Wall time spent restoring checkpoint streams, microseconds");
+};
+
+const CheckpointMetrics& Metrics() {
+  static const CheckpointMetrics metrics;
+  return metrics;
+}
+
+uint64_t Micros(const WallTimer& timer) {
+  return static_cast<uint64_t>(timer.Seconds() * 1e6);
+}
 
 // Flushes a path's data (and, for the parent directory, the rename itself)
 // to stable storage. Without this, rename-over can commit the *name* of a
@@ -46,14 +75,30 @@ std::string ParentDirectory(const std::string& path) {
 
 Status WriteCheckpointStream(const StreamingEstimator& session,
                              std::ostream& out) {
+  obs::TraceSpan span("checkpoint_save");
+  const WallTimer timer;
+  const std::ostream::pos_type start = out.tellp();
   CheckpointWriter writer(out);
   REPT_RETURN_NOT_OK(writer.WriteHeader(session.StateFingerprint()));
   REPT_RETURN_NOT_OK(session.Checkpoint(writer));
-  return writer.Finish();
+  const Status status = writer.Finish();
+  if (status.ok()) {
+    Metrics().saves.Increment();
+    const std::ostream::pos_type end = out.tellp();
+    if (start != std::ostream::pos_type(-1) &&
+        end != std::ostream::pos_type(-1)) {
+      Metrics().save_bytes.Increment(static_cast<uint64_t>(end - start));
+    }
+    Metrics().save_micros.Increment(Micros(timer));
+  }
+  return status;
 }
 
 Status ReadCheckpointStream(StreamingEstimator& session, std::istream& in,
                             bool expect_stream_end) {
+  obs::TraceSpan span("checkpoint_load");
+  const WallTimer timer;
+  const std::istream::pos_type start = in.tellg();
   CheckpointReader reader(in, expect_stream_end);
   const Result<CheckpointReader::Header> header = reader.ReadHeader();
   REPT_RETURN_NOT_OK(header.status());
@@ -71,6 +116,13 @@ Status ReadCheckpointStream(StreamingEstimator& session, std::istream& in,
     return Status::Corruption("unexpected trailing section " +
                               std::to_string(*end));
   }
+  Metrics().loads.Increment();
+  const std::istream::pos_type pos = in.tellg();
+  if (start != std::istream::pos_type(-1) &&
+      pos != std::istream::pos_type(-1)) {
+    Metrics().load_bytes.Increment(static_cast<uint64_t>(pos - start));
+  }
+  Metrics().load_micros.Increment(Micros(timer));
   return Status::OK();
 }
 

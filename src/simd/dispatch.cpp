@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "simd/hash_kernels.hpp"
 #include "simd/intersect_kernels.hpp"
 #include "util/check.hpp"
@@ -31,9 +32,22 @@ bool ForceScalarFromEnv() {
          !(value[0] == '0' && value[1] == '\0');
 }
 
+/// Published at table-selection time (not per kernel call: the gauge cell
+/// is shared, and kernel invocations are the hottest loop in the system).
+void PublishDispatchLevel(IsaLevel level) {
+  static const obs::Gauge gauge = obs::MetricsRegistry::Global().RegisterGauge(
+      "rept_simd_dispatch_level",
+      "Active kernel ISA level (0=scalar, 1=sse2, 2=avx2)");
+  gauge.Set(static_cast<int64_t>(level));
+}
+
 const KernelTable* DefaultTable() {
-  static const KernelTable* const table =
-      ForceScalarFromEnv() ? &kScalarTable : &KernelsFor(BestLevel());
+  static const KernelTable* const table = [] {
+    const KernelTable* chosen =
+        ForceScalarFromEnv() ? &kScalarTable : &KernelsFor(BestLevel());
+    PublishDispatchLevel(chosen->level);
+    return chosen;
+  }();
   return table;
 }
 
@@ -100,10 +114,12 @@ const KernelTable& ActiveKernels() {
 
 void ForceIsaLevel(IsaLevel level) {
   g_forced.store(&KernelsFor(level), std::memory_order_release);
+  PublishDispatchLevel(level);
 }
 
 void ClearForcedIsaLevel() {
   g_forced.store(nullptr, std::memory_order_release);
+  PublishDispatchLevel(DefaultTable()->level);
 }
 
 }  // namespace rept::simd

@@ -1,15 +1,23 @@
 #include "util/logging.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <mutex>
+
+#include <sys/time.h>
 
 namespace rept {
 
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+constexpr int kUnsetLevel = -1;
+
+/// kUnsetLevel until the first GetLogLevel/emit, which folds in
+/// REPT_LOG_LEVEL exactly once; SetLogLevel overrides unconditionally.
+std::atomic<int> g_min_level{kUnsetLevel};
 std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -26,14 +34,64 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+int ResolveLevel() {
+  int level = g_min_level.load(std::memory_order_relaxed);
+  if (level != kUnsetLevel) return level;
+  LogLevel from_env = LogLevel::kInfo;
+  const char* env = std::getenv("REPT_LOG_LEVEL");
+  if (env != nullptr && !LogLevelFromName(env, &from_env)) {
+    from_env = LogLevel::kInfo;
+  }
+  // First resolver wins; a concurrent SetLogLevel may overwrite, which is
+  // the documented precedence anyway.
+  int expected = kUnsetLevel;
+  g_min_level.compare_exchange_strong(expected, static_cast<int>(from_env),
+                                      std::memory_order_relaxed);
+  return g_min_level.load(std::memory_order_relaxed);
+}
+
+/// Small dense thread ids for log correlation (matches the trace writer's
+/// scheme in spirit; ids are per-facility, not shared).
+uint32_t LocalLogTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void FormatUtcTimestamp(char* buffer, size_t size) {
+  struct timeval tv;
+  ::gettimeofday(&tv, nullptr);
+  struct tm parts;
+  const time_t seconds = tv.tv_sec;
+  ::gmtime_r(&seconds, &parts);
+  const int millis = static_cast<int>(tv.tv_usec / 1000);
+  std::snprintf(buffer, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                parts.tm_year + 1900, parts.tm_mon + 1, parts.tm_mday,
+                parts.tm_hour, parts.tm_min, parts.tm_sec, millis);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
-LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+LogLevel GetLogLevel() { return static_cast<LogLevel>(ResolveLevel()); }
+
+bool LogLevelFromName(const std::string& name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warn") {
+    *level = LogLevel::kWarn;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {
@@ -44,11 +102,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  char timestamp[32];
+  FormatUtcTimestamp(timestamp, sizeof(timestamp));
+  stream_ << "[" << timestamp << " " << LevelName(level)
+          << " tid=" << LocalLogTid() << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) < g_min_level.load(std::memory_order_relaxed)) {
+  if (static_cast<int>(level_) < ResolveLevel()) {
     return;
   }
   std::lock_guard<std::mutex> lock(g_log_mutex);

@@ -1,4 +1,15 @@
-// Leveled stderr logging for long-running harness binaries.
+// Leveled structured stderr logging for long-running harness binaries.
+//
+// Each line carries a UTC timestamp (millisecond precision), the level, a
+// small sequential thread id, and the source location:
+//
+//   [2026-08-08T12:34:56.789Z INFO tid=3 server.cpp:142] session created
+//
+// The minimum level defaults to kInfo and can be set programmatically
+// (SetLogLevel) or via the REPT_LOG_LEVEL environment variable
+// (debug|info|warn|error, read once on first log call). Messages below the
+// threshold still build their stream (keep expensive operands out of log
+// statements) but never take the emit lock.
 #pragma once
 
 #include <sstream>
@@ -8,9 +19,14 @@ namespace rept {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the global minimum level (default kInfo).
+/// Sets the global minimum level (default kInfo, or REPT_LOG_LEVEL when
+/// set; an explicit SetLogLevel always wins over the environment).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug"/"info"/"warn"/"error" (case-sensitive). Returns false and
+/// leaves `*level` untouched on anything else.
+bool LogLevelFromName(const std::string& name, LogLevel* level);
 
 namespace internal {
 

@@ -3,9 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace rept {
+
+namespace {
+
+/// Pool-wide health counters: submits vs tasks catches dropped work,
+/// steals/tasks is the load-imbalance ratio the ROADMAP scaling item needs.
+struct PoolMetrics {
+  obs::Counter submits = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_pool_submits_total", "Tasks accepted by ThreadPool::Submit");
+  obs::Counter tasks = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_pool_tasks_total", "Tasks executed by pool workers");
+  obs::Counter steals = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_pool_steals_total",
+      "Tasks popped from another worker's queue (work stealing)");
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 size_t HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -46,6 +68,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
     // below — never neither, so a sleeper cannot be missed.
     queued_.fetch_add(1, std::memory_order_seq_cst);
   }
+  Metrics().submits.Increment();
   if (sleepers_.load(std::memory_order_seq_cst) > 0) {
     // Empty critical section: orders this submission against a worker that
     // is between its predicate check and blocking, closing the lost-wakeup
@@ -107,6 +130,7 @@ bool ThreadPool::TryPop(size_t self, std::function<void()>& task) {
     } else {  // Steal the coldest task from the victim's back.
       task = std::move(queue.tasks.back());
       queue.tasks.pop_back();
+      Metrics().steals.Increment();
     }
     queued_.fetch_sub(1, std::memory_order_relaxed);
     return true;
@@ -115,6 +139,7 @@ bool ThreadPool::TryPop(size_t self, std::function<void()>& task) {
 }
 
 void ThreadPool::RunTask(std::function<void()>& task) {
+  Metrics().tasks.Increment();
   task();
   task = nullptr;  // Destroy captures before completion is announced.
   // acq_rel: release publishes this task's writes to whoever observes the

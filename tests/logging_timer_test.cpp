@@ -32,6 +32,26 @@ TEST(LoggingTest, LevelRoundTrip) {
   SetLogLevel(before);
 }
 
+TEST(LoggingTest, LevelFromNameParsesTheFourLevels) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(LogLevelFromName("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(LogLevelFromName("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(LogLevelFromName("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(LogLevelFromName("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(LoggingTest, LevelFromNameRejectsUnknownNamesUntouched) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_FALSE(LogLevelFromName("", &level));
+  EXPECT_FALSE(LogLevelFromName("DEBUG", &level));
+  EXPECT_FALSE(LogLevelFromName("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+}
+
 TEST(LoggingTest, MacroCompilesAndRespectsLevel) {
   const LogLevel before = GetLogLevel();
   SetLogLevel(LogLevel::kError);

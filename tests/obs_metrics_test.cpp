@@ -1,0 +1,218 @@
+// src/obs contract tests: the sharded counter aggregation must equal a
+// serial reference under concurrent writers, histogram buckets must honor
+// Prometheus `le` (inclusive upper bound) semantics, registration must be
+// idempotent by name, and the text-exposition helpers must round-trip what
+// RenderPrometheus emits. Run under TSan in CI: the wait-free write path
+// against the mutex-guarded aggregating reader is exactly the race surface
+// the per-thread-shard design exists to make benign.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rept::obs {
+namespace {
+
+/// The registry is process-global and append-only, so every test uses its
+/// own metric names and asserts on deltas, not absolute registry state.
+MetricSnapshot FindSnapshot(const std::string& name) {
+  for (const MetricSnapshot& snapshot : MetricsRegistry::Global().Snapshot()) {
+    if (snapshot.name == name) return snapshot;
+  }
+  ADD_FAILURE() << "metric '" << name << "' not registered";
+  return MetricSnapshot{};
+}
+
+#if !defined(REPT_OBS_DISABLED)
+
+TEST(ObsMetricsTest, ConcurrentIncrementsMatchSerialReference) {
+  const Counter counter = MetricsRegistry::Global().RegisterCounter(
+      "test_concurrent_total", "concurrent increment test");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  // Serial reference: thread i adds i+1 per iteration.
+  uint64_t expected = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    expected += kPerThread * static_cast<uint64_t>(i + 1);
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    writers.emplace_back([&counter, i] {
+      for (uint64_t n = 0; n < kPerThread; ++n) {
+        counter.Increment(static_cast<uint64_t>(i + 1));
+      }
+    });
+  }
+  // Concurrent reader: aggregated counters are per-shard monotone, so two
+  // reads that bracket the writers may only grow.
+  uint64_t last_seen = 0;
+  for (int polls = 0; polls < 50; ++polls) {
+    const uint64_t now = FindSnapshot("test_concurrent_total").counter_value;
+    EXPECT_GE(now, last_seen);
+    last_seen = now;
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(FindSnapshot("test_concurrent_total").counter_value, expected);
+}
+
+TEST(ObsMetricsTest, RegistrationIsIdempotentByName) {
+  const Counter first = MetricsRegistry::Global().RegisterCounter(
+      "test_idempotent_total", "registered twice");
+  const Counter second = MetricsRegistry::Global().RegisterCounter(
+      "test_idempotent_total", "registered twice");
+  first.Increment(3);
+  second.Increment(4);
+  // Both handles address the same slot, so the aggregate sums them.
+  EXPECT_EQ(FindSnapshot("test_idempotent_total").counter_value, 7u);
+}
+
+TEST(ObsMetricsTest, CountsSurviveWriterThreadExit) {
+  const Counter counter = MetricsRegistry::Global().RegisterCounter(
+      "test_thread_exit_total", "shards outlive their threads");
+  std::thread([&counter] { counter.Increment(41); }).join();
+  counter.Increment();
+  EXPECT_EQ(FindSnapshot("test_thread_exit_total").counter_value, 42u);
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  static const double bounds[] = {1.0, 2.0, 4.0};
+  const Histogram histogram = MetricsRegistry::Global().RegisterHistogram(
+      "test_bucket_edges", "le-semantics test", bounds);
+  // One observation per interesting position: below the first bound,
+  // exactly on each bound (le is inclusive), between bounds, and past the
+  // last bound (+Inf overflow).
+  for (const double v : {0.5, 1.0, 2.0, 4.0, 1.5, 8.0}) histogram.Observe(v);
+
+  const MetricSnapshot snapshot = FindSnapshot("test_bucket_edges");
+  ASSERT_EQ(snapshot.kind, MetricSnapshot::Kind::kHistogram);
+  ASSERT_EQ(snapshot.bounds.size(), 3u);
+  ASSERT_EQ(snapshot.bucket_counts.size(), 4u);  // +Inf overflow bucket.
+  EXPECT_EQ(snapshot.bucket_counts[0], 2u);      // 0.5, 1.0
+  EXPECT_EQ(snapshot.bucket_counts[1], 2u);      // 2.0, 1.5
+  EXPECT_EQ(snapshot.bucket_counts[2], 1u);      // 4.0
+  EXPECT_EQ(snapshot.bucket_counts[3], 1u);      // 8.0
+  EXPECT_EQ(snapshot.count, 6u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.5 + 1.0 + 2.0 + 4.0 + 1.5 + 8.0);
+}
+
+TEST(ObsMetricsTest, HistogramAggregatesAcrossThreads) {
+  static const double bounds[] = {10.0, 100.0};
+  const Histogram histogram = MetricsRegistry::Global().RegisterHistogram(
+      "test_mt_histogram", "sharded histogram aggregation", bounds);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> writers;
+  for (int i = 0; i < kThreads; ++i) {
+    writers.emplace_back([&histogram] {
+      for (int n = 0; n < kPerThread; ++n) {
+        histogram.Observe(5.0);
+        histogram.Observe(50.0);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  const MetricSnapshot snapshot = FindSnapshot("test_mt_histogram");
+  EXPECT_EQ(snapshot.bucket_counts[0], uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(snapshot.bucket_counts[1], uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(snapshot.bucket_counts[2], 0u);
+  EXPECT_EQ(snapshot.count, 2u * kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(snapshot.sum, kThreads * kPerThread * 55.0);
+}
+
+TEST(ObsMetricsTest, GaugeSetAndAdd) {
+  const Gauge gauge = MetricsRegistry::Global().RegisterGauge(
+      "test_gauge", "set/add test");
+  gauge.Set(7);
+  gauge.Add(-3);
+  EXPECT_EQ(FindSnapshot("test_gauge").gauge_value, 4);
+}
+
+TEST(ObsMetricsTest, PrometheusRenderingRoundTrips) {
+  const Counter counter = MetricsRegistry::Global().RegisterCounter(
+      "test_render_total", "render test");
+  counter.Increment(123);
+  static const double bounds[] = {1.0, 2.0};
+  const Histogram histogram = MetricsRegistry::Global().RegisterHistogram(
+      "test_render_hist", "render histogram", bounds);
+  histogram.Observe(0.5);
+  histogram.Observe(1.5);
+  histogram.Observe(9.0);
+
+  const std::string text = MetricsRegistry::Global().RenderPrometheus();
+  EXPECT_NE(text.find("# HELP test_render_total render test"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_render_total counter"),
+            std::string::npos);
+  double value = 0.0;
+  ASSERT_TRUE(FindPrometheusValue(text, "test_render_total", &value));
+  EXPECT_EQ(value, 123.0);
+  // Cumulative buckets: le="2" includes the le="1" observation.
+  ASSERT_TRUE(FindPrometheusValue(
+      text, "test_render_hist_bucket{le=\"2\"}", &value));
+  EXPECT_EQ(value, 2.0);
+  ASSERT_TRUE(FindPrometheusValue(
+      text, "test_render_hist_bucket{le=\"+Inf\"}", &value));
+  EXPECT_EQ(value, 3.0);
+  ASSERT_TRUE(FindPrometheusValue(text, "test_render_hist_count", &value));
+  EXPECT_EQ(value, 3.0);
+  // Full-token match: a name that is a strict prefix of the real metric
+  // must not match its line.
+  EXPECT_FALSE(FindPrometheusValue(text, "test_render", &value));
+  EXPECT_FALSE(FindPrometheusValue(text, "test_render_hist_bucket", &value));
+}
+
+TEST(ObsMetricsTest, JsonRenderingContainsRegisteredFamilies) {
+  const Counter counter = MetricsRegistry::Global().RegisterCounter(
+      "test_json_total", "json render test");
+  counter.Increment(9);
+  const std::string json = MetricsRegistry::Global().RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_total\": 9"), std::string::npos);
+}
+
+TEST(ObsTraceTest, SpansAreCollectedOnlyWhileEnabled) {
+  { TraceSpan ignored("before_start"); }
+  StartTracing();
+  ASSERT_TRUE(TracingEnabled());
+  { TraceSpan recorded("traced_region"); }
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(StopTracingToFile(path).ok());
+  EXPECT_FALSE(TracingEnabled());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(f);
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"traced_region\""), std::string::npos);
+  EXPECT_EQ(content.find("\"before_start\""), std::string::npos);
+}
+
+#else  // REPT_OBS_DISABLED
+
+TEST(ObsMetricsTest, DisabledHandlesCompileAndRenderPlaceholder) {
+  const Counter counter = MetricsRegistry::Global().RegisterCounter(
+      "test_disabled_total", "compiled out");
+  counter.Increment(5);
+  EXPECT_TRUE(MetricsRegistry::Global().Snapshot().empty());
+  EXPECT_NE(MetricsRegistry::Global().RenderPrometheus().find("compiled out"),
+            std::string::npos);
+  (void)FindSnapshot;
+}
+
+#endif  // REPT_OBS_DISABLED
+
+}  // namespace
+}  // namespace rept::obs

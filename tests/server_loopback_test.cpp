@@ -25,6 +25,7 @@
 #include "gen/holme_kim.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
 #include "persist/checkpoint.hpp"
 
 namespace rept::net {
@@ -163,6 +164,72 @@ TEST(ServerLoopbackTest, SnapshotMatchesLibraryBitForBit) {
     local[vertex] = tally;
   }
   EXPECT_EQ(local, expected.local);
+  EXPECT_TRUE(server.Stop().ok());
+}
+
+TEST(ServerLoopbackTest, MetricsVerbParsesAndCountersAdvanceMonotonically) {
+  ServerOptions options;
+  options.pool_threads = 2;
+  ReptServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const EdgeStream stream = StreamForSession(1);
+  SessionSpec spec;
+  spec.name = "metrics";
+  spec.seed = 17;
+  spec.config = ConfigForSession(1);
+
+  ReptClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateSession(spec).ok());
+  const std::span<const Edge> edges(stream.edges());
+  const size_t half = edges.size() / 2;
+  ASSERT_TRUE(client.Ingest(spec.name, edges.subspan(0, half),
+                            stream.num_vertices())
+                  .ok());
+
+  auto first = client.Metrics();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(client.Ingest(spec.name, edges.subspan(half)).ok());
+  auto second = client.Metrics();
+  ASSERT_TRUE(second.ok());
+
+  // The per-session gauges are synthesized at scrape time in every build;
+  // the registry-backed server counters exist only with the obs layer
+  // compiled in.
+  const std::string session_gauge =
+      "rept_session_edges_ingested{session=\"metrics\"}";
+  double before = 0.0;
+  double after = 0.0;
+  ASSERT_TRUE(obs::FindPrometheusValue(first.value(), session_gauge, &before));
+  ASSERT_TRUE(
+      obs::FindPrometheusValue(second.value(), session_gauge, &after));
+  EXPECT_EQ(before, static_cast<double>(half));
+  EXPECT_EQ(after, static_cast<double>(edges.size()));
+#if !defined(REPT_OBS_DISABLED)
+  for (const char* name :
+       {"rept_server_frames_total", "rept_server_ingest_frames_total",
+        "rept_server_ingest_edges_total", "rept_server_ingest_bytes_total"}) {
+    ASSERT_TRUE(obs::FindPrometheusValue(first.value(), name, &before))
+        << name;
+    ASSERT_TRUE(obs::FindPrometheusValue(second.value(), name, &after))
+        << name;
+    EXPECT_GT(after, before) << name;
+  }
+#endif
+
+  // The v2 STATS row carries both ingest-stats blocks: cumulative counts
+  // every batch, last_batch only the most recent one.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().sessions.size(), 1u);
+  const auto& row = stats.value().sessions[0];
+  EXPECT_EQ(row.name, spec.name);
+  EXPECT_EQ(row.edges_ingested, edges.size());
+  EXPECT_GE(row.cumulative.batches, 2u);
+  EXPECT_EQ(row.last_batch.batches, 1u);
+  EXPECT_GE(row.cumulative.sub_batches, row.last_batch.sub_batches);
+  EXPECT_GE(row.cumulative.estimate_seconds, row.last_batch.estimate_seconds);
   EXPECT_TRUE(server.Stop().ok());
 }
 

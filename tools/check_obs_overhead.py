@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate the observability layer's ingest overhead at a fixed percentage.
+
+Runs bench_ingest_throughput --smoke from two build trees -- the default
+build (REPT_OBS=ON) and a -DREPT_OBS=OFF build where every counter and span
+compiles to nothing -- several times each, takes the best routed throughput
+per side (best-of damps scheduler noise; the *fastest* run of each binary is
+the closest to its true cost), and fails when the instrumented build is more
+than --tolerance slower.
+
+    tools/check_obs_overhead.py \
+        --obs-bin build/bench/bench_ingest_throughput \
+        --noobs-bin build-noobs/bench/bench_ingest_throughput
+
+Stdlib only; exit 0 = within tolerance, 1 = overhead too high, 2 = a bench
+run failed.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def best_routed_throughput(bench_bin: str, runs: int) -> float:
+    """Best routed-dispatch edges/sec across `runs` invocations."""
+    best = 0.0
+    for i in range(runs):
+        with tempfile.NamedTemporaryFile(
+            suffix=".json", delete=False
+        ) as tmp:
+            out_path = tmp.name
+        try:
+            proc = subprocess.run(
+                [bench_bin, "--smoke", "--out", out_path],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+            )
+            if proc.returncode != 0:
+                sys.stderr.write(proc.stdout.decode(errors="replace"))
+                sys.stderr.write(
+                    f"error: {bench_bin} run {i + 1}/{runs} exited "
+                    f"{proc.returncode}\n"
+                )
+                sys.exit(2)
+            with open(out_path) as f:
+                doc = json.load(f)
+        finally:
+            os.unlink(out_path)
+        for result in doc.get("results", []):
+            if result.get("dispatch") == "routed":
+                best = max(best, float(result.get("edges_per_sec", 0.0)))
+    if best <= 0.0:
+        sys.stderr.write(f"error: no routed rows in {bench_bin} output\n")
+        sys.exit(2)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--obs-bin", required=True,
+                        help="bench_ingest_throughput from the REPT_OBS=ON "
+                             "build")
+    parser.add_argument("--noobs-bin", required=True,
+                        help="bench_ingest_throughput from the "
+                             "-DREPT_OBS=OFF build")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="invocations per side (best-of)")
+    parser.add_argument("--tolerance", type=float, default=0.03,
+                        help="allowed slowdown fraction (0.03 = 3%%)")
+    args = parser.parse_args()
+
+    on = best_routed_throughput(args.obs_bin, args.runs)
+    off = best_routed_throughput(args.noobs_bin, args.runs)
+    ratio = on / off
+    verdict = "OK" if ratio >= 1.0 - args.tolerance else "FAIL"
+    print(
+        f"obs overhead gate: obs-on {on:.3g} e/s, obs-off {off:.3g} e/s, "
+        f"ratio {ratio:.4f} (floor {1.0 - args.tolerance:.4f}) -> {verdict}"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
