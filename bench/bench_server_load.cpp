@@ -10,7 +10,13 @@
 // comparison).
 //
 //   build/bench/bench_server_load                  # full sweep
+//   build/bench/bench_server_load --reconnect      # + fault-tolerant mode
 //   build/bench/bench_server_load --smoke          # CI loopback gate
+//
+// --reconnect adds sweep points where every worker runs the fault-tolerant
+// client mode (auto-reconnect armed, INGEST frames sequenced for
+// exactly-once dedup) — the overhead of the durability machinery measured
+// against the plain points on the same streams.
 //
 // --smoke shrinks the load and turns the run into a pass/fail check:
 // every dedicated session's served estimate must be bit-identical to a
@@ -39,12 +45,19 @@ using rept::bench::BenchJsonWriter;
 struct SweepPoint {
   size_t connections;
   size_t sessions;
+  /// Workers arm the auto-reconnect policy and attach to their session, so
+  /// every INGEST frame carries an exactly-once sequence number — the
+  /// fault-tolerant client mode. Measures the sequencing + dedup-tracking
+  /// overhead against the plain points. Dedicated sessions only (sequenced
+  /// ingest assumes one writer per session).
+  bool reconnect = false;
   /// Sessions are assigned round-robin; connections > sessions means
   /// several connections interleave batches into one session.
   bool shared() const { return connections > sessions; }
   std::string Label() const {
     return "conn" + std::to_string(connections) + "_sess" +
-           std::to_string(sessions) + (shared() ? "_shared" : "");
+           std::to_string(sessions) + (shared() ? "_shared" : "") +
+           (reconnect ? "_reconnect" : "");
   }
 };
 
@@ -112,7 +125,24 @@ PointResult RunPoint(rept::net::ReptServer& server, const SweepPoint& point,
       const size_t end = stream.size() * (share + 1) / sharers;
 
       rept::net::ReptClient client;
+      if (point.reconnect) {
+        rept::net::ReconnectPolicy policy;
+        policy.enabled = true;
+        policy.jitter_seed = 0xb5eed + w;
+        client.set_reconnect_policy(policy);
+      }
       if (!client.Connect("127.0.0.1", port).ok()) return;
+      if (point.reconnect) {
+        // Attach registers the session for sequenced (exactly-once) ingest
+        // and replay-on-reconnect.
+        rept::net::SessionSpec spec;
+        spec.name = names[session];
+        spec.seed = 1000 + session;
+        spec.config = config;
+        if (!client.CreateSession(spec, nullptr, /*attach=*/true).ok()) {
+          return;
+        }
+      }
       const std::span<const rept::Edge> edges(
           stream.edges().data() + begin, end - begin);
       for (size_t i = 0; i < edges.size(); i += batch_edges) {
@@ -164,6 +194,7 @@ int main(int argc, char** argv) {
   uint64_t threads = 0;
   uint64_t seed = 42;
   bool smoke = false;
+  bool reconnect = false;
   std::string out_json = "BENCH_server.json";
   rept::FlagSet flags(
       "rept_server load generator: connections x sessions throughput sweep "
@@ -174,6 +205,9 @@ int main(int argc, char** argv) {
       .AddUint64("seed", &seed, "stream seed base")
       .AddBool("smoke", &smoke,
                "small load + hard pass/fail on estimates and scaling")
+      .AddBool("reconnect", &reconnect,
+               "add sweep points with the fault-tolerant client mode "
+               "(sequenced exactly-once ingest) to measure its overhead")
       .AddString("out", &out_json, "output JSON path");
   rept::bench::ParseOrDie(flags, argc, argv);
   if (smoke) edges_per_session = std::min<uint64_t>(edges_per_session, 20000);
@@ -187,8 +221,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::vector<SweepPoint> points = {
-      {1, 1}, {2, 2}, {4, 4}, {4, 1}};
+  std::vector<SweepPoint> points = {{1, 1}, {2, 2}, {4, 4}, {4, 1}};
+  if (reconnect) {
+    points.push_back({1, 1, /*reconnect=*/true});
+    points.push_back({4, 4, /*reconnect=*/true});
+  }
   const size_t max_sessions = 4;
 
   // Streams and library references are per session index (same seed at
@@ -212,6 +249,7 @@ int main(int argc, char** argv) {
   json.Meta("edges_per_session", BenchJsonWriter::NumU(edges_per_session));
   json.Meta("batch", BenchJsonWriter::NumU(batch));
   json.Meta("smoke", smoke ? "true" : "false");
+  json.Meta("reconnect_points", reconnect ? "true" : "false");
 
   std::printf("%-18s %12s %10s %14s %10s\n", "point", "edges", "seconds",
               "edges/sec", "verified");
@@ -232,6 +270,7 @@ int main(int argc, char** argv) {
                 {{"connections", BenchJsonWriter::NumU(point.connections)},
                  {"sessions", BenchJsonWriter::NumU(point.sessions)},
                  {"shared_session", point.shared() ? "true" : "false"},
+                 {"reconnect", point.reconnect ? "true" : "false"},
                  {"edges", BenchJsonWriter::NumU(result.edges)},
                  {"verified", result.estimates_ok ? "true" : "false"}});
   }

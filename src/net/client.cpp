@@ -1,8 +1,12 @@
 #include "net/client.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
 
 namespace rept::net {
 namespace {
@@ -10,22 +14,71 @@ namespace {
 /// Error-frame messages can be long but must not size unbounded allocs.
 constexpr size_t kMaxErrorMessage = 4096;
 
+struct ClientMetrics {
+  obs::Counter reconnects = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_client_reconnects_total",
+      "Successful client reconnects (redial + session re-attach + replay)");
+};
+
+const ClientMetrics& Obs() {
+  static const ClientMetrics metrics;
+  return metrics;
+}
+
 }  // namespace
 
 Status ReptClient::Connect(const std::string& host, uint16_t port) {
   Result<TcpSocket> sock = TcpSocket::Connect(host, port);
   REPT_RETURN_NOT_OK(sock.status());
   socket_ = std::move(sock).value();
+  host_ = host;
+  port_ = port;
+  if (roundtrip_deadline_ms_ > 0) {
+    const int64_t ms = static_cast<int64_t>(roundtrip_deadline_ms_);
+    REPT_RETURN_NOT_OK(socket_.SetReadTimeout(ms));
+    REPT_RETURN_NOT_OK(socket_.SetWriteTimeout(ms));
+  }
   return Status::OK();
 }
 
-Result<Frame> ReptClient::Roundtrip(MessageType request,
-                                    std::span<const uint8_t> payload,
-                                    MessageType expected) {
-  if (!socket_.valid()) return Status::IOError("client is not connected");
-  REPT_RETURN_NOT_OK(WriteFrame(socket_, request, payload));
+void ReptClient::set_reconnect_policy(const ReconnectPolicy& policy) {
+  reconnect_ = policy;
+  jitter_ = Rng(policy.jitter_seed);
+}
+
+Status ReptClient::set_roundtrip_deadline_ms(uint64_t millis) {
+  roundtrip_deadline_ms_ = millis;
+  if (socket_.valid()) {
+    const int64_t ms = static_cast<int64_t>(millis);
+    REPT_RETURN_NOT_OK(socket_.SetReadTimeout(ms));
+    REPT_RETURN_NOT_OK(socket_.SetWriteTimeout(ms));
+  }
+  return Status::OK();
+}
+
+Result<Frame> ReptClient::Exchange(MessageType request,
+                                   std::span<const uint8_t> payload,
+                                   MessageType expected,
+                                   bool* transport_failure) {
+  *transport_failure = false;
+  if (!socket_.valid()) {
+    *transport_failure = true;
+    return Status::IOError("client is not connected");
+  }
+  const Status written = WriteFrame(socket_, request, payload);
+  if (!written.ok()) {
+    *transport_failure = true;
+    return written;
+  }
   Frame reply;
-  REPT_RETURN_NOT_OK(ReadFrame(socket_, reply, max_frame_payload_));
+  const Status read = ReadFrame(socket_, reply, max_frame_payload_);
+  if (!read.ok()) {
+    // Everything ReadFrame produces — EOF, timeout, transport error, even
+    // framing corruption — means this connection is unusable; none of it is
+    // a server verdict on the request.
+    *transport_failure = true;
+    return read;
+  }
   if (reply.type == static_cast<uint32_t>(MessageType::kError)) {
     WireReader reader(reply.payload);
     const WireError code = static_cast<WireError>(reader.ReadU32());
@@ -40,8 +93,66 @@ Result<Frame> ReptClient::Roundtrip(MessageType request,
   return reply;
 }
 
-Status ReptClient::CreateSession(const SessionSpec& spec,
-                                 uint64_t* fingerprint) {
+void ReptClient::BackoffSleep(int attempt) {
+  uint64_t delay = reconnect_.base_backoff_ms;
+  for (int i = 0; i < attempt && delay < reconnect_.max_backoff_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, reconnect_.max_backoff_ms);
+  // Jitter to [delay/2, delay].
+  const uint64_t half = delay / 2;
+  delay = half + (half > 0 ? jitter_.Next() % (half + 1) : 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+Status ReptClient::Reconnect() {
+  socket_.Close();
+  REPT_RETURN_NOT_OK(Connect(host_, port_));
+  // Re-attach every session this client created, resyncing each dedup
+  // window to what the (possibly restarted) server actually applied.
+  for (auto& [name, state] : sessions_) {
+    bool transport = false;
+    const std::vector<uint8_t> payload = EncodeCreate(state.spec, true);
+    Result<Frame> reply = Exchange(MessageType::kCreateSession, payload,
+                                   MessageType::kOk, &transport);
+    REPT_RETURN_NOT_OK(reply.status());
+    WireReader reader(reply.value().payload);
+    reader.ReadU64();  // fingerprint
+    const uint64_t last_applied = reader.ReadU64();
+    REPT_RETURN_NOT_OK(reader.ExpectEnd());
+    state.next_seq = last_applied + 1;
+  }
+  ++reconnects_;
+  Obs().reconnects.Increment();
+  return Status::OK();
+}
+
+Result<Frame> ReptClient::Roundtrip(MessageType request,
+                                    std::span<const uint8_t> payload,
+                                    MessageType expected) {
+  bool transport = false;
+  Result<Frame> reply = Exchange(request, payload, expected, &transport);
+  if (reply.ok() || !transport || !reconnect_.enabled) return reply;
+  for (int attempt = 0; attempt < reconnect_.max_attempts; ++attempt) {
+    BackoffSleep(attempt);
+    const Status redial = Reconnect();
+    if (!redial.ok()) {
+      REPT_LOG(kWarn) << "reconnect attempt " << (attempt + 1) << "/"
+                      << reconnect_.max_attempts
+                      << " failed: " << redial.ToString();
+      continue;
+    }
+    // Replay the in-flight frame on the fresh connection. At most one
+    // frame is ever outstanding, and sequenced INGEST replays are deduped
+    // server-side, so the retry is exactly-once.
+    reply = Exchange(request, payload, expected, &transport);
+    if (reply.ok() || !transport) return reply;
+  }
+  return reply;
+}
+
+std::vector<uint8_t> ReptClient::EncodeCreate(const SessionSpec& spec,
+                                              bool attach) {
   std::vector<uint8_t> payload;
   WireWriter writer(payload);
   writer.AppendString(spec.name);
@@ -55,37 +166,61 @@ Status ReptClient::CreateSession(const SessionSpec& spec,
   writer.AppendU64(spec.options.expected_edges);
   writer.AppendU64(spec.options.expected_vertices);
   writer.AppendU64(spec.memory_budget);
+  writer.AppendU8(attach ? 1 : 0);
+  return payload;
+}
 
+Status ReptClient::CreateSession(const SessionSpec& spec,
+                                 uint64_t* fingerprint, bool attach,
+                                 uint64_t* last_applied_seq) {
+  const std::vector<uint8_t> payload = EncodeCreate(spec, attach);
   Result<Frame> reply =
       Roundtrip(MessageType::kCreateSession, payload, MessageType::kOk);
   REPT_RETURN_NOT_OK(reply.status());
   WireReader reader(reply.value().payload);
   const uint64_t fp = reader.ReadU64();
+  const uint64_t last_applied = reader.ReadU64();
   REPT_RETURN_NOT_OK(reader.ExpectEnd());
   if (fingerprint != nullptr) *fingerprint = fp;
+  if (last_applied_seq != nullptr) *last_applied_seq = last_applied;
+  if (reconnect_.enabled) {
+    SessionState state;
+    state.spec = spec;
+    state.next_seq = last_applied + 1;
+    sessions_[spec.name] = std::move(state);
+  }
   return Status::OK();
 }
 
 Result<IngestReply> ReptClient::Ingest(const std::string& name,
                                        std::span<const Edge> edges,
                                        uint64_t note_vertices) {
-  // Per-frame fixed cost: name (4 + len), note_vertices u64, count u64.
-  const uint64_t overhead = 4 + name.size() + 8 + 8;
+  // Per-frame fixed cost: name (4 + len), note_vertices u64, batch_seq u64,
+  // count u64.
+  const uint64_t overhead = 4 + name.size() + 8 + 8 + 8;
   if (overhead + 8 > max_frame_payload_) {
     return Status::InvalidArgument("frame cap too small for an ingest");
   }
   const size_t max_edges_per_frame =
       static_cast<size_t>((max_frame_payload_ - overhead) / 8);
 
+  // Sessions registered for exactly-once (created under an enabled
+  // reconnect policy) send sequenced frames; everything else stays
+  // unsequenced (seq 0), the multi-writer-safe pre-v3 behavior.
+  const auto tracked = sessions_.find(name);
+
   IngestReply last;
   size_t offset = 0;
   do {
     const size_t n = std::min(edges.size() - offset, max_edges_per_frame);
+    const uint64_t batch_seq =
+        tracked != sessions_.end() ? tracked->second.next_seq : 0;
     std::vector<uint8_t> payload;
     payload.reserve(static_cast<size_t>(overhead) + n * 8);
     WireWriter writer(payload);
     writer.AppendString(name);
     writer.AppendU64(offset == 0 ? note_vertices : 0);
+    writer.AppendU64(batch_seq);
     writer.AppendU64(n);
     for (size_t i = 0; i < n; ++i) {
       writer.AppendU32(edges[offset + i].u);
@@ -98,7 +233,13 @@ Result<IngestReply> ReptClient::Ingest(const std::string& name,
     last.edges_ingested = reader.ReadU64();
     last.stored_edges = reader.ReadU64();
     last.memory_bytes = reader.ReadU64();
+    last.last_applied_seq = reader.ReadU64();
+    const uint8_t deduped = reader.ReadU8();
     REPT_RETURN_NOT_OK(reader.ExpectEnd());
+    if (deduped != 0) ++last.deduped_frames;
+    if (tracked != sessions_.end()) {
+      tracked->second.next_seq = last.last_applied_seq + 1;
+    }
     offset += n;
   } while (offset < edges.size());
   return last;
@@ -163,6 +304,7 @@ Status ReptClient::DropSession(const std::string& name) {
   writer.AppendString(name);
   Result<Frame> reply =
       Roundtrip(MessageType::kDropSession, payload, MessageType::kOk);
+  if (reply.ok()) sessions_.erase(name);
   return reply.status();
 }
 

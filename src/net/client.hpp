@@ -1,9 +1,23 @@
 // Client side of the rept_server protocol: one blocking connection, one
 // request/response exchange at a time. Not thread-safe — use one ReptClient
 // per thread (connections are cheap; the server multiplexes).
+//
+// Fault tolerance (opt in via set_reconnect_policy): when a roundtrip fails
+// at the transport layer — connection dropped, reply timed out — the client
+// reconnects with jittered exponential backoff, re-attaches every session
+// it created (CREATE attach mode, which also resyncs the server's
+// last-applied sequence number), and replays the in-flight frame. Because
+// the protocol keeps at most one frame in flight and sequenced INGEST
+// frames are deduped server-side, the replay is exactly-once: a drop before
+// the server applied the batch re-applies it, a drop after (lost ack) is
+// acknowledged without double-counting. Sequencing assumes one sequenced
+// writer per session — the estimator's single-writer ingest contract;
+// multi-connection shared-session workloads should leave the policy off
+// (their batches stay unsequenced and the server applies them as-is).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <utility>
@@ -13,6 +27,7 @@
 #include "net/protocol.hpp"
 #include "net/session_registry.hpp"
 #include "net/socket.hpp"
+#include "util/random.hpp"
 #include "util/status.hpp"
 
 namespace rept::net {
@@ -62,6 +77,24 @@ struct IngestReply {
   uint64_t edges_ingested = 0;
   uint64_t stored_edges = 0;
   uint64_t memory_bytes = 0;
+  /// Highest sequenced batch the server has applied to the session.
+  uint64_t last_applied_seq = 0;
+  /// Frames of this call the server skipped as replays (normally 0; > 0
+  /// after a reconnect replayed an already-applied frame).
+  uint64_t deduped_frames = 0;
+};
+
+/// \brief Auto-reconnect knobs (disabled by default).
+struct ReconnectPolicy {
+  bool enabled = false;
+  /// Reconnect attempts per failed roundtrip before giving up.
+  int max_attempts = 6;
+  /// First backoff; doubles per attempt up to max_backoff_ms, each delay
+  /// jittered to [delay/2, delay] so a fleet of clients does not stampede.
+  uint64_t base_backoff_ms = 50;
+  uint64_t max_backoff_ms = 2000;
+  /// Seed of the deterministic jitter stream.
+  uint64_t jitter_seed = 0x7e57c11e47ULL;
 };
 
 /// \brief A synchronous rept_server client.
@@ -77,11 +110,30 @@ class ReptClient {
   /// Ingest() chunks batches to fit.
   void set_max_frame_payload(uint64_t bytes) { max_frame_payload_ = bytes; }
 
+  /// Arms auto-reconnect + exactly-once ingest sequencing (see the file
+  /// comment). Set before CreateSession so the session is registered for
+  /// re-attach.
+  void set_reconnect_policy(const ReconnectPolicy& policy);
+
+  /// Per-roundtrip deadline on the socket (reply must start arriving and
+  /// requests must drain within this). 0 = wait forever. Takes effect on
+  /// the live connection and every reconnect. After a DeadlineExceeded the
+  /// connection is desynchronized; with reconnect enabled the roundtrip
+  /// retries on a fresh one, otherwise the caller must Close().
+  Status set_roundtrip_deadline_ms(uint64_t millis);
+
+  /// Successful reconnects performed so far.
+  uint64_t reconnects() const { return reconnects_; }
+
   /// Opens a named session; `spec.options`/`spec.memory_budget` ride along.
   /// On success `fingerprint` (when non-null) receives the session's
-  /// StateFingerprint.
+  /// StateFingerprint. With `attach` set, an existing session with the same
+  /// (config, seed) is adopted instead of failing AlreadyExists, and
+  /// `last_applied_seq` (when non-null) receives the server's dedup
+  /// watermark — how a restarted writer learns where to resume.
   Status CreateSession(const SessionSpec& spec,
-                       uint64_t* fingerprint = nullptr);
+                       uint64_t* fingerprint = nullptr, bool attach = false,
+                       uint64_t* last_applied_seq = nullptr);
 
   /// Streams a batch into the named session, transparently split into as
   /// many INGEST frames as the frame cap requires. `note_vertices` (0 =
@@ -115,14 +167,47 @@ class ReptClient {
   Status Shutdown();
 
  private:
-  /// One request/response exchange; maps kError replies onto Status and
-  /// rejects replies of any type other than `expected`.
+  /// Per-session client state for re-attach and ingest sequencing.
+  struct SessionState {
+    SessionSpec spec;
+    /// Sequence number the next INGEST frame will carry.
+    uint64_t next_seq = 1;
+  };
+
+  /// One request/response exchange on the current socket; maps kError
+  /// replies onto Status and rejects replies of any type other than
+  /// `expected`. `transport_failure` reports whether the failure happened
+  /// at the frame transport (retryable on a fresh connection) as opposed to
+  /// a server-delivered error (retrying would just repeat it).
+  Result<Frame> Exchange(MessageType request,
+                         std::span<const uint8_t> payload,
+                         MessageType expected, bool* transport_failure);
+
+  /// Exchange + the reconnect/replay loop when the policy is enabled.
   Result<Frame> Roundtrip(MessageType request,
                           std::span<const uint8_t> payload,
                           MessageType expected);
 
+  /// The CREATE payload; shared by CreateSession and re-attach.
+  static std::vector<uint8_t> EncodeCreate(const SessionSpec& spec,
+                                           bool attach);
+
+  /// Tears the socket down, redials, and re-attaches every registered
+  /// session (resyncing its sequence window from the server).
+  Status Reconnect();
+
+  /// Jittered exponential backoff before reconnect attempt `attempt`.
+  void BackoffSleep(int attempt);
+
   TcpSocket socket_;
+  std::string host_;
+  uint16_t port_ = 0;
   uint64_t max_frame_payload_ = kDefaultMaxFramePayload;
+  uint64_t roundtrip_deadline_ms_ = 0;
+  ReconnectPolicy reconnect_;
+  Rng jitter_{0};
+  uint64_t reconnects_ = 0;
+  std::map<std::string, SessionState> sessions_;
 };
 
 }  // namespace rept::net

@@ -57,6 +57,8 @@ const char* WireErrorName(WireError code) {
       return "ShuttingDown";
     case WireError::kInternal:
       return "Internal";
+    case WireError::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -77,6 +79,8 @@ WireError WireErrorFromStatus(const Status& status) {
       return WireError::kUnsupported;
     case StatusCode::kResourceExhausted:
       return WireError::kResourceExhausted;
+    case StatusCode::kDeadlineExceeded:
+      return WireError::kDeadlineExceeded;
   }
   return WireError::kInternal;
 }
@@ -103,6 +107,8 @@ Status StatusFromWireError(WireError code, const std::string& message) {
       return Status::Unsupported(message);
     case WireError::kInternal:
       return Status::IOError("server internal error: " + message);
+    case WireError::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
   }
   return Status::IOError("unknown wire error: " + message);
 }

@@ -39,7 +39,13 @@ inline constexpr char kFrameMagic[4] = {'R', 'P', 'N', '1'};
 /// cumulative/last-batch ingest-stats blocks to each kStatsResult session
 /// row. New verbs alone would be additive, but the widened STATS row is a
 /// layout change, hence the bump; v1 peers are refused at the frame layer.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: exactly-once ingest. INGEST_BATCH carries a per-session monotonic
+/// batch sequence number, its reply reports the last-applied seq plus a
+/// dedup flag, and CREATE gains an attach mode (adopt an existing or
+/// recovered session after reconnect) with a widened reply carrying the
+/// fingerprint and last-applied seq. Layout changes on three verbs, hence
+/// the bump; v2 peers are refused at the frame layer.
+inline constexpr uint32_t kProtocolVersion = 3;
 /// magic + version + type + payload_len.
 inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 4 + 8;
 inline constexpr size_t kFrameTrailerBytes = 4;
@@ -83,6 +89,7 @@ enum class WireError : uint32_t {
   kUnsupported = 9,
   kShuttingDown = 10,
   kInternal = 11,
+  kDeadlineExceeded = 12,
 };
 
 const char* WireErrorName(WireError code);

@@ -1,0 +1,169 @@
+#include "net/recovery.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "persist/checkpoint_io.hpp"
+#include "util/logging.hpp"
+
+namespace rept::net {
+
+namespace {
+
+/// Bump when the sidecar payload layout changes. Readers refuse newer
+/// versions (the fields could mean anything) but the estimator state is
+/// still loadable by ignoring the sidecar.
+constexpr uint32_t kServerSessionMetaVersion = 1;
+
+constexpr std::string_view kCkptSuffix = ".ckpt";
+constexpr std::string_view kTmpSuffix = ".ckpt.tmp";
+
+bool HasSuffix(std::string_view name, std::string_view suffix) {
+  return name.size() > suffix.size() &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+ServerSessionMeta MetaFromEntry(const SessionEntry& entry) {
+  ServerSessionMeta meta;
+  meta.seed = entry.seed;
+  meta.m = entry.config.m;
+  meta.c = entry.config.c;
+  meta.track_local = entry.config.track_local;
+  meta.strict_eta_pairs = entry.config.strict_eta_pairs;
+  meta.expected_edges = entry.options.expected_edges;
+  meta.expected_vertices =
+      static_cast<uint64_t>(entry.options.expected_vertices);
+  meta.memory_budget = entry.memory_budget;
+  meta.last_applied_seq = entry.last_applied_seq;
+  return meta;
+}
+
+SessionSpec SpecFromMeta(const std::string& name,
+                         const ServerSessionMeta& meta) {
+  SessionSpec spec;
+  spec.name = name;
+  spec.seed = meta.seed;
+  spec.config.m = meta.m;
+  spec.config.c = meta.c;
+  spec.config.track_local = meta.track_local;
+  spec.config.strict_eta_pairs = meta.strict_eta_pairs;
+  spec.options.expected_edges = meta.expected_edges;
+  spec.options.expected_vertices =
+      static_cast<VertexId>(std::min<uint64_t>(
+          meta.expected_vertices, SessionOptions::kMaxExpectedVertices));
+  spec.memory_budget = meta.memory_budget;
+  return spec;
+}
+
+Status WriteServerSessionSection(CheckpointWriter& writer,
+                                 const ServerSessionMeta& meta) {
+  writer.BeginSection(kSectionServerSession);
+  writer.AppendU32(kServerSessionMetaVersion);
+  writer.AppendU64(meta.seed);
+  writer.AppendU32(meta.m);
+  writer.AppendU32(meta.c);
+  uint8_t flags = 0;
+  if (meta.track_local) flags |= 0x01;
+  if (meta.strict_eta_pairs) flags |= 0x02;
+  writer.AppendU8(flags);
+  writer.AppendU64(meta.expected_edges);
+  writer.AppendU64(meta.expected_vertices);
+  writer.AppendU64(meta.memory_budget);
+  writer.AppendU64(meta.last_applied_seq);
+  return writer.EndSection();
+}
+
+Status DecodeServerSessionSection(CheckpointReader& reader,
+                                  ServerSessionMeta* meta) {
+  const uint32_t version = reader.ReadU32();
+  if (reader.status().ok() && version != kServerSessionMetaVersion) {
+    return Status::Corruption("unsupported server-session sidecar version " +
+                              std::to_string(version));
+  }
+  meta->seed = reader.ReadU64();
+  meta->m = reader.ReadU32();
+  meta->c = reader.ReadU32();
+  const uint8_t flags = reader.ReadU8();
+  meta->track_local = (flags & 0x01) != 0;
+  meta->strict_eta_pairs = (flags & 0x02) != 0;
+  meta->expected_edges = reader.ReadU64();
+  meta->expected_vertices = reader.ReadU64();
+  meta->memory_budget = reader.ReadU64();
+  meta->last_applied_seq = reader.ReadU64();
+  REPT_RETURN_NOT_OK(reader.ExpectSectionEnd());
+  return reader.status();
+}
+
+Result<ServerSessionMeta> PeekServerSessionMeta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  CheckpointReader reader(in, /*expect_stream_end=*/true);
+  const Result<CheckpointReader::Header> header = reader.ReadHeader();
+  REPT_RETURN_NOT_OK(header.status());
+  for (;;) {
+    const Result<uint32_t> id = reader.NextSection();
+    REPT_RETURN_NOT_OK(id.status());
+    if (*id == kSectionEnd) {
+      return Status::NotFound("no server-session sidecar in " + path);
+    }
+    if (*id != kSectionServerSession) continue;
+    ServerSessionMeta meta;
+    REPT_RETURN_NOT_OK(DecodeServerSessionSection(reader, &meta));
+    return meta;
+  }
+}
+
+Result<std::vector<CheckpointFile>> ListCheckpointFiles(
+    const std::string& dir) {
+  std::vector<CheckpointFile> out;
+  std::error_code ec;
+  for (const auto& dirent : std::filesystem::directory_iterator(dir, ec)) {
+    if (!dirent.is_regular_file()) continue;
+    const std::string filename = dirent.path().filename().string();
+    if (!HasSuffix(filename, kCkptSuffix)) continue;
+    if (HasSuffix(filename, kTmpSuffix)) continue;
+    CheckpointFile file;
+    file.path = dirent.path().string();
+    file.name = filename.substr(0, filename.size() - kCkptSuffix.size());
+    out.push_back(std::move(file));
+  }
+  if (ec) {
+    return Status::IOError("cannot scan checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointFile& a, const CheckpointFile& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+Result<size_t> ReapOrphanTmpFiles(const std::string& dir) {
+  size_t reaped = 0;
+  std::error_code ec;
+  for (const auto& dirent : std::filesystem::directory_iterator(dir, ec)) {
+    if (!dirent.is_regular_file()) continue;
+    const std::string filename = dirent.path().filename().string();
+    if (!HasSuffix(filename, kTmpSuffix)) continue;
+    std::error_code remove_ec;
+    std::filesystem::remove(dirent.path(), remove_ec);
+    if (remove_ec) {
+      return Status::IOError("cannot reap orphan " + dirent.path().string() +
+                             ": " + remove_ec.message());
+    }
+    REPT_LOG(kWarn) << "reaped orphaned checkpoint temp file "
+                    << dirent.path().string()
+                    << " (crash mid-save; previous checkpoint is intact)";
+    ++reaped;
+  }
+  if (ec) {
+    return Status::IOError("cannot scan checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  return reaped;
+}
+
+}  // namespace rept::net

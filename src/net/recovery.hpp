@@ -1,0 +1,82 @@
+// Crash-recovery support for rept_server: the kSectionServerSession
+// checkpoint sidecar codec plus checkpoint-directory maintenance (orphan
+// reaping, file discovery, self-describing restore).
+//
+// The sidecar makes a server checkpoint self-describing: it carries the
+// session spec (config, seed, sizing hints, memory budget) and the
+// last-applied ingest sequence number, so a restarted server can rebuild
+// the session table from the directory alone — no client involvement —
+// and resume the exactly-once dedup window where the file left it. The
+// sidecar sits outside the state fingerprint: the estimator payload is
+// bit-identical to a plain library checkpoint of the same state, which is
+// what lets the chaos test compare recovered and uninterrupted files
+// byte for byte (docs/fault_tolerance.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/session_registry.hpp"
+#include "util/status.hpp"
+
+namespace rept {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace rept
+
+namespace rept::net {
+
+/// \brief Decoded kSectionServerSession payload.
+struct ServerSessionMeta {
+  uint64_t seed = 0;
+  uint32_t m = 0;
+  uint32_t c = 0;
+  bool track_local = false;
+  bool strict_eta_pairs = false;
+  uint64_t expected_edges = 0;
+  uint64_t expected_vertices = 0;
+  uint64_t memory_budget = 0;
+  uint64_t last_applied_seq = 0;
+};
+
+/// Snapshot of everything the sidecar persists about `entry`. Caller holds
+/// the entry's ingest mutex (last_applied_seq lives under it).
+ServerSessionMeta MetaFromEntry(const SessionEntry& entry);
+
+/// The SessionSpec that recreates the session `meta` describes.
+SessionSpec SpecFromMeta(const std::string& name,
+                         const ServerSessionMeta& meta);
+
+/// Appends one kSectionServerSession section to an open checkpoint stream.
+Status WriteServerSessionSection(CheckpointWriter& writer,
+                                 const ServerSessionMeta& meta);
+
+/// Decodes the current section's payload (positioned by NextSection) into
+/// `meta`. Corruption on a malformed or future-versioned payload.
+Status DecodeServerSessionSection(CheckpointReader& reader,
+                                  ServerSessionMeta* meta);
+
+/// Scans a checkpoint file for its kSectionServerSession sidecar without
+/// constructing an estimator (CRCs of the visited sections are verified).
+/// NotFound when the file is a plain library checkpoint with no sidecar.
+Result<ServerSessionMeta> PeekServerSessionMeta(const std::string& path);
+
+/// One restorable checkpoint file found in the directory scan.
+struct CheckpointFile {
+  std::string path;
+  /// File stem == session name ("alpha" for "alpha.ckpt").
+  std::string name;
+};
+
+/// Lists `<dir>/<name>.ckpt` files, sorted by name for deterministic
+/// recovery order. IOError if the directory cannot be read.
+Result<std::vector<CheckpointFile>> ListCheckpointFiles(
+    const std::string& dir);
+
+/// Deletes `*.ckpt.tmp` orphans left by a crash mid-save, logging each at
+/// warn. The atomic save protocol guarantees a .tmp is never the only copy
+/// of committed state, so reaping is always safe. Returns the count reaped.
+Result<size_t> ReapOrphanTmpFiles(const std::string& dir);
+
+}  // namespace rept::net

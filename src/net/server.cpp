@@ -1,16 +1,20 @@
 #include "net/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iterator>
 #include <numeric>
 #include <sstream>
 #include <utility>
 
 #include "core/rept_estimator.hpp"
+#include "net/recovery.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
 #include "persist/checkpoint.hpp"
+#include "persist/checkpoint_io.hpp"
 #include "util/logging.hpp"
 
 namespace rept::net {
@@ -36,6 +40,25 @@ struct ServerMetrics {
   obs::Counter ingest_bytes = obs::MetricsRegistry::Global().RegisterCounter(
       "rept_server_ingest_bytes_total",
       "INGEST frame payload bytes accepted");
+  obs::Counter sessions_recovered =
+      obs::MetricsRegistry::Global().RegisterCounter(
+          "rept_server_sessions_recovered_total",
+          "Sessions rebuilt from checkpoint files at startup");
+  obs::Counter autocheckpoint_saves =
+      obs::MetricsRegistry::Global().RegisterCounter(
+          "rept_server_autocheckpoint_saves_total",
+          "Background auto-checkpoint saves of dirty sessions");
+  obs::Counter autocheckpoint_failures =
+      obs::MetricsRegistry::Global().RegisterCounter(
+          "rept_server_autocheckpoint_failures_total",
+          "Background auto-checkpoint saves that failed");
+  obs::Counter idle_reaps = obs::MetricsRegistry::Global().RegisterCounter(
+      "rept_server_idle_reaps_total",
+      "Connections reaped after the idle timeout");
+  obs::Counter batches_deduped =
+      obs::MetricsRegistry::Global().RegisterCounter(
+          "rept_ingest_batches_deduped_total",
+          "Replayed INGEST batches skipped by sequence-number dedup");
 };
 
 const ServerMetrics& Metrics() {
@@ -71,19 +94,140 @@ Status ReptServer::Start() {
   if (started_.exchange(true)) {
     return Status::InvalidArgument("server already started");
   }
-  REPT_RETURN_NOT_OK(listener_.Listen(options_.host, options_.port));
   pool_ = std::make_unique<ThreadPool>(options_.pool_threads);
   registry_ =
       std::make_unique<SessionRegistry>(options_.limits, pool_.get());
+  // Recover before listening: no client may observe an empty session table
+  // that is about to be repopulated from disk.
+  if (!options_.checkpoint_dir.empty()) {
+    REPT_RETURN_NOT_OK(RecoverSessions());
+  }
+  REPT_RETURN_NOT_OK(listener_.Listen(options_.host, options_.port));
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (!options_.checkpoint_dir.empty() && options_.checkpoint_every_ms > 0) {
+    checkpoint_thread_ = std::thread([this] { AutoCheckpointLoop(); });
+  }
   REPT_LOG(kInfo) << "rept_server listening on " << options_.host << ":"
                   << port();
   return Status::OK();
 }
 
+Status ReptServer::RecoverSessions() {
+  const std::string& dir = options_.checkpoint_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  const Result<size_t> reaped = ReapOrphanTmpFiles(dir);
+  REPT_RETURN_NOT_OK(reaped.status());
+  const Result<std::vector<CheckpointFile>> files = ListCheckpointFiles(dir);
+  REPT_RETURN_NOT_OK(files.status());
+  for (const CheckpointFile& file : *files) {
+    Result<ServerSessionMeta> meta = PeekServerSessionMeta(file.path);
+    if (!meta.ok()) {
+      if (meta.status().code() == StatusCode::kNotFound) {
+        // A plain library checkpoint (wire CHECKPOINT output, say) cannot
+        // describe its own config; it stays on disk for manual RESTORE.
+        REPT_LOG(kWarn) << "not recovering " << file.path
+                        << ": no server-session sidecar";
+        continue;
+      }
+      return meta.status();
+    }
+    Result<std::shared_ptr<SessionEntry>> created =
+        registry_->Create(SpecFromMeta(file.name, *meta));
+    REPT_RETURN_NOT_OK(created.status());
+    const std::shared_ptr<SessionEntry>& entry = created.value();
+    std::lock_guard<std::mutex> lock(entry->ingest_mutex);
+    const Status st = LoadCheckpoint(
+        *entry->session(), file.path,
+        [](uint32_t id, CheckpointReader& reader) {
+          // Already decoded by the peek; skip past it here.
+          if (id != kSectionServerSession) {
+            return Status::Corruption("unexpected trailing section " +
+                                      std::to_string(id));
+          }
+          ServerSessionMeta ignored;
+          return DecodeServerSessionSection(reader, &ignored);
+        });
+    if (!st.ok()) {
+      (void)registry_->Drop(file.name);
+      return st;
+    }
+    entry->last_applied_seq = meta->last_applied_seq;
+    entry->memory_bytes.store(entry->session()->MemoryBytes(),
+                              std::memory_order_relaxed);
+    // The in-memory state now equals the file: nothing to auto-save until
+    // the next mutation.
+    entry->saved_mutations.store(
+        entry->mutations.load(std::memory_order_acquire),
+        std::memory_order_release);
+    sessions_recovered_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().sessions_recovered.Increment();
+    REPT_LOG(kInfo) << "recovered session '" << file.name << "' (t="
+                    << entry->session()->edges_ingested()
+                    << ", last_applied_seq=" << meta->last_applied_seq
+                    << ") from " << file.path;
+  }
+  return Status::OK();
+}
+
+std::string ReptServer::CheckpointPath(const std::string& name) const {
+  return options_.checkpoint_dir + "/" + name + ".ckpt";
+}
+
+Status ReptServer::SaveEntryLocked(SessionEntry& entry) {
+  const ServerSessionMeta meta = MetaFromEntry(entry);
+  return SaveCheckpoint(*entry.session(), CheckpointPath(entry.name),
+                        [&meta](CheckpointWriter& writer) {
+                          return WriteServerSessionSection(writer, meta);
+                        });
+}
+
+Status ReptServer::SaveDirtySessions() {
+  Status first_error;
+  for (const auto& entry : registry_->List()) {
+    if (entry->mutations.load(std::memory_order_acquire) ==
+        entry->saved_mutations.load(std::memory_order_acquire)) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(entry->ingest_mutex);
+    // Re-read under the mutex: the save captures at least this tick.
+    const uint64_t mark = entry->mutations.load(std::memory_order_acquire);
+    const Status st = SaveEntryLocked(*entry);
+    if (st.ok()) {
+      entry->saved_mutations.store(mark, std::memory_order_release);
+      Metrics().autocheckpoint_saves.Increment();
+    } else {
+      Metrics().autocheckpoint_failures.Increment();
+      REPT_LOG(kWarn) << "auto-checkpoint of '" << entry->name
+                      << "' failed: " << st.ToString();
+      if (first_error.ok()) first_error = st;
+    }
+  }
+  return first_error;
+}
+
+void ReptServer::AutoCheckpointLoop() {
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    checkpoint_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.checkpoint_every_ms));
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    lock.unlock();
+    // Failures are logged and counted inside; the loop keeps trying — a
+    // transiently full disk should not kill durability forever.
+    (void)SaveDirtySessions();
+    lock.lock();
+  }
+}
+
 void ReptServer::RequestShutdown() {
   if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
   listener_.Close();
+  checkpoint_cv_.notify_all();
   std::lock_guard<std::mutex> lock(connections_mutex_);
   for (const auto& conn : connections_) {
     // Wake a read blocked mid-frame with EOF; queued responses still drain
@@ -97,6 +241,7 @@ Status ReptServer::Stop() {
   if (stopped_.exchange(true)) return Status::OK();
   RequestShutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
   // Join outside the lock: a connection thread that raced us into
   // RequestShutdown may be blocked on connections_mutex_, and joining it
   // while holding that mutex would deadlock. The accept thread is already
@@ -120,10 +265,13 @@ Status ReptServer::Stop() {
       // Connections are drained and joined: the lock is uncontended, held
       // only to honor the writer-side contract.
       std::lock_guard<std::mutex> lock(entry->ingest_mutex);
-      const std::string path =
-          options_.checkpoint_dir + "/" + entry->name + ".ckpt";
-      const Status st = SaveCheckpoint(*entry->session(), path);
-      if (!st.ok() && first_error.ok()) first_error = st;
+      const uint64_t mark = entry->mutations.load(std::memory_order_acquire);
+      const Status st = SaveEntryLocked(*entry);
+      if (st.ok()) {
+        entry->saved_mutations.store(mark, std::memory_order_release);
+      } else if (first_error.ok()) {
+        first_error = st;
+      }
     }
   }
   return first_error;
@@ -143,6 +291,14 @@ void ReptServer::AcceptLoop() {
                      << ")";
     auto conn = std::make_shared<Connection>();
     conn->socket = std::move(accepted).value();
+    if (options_.idle_timeout_ms > 0) {
+      // Both directions: a peer that sends nothing AND a peer that stops
+      // draining replies are each bounded by the same deadline.
+      (void)conn->socket.SetReadTimeout(
+          static_cast<int64_t>(options_.idle_timeout_ms));
+      (void)conn->socket.SetWriteTimeout(
+          static_cast<int64_t>(options_.idle_timeout_ms));
+    }
     {
       std::lock_guard<std::mutex> lock(connections_mutex_);
       if (shutdown_.load(std::memory_order_acquire)) {
@@ -188,8 +344,16 @@ void ReptServer::ServeConnection(const std::shared_ptr<Connection>& conn) {
         const std::vector<uint8_t> err =
             EncodeErrorFrame(WireError::kBadFrame, read_status.message());
         (void)conn->socket.WriteAll(err.data(), err.size());
+      } else if (read_status.code() == StatusCode::kDeadlineExceeded) {
+        // Idle or stalled past the deadline: reap. No error frame — the
+        // peer is by definition not listening, and a stall mid-frame means
+        // the stream is unsynchronized anyway.
+        REPT_LOG(kWarn) << "reaping connection idle past "
+                        << options_.idle_timeout_ms << " ms";
+        idle_reaps_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().idle_reaps.Increment();
       }
-      break;  // Clean EOF (NotFound), transport error, or corruption.
+      break;  // Clean EOF (NotFound), timeout, transport error, corruption.
     }
     frames_served_.fetch_add(1, std::memory_order_relaxed);
     Metrics().frames.Increment();
@@ -257,6 +421,7 @@ std::vector<uint8_t> ReptServer::HandleCreate(const Frame& frame) {
   spec.options.expected_edges = reader.ReadU64();
   const uint64_t expected_vertices = reader.ReadU64();
   spec.memory_budget = reader.ReadU64();
+  const uint8_t attach = reader.ReadU8();
   if (!reader.ExpectEnd().ok()) return ErrorFrame(reader.status());
   // The wire field is wider than VertexId; reject before the narrowing cast
   // so SessionOptions::Check sees the honest value.
@@ -267,12 +432,42 @@ std::vector<uint8_t> ReptServer::HandleCreate(const Frame& frame) {
   }
   spec.options.expected_vertices = static_cast<VertexId>(expected_vertices);
 
-  Result<std::shared_ptr<SessionEntry>> entry = registry_->Create(spec);
-  if (!entry.ok()) return ErrorFrame(entry.status());
+  std::shared_ptr<SessionEntry> entry;
+  if (attach != 0) {
+    // Attach mode: adopt an existing session (reconnect after a drop, or a
+    // session the server recovered from disk) — but only when the spec
+    // matches what the session actually is, so a client can never silently
+    // continue into differently-configured state.
+    Result<std::shared_ptr<SessionEntry>> found = registry_->Find(spec.name);
+    if (found.ok()) {
+      const SessionEntry& existing = *found.value();
+      if (existing.seed != spec.seed || existing.config.m != spec.config.m ||
+          existing.config.c != spec.config.c ||
+          existing.config.track_local != spec.config.track_local ||
+          existing.config.strict_eta_pairs !=
+              spec.config.strict_eta_pairs) {
+        return ErrorFrame(Status::InvalidArgument(
+            "session '" + spec.name +
+            "' exists with a different config or seed; cannot attach"));
+      }
+      entry = found.value();
+    }
+  }
+  if (entry == nullptr) {
+    Result<std::shared_ptr<SessionEntry>> created = registry_->Create(spec);
+    if (!created.ok()) return ErrorFrame(created.status());
+    entry = std::move(created).value();
+  }
 
+  uint64_t last_applied_seq;
+  {
+    std::lock_guard<std::mutex> lock(entry->ingest_mutex);
+    last_applied_seq = entry->last_applied_seq;
+  }
   std::vector<uint8_t> payload;
   WireWriter writer(payload);
-  writer.AppendU64(entry.value()->session()->StateFingerprint());
+  writer.AppendU64(entry->session()->StateFingerprint());
+  writer.AppendU64(last_applied_seq);
   return EncodeFrame(MessageType::kOk, payload);
 }
 
@@ -280,6 +475,7 @@ std::vector<uint8_t> ReptServer::HandleIngest(const Frame& frame) {
   WireReader reader(frame.payload);
   const std::string name = reader.ReadString(kMaxSessionNameBytes);
   const uint64_t note_vertices = reader.ReadU64();
+  const uint64_t batch_seq = reader.ReadU64();
   const uint64_t count = reader.ReadCount(/*min_bytes_per_element=*/8);
   std::vector<Edge> edges;
   if (reader.status().ok()) {
@@ -303,30 +499,57 @@ std::vector<uint8_t> ReptServer::HandleIngest(const Frame& frame) {
   uint64_t edges_ingested;
   uint64_t stored_edges;
   uint64_t memory_bytes;
+  uint64_t last_applied_seq;
+  bool deduped = false;
   {
     std::lock_guard<std::mutex> lock(entry->ingest_mutex);
-    const std::shared_ptr<StreamingEstimator> session = entry->session();
-    if (note_vertices > 0) {
-      session->NoteVertices(static_cast<VertexId>(note_vertices));
+    // Exactly-once dedup. seq 0 = unsequenced (the pre-v3 at-most-once
+    // contract, still used by RESTORE-style tooling); a sequenced batch
+    // must be last+1 (applied), <= last (a replay of an already-applied
+    // batch: acknowledged again, not re-applied), and anything else is a
+    // gap — the client lost a batch it never sent, which replay cannot fix.
+    if (batch_seq != 0 && batch_seq <= entry->last_applied_seq) {
+      deduped = true;
+    } else if (batch_seq != 0 &&
+               batch_seq != entry->last_applied_seq + 1) {
+      return ErrorFrame(Status::InvalidArgument(
+          "ingest sequence gap: got batch_seq " + std::to_string(batch_seq) +
+          " but last applied is " +
+          std::to_string(entry->last_applied_seq)));
     }
-    session->Ingest(std::span<const Edge>(edges));
-    // The batch is already applied; a budget breach reports
-    // ResourceExhausted so the client stops sending, it does not undo.
-    const Status admitted = registry_->AdmitIngest(*entry);
-    if (!admitted.ok()) return ErrorFrame(admitted);
+    const std::shared_ptr<StreamingEstimator> session = entry->session();
+    if (!deduped) {
+      if (note_vertices > 0) {
+        session->NoteVertices(static_cast<VertexId>(note_vertices));
+      }
+      session->Ingest(std::span<const Edge>(edges));
+      if (batch_seq != 0) entry->last_applied_seq = batch_seq;
+      entry->mutations.fetch_add(1, std::memory_order_release);
+      // The batch is already applied; a budget breach reports
+      // ResourceExhausted so the client stops sending, it does not undo.
+      const Status admitted = registry_->AdmitIngest(*entry);
+      if (!admitted.ok()) return ErrorFrame(admitted);
+    }
     edges_ingested = session->edges_ingested();
     stored_edges = session->StoredEdges();
     memory_bytes = entry->memory_bytes.load(std::memory_order_relaxed);
+    last_applied_seq = entry->last_applied_seq;
   }
-  Metrics().ingest_frames.Increment();
-  Metrics().ingest_edges.Increment(edges.size());
-  Metrics().ingest_bytes.Increment(frame.payload.size());
+  if (deduped) {
+    Metrics().batches_deduped.Increment();
+  } else {
+    Metrics().ingest_frames.Increment();
+    Metrics().ingest_edges.Increment(edges.size());
+    Metrics().ingest_bytes.Increment(frame.payload.size());
+  }
 
   std::vector<uint8_t> payload;
   WireWriter writer(payload);
   writer.AppendU64(edges_ingested);
   writer.AppendU64(stored_edges);
   writer.AppendU64(memory_bytes);
+  writer.AppendU64(last_applied_seq);
+  writer.AppendU8(deduped ? 1 : 0);
   return EncodeFrame(MessageType::kOk, payload);
 }
 
@@ -435,12 +658,27 @@ std::vector<uint8_t> ReptServer::HandleRestore(const Frame& frame) {
   if (!scratch.ok()) return ErrorFrame(scratch.status());
   std::istringstream in(std::string(
       reinterpret_cast<const char*>(bytes.data()), bytes.size()));
-  const Status st = ReadCheckpointStream(*scratch.value(), in,
-                                         /*expect_stream_end=*/true);
+  // Tolerate a server-saved checkpoint (sidecar-bearing): adopt its
+  // last-applied seq so the dedup window survives a save/RESTORE round
+  // trip. Plain library bytes reset the window to 0.
+  ServerSessionMeta sidecar;
+  bool has_sidecar = false;
+  const Status st = ReadCheckpointStream(
+      *scratch.value(), in, /*expect_stream_end=*/true,
+      [&sidecar, &has_sidecar](uint32_t id, CheckpointReader& r) {
+        if (id != kSectionServerSession) {
+          return Status::Corruption("unexpected trailing section " +
+                                    std::to_string(id));
+        }
+        has_sidecar = true;
+        return DecodeServerSessionSection(r, &sidecar);
+      });
   if (!st.ok()) return ErrorFrame(st);
 
   std::lock_guard<std::mutex> lock(entry->ingest_mutex);
   entry->ReplaceSession(std::move(scratch).value());
+  entry->last_applied_seq = has_sidecar ? sidecar.last_applied_seq : 0;
+  entry->mutations.fetch_add(1, std::memory_order_release);
   // The restored state is already live; a budget breach reports
   // ResourceExhausted (mirroring the ingest path's report-don't-undo
   // semantics) so the client knows the session is over budget.

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -47,9 +48,20 @@ struct ServerOptions {
   SessionLimits limits;
   /// Per-frame payload cap, both directions.
   uint64_t max_frame_payload = kDefaultMaxFramePayload;
-  /// When nonempty, Stop() saves every live session to
-  /// `<checkpoint_dir>/<session name>.ckpt`.
+  /// When nonempty, enables durability: Start() reaps orphaned `.ckpt.tmp`
+  /// files and restores every `<name>.ckpt` into a live session; Stop()
+  /// saves every live session to `<checkpoint_dir>/<session name>.ckpt`.
   std::string checkpoint_dir;
+  /// With a checkpoint_dir: background auto-checkpoint interval. Every
+  /// interval, sessions mutated since their last save are re-checkpointed
+  /// (idle sessions are never rewritten), bounding what a kill -9 can lose
+  /// to one interval. 0 disables the thread (save on Stop only).
+  uint64_t checkpoint_every_ms = 0;
+  /// Per-connection read/write deadline. A connection that sends no
+  /// complete request for this long — idle or stalled mid-frame — is
+  /// reaped; a peer that stops draining its replies is cut off the same
+  /// way. 0 = wait forever (the pre-v3 behavior).
+  uint64_t idle_timeout_ms = 0;
 };
 
 /// \brief The multiplexing session server.
@@ -94,6 +106,14 @@ class ReptServer {
   uint64_t frames_served() const {
     return frames_served_.load(std::memory_order_relaxed);
   }
+  /// Sessions rebuilt from checkpoint files during Start().
+  uint64_t sessions_recovered() const {
+    return sessions_recovered_.load(std::memory_order_relaxed);
+  }
+  /// Connections closed by the idle-timeout reaper.
+  uint64_t idle_reaps() const {
+    return idle_reaps_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// One live client connection; owned jointly by the connection thread
@@ -127,6 +147,23 @@ class ReptServer {
   /// Joins finished connection threads and drops their entries.
   void ReapConnections();
 
+  /// Startup recovery: reap `.ckpt.tmp` orphans, then restore every
+  /// `<name>.ckpt` in checkpoint_dir into a live session. Fails hard on a
+  /// corrupt file — silent skips would masquerade as data loss.
+  Status RecoverSessions();
+
+  /// `<checkpoint_dir>/<name>.ckpt`.
+  std::string CheckpointPath(const std::string& name) const;
+
+  /// Saves one session (sidecar included) under its held ingest mutex.
+  Status SaveEntryLocked(SessionEntry& entry);
+
+  /// One auto-checkpoint sweep: saves sessions whose mutation counter has
+  /// advanced past their last save. Returns the first error.
+  Status SaveDirtySessions();
+
+  void AutoCheckpointLoop();
+
   ServerOptions options_;
   TcpListener listener_;
   std::unique_ptr<ThreadPool> pool_;
@@ -136,12 +173,18 @@ class ReptServer {
   std::mutex connections_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
 
+  std::thread checkpoint_thread_;
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_cv_;
+
   std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> stopped_{false};
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> frames_served_{0};
+  std::atomic<uint64_t> sessions_recovered_{0};
+  std::atomic<uint64_t> idle_reaps_{0};
 };
 
 }  // namespace rept::net

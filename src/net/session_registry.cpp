@@ -44,6 +44,7 @@ Result<std::shared_ptr<SessionEntry>> SessionRegistry::Create(
   entry->name = spec.name;
   entry->config = spec.config;
   entry->seed = spec.seed;
+  entry->options = spec.options;
   entry->memory_budget = spec.memory_budget != 0
                              ? spec.memory_budget
                              : limits_.default_session_memory_budget;

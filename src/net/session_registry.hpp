@@ -58,12 +58,28 @@ struct SessionEntry {
   ReptConfig config;
   uint64_t seed = 0;
   uint64_t memory_budget = 0;
+  /// The sizing hints the session was created with, retained so checkpoint
+  /// sidecars can recreate an equivalent session after a crash.
+  SessionOptions options;
 
   std::mutex ingest_mutex;
 
   /// MemoryBytes() sampled at the last batch boundary, readable without
   /// the ingest mutex (STATS, global-budget accounting).
   std::atomic<uint64_t> memory_bytes{0};
+
+  /// Highest sequenced INGEST_BATCH applied to this session (0 = none yet).
+  /// Guarded by `ingest_mutex` — read and advanced only on the writer path
+  /// (ingest dedup, RESTORE, checkpoint sidecar encode).
+  uint64_t last_applied_seq = 0;
+
+  /// Auto-checkpoint dirty tracking: `mutations` ticks on every applied
+  /// state change (ingest, restore); `saved_mutations` records the tick a
+  /// checkpoint last captured. Unequal = the session has unsaved state.
+  /// A new entry starts dirty (1 vs 0) so a freshly created empty session
+  /// reaches disk once, then stays untouched while idle.
+  std::atomic<uint64_t> mutations{1};
+  std::atomic<uint64_t> saved_mutations{0};
 
   /// The live estimator. Take one copy per verb and use it for every call:
   /// a concurrent RESTORE may publish a replacement, and the copy pins the

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/fault_injection.hpp"
+
 #ifndef _WIN32
 #include <arpa/inet.h>
 #include <cerrno>
@@ -9,6 +11,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -87,16 +90,33 @@ Result<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port) {
 
 Result<size_t> TcpSocket::Read(void* dst, size_t max) {
   if (fd_ < 0) return Status::IOError("read on closed socket");
+  if (REPT_FAULT("net.recv_delay")) {
+    // Stall one read long enough to trip an armed SO_RCVTIMEO downstream.
+    ::poll(nullptr, 0, 50);
+  }
+  if (REPT_FAULT("net.recv_drop")) {
+    ShutdownBoth();
+    return Status::IOError("recv dropped (injected)");
+  }
   for (;;) {
     const ssize_t n = ::recv(fd_, dst, max, 0);
     if (n >= 0) return static_cast<size_t>(n);
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired; the connection may be mid-frame and is no
+      // longer trustworthy — callers must close it.
+      return Status::DeadlineExceeded("recv timed out");
+    }
     return Errno("recv");
   }
 }
 
 Status TcpSocket::WriteAll(const void* data, size_t len) {
   if (fd_ < 0) return Status::IOError("write on closed socket");
+  if (REPT_FAULT("net.send_drop")) {
+    ShutdownBoth();
+    return Status::IOError("send dropped (injected)");
+  }
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   size_t sent = 0;
   while (sent < len) {
@@ -106,9 +126,36 @@ Status TcpSocket::WriteAll(const void* data, size_t len) {
       continue;
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("send timed out");
+    }
     return Errno("send");
   }
   return Status::OK();
+}
+
+namespace {
+
+Status SetSocketTimeout(int fd, int option, int64_t millis) {
+  if (fd < 0) return Status::IOError("timeout on closed socket");
+  if (millis < 0) return Status::InvalidArgument("negative socket timeout");
+  timeval tv = {};
+  tv.tv_sec = static_cast<time_t>(millis / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(timeout)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TcpSocket::SetReadTimeout(int64_t millis) {
+  return SetSocketTimeout(fd_, SO_RCVTIMEO, millis);
+}
+
+Status TcpSocket::SetWriteTimeout(int64_t millis) {
+  return SetSocketTimeout(fd_, SO_SNDTIMEO, millis);
 }
 
 void TcpSocket::ShutdownRead() {
@@ -222,6 +269,8 @@ Result<TcpSocket> TcpSocket::Connect(const std::string&, uint16_t) {
 }
 Result<size_t> TcpSocket::Read(void*, size_t) { return NoSockets(); }
 Status TcpSocket::WriteAll(const void*, size_t) { return NoSockets(); }
+Status TcpSocket::SetReadTimeout(int64_t) { return NoSockets(); }
+Status TcpSocket::SetWriteTimeout(int64_t) { return NoSockets(); }
 void TcpSocket::ShutdownRead() {}
 void TcpSocket::ShutdownBoth() {}
 void TcpSocket::Close() { fd_ = -1; }

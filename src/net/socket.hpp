@@ -32,10 +32,20 @@ class TcpSocket : public ByteSource, public ByteSink {
 
   bool valid() const { return fd_ >= 0; }
 
-  /// ByteSource: up to `max` bytes; 0 = orderly peer shutdown.
+  /// ByteSource: up to `max` bytes; 0 = orderly peer shutdown. With a read
+  /// timeout armed, a stall past the deadline is Status::DeadlineExceeded.
   Result<size_t> Read(void* dst, size_t max) override;
   /// ByteSink: loops until every byte is on the wire or an error occurs.
+  /// With a write timeout armed, a full send buffer past the deadline is
+  /// Status::DeadlineExceeded.
   Status WriteAll(const void* data, size_t len) override;
+
+  /// Arms a per-call receive deadline (SO_RCVTIMEO). 0 disarms. After a
+  /// DeadlineExceeded the stream may be desynchronized mid-frame — the only
+  /// safe continuation is closing and reconnecting.
+  Status SetReadTimeout(int64_t millis);
+  /// Arms a per-call send deadline (SO_SNDTIMEO). 0 disarms.
+  Status SetWriteTimeout(int64_t millis);
 
   /// Half-close of the read side: wakes a peer (or our own reader thread)
   /// blocked in Read with EOF while letting queued writes drain.

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "persist/checkpoint_io.hpp"
+#include "util/fault_injection.hpp"
 #include "util/timer.hpp"
 
 namespace rept {
@@ -55,7 +56,8 @@ Status SyncPath(const std::string& path) {
 #if !defined(_WIN32)
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::IOError("cannot open for fsync: " + path);
-  const int rc = ::fsync(fd);
+  int rc = ::fsync(fd);
+  if (REPT_FAULT("checkpoint.fsync")) rc = -1;
   ::close(fd);
   if (rc != 0) return Status::IOError("fsync failed: " + path);
 #else
@@ -74,13 +76,15 @@ std::string ParentDirectory(const std::string& path) {
 }  // namespace
 
 Status WriteCheckpointStream(const StreamingEstimator& session,
-                             std::ostream& out) {
+                             std::ostream& out,
+                             const CheckpointExtraWriter& extra) {
   obs::TraceSpan span("checkpoint_save");
   const WallTimer timer;
   const std::ostream::pos_type start = out.tellp();
   CheckpointWriter writer(out);
   REPT_RETURN_NOT_OK(writer.WriteHeader(session.StateFingerprint()));
   REPT_RETURN_NOT_OK(session.Checkpoint(writer));
+  if (extra) REPT_RETURN_NOT_OK(extra(writer));
   const Status status = writer.Finish();
   if (status.ok()) {
     Metrics().saves.Increment();
@@ -95,7 +99,8 @@ Status WriteCheckpointStream(const StreamingEstimator& session,
 }
 
 Status ReadCheckpointStream(StreamingEstimator& session, std::istream& in,
-                            bool expect_stream_end) {
+                            bool expect_stream_end,
+                            const CheckpointExtraReader& extra) {
   obs::TraceSpan span("checkpoint_load");
   const WallTimer timer;
   const std::istream::pos_type start = in.tellg();
@@ -108,13 +113,19 @@ Status ReadCheckpointStream(StreamingEstimator& session, std::istream& in,
         "\" (different estimator config or seed wrote it)");
   }
   REPT_RETURN_NOT_OK(session.Restore(reader));
-  // The session consumed its own sections; the verified end marker (file
-  // CRC + no trailing bytes) must come next.
-  const Result<uint32_t> end = reader.NextSection();
-  REPT_RETURN_NOT_OK(end.status());
-  if (*end != kSectionEnd) {
-    return Status::Corruption("unexpected trailing section " +
-                              std::to_string(*end));
+  // The session consumed its own sections; what follows is either extra
+  // (sidecar) sections — consumed by the callback when one is supplied —
+  // or the verified end marker (file CRC + no trailing bytes).
+  for (;;) {
+    const Result<uint32_t> id = reader.NextSection();
+    REPT_RETURN_NOT_OK(id.status());
+    if (*id == kSectionEnd) break;
+    if (!extra) {
+      return Status::Corruption("unexpected trailing section " +
+                                std::to_string(*id));
+    }
+    REPT_RETURN_NOT_OK(extra(*id, reader));
+    REPT_RETURN_NOT_OK(reader.status());
   }
   Metrics().loads.Increment();
   const std::istream::pos_type pos = in.tellg();
@@ -127,26 +138,40 @@ Status ReadCheckpointStream(StreamingEstimator& session, std::istream& in,
 }
 
 Status SaveCheckpoint(const StreamingEstimator& session,
-                      const std::string& path) {
+                      const std::string& path,
+                      const CheckpointExtraWriter& extra) {
   const std::string tmp_path = path + ".tmp";
+  if (REPT_FAULT("checkpoint.open")) {
+    return Status::IOError("cannot open for writing: " + tmp_path);
+  }
   Status status;
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) {
       return Status::IOError("cannot open for writing: " + tmp_path);
     }
-    status = WriteCheckpointStream(session, out);
+    status = WriteCheckpointStream(session, out, extra);
+    if (status.ok() && REPT_FAULT("checkpoint.write")) {
+      status = Status::IOError("write failed (injected ENOSPC): " + tmp_path);
+    }
     if (status.ok()) {
       out.close();
       if (!out) status = Status::IOError("close failed: " + tmp_path);
     }
   }
   if (status.ok()) status = SyncPath(tmp_path);
+  if (status.ok() && REPT_FAULT("checkpoint.crash_before_rename")) {
+    // Model a crash after the tmp file was flushed but before the rename
+    // committed it: fail WITHOUT the cleanup below, leaving the .tmp orphan
+    // for the startup reaper to find.
+    return Status::IOError("crashed before rename (injected): " + tmp_path);
+  }
   if (!status.ok()) {
     std::remove(tmp_path.c_str());
     return status;
   }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+  if (REPT_FAULT("checkpoint.rename") ||
+      std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
     return Status::IOError("rename failed: " + tmp_path + " -> " + path);
   }
@@ -154,11 +179,12 @@ Status SaveCheckpoint(const StreamingEstimator& session,
   return SyncPath(ParentDirectory(path));
 }
 
-Status LoadCheckpoint(StreamingEstimator& session, const std::string& path) {
+Status LoadCheckpoint(StreamingEstimator& session, const std::string& path,
+                      const CheckpointExtraReader& extra) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open: " + path);
   const Status status =
-      ReadCheckpointStream(session, in, /*expect_stream_end=*/true);
+      ReadCheckpointStream(session, in, /*expect_stream_end=*/true, extra);
   if (!status.ok() && status.code() == StatusCode::kCorruption) {
     return Status::Corruption(path + ": " + status.message());
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -24,21 +25,42 @@
 namespace rept {
 
 class StreamingEstimator;
+class CheckpointWriter;
+class CheckpointReader;
+
+/// Appends extra framed sections after the session's own sections, before
+/// the end marker. Use BeginSection with an id outside the estimator range
+/// (e.g. kSectionServerSession) and EndSection; the writer handles CRCs.
+using CheckpointExtraWriter = std::function<Status(CheckpointWriter&)>;
+
+/// Consumes one non-estimator trailing section (the payload is already
+/// loaded and CRC-verified; read it with the typed getters). Called once
+/// per extra section, in file order, with its id.
+using CheckpointExtraReader =
+    std::function<Status(uint32_t section_id, CheckpointReader&)>;
 
 /// Serializes the session as one complete checkpoint (header, sections, end
 /// marker) into `out`. The in-memory building block of SaveCheckpoint —
-/// also the way to ship session state over a socket for migration.
+/// also the way to ship session state over a socket for migration. A
+/// non-null `extra` contributes additional sections (e.g. the rept_server
+/// sidecar) between the session's sections and the end marker; they do not
+/// affect the fingerprint.
 Status WriteCheckpointStream(const StreamingEstimator& session,
-                             std::ostream& out);
+                             std::ostream& out,
+                             const CheckpointExtraWriter& extra = nullptr);
 
 /// Restores `session` from a WriteCheckpointStream payload, verifying the
 /// fingerprint, every CRC, and the end marker. The stream is left
 /// positioned just past the end marker, and data behind it is legal —
 /// several checkpoints can ride one stream back to back. Set
 /// `expect_stream_end` to additionally reject trailing bytes (the
-/// file-level invariant; LoadCheckpoint does).
+/// file-level invariant; LoadCheckpoint does). A non-null `extra` receives
+/// every trailing non-estimator section; without one, any such section is
+/// Corruption (plain-library readers refuse sidecar-bearing files rather
+/// than silently dropping state).
 Status ReadCheckpointStream(StreamingEstimator& session, std::istream& in,
-                            bool expect_stream_end = false);
+                            bool expect_stream_end = false,
+                            const CheckpointExtraReader& extra = nullptr);
 
 /// Writes the session's state to `path` atomically: the bytes go to
 /// `path + ".tmp"` and are renamed over `path` only after a fully framed,
@@ -46,13 +68,15 @@ Status ReadCheckpointStream(StreamingEstimator& session, std::istream& in,
 /// previous checkpoint. Writer-side call: serialize with Ingest() like any
 /// other mutation (concurrent Snapshot() readers are fine).
 Status SaveCheckpoint(const StreamingEstimator& session,
-                      const std::string& path);
+                      const std::string& path,
+                      const CheckpointExtraWriter& extra = nullptr);
 
 /// Restores `session` from `path`. The session must have been created with
 /// the same estimator configuration and seed that wrote the checkpoint
 /// (verified via the header fingerprint). On any error the session's state
 /// is unspecified but valid — recreate it before further use.
-Status LoadCheckpoint(StreamingEstimator& session, const std::string& path);
+Status LoadCheckpoint(StreamingEstimator& session, const std::string& path,
+                      const CheckpointExtraReader& extra = nullptr);
 
 /// \brief Structural summary of a checkpoint file (rept_ckpt_dump).
 struct CheckpointInfo {

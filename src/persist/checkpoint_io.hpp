@@ -53,6 +53,13 @@ enum CheckpointSectionId : uint32_t {
   kSectionReptInstance = 2,
   kSectionEnsembleMeta = 3,
   kSectionEnsembleInstance = 4,
+  /// rept_server sidecar (session spec + last-applied ingest seq) appended
+  /// after the estimator sections. Optional and excluded from the state
+  /// fingerprint: the estimator payload stays bit-identical with or without
+  /// it, so the fingerprint gate passes either way. Readers opt in via the
+  /// extra-section callback (ReadCheckpointStream rejects unknown trailing
+  /// sections otherwise).
+  kSectionServerSession = 5,
 };
 
 /// Incremental CRC-32 (IEEE polynomial, zlib convention: pass the previous

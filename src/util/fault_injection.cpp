@@ -1,0 +1,107 @@
+#include "util/fault_injection.hpp"
+
+#if defined(REPT_FAULT_INJECTION)
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/logging.hpp"
+
+namespace rept::fault {
+
+namespace {
+
+struct SiteState {
+  int skip = 0;
+  /// Failures still to report; -1 = unbounded.
+  int fails = 1;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteState> sites;
+};
+
+Registry& TheRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+/// Parses $REPT_FAULTS ("site@n#k,site2,...") once per process.
+void ArmFromEnvLocked(Registry& registry) {
+  const char* env = std::getenv("REPT_FAULTS");
+  if (env == nullptr) return;
+  const std::string spec(env);
+  size_t at = 0;
+  while (at < spec.size()) {
+    size_t comma = spec.find(',', at);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(at, comma - at);
+    at = comma + 1;
+    if (item.empty()) continue;
+    SiteState state;
+    std::string site = item;
+    const size_t hash = site.find('#');
+    if (hash != std::string::npos) {
+      state.fails = std::atoi(site.c_str() + hash + 1);
+      site.resize(hash);
+    }
+    const size_t sep = site.find('@');
+    if (sep != std::string::npos) {
+      state.skip = std::atoi(site.c_str() + sep + 1);
+      site.resize(sep);
+    }
+    if (site.empty()) continue;
+    registry.sites[site] = state;
+    REPT_LOG(kWarn) << "fault injection armed from REPT_FAULTS: " << site
+                    << " skip=" << state.skip << " fails=" << state.fails;
+  }
+}
+
+void EnsureEnvArmed(Registry& registry) {
+  // Under the registry mutex; runs once.
+  static bool armed = (ArmFromEnvLocked(registry), true);
+  (void)armed;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, int skip, int fail_count) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites[site] = SiteState{skip, fail_count};
+}
+
+void Disarm(const std::string& site) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.erase(site);
+}
+
+void DisarmAll() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.clear();
+}
+
+bool ShouldFail(const char* site) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  EnsureEnvArmed(registry);
+  const auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) return false;
+  SiteState& state = it->second;
+  if (state.skip > 0) {
+    --state.skip;
+    return false;
+  }
+  if (state.fails == 0) return false;
+  if (state.fails > 0) --state.fails;
+  REPT_LOG(kWarn) << "injected fault at " << site;
+  return true;
+}
+
+}  // namespace rept::fault
+
+#endif  // REPT_FAULT_INJECTION

@@ -1,0 +1,68 @@
+// Deterministic fault injection for durability and network chaos tests.
+//
+// Call sites name a fault point ("checkpoint.fsync", "net.recv_drop") and
+// ask REPT_FAULT(site) whether to fail this time. In the default build
+// (REPT_FAULT_INJECTION off, the shipping configuration) every query is a
+// constant-false inline — zero code, zero branches survive in the binary,
+// so production paths cannot be destabilized by the harness existing.
+//
+// With -DREPT_FAULT_INJECTION=ON (the CI chaos legs), sites are armed
+// either programmatically from a test:
+//
+//   fault::Arm("checkpoint.rename", /*skip=*/2);   // 3rd rename fails
+//
+// or from the environment for child processes and tools:
+//
+//   REPT_FAULTS="checkpoint.fsync@0,net.recv_drop@5"
+//
+// where "site@n" skips the first n hits then fails once, "site@n#k" fails
+// k times (k = -1: every hit after the skip), and a bare "site" fails the
+// first hit. Arming is process-global and thread-safe; each armed site is
+// consumed independently.
+//
+// Sites (see docs/fault_tolerance.md for the catalog):
+//   checkpoint.open / .write / .fsync / .rename  — SaveCheckpoint stages
+//   checkpoint.crash_before_rename — fail AND leave the .tmp orphan behind,
+//                                    modeling a crash mid-save
+//   net.recv_drop / net.send_drop  — kill the socket mid-frame
+//   net.recv_delay                 — stall a read by ~50 ms (deadline tests)
+#pragma once
+
+#include <string>
+
+namespace rept::fault {
+
+#if defined(REPT_FAULT_INJECTION)
+
+/// True when this build carries the injection layer.
+constexpr bool Enabled() { return true; }
+
+/// Arms `site`: skip the first `skip` hits, then report `fail_count`
+/// failures (-1 = every subsequent hit). Re-arming replaces prior state.
+void Arm(const std::string& site, int skip = 0, int fail_count = 1);
+
+/// Removes `site`'s arming (unarmed sites never fail).
+void Disarm(const std::string& site);
+
+/// Clears every armed site (test teardown).
+void DisarmAll();
+
+/// Consumes one hit of `site` and reports whether the caller should fail.
+/// The first call in a process also arms sites from $REPT_FAULTS.
+bool ShouldFail(const char* site);
+
+#else  // !REPT_FAULT_INJECTION
+
+constexpr bool Enabled() { return false; }
+inline void Arm(const std::string&, int = 0, int = 1) {}
+inline void Disarm(const std::string&) {}
+inline void DisarmAll() {}
+constexpr bool ShouldFail(const char*) { return false; }
+
+#endif  // REPT_FAULT_INJECTION
+
+}  // namespace rept::fault
+
+/// The call-site form: `if (REPT_FAULT("checkpoint.fsync")) return ...;`.
+/// Compiles to `if (false)` — removed entirely — in the default build.
+#define REPT_FAULT(site) (::rept::fault::ShouldFail(site))

@@ -20,6 +20,8 @@ const char* CodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kCorruption,
   kUnsupported,
   kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// \brief Lightweight success/error carrier for recoverable failures.
@@ -47,6 +48,14 @@ class Status {
   /// budgets). Retryable once the load subsides, unlike InvalidArgument.
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// A blocking operation ran past its configured deadline (socket
+  /// read/write timeouts, client roundtrip deadlines). The operation did
+  /// not complete, but unlike IOError the peer may still be alive —
+  /// retryable after reconnecting, since a stream abandoned mid-frame can
+  /// no longer be trusted to be in sync.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

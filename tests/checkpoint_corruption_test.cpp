@@ -19,6 +19,7 @@
 #include "gen/holme_kim.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/checkpoint_io.hpp"
+#include "util/fault_injection.hpp"
 
 namespace rept {
 namespace {
@@ -223,6 +224,104 @@ TEST(CheckpointCorruptionTest, InspectSurvivesCorruptFiles) {
   write_file("garbage");
   EXPECT_FALSE(InspectCheckpoint(path).error.ok());
   std::remove(path.c_str());
+}
+
+// Injected I/O failures at every SaveCheckpoint stage: the save must fail
+// with a structured Status and the previous checkpoint file must come
+// through byte-identical — the atomic tmp+rename contract under fire.
+// Compiled against the no-op shims (and skipped) unless the build carries
+// -DREPT_FAULT_INJECTION=ON, as the CI chaos legs do.
+class CheckpointFaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::Enabled()) {
+      GTEST_SKIP() << "build without REPT_FAULT_INJECTION";
+    }
+    fault::DisarmAll();
+  }
+  void TearDown() override { fault::DisarmAll(); }
+
+  static std::string FileBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  static bool FileExists(const std::string& path) {
+    return std::ifstream(path, std::ios::binary).good();
+  }
+};
+
+TEST_F(CheckpointFaultInjectionTest,
+       SaveFailureAtEveryStageLeavesPreviousCheckpointIntact) {
+  const EdgeStream stream = SmallStream();
+  ReptSession session(SmallConfig(), /*seed=*/77, nullptr);
+  session.NoteVertices(stream.num_vertices());
+  session.Ingest(
+      std::span<const Edge>(stream.edges().data(), stream.size() / 2));
+
+  const std::string path = ::testing::TempDir() + "/fault_save.ckpt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SaveCheckpoint(session, path).ok());
+  const std::string before = FileBytes(path);
+  ASSERT_FALSE(before.empty());
+
+  // Advance the session so a (wrongly) committed save would differ.
+  session.Ingest(std::span<const Edge>(
+      stream.edges().data() + stream.size() / 2,
+      stream.size() - stream.size() / 2));
+
+  for (const char* site : {"checkpoint.open", "checkpoint.write",
+                           "checkpoint.fsync", "checkpoint.rename"}) {
+    fault::Arm(site);
+    const Status st = SaveCheckpoint(session, path);
+    EXPECT_EQ(st.code(), StatusCode::kIOError) << site;
+    EXPECT_EQ(FileBytes(path), before)
+        << site << ": previous checkpoint was damaged";
+    EXPECT_FALSE(FileExists(path + ".tmp"))
+        << site << ": failed save leaked its temp file";
+    fault::Disarm(site);
+
+    // The old file must still restore — and must still hold the
+    // mid-stream state, not the advanced one.
+    ReptSession restored(SmallConfig(), /*seed=*/77, nullptr);
+    ASSERT_TRUE(LoadCheckpoint(restored, path).ok()) << site;
+    EXPECT_EQ(restored.edges_ingested(), stream.size() / 2) << site;
+  }
+
+  // With no faults armed the save commits and the bytes advance.
+  ASSERT_TRUE(SaveCheckpoint(session, path).ok());
+  EXPECT_NE(FileBytes(path), before);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointFaultInjectionTest,
+       CrashBeforeRenameLeavesOrphanTmpAndPreviousCheckpoint) {
+  const EdgeStream stream = SmallStream();
+  ReptSession session(SmallConfig(), /*seed=*/77, nullptr);
+  session.NoteVertices(stream.num_vertices());
+  session.Ingest(
+      std::span<const Edge>(stream.edges().data(), stream.size() / 2));
+
+  const std::string path = ::testing::TempDir() + "/fault_crash.ckpt";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  ASSERT_TRUE(SaveCheckpoint(session, path).ok());
+  const std::string before = FileBytes(path);
+
+  fault::Arm("checkpoint.crash_before_rename");
+  EXPECT_EQ(SaveCheckpoint(session, path).code(), StatusCode::kIOError);
+
+  // The modeled crash leaves the fully written temp file behind (the
+  // startup reaper's input) and the committed checkpoint untouched.
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  EXPECT_EQ(FileBytes(path), before);
+  ReptSession restored(SmallConfig(), /*seed=*/77, nullptr);
+  EXPECT_TRUE(LoadCheckpoint(restored, path).ok());
+
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 }  // namespace

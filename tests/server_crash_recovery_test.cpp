@@ -1,0 +1,764 @@
+// Fault-tolerance contract of rept_server: crash recovery from the
+// checkpoint directory, exactly-once ingest across reconnects, and stall
+// containment.
+//
+// The chaos centerpiece forks this binary as a real server process
+// (`--be-server`), SIGKILLs it mid-ingest, restarts it on the same
+// checkpoint directory, and proves that after the client re-attaches and
+// replays from the server's recovered sequence watermark the estimates —
+// and the full serialized state — are bit-identical to an uninterrupted
+// library run of the same stream. Nothing here is statistical: every
+// assertion is exact.
+//
+// The net.* fault-injection tests only run when the build carries
+// -DREPT_FAULT_INJECTION=ON (the CI chaos legs); they arm faults in the
+// parent (client) process against a child server, so the injected drops
+// deterministically hit the client's socket and nothing else.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rept_estimator.hpp"
+#include "gen/holme_kim.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "persist/checkpoint.hpp"
+#include "util/fault_injection.hpp"
+
+#ifdef _WIN32
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();  // POSIX-only suite; nothing registers here.
+}
+
+#else  // !_WIN32
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace rept::net {
+
+/// argv[0], captured by main for re-exec'ing ourselves as the server child.
+std::string g_test_binary;
+
+/// Child mode: run a ReptServer until killed or told to shut down.
+///
+///   <binary> --be-server <checkpoint_dir> <port_file> [checkpoint_every_ms]
+///
+/// The bound (ephemeral) port is published by writing <port_file>.tmp and
+/// renaming it, so the parent never reads a partial write. The child serves
+/// until the SHUTDOWN verb flips the flag — or until the parent's SIGKILL,
+/// which is the point.
+int RunServerChild(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "--be-server <ckpt_dir> <port_file> [every_ms]\n");
+    return 2;
+  }
+  ServerOptions options;
+  options.port = 0;
+  options.pool_threads = 2;
+  options.checkpoint_dir = argv[2];
+  if (argc > 4) {
+    options.checkpoint_every_ms =
+        static_cast<uint64_t>(std::strtoull(argv[4], nullptr, 10));
+  }
+  ReptServer server(std::move(options));
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "child start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  const std::string port_file = argv[3];
+  {
+    std::ofstream out(port_file + ".tmp", std::ios::trunc);
+    out << server.port() << "\n";
+  }
+  if (std::rename((port_file + ".tmp").c_str(), port_file.c_str()) != 0) {
+    return 1;
+  }
+  while (!server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return server.Stop().ok() ? 0 : 1;
+}
+
+namespace {
+
+/// Forks + execs this binary in --be-server mode; returns the child pid.
+pid_t SpawnServerChild(const std::string& ckpt_dir,
+                       const std::string& port_file,
+                       uint64_t checkpoint_every_ms) {
+  std::remove(port_file.c_str());
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const std::string every = std::to_string(checkpoint_every_ms);
+  ::execl(g_test_binary.c_str(), g_test_binary.c_str(), "--be-server",
+          ckpt_dir.c_str(), port_file.c_str(), every.c_str(),
+          static_cast<char*>(nullptr));
+  std::perror("execl");
+  ::_exit(127);
+}
+
+/// Polls for the child's port file; 0 on timeout.
+uint16_t WaitForPort(const std::string& port_file) {
+  for (int i = 0; i < 500; ++i) {
+    std::ifstream in(port_file);
+    unsigned port = 0;
+    if (in >> port && port != 0) return static_cast<uint16_t>(port);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return 0;
+}
+
+void ReapChild(pid_t pid) {
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+}
+
+void KillChild(pid_t pid) {
+  ::kill(pid, SIGKILL);
+  ReapChild(pid);
+}
+
+/// Fresh scratch directory under the gtest temp root.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  EXPECT_EQ(std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str()),
+            0);
+  return dir;
+}
+
+EdgeStream ChaosStream() {
+  gen::HolmeKimParams params;
+  params.num_vertices = 1000;  // ~4000 edges; every span below fits.
+  params.edges_per_vertex = 4;
+  params.triad_probability = 0.5;
+  return gen::HolmeKim(params, /*seed=*/901);
+}
+
+SessionSpec ChaosSpec(const std::string& name) {
+  SessionSpec spec;
+  spec.name = name;
+  spec.seed = 4242;
+  spec.config.m = 5;
+  spec.config.c = 9;
+  return spec;
+}
+
+/// Canonical serialized state of a library session fed the first `prefix`
+/// edges of `stream` — the bit-identity reference.
+std::string LibraryStateBytes(const SessionSpec& spec,
+                              const EdgeStream& stream, size_t prefix) {
+  const auto session =
+      ReptEstimator(spec.config).CreateSession(spec.seed, nullptr).value();
+  session->NoteVertices(stream.num_vertices());
+  session->Ingest(std::span<const Edge>(stream.edges().data(), prefix));
+  std::ostringstream out;
+  EXPECT_TRUE(WriteCheckpointStream(*session, out).ok());
+  return std::move(out).str();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery from the checkpoint directory (in-process servers).
+// ---------------------------------------------------------------------------
+
+TEST(ServerCrashRecoveryTest, RestartRestoresEverySessionExactly) {
+  const std::string dir = FreshDir("recovery_restart");
+  const EdgeStream stream = ChaosStream();
+  const size_t half = stream.size() / 2;
+
+  std::vector<std::string> expected_bytes;
+  {
+    ServerOptions options;
+    options.pool_threads = 2;
+    options.checkpoint_dir = dir;
+    ReptServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    ReptClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    for (int s = 0; s < 2; ++s) {
+      const SessionSpec spec = ChaosSpec("rec" + std::to_string(s));
+      ASSERT_TRUE(client.CreateSession(spec).ok());
+      ASSERT_TRUE(client
+                      .Ingest(spec.name,
+                              std::span<const Edge>(stream.edges().data(),
+                                                    half + 100 * s),
+                              stream.num_vertices())
+                      .ok());
+      expected_bytes.push_back(
+          LibraryStateBytes(spec, stream, half + 100 * s));
+    }
+    ASSERT_TRUE(server.Stop().ok());  // Writes <dir>/rec{0,1}.ckpt.
+  }
+
+  ServerOptions options;
+  options.pool_threads = 2;
+  options.checkpoint_dir = dir;
+  ReptServer revived(options);
+  ASSERT_TRUE(revived.Start().ok());
+  EXPECT_EQ(revived.sessions_recovered(), 2u);
+
+  ReptClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", revived.port()).ok());
+  for (int s = 0; s < 2; ++s) {
+    // CHECKPOINT serves the estimator state alone (no server sidecar), so
+    // the recovered session must serialize bit-identically to the library.
+    const auto bytes = client.Checkpoint("rec" + std::to_string(s));
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    const std::string& expected = expected_bytes[static_cast<size_t>(s)];
+    ASSERT_EQ(bytes.value().size(), expected.size()) << "session " << s;
+    EXPECT_TRUE(std::memcmp(bytes.value().data(), expected.data(),
+                            expected.size()) == 0)
+        << "session " << s;
+  }
+  ASSERT_TRUE(revived.Stop().ok());
+}
+
+TEST(ServerCrashRecoveryTest, RecoveredSessionRemembersSequenceWatermark) {
+  const std::string dir = FreshDir("recovery_seq");
+  const EdgeStream stream = ChaosStream();
+  const SessionSpec spec = ChaosSpec("seqrec");
+  const size_t batch = 500;
+
+  {
+    ServerOptions options;
+    options.checkpoint_dir = dir;
+    ReptServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    ReptClient client;
+    ReconnectPolicy policy;
+    policy.enabled = true;
+    client.set_reconnect_policy(policy);
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(client.CreateSession(spec).ok());
+    for (int b = 0; b < 3; ++b) {  // Sequenced frames 1..3.
+      ASSERT_TRUE(client
+                      .Ingest(spec.name,
+                              std::span<const Edge>(
+                                  stream.edges().data() + b * batch, batch),
+                              b == 0 ? stream.num_vertices() : 0)
+                      .ok());
+    }
+    ASSERT_TRUE(server.Stop().ok());
+  }
+
+  ServerOptions options;
+  options.checkpoint_dir = dir;
+  ReptServer revived(options);
+  ASSERT_TRUE(revived.Start().ok());
+  ASSERT_EQ(revived.sessions_recovered(), 1u);
+
+  ReptClient client;
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  client.set_reconnect_policy(policy);
+  ASSERT_TRUE(client.Connect("127.0.0.1", revived.port()).ok());
+  uint64_t last_applied = 0;
+  ASSERT_TRUE(client
+                  .CreateSession(spec, nullptr, /*attach=*/true,
+                                 &last_applied)
+                  .ok());
+  EXPECT_EQ(last_applied, 3u) << "watermark lost across restart";
+
+  // The attached client resumes at seq 4; the next batch must apply, not
+  // dedupe.
+  const auto reply = client.Ingest(
+      spec.name,
+      std::span<const Edge>(stream.edges().data() + 3 * batch, batch));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().last_applied_seq, 4u);
+  EXPECT_EQ(reply.value().deduped_frames, 0u);
+  ASSERT_TRUE(revived.Stop().ok());
+}
+
+TEST(ServerCrashRecoveryTest, OrphanTmpFilesAreReapedOnStartup) {
+  const std::string dir = FreshDir("recovery_orphans");
+  {
+    std::ofstream out(dir + "/victim.ckpt.tmp", std::ios::binary);
+    out << "half-written checkpoint";
+  }
+  ServerOptions options;
+  options.checkpoint_dir = dir;
+  ReptServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(std::ifstream(dir + "/victim.ckpt.tmp").good())
+      << "orphan survived startup";
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(ServerCrashRecoveryTest, SidecarlessCheckpointIsSkippedNotRestored) {
+  const std::string dir = FreshDir("recovery_sidecarless");
+  // A plain library checkpoint (e.g. saved from CHECKPOINT verb output)
+  // has no server-session sidecar: the server cannot know its config, so
+  // it must skip the file — and must not delete or damage it.
+  const SessionSpec spec = ChaosSpec("plain");
+  const EdgeStream stream = ChaosStream();
+  const auto session =
+      ReptEstimator(spec.config).CreateSession(spec.seed, nullptr).value();
+  session->NoteVertices(stream.num_vertices());
+  session->Ingest(std::span<const Edge>(stream.edges().data(), 1000));
+  ASSERT_TRUE(SaveCheckpoint(*session, dir + "/plain.ckpt").ok());
+
+  ServerOptions options;
+  options.checkpoint_dir = dir;
+  ReptServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.sessions_recovered(), 0u);
+  EXPECT_TRUE(std::ifstream(dir + "/plain.ckpt").good());
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(ServerCrashRecoveryTest, CorruptCheckpointFailsStartupHard) {
+  const std::string dir = FreshDir("recovery_corrupt");
+  {
+    std::ofstream out(dir + "/bad.ckpt", std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  ServerOptions options;
+  options.checkpoint_dir = dir;
+  ReptServer server(options);
+  const Status st = server.Start();
+  EXPECT_FALSE(st.ok()) << "corrupt state must not be silently dropped";
+}
+
+TEST(ServerCrashRecoveryTest, AutoCheckpointSavesDirtySessionsOnly) {
+  const std::string dir = FreshDir("recovery_autockpt");
+  ServerOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every_ms = 25;
+  ReptServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const EdgeStream stream = ChaosStream();
+  const SessionSpec spec = ChaosSpec("auto");
+  ReptClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateSession(spec).ok());
+  ASSERT_TRUE(client
+                  .Ingest(spec.name,
+                          std::span<const Edge>(stream.edges().data(), 2000),
+                          stream.num_vertices())
+                  .ok());
+
+  // The background thread must save without any shutdown.
+  const std::string path = dir + "/auto.ckpt";
+  auto read_file = [&path]() {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  std::string saved;
+  for (int i = 0; i < 400 && saved.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    saved = read_file();
+  }
+  ASSERT_FALSE(saved.empty()) << "auto-checkpoint never wrote " << path;
+
+  // Idle sessions are not rewritten: with no further ingest the file's
+  // bytes must stay put across many intervals. (Bytes, not mtime — a
+  // rewrite of identical state would be invisible to content but is
+  // exactly the wasted I/O the dirty tracking exists to prevent; equality
+  // here is necessary-but-cheap evidence, the mutation-counter unit
+  // contract is what the code enforces.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const std::string after_idle = read_file();
+  EXPECT_EQ(after_idle, saved);
+
+  // Another batch dirties the session; the next sweep must pick it up.
+  ASSERT_TRUE(
+      client
+          .Ingest(spec.name,
+                  std::span<const Edge>(stream.edges().data() + 2000, 1500))
+          .ok());
+  std::string advanced;
+  for (int i = 0; i < 400; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    advanced = read_file();
+    if (advanced != after_idle && !advanced.empty()) break;
+  }
+  EXPECT_NE(advanced, after_idle) << "dirty session was never re-saved";
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once sequencing (in-process servers).
+// ---------------------------------------------------------------------------
+
+TEST(ServerCrashRecoveryTest, SecondWriterReplayingOldSequenceIsDeduped) {
+  ServerOptions options;
+  ReptServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const EdgeStream stream = ChaosStream();
+  const SessionSpec spec = ChaosSpec("dedup");
+
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  ReptClient writer;
+  writer.set_reconnect_policy(policy);
+  ASSERT_TRUE(writer.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(writer.CreateSession(spec).ok());
+
+  // A second client attaches while last_applied == 0, so its first frame
+  // carries seq 1 — the same sequence number the writer is about to use.
+  ReptClient stale;
+  stale.set_reconnect_policy(policy);
+  ASSERT_TRUE(stale.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(stale.CreateSession(spec, nullptr, /*attach=*/true).ok());
+
+  const std::span<const Edge> batch(stream.edges().data(), 1000);
+  const auto applied = writer.Ingest(spec.name, batch,
+                                     stream.num_vertices());
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().last_applied_seq, 1u);
+  EXPECT_EQ(applied.value().deduped_frames, 0u);
+
+  // The stale client's seq-1 frame is a replay: acknowledged, skipped, and
+  // the session's state must not move.
+  const auto replay = stale.Ingest(spec.name, batch);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().deduped_frames, 1u);
+  EXPECT_EQ(replay.value().last_applied_seq, 1u);
+  EXPECT_EQ(replay.value().edges_ingested, batch.size())
+      << "dedup must not re-apply the batch";
+
+  // The dedup reply resynced the stale client to seq 2; its next batch
+  // applies normally.
+  const auto next = stale.Ingest(
+      spec.name, std::span<const Edge>(stream.edges().data() + 1000, 1000));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().deduped_frames, 0u);
+  EXPECT_EQ(next.value().last_applied_seq, 2u);
+  EXPECT_EQ(next.value().edges_ingested, 2000u);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(ServerCrashRecoveryTest, SequenceGapAfterRestoreIsRejected) {
+  ServerOptions options;
+  ReptServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const EdgeStream stream = ChaosStream();
+  const SessionSpec spec = ChaosSpec("gap");
+
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  ReptClient client;
+  client.set_reconnect_policy(policy);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.CreateSession(spec).ok());
+  for (int b = 0; b < 2; ++b) {
+    ASSERT_TRUE(client
+                    .Ingest(spec.name,
+                            std::span<const Edge>(
+                                stream.edges().data() + b * 500, 500),
+                            b == 0 ? stream.num_vertices() : 0)
+                    .ok());
+  }
+
+  // RESTORE of sidecar-free CHECKPOINT bytes resets the server's sequence
+  // window to 0, but this client still believes it is at seq 3 — the next
+  // frame is a gap and must be refused, not silently applied.
+  const auto bytes = client.Checkpoint(spec.name);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      client.Restore(spec.name, std::span<const uint8_t>(bytes.value()))
+          .ok());
+  const auto gap = client.Ingest(
+      spec.name, std::span<const Edge>(stream.edges().data() + 1000, 500));
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(gap.status().message().find("gap"), std::string::npos);
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Stall containment.
+// ---------------------------------------------------------------------------
+
+TEST(ServerCrashRecoveryTest, IdleConnectionIsReapedOthersUnaffected) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  ReptServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const EdgeStream stream = ChaosStream();
+  const SessionSpec spec = ChaosSpec("reap");
+
+  ReptClient stalled;
+  ASSERT_TRUE(stalled.Connect("127.0.0.1", server.port()).ok());
+  ReptClient active;
+  ASSERT_TRUE(active.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(active.CreateSession(spec).ok());
+
+  // The stalled peer sends nothing; the active one keeps working across
+  // several timeout windows and must never be disturbed.
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(active
+                    .Ingest(spec.name,
+                            std::span<const Edge>(
+                                stream.edges().data() + i * 100, 100),
+                            i == 0 ? stream.num_vertices() : 0)
+                    .ok())
+        << "iteration " << i;
+  }
+  for (int i = 0; i < 300 && server.idle_reaps() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.idle_reaps(), 1u);
+
+  // The reaped client's next request fails (its connection is gone).
+  EXPECT_FALSE(stalled.Stats().ok());
+  EXPECT_TRUE(active.Stats().ok());
+  ASSERT_TRUE(server.Stop().ok());
+}
+
+TEST(ServerCrashRecoveryTest, RoundtripDeadlineExpiresAgainstSilentPeer) {
+  // A listener that accepts nothing: the connect completes via the backlog
+  // but no reply will ever come. Without a deadline, Stats() would block
+  // forever (the pre-v3 failure mode); with one it must return
+  // DeadlineExceeded in bounded time.
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0).ok());
+  ReptClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", listener.port()).ok());
+  ASSERT_TRUE(client.set_roundtrip_deadline_ms(150).ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  const Status st = client.Stats().status();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_LT(elapsed.count(), 5000);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: SIGKILL a real server process mid-ingest, restart, replay.
+// ---------------------------------------------------------------------------
+
+TEST(ServerCrashRecoveryTest, KillMidIngestRestartReplayIsBitIdentical) {
+  const std::string dir = FreshDir("chaos_kill");
+  const std::string port_file = dir + "/port";
+  const EdgeStream stream = ChaosStream();
+  const SessionSpec spec = ChaosSpec("chaos");
+  const size_t batch = 400;
+  const size_t batches = stream.size() / batch;
+  ASSERT_GE(batches, 8u) << "stream too small to be interesting";
+
+  const pid_t first = SpawnServerChild(dir, port_file, /*every_ms=*/30);
+  ASSERT_GT(first, 0);
+  const uint16_t port = WaitForPort(port_file);
+  ASSERT_NE(port, 0) << "child never published its port";
+
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  policy.max_attempts = 2;  // Fail fast: the server is genuinely dead.
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 40;
+
+  auto send_batch = [&](ReptClient& client, size_t index) {
+    return client.Ingest(
+        spec.name,
+        std::span<const Edge>(stream.edges().data() + index * batch, batch),
+        index == 0 ? stream.num_vertices() : 0);
+  };
+
+  // Phase 1: stream batches into the live server, then SIGKILL it while
+  // the writer is still mid-stream. Some acked batches may be lost (they
+  // postdate the last auto-checkpoint) — that is the contract the replay
+  // below compensates for.
+  size_t sent = 0;
+  {
+    ReptClient client;
+    client.set_reconnect_policy(policy);
+    ASSERT_TRUE(client.set_roundtrip_deadline_ms(2000).ok());
+    ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+    ASSERT_TRUE(client.CreateSession(spec).ok());
+    // Let at least one auto-checkpoint interval elapse with data applied.
+    for (; sent < 4; ++sent) ASSERT_TRUE(send_batch(client, sent).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+    ::kill(first, SIGKILL);
+    // Keep writing into the dying server: every outcome (acked, refused,
+    // transport error after exhausted reconnects) is legal here; the
+    // sequence watermark sorts it out after restart.
+    while (sent < batches && send_batch(client, sent).ok()) ++sent;
+  }
+  ReapChild(first);
+  EXPECT_LT(sent, batches) << "SIGKILL landed after the whole stream";
+
+  // Phase 2: restart on the same directory, attach, learn the recovered
+  // watermark, and replay everything past it.
+  const pid_t second = SpawnServerChild(dir, port_file, /*every_ms=*/30);
+  ASSERT_GT(second, 0);
+  const uint16_t port2 = WaitForPort(port_file);
+  ASSERT_NE(port2, 0);
+
+  ReptClient client;
+  client.set_reconnect_policy(policy);
+  ASSERT_TRUE(client.set_roundtrip_deadline_ms(2000).ok());
+  ASSERT_TRUE(client.Connect("127.0.0.1", port2).ok());
+  uint64_t last_applied = 0;
+  ASSERT_TRUE(client
+                  .CreateSession(spec, nullptr, /*attach=*/true,
+                                 &last_applied)
+                  .ok());
+  ASSERT_GE(last_applied, 1u) << "recovery lost every applied batch";
+  ASSERT_LE(last_applied, static_cast<uint64_t>(sent))
+      << "server claims batches the client never sent";
+
+  // Sequenced frame k carried batch k-1, so resume at batch[last_applied].
+  for (size_t index = static_cast<size_t>(last_applied); index < batches;
+       ++index) {
+    const auto reply = send_batch(client, index);
+    ASSERT_TRUE(reply.ok()) << "replaying batch " << index;
+    EXPECT_EQ(reply.value().deduped_frames, 0u);
+  }
+
+  // The recovered-and-replayed state must be bit-identical to an
+  // uninterrupted library ingest of the same prefix: same estimates, same
+  // serialized bytes, every edge applied exactly once in order.
+  const auto served = client.Checkpoint(spec.name);
+  ASSERT_TRUE(served.ok());
+  const std::string expected =
+      LibraryStateBytes(spec, stream, batches * batch);
+  ASSERT_EQ(served.value().size(), expected.size());
+  EXPECT_TRUE(std::memcmp(served.value().data(), expected.data(),
+                          expected.size()) == 0)
+      << "recovered state diverged from the uninterrupted run";
+
+  const auto snapshot = client.Snapshot(spec.name, 0);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().edges_ingested, batches * batch);
+
+  ASSERT_TRUE(client.Shutdown().ok());
+  ReapChild(second);
+
+  // A third start proves the post-chaos shutdown checkpoint is itself
+  // clean and re-recoverable.
+  const pid_t third = SpawnServerChild(dir, port_file, /*every_ms=*/0);
+  ASSERT_GT(third, 0);
+  const uint16_t port3 = WaitForPort(port_file);
+  ASSERT_NE(port3, 0);
+  ReptClient verifier;
+  ASSERT_TRUE(verifier.Connect("127.0.0.1", port3).ok());
+  const auto reread = verifier.Checkpoint(spec.name);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_TRUE(reread.value().size() == expected.size() &&
+              std::memcmp(reread.value().data(), expected.data(),
+                          expected.size()) == 0);
+  ASSERT_TRUE(verifier.Shutdown().ok());
+  ReapChild(third);
+}
+
+// ---------------------------------------------------------------------------
+// Injected network faults (REPT_FAULT_INJECTION builds only). Faults are
+// armed in THIS process, so they deterministically hit the client's socket;
+// the server runs in a fault-free child.
+// ---------------------------------------------------------------------------
+
+class NetFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::Enabled()) {
+      GTEST_SKIP() << "build without REPT_FAULT_INJECTION";
+    }
+    fault::DisarmAll();
+  }
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+TEST_F(NetFaultTest, LostAckReplayIsDedupedExactlyOnce) {
+  const std::string dir = FreshDir("chaos_lost_ack");
+  const std::string port_file = dir + "/port";
+  const pid_t child = SpawnServerChild(dir, port_file, 0);
+  ASSERT_GT(child, 0);
+  const uint16_t port = WaitForPort(port_file);
+  ASSERT_NE(port, 0);
+
+  const EdgeStream stream = ChaosStream();
+  const SessionSpec spec = ChaosSpec("lostack");
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  policy.base_backoff_ms = 10;
+  ReptClient client;
+  client.set_reconnect_policy(policy);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  ASSERT_TRUE(client.CreateSession(spec).ok());
+  const std::span<const Edge> batch(stream.edges().data(), 800);
+  ASSERT_TRUE(client.Ingest(spec.name, batch, stream.num_vertices()).ok());
+
+  // Drop the client's NEXT read: the INGEST request reaches the server and
+  // is applied, but the ack is lost. The reconnect replays the frame; the
+  // server must dedupe it — the batch lands exactly once.
+  fault::Arm("net.recv_drop");
+  const auto reply = client.Ingest(
+      spec.name, std::span<const Edge>(stream.edges().data() + 800, 800));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(reply.value().deduped_frames, 1u) << "replay was re-applied";
+  EXPECT_EQ(reply.value().last_applied_seq, 2u);
+  EXPECT_EQ(reply.value().edges_ingested, 1600u);
+
+  ASSERT_TRUE(client.Shutdown().ok());
+  ReapChild(child);
+}
+
+TEST_F(NetFaultTest, DroppedRequestIsReplayedAndApplied) {
+  const std::string dir = FreshDir("chaos_send_drop");
+  const std::string port_file = dir + "/port";
+  const pid_t child = SpawnServerChild(dir, port_file, 0);
+  ASSERT_GT(child, 0);
+  const uint16_t port = WaitForPort(port_file);
+  ASSERT_NE(port, 0);
+
+  const EdgeStream stream = ChaosStream();
+  const SessionSpec spec = ChaosSpec("senddrop");
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  policy.base_backoff_ms = 10;
+  ReptClient client;
+  client.set_reconnect_policy(policy);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  ASSERT_TRUE(client.CreateSession(spec).ok());
+
+  // Drop the client's NEXT send: the request never reaches the server, so
+  // the reconnect's replay is a first delivery — applied, not deduped.
+  fault::Arm("net.send_drop");
+  const auto reply = client.Ingest(
+      spec.name, std::span<const Edge>(stream.edges().data(), 800),
+      stream.num_vertices());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(reply.value().deduped_frames, 0u);
+  EXPECT_EQ(reply.value().last_applied_seq, 1u);
+  EXPECT_EQ(reply.value().edges_ingested, 800u);
+
+  ASSERT_TRUE(client.Shutdown().ok());
+  ReapChild(child);
+}
+
+}  // namespace
+}  // namespace rept::net
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--be-server") == 0) {
+    return rept::net::RunServerChild(argc, argv);
+  }
+  rept::net::g_test_binary = argv[0];
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
+
+#endif  // _WIN32

@@ -4,9 +4,15 @@
 //
 //   rept_server --port 7700 --checkpoint-dir /var/lib/rept
 //
-// SIGINT/SIGTERM initiate a graceful drain: the listener closes, in-flight
-// requests finish, and every session is saved to
-// <checkpoint-dir>/<name>.ckpt via the atomic tmp+rename SaveCheckpoint.
+// With --checkpoint-dir, startup recovers every <name>.ckpt in the
+// directory back into a live session (reaping orphaned .ckpt.tmp files
+// first), --checkpoint-every-secs re-saves mutated sessions in the
+// background so a kill -9 loses at most one interval, and SIGINT/SIGTERM
+// initiate a graceful drain: the listener closes, in-flight requests
+// finish, and every session is saved to <checkpoint-dir>/<name>.ckpt via
+// the atomic tmp+rename SaveCheckpoint. --idle-timeout-secs contains
+// stalled peers: a connection that neither completes a request nor drains
+// its replies within the window is reaped without affecting others.
 //
 // --smoke runs an in-process server + client self-exchange (create, ingest,
 // snapshot, checkpoint, restore, stats, shutdown verb) and exits nonzero on
@@ -128,6 +134,8 @@ int main(int argc, char** argv) {
   uint64_t global_budget_mb = 512;
   uint64_t max_frame_mb = 64;
   std::string checkpoint_dir;
+  uint64_t checkpoint_every_secs = 0;
+  uint64_t idle_timeout_secs = 0;
   bool smoke = false;
 
   rept::FlagSet flags(
@@ -147,7 +155,14 @@ int main(int argc, char** argv) {
       .AddUint64("max-frame-mb", &max_frame_mb,
                  "per-frame payload cap in MiB")
       .AddString("checkpoint-dir", &checkpoint_dir,
-                 "directory for shutdown checkpoints (empty = disabled)")
+                 "directory for checkpoints; restored on startup, saved on "
+                 "shutdown (empty = disabled)")
+      .AddUint64("checkpoint-every-secs", &checkpoint_every_secs,
+                 "auto-checkpoint dirty sessions this often; needs "
+                 "--checkpoint-dir (0 = shutdown-only)")
+      .AddUint64("idle-timeout-secs", &idle_timeout_secs,
+                 "reap connections idle or stalled this long "
+                 "(0 = wait forever)")
       .AddBool("smoke", &smoke,
                "run an in-process client self-exchange and exit");
   const rept::Status parsed = flags.Parse(argc, argv);
@@ -167,6 +182,14 @@ int main(int argc, char** argv) {
   options.limits.global_memory_budget = global_budget_mb << 20;
   options.max_frame_payload = max_frame_mb << 20;
   options.checkpoint_dir = checkpoint_dir;
+  options.checkpoint_every_ms = checkpoint_every_secs * 1000;
+  options.idle_timeout_ms = idle_timeout_secs * 1000;
+  if (checkpoint_every_secs != 0 && checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "rept_server: --checkpoint-every-secs needs "
+                 "--checkpoint-dir\n");
+    return 2;
+  }
 
   if (smoke) return RunSmoke(std::move(options));
 
@@ -181,9 +204,12 @@ int main(int argc, char** argv) {
               host.c_str(), server.port(), server.pool()->num_threads(),
               server.registry()->limits().max_sessions);
   if (!checkpoint_dir.empty()) {
-    std::printf("rept_server: will checkpoint to %s/<name>.ckpt on "
-                "shutdown\n",
-                checkpoint_dir.c_str());
+    std::printf("rept_server: recovered %llu session(s); checkpointing to "
+                "%s/<name>.ckpt (%s)\n",
+                static_cast<unsigned long long>(server.sessions_recovered()),
+                checkpoint_dir.c_str(),
+                checkpoint_every_secs != 0 ? "periodic + shutdown"
+                                           : "shutdown only");
   }
   std::fflush(stdout);
 

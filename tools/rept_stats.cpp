@@ -38,6 +38,11 @@ constexpr HeaderMetric kHeaderMetrics[] = {
     {"rept_server_ingest_bytes_total", "ingest_bytes"},
     {"rept_server_error_frames_total", "errors"},
     {"rept_server_admission_rejections_total", "rejected"},
+    {"rept_server_sessions_recovered_total", "recovered"},
+    {"rept_server_autocheckpoint_saves_total", "ckpt_saves"},
+    {"rept_server_autocheckpoint_failures_total", "ckpt_fails"},
+    {"rept_server_idle_reaps_total", "idle_reaps"},
+    {"rept_ingest_batches_deduped_total", "deduped"},
 };
 
 void RenderTable(const std::string& metrics_text,
@@ -131,6 +136,10 @@ int RunSmoke() {
       {"rept_server_ingest_frames_total", true},
       {"rept_server_ingest_edges_total", true},
       {"rept_server_sessions_created_total", false},
+      {"rept_server_sessions_recovered_total", false},
+      {"rept_server_autocheckpoint_saves_total", false},
+      {"rept_server_idle_reaps_total", false},
+      {"rept_ingest_batches_deduped_total", false},
 #endif
       {"rept_session_edges_ingested{session=\"stats_smoke\"}", true},
   };
